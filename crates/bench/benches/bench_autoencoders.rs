@@ -1,0 +1,57 @@
+//! E15 timing: autoencoder-family training steps and VAE/GAN rounds on
+//! encoded tuples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_clean::TableEncoder;
+use dc_nn::ae::{Autoencoder, DenoisingAutoencoder, Noise, Vae};
+use dc_nn::gan::Gan;
+use dc_nn::optim::Adam;
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn encoded(rng: &mut StdRng) -> Tensor {
+    let table = dc_datagen::people_table(100, rng);
+    TableEncoder::fit(&table, 32).encode(&table).0
+}
+
+fn bench_ae_steps(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = encoded(&mut rng);
+    let d = x.cols;
+
+    c.bench_function("ae_train_step", |b| {
+        let mut ae = Autoencoder::new(d, &[d / 2], d / 4, &mut rng);
+        let mut opt = Adam::new(0.005);
+        b.iter(|| black_box(ae.train_step(&x, &x, &mut opt)))
+    });
+
+    c.bench_function("dae_epoch", |b| {
+        let mut dae =
+            DenoisingAutoencoder::new(d, &[d / 2], d / 4, Noise::Masking { p: 0.2 }, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(dae.fit(&x, &mut opt, 1, 32, &mut r)))
+    });
+
+    c.bench_function("vae_train_step", |b| {
+        let mut vae = Vae::new(d, d / 2, d / 4, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let mut r = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(vae.train_step(&x, &mut opt, &mut r)))
+    });
+
+    c.bench_function("gan_round", |b| {
+        let mut gan = Gan::new(d, d / 4, d / 2, &mut rng);
+        let mut r = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(gan.train_round(&x, &mut r)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ae_steps
+}
+criterion_main!(benches);

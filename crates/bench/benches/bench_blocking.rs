@@ -1,0 +1,63 @@
+//! E4 timing: candidate generation throughput of LSH vs token vs key
+//! blocking as the record count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_datagen::{ErBenchmark, ErSuite};
+use dc_embed::{Embeddings, SgnsConfig};
+use dc_er::blocking::{KeyBlocker, LshBlocker, TokenBlocker};
+use dc_er::features::tuple_vectors;
+use dc_relational::tokenize_tuple;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_blockers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    for &entities in &[50usize, 100] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bench = ErBenchmark::generate(ErSuite::Dirty, entities, 3, &mut rng);
+        let docs: Vec<Vec<String>> = bench
+            .table
+            .rows
+            .iter()
+            .map(|r| tokenize_tuple(r))
+            .collect();
+        let emb = Embeddings::train(
+            &docs,
+            &SgnsConfig {
+                dim: 16,
+                epochs: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let vectors = tuple_vectors(&emb, &bench.table);
+        let lsh = LshBlocker::new(emb.dim(), 8, 4, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("lsh_8x4", entities), &entities, |b, _| {
+            b.iter(|| black_box(lsh.candidates(&vectors)))
+        });
+        group.bench_with_input(BenchmarkId::new("token", entities), &entities, |b, _| {
+            b.iter(|| black_box(TokenBlocker { column: 0 }.candidates(&bench.table)))
+        });
+        group.bench_with_input(BenchmarkId::new("key3", entities), &entities, |b, _| {
+            b.iter(|| {
+                black_box(
+                    KeyBlocker {
+                        column: 0,
+                        prefix: 3,
+                    }
+                    .candidates(&bench.table),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blockers
+}
+criterion_main!(benches);

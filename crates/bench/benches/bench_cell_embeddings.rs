@@ -1,0 +1,60 @@
+//! E2 timing: heterogeneous-graph construction, random walks, and
+//! tuple-as-document training on a people table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_embed::{CellDocEmbedder, GraphEmbedConfig, GraphEmbedder, SgnsConfig};
+use dc_relational::TableGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let table = dc_datagen::people_table(200, &mut rng);
+    let fds = dc_datagen::people_fds();
+    c.bench_function("table_graph_build_200_rows", |b| {
+        b.iter(|| black_box(TableGraph::build(&table, &fds)))
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let table = dc_datagen::people_table(200, &mut rng);
+    let graph = TableGraph::build(&table, &dc_datagen::people_fds());
+    let embedder = GraphEmbedder::new(GraphEmbedConfig {
+        walks_per_node: 2,
+        walk_length: 8,
+        ..Default::default()
+    });
+    c.bench_function("random_walk_corpus", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            black_box(embedder.walks(&graph, &mut r))
+        })
+    });
+}
+
+fn bench_celldoc_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let table = dc_datagen::people_table(100, &mut rng);
+    c.bench_function("celldoc_train_100_rows", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            black_box(
+                CellDocEmbedder::new(SgnsConfig {
+                    dim: 16,
+                    epochs: 2,
+                    ..Default::default()
+                })
+                .train(&table, &mut r),
+            )
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_build, bench_walks, bench_celldoc_training
+}
+criterion_main!(benches);

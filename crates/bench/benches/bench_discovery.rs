@@ -1,0 +1,43 @@
+//! E6/E7 timing: matcher decisions and search queries over a lake.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_datagen::Lake;
+use dc_discovery::{search_documents, Bm25Lite, NeuralSearch, SemanticMatcher};
+use dc_embed::{Embeddings, SgnsConfig};
+use dc_relational::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let lake = Lake::generate(10, 30, &mut rng);
+    let refs: Vec<&Table> = lake.tables.iter().collect();
+    let sgns = SgnsConfig {
+        dim: 16,
+        window: 8,
+        epochs: 3,
+        ..Default::default()
+    };
+    let matcher = SemanticMatcher::train(&refs, &sgns, &mut rng);
+    let emb = Embeddings::train(&search_documents(&refs, 15), &sgns, &mut rng);
+    let neural = NeuralSearch::index(emb, &refs, 15);
+    let bm25 = Bm25Lite::index(&refs, 15);
+
+    c.bench_function("semantic_match_decision", |b| {
+        b.iter(|| black_box(matcher.decide(&lake.tables[0], 0, &lake.tables[1], 0)))
+    });
+    c.bench_function("neural_search_query", |b| {
+        b.iter(|| black_box(neural.search("employee name city")))
+    });
+    c.bench_function("bm25_search_query", |b| {
+        b.iter(|| black_box(bm25.search("employee name city")))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_discovery
+}
+criterion_main!(benches);

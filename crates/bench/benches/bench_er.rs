@@ -1,0 +1,105 @@
+//! E3/E13 timing: DeepER training and prediction vs the feature
+//! baseline — the "light-weight DL model that can be trained in a
+//! matter of minutes even on a CPU" claim in microbench form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_datagen::{ErBenchmark, ErSuite};
+use dc_embed::{Embeddings, SgnsConfig};
+use dc_er::baselines::FeatureLogReg;
+use dc_er::{Composition, DeepEr, DeepErConfig};
+use dc_relational::tokenize_tuple;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Setup {
+    bench: ErBenchmark,
+    emb: Embeddings,
+    tp: Vec<(usize, usize)>,
+    tl: Vec<bool>,
+}
+
+fn setup() -> Setup {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bench = ErBenchmark::generate(ErSuite::Dirty, 40, 3, &mut rng);
+    let docs: Vec<Vec<String>> = bench
+        .table
+        .rows
+        .iter()
+        .map(|r| tokenize_tuple(r))
+        .collect();
+    let emb = Embeddings::train(
+        &docs,
+        &SgnsConfig {
+            dim: 16,
+            epochs: 3,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let pairs = bench.labeled_pairs(3, &mut rng);
+    Setup {
+        tp: pairs.iter().map(|p| (p.a, p.b)).collect(),
+        tl: pairs.iter().map(|p| p.label).collect(),
+        bench,
+        emb,
+    }
+}
+
+fn bench_deeper_train(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("deeper_train_avg", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            black_box(DeepEr::train(
+                s.emb.clone(),
+                &s.bench.table,
+                &s.tp,
+                &s.tl,
+                Composition::Average,
+                DeepErConfig {
+                    epochs: 5,
+                    ..Default::default()
+                },
+                &mut r,
+            ))
+        })
+    });
+}
+
+fn bench_deeper_predict(c: &mut Criterion) {
+    let s = setup();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = DeepEr::train(
+        s.emb.clone(),
+        &s.bench.table,
+        &s.tp,
+        &s.tl,
+        Composition::Average,
+        DeepErConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    c.bench_function("deeper_predict", |b| {
+        b.iter(|| black_box(model.predict(&s.bench.table, &s.tp)))
+    });
+}
+
+fn bench_logreg_train(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("feature_logreg_train", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(4);
+            black_box(FeatureLogReg::train(&s.bench.table, &s.tp, &s.tl, 20, &mut r))
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deeper_train, bench_deeper_predict, bench_logreg_train
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8 timing: imputers on a 200-row people table at 10% missingness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_clean::impute::{DaeImputer, KnnImputer, SimpleImputer, SimpleStrategy};
+use dc_clean::TableEncoder;
+use dc_datagen::{people_table, ErrorInjector, ErrorKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_imputers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let clean = people_table(200, &mut rng);
+    let (dirty, _) = ErrorInjector::only(ErrorKind::Null, 0.1).inject(&clean, &[], &mut rng);
+    let encoder = TableEncoder::fit(&dirty, 64);
+
+    c.bench_function("impute_mean_mode", |b| {
+        b.iter(|| {
+            let imp = SimpleImputer::fit(&dirty, SimpleStrategy::MeanMode);
+            black_box(imp.impute(&dirty))
+        })
+    });
+    c.bench_function("impute_knn5", |b| {
+        b.iter(|| black_box(KnnImputer { k: 5 }.impute(&dirty, &encoder)))
+    });
+    c.bench_function("impute_dae_train_and_apply", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            let dae = DaeImputer::train(&dirty, encoder.clone(), &[32], 16, 10, &mut r);
+            black_box(dae.impute(&dirty))
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_imputers
+}
+criterion_main!(benches);

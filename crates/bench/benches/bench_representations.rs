@@ -1,0 +1,46 @@
+//! E1 timing: SGNS training throughput and similarity queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_embed::sgns::planted_topic_corpus;
+use dc_embed::{Embeddings, SgnsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sgns_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus = planted_topic_corpus(4, 8, 300, 8, &mut rng);
+    c.bench_function("sgns_train_300_docs", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            black_box(Embeddings::train(
+                &corpus,
+                &SgnsConfig {
+                    dim: 16,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                &mut r,
+            ))
+        })
+    });
+}
+
+fn bench_similarity_queries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let corpus = planted_topic_corpus(4, 8, 300, 8, &mut rng);
+    let emb = Embeddings::train(&corpus, &SgnsConfig::default(), &mut rng);
+    c.bench_function("most_similar_top5", |b| {
+        b.iter(|| black_box(emb.most_similar("t0w0", 5)))
+    });
+    c.bench_function("analogy_top5", |b| {
+        b.iter(|| black_box(emb.analogy("t0w0", "t0w1", "t1w0", 5)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sgns_training, bench_similarity_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 timing: plain vs neural-guided synthesis on representative
+//! tasks, plus DSL evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_synth::dsl::{Atom, Program};
+use dc_synth::{synthesize, GuidanceModel, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn ex(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect()
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let name_task = ex(&[("John Smith", "J Smith"), ("Jane Doe", "J Doe")]);
+    let phone_task = ex(&[
+        ("(212) 555 0199", "212-555-0199"),
+        ("(617) 555 1234", "617-555-1234"),
+    ]);
+    let config = SynthConfig::default();
+
+    c.bench_function("synthesize_name_abbrev", |b| {
+        b.iter(|| black_box(synthesize(&name_task, &config)))
+    });
+    c.bench_function("synthesize_phone_plain", |b| {
+        b.iter(|| black_box(synthesize(&phone_task, &config)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GuidanceModel::train(200, 60, &mut rng);
+    c.bench_function("synthesize_phone_guided", |b| {
+        b.iter(|| black_box(model.synthesize_guided(&phone_task, &config)))
+    });
+}
+
+fn bench_program_eval(c: &mut Criterion) {
+    let program = Program::new(vec![
+        Atom::TokenInitial(0),
+        Atom::Const(" ".into()),
+        Atom::Title(Box::new(Atom::Token(-1))),
+    ]);
+    c.bench_function("program_run", |b| {
+        b.iter(|| black_box(program.run("grace brewster murray hopper")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis, bench_program_eval
+}
+criterion_main!(benches);

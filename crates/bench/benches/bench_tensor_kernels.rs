@@ -1,0 +1,61 @@
+//! Microbenchmarks of the dc-tensor substrate: matmul variants and a
+//! full autograd step — the kernels under every model in AutoDC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_tensor::{Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(n, n, 1.0, &mut rng);
+        let b = Tensor::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_t_b", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.t_matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_b_t", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_t(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_autograd_step(c: &mut Criterion) {
+    // Forward + backward of a 2-layer MLP batch, the DeepER inner loop.
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::randn(64, 33, 1.0, &mut rng);
+    let w1 = Tensor::xavier(33, 32, &mut rng);
+    let b1 = Tensor::zeros(1, 32);
+    let w2 = Tensor::xavier(32, 1, &mut rng);
+    let b2 = Tensor::zeros(1, 1);
+    let y = Tensor::from_vec(64, 1, (0..64).map(|i| (i % 2) as f32).collect());
+
+    c.bench_function("autograd_mlp_step_64x33", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let vx = tape.var(x.clone());
+            let vw1 = tape.var(w1.clone());
+            let vb1 = tape.var(b1.clone());
+            let vw2 = tape.var(w2.clone());
+            let vb2 = tape.var(b2.clone());
+            let h = tape.relu(tape.add_row(tape.matmul(vx, vw1), vb1));
+            let logits = tape.add_row(tape.matmul(h, vw2), vb2);
+            let loss = tape.bce_with_logits(logits, y.clone(), Tensor::ones(64, 1));
+            tape.backward(loss);
+            black_box(tape.grad(vw1));
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_autograd_step
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E11/E12 timing: label-model EM and Dawid–Skene inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_weak::crowd::{dawid_skene, simulate_crowd};
+use dc_weak::labelmodel::GenerativeLabelModel;
+use dc_weak::lf::LabelMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_label_model(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let votes = (0..1000)
+        .map(|_| {
+            (0..5)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        None
+                    } else {
+                        Some(rng.gen_bool(0.6))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let matrix = LabelMatrix { votes };
+    c.bench_function("label_model_em_1000x5", |b| {
+        b.iter(|| black_box(GenerativeLabelModel::fit(&matrix, 10)))
+    });
+}
+
+fn bench_dawid_skene(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (labels, _) = simulate_crowd(1000, &[0.9, 0.9, 0.6, 0.6, 0.6], 5, &mut rng);
+    c.bench_function("dawid_skene_1000x5", |b| {
+        b.iter(|| black_box(dawid_skene(&labels, 15)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_label_model, bench_dawid_skene
+}
+criterion_main!(benches);

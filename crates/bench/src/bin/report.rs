@@ -1,0 +1,78 @@
+//! Regenerate the experiment tables recorded in `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p dc-bench --bin report            # all, full scale
+//! cargo run --release -p dc-bench --bin report -- --quick # fast smoke pass
+//! cargo run --release -p dc-bench --bin report -- e3 e4   # selected ids
+//! ```
+
+use dc_bench::{run_all, ExperimentTable, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let selected: Vec<ExperimentTable> = run_selected(scale, &wanted);
+    println!(
+        "# AutoDC experiment report ({} scale)\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    for table in &selected {
+        println!("{}", table.to_markdown());
+    }
+    eprintln!("({} experiment tables)", selected.len());
+}
+
+fn run_selected(scale: Scale, wanted: &[String]) -> Vec<ExperimentTable> {
+    if wanted.is_empty() {
+        return run_all(scale);
+    }
+    // Run only the modules the requested ids need, then filter.
+    let mut tables = Vec::new();
+    let need = |prefixes: &[&str]| -> bool {
+        wanted
+            .iter()
+            .any(|w| prefixes.iter().any(|p| w.starts_with(p)))
+    };
+    if need(&["e1", "e2"]) {
+        tables.extend(dc_bench::representations::run(scale));
+    }
+    if need(&["e3", "e4", "e5", "e13"]) {
+        tables.extend(dc_bench::entity_resolution::run(scale));
+    }
+    if need(&["e6", "e7"]) {
+        tables.extend(dc_bench::discovery::run(scale));
+    }
+    if need(&["e8", "e9"]) {
+        tables.extend(dc_bench::cleaning::run(scale));
+    }
+    if need(&["e10"]) {
+        tables.extend(dc_bench::synthesis::run(scale));
+    }
+    if need(&["e11", "e12"]) {
+        tables.extend(dc_bench::weak_supervision::run(scale));
+    }
+    if need(&["e14"]) {
+        tables.extend(dc_bench::pipeline::run(scale));
+    }
+    if need(&["e15"]) {
+        tables.extend(dc_bench::autoencoders::run(scale));
+    }
+    tables.retain(|t| {
+        let id = t.id.to_lowercase();
+        wanted.iter().any(|w| id == *w || id.starts_with(w.as_str()))
+    });
+    tables
+}

@@ -1,0 +1,84 @@
+//! E14 (Figure 1, §3.4): the end-to-end pipeline on dirty lakes of
+//! rising error rates.
+
+use crate::{f3, ExperimentTable, Scale};
+use autodc::pipeline::{Pipeline, PipelineConfig};
+use dc_datagen::{people_fds, people_table, ErrorInjector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run E14.
+pub fn run(scale: Scale) -> Vec<ExperimentTable> {
+    vec![e14(scale)]
+}
+
+fn e14(scale: Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "E14",
+        "End-to-end pipeline: discover → integrate → clean (Fig 1, §3.4)",
+        &[
+            "error level",
+            "rows in",
+            "rows out",
+            "clusters merged",
+            "repairs",
+            "imputed",
+            "quality before",
+            "quality after",
+        ],
+    );
+    let rows = scale.pick(60, 120);
+    for (label, mult) in [("low", 0.5), ("medium", 1.0), ("high", 2.0)] {
+        let mut rng = StdRng::seed_from_u64(1400);
+        let clean = people_table(rows, &mut rng);
+        let injector = ErrorInjector {
+            typo_rate: 0.01 * mult,
+            null_rate: 0.05 * mult,
+            swap_rate: 0.0,
+            fd_violation_rate: 0.02 * mult,
+            abbreviation_rate: 0.01 * mult,
+        };
+        let (mut a, _) = injector.inject(&clean, &people_fds(), &mut rng);
+        a.name = "people_a".into();
+        let (mut b, _) = injector.inject(&clean, &people_fds(), &mut rng);
+        b.name = "people_b".into();
+        let decoy = dc_datagen::products_table(40, &mut rng);
+
+        let pipeline = Pipeline::new(PipelineConfig {
+            query: "people name city country".into(),
+            top_k_tables: 3,
+            ..Default::default()
+        });
+        let (curated, report) = pipeline.run(&[a, decoy, b], &mut rng);
+        t.push(vec![
+            label.to_string(),
+            report.rows_in.to_string(),
+            curated.len().to_string(),
+            report.clusters_merged.to_string(),
+            report.repairs.to_string(),
+            report.cells_imputed.to_string(),
+            f3(report.before.score()),
+            f3(report.after.score()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_quality_never_degrades() {
+        let t = e14(Scale::Quick);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let before: f64 = row[6].parse().expect("num");
+            let after: f64 = row[7].parse().expect("num");
+            assert!(after >= before - 0.02, "{row:?}");
+            let rows_in: usize = row[1].parse().expect("num");
+            let rows_out: usize = row[2].parse().expect("num");
+            assert!(rows_out < rows_in, "dedup did nothing: {row:?}");
+        }
+    }
+}

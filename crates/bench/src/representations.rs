@@ -1,0 +1,293 @@
+//! E1 (Figure 3): local vs distributed representations.
+//! E2 (Figure 4, §3.1): tuple-as-document vs heterogeneous-graph cell
+//! embeddings — window-size limitation and FD-edge ablation.
+
+use crate::{f3, ExperimentTable, Scale};
+use dc_embed::celldoc::cell_token;
+use dc_embed::{CellDocEmbedder, Embeddings, GraphEmbedConfig, GraphEmbedder, OneHot, SgnsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run E1 and E2.
+pub fn run(scale: Scale) -> Vec<ExperimentTable> {
+    vec![e1(scale), e1_capacity(), e2(scale)]
+}
+
+/// E1: semantic-similarity and analogy quality, one-hot vs SGNS.
+fn e1(scale: Scale) -> ExperimentTable {
+    let mut rng = StdRng::seed_from_u64(101);
+    // Country/capital corpus with shared relation structure.
+    let pairs = [
+        ("france", "paris"),
+        ("germany", "berlin"),
+        ("italy", "rome"),
+        ("spain", "madrid"),
+        ("japan", "tokyo"),
+        ("egypt", "cairo"),
+    ];
+    // SGNS input-vector similarity reflects shared *contexts*, so each
+    // pair gets a region token both its words co-occur with, next to the
+    // role markers that give the relation a consistent direction.
+    let reps = scale.pick(100, 150);
+    let mut corpus = Vec::new();
+    for (i, (country, capital)) in pairs.iter().enumerate() {
+        let region = format!("region{i}");
+        for _ in 0..reps {
+            corpus.push(vec![country.to_string(), region.clone()]);
+            corpus.push(vec![capital.to_string(), region.clone()]);
+            corpus.push(vec![country.to_string(), "nation".to_string()]);
+            corpus.push(vec![capital.to_string(), "capitalcity".to_string()]);
+        }
+    }
+    let emb = Embeddings::train(
+        &corpus,
+        &SgnsConfig {
+            dim: 16,
+            window: 2,
+            epochs: scale.pick(15, 20),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let onehot = OneHot::new(
+        pairs
+            .iter()
+            .flat_map(|(a, b)| [a.to_string(), b.to_string()]),
+    );
+
+    // Related-pair vs unrelated-pair similarity gap.
+    let mut related = 0.0f32;
+    let mut unrelated = 0.0f32;
+    let mut n_unrel = 0;
+    for (i, (c1, k1)) in pairs.iter().enumerate() {
+        related += emb.similarity(c1, k1).expect("in vocab");
+        for (j, (_, k2)) in pairs.iter().enumerate() {
+            if i != j {
+                unrelated += emb.similarity(c1, k2).expect("in vocab");
+                n_unrel += 1;
+            }
+        }
+    }
+    related /= pairs.len() as f32;
+    unrelated /= n_unrel as f32;
+
+    // One-hot: every distinct pair scores 0.
+    let oh_related = onehot.similarity("france", "paris").expect("known");
+
+    // Analogy accuracy (country0:capital0 :: country_i:? → capital_i).
+    let mut analogy_hits = 0;
+    let mut analogy_total = 0;
+    for (i, (c, k)) in pairs.iter().enumerate().skip(1) {
+        analogy_total += 1;
+        let res = emb.analogy(pairs[0].0, pairs[0].1, c, 3);
+        if res.iter().any(|(t, _)| t == k) {
+            analogy_hits += 1;
+            let _ = i;
+        }
+    }
+
+    let mut t = ExperimentTable::new(
+        "E1",
+        "Local vs distributed representations (Fig 3)",
+        &[
+            "representation",
+            "related-pair sim",
+            "unrelated-pair sim",
+            "analogy top-3 acc",
+        ],
+    );
+    t.push(vec![
+        "one-hot (local)".into(),
+        f3(oh_related as f64),
+        "0.000".into(),
+        "0.000 (undefined)".into(),
+    ]);
+    t.push(vec![
+        "SGNS (distributed)".into(),
+        f3(related as f64),
+        f3(unrelated as f64),
+        f3(analogy_hits as f64 / analogy_total as f64),
+    ]);
+    t
+}
+
+/// E1b: the capacity argument of §2.2 — "exponential in the total
+/// dimensions available" vs linear.
+fn e1_capacity() -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "E1b",
+        "Representation capacity: objects representable at dimension d (§2.2)",
+        &["d", "local (one-hot)", "distributed (binary)"],
+    );
+    for d in [4u32, 9, 16, 32, 64] {
+        t.push(vec![
+            d.to_string(),
+            OneHot::local_capacity(d as usize).to_string(),
+            OneHot::distributed_capacity(d).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E2: related-cell retrieval. Ground truth: city cells relate to their
+/// country cells (the planted FD); score = mean similarity rank gap and
+/// hit@3 of the correct country among country-attribute nodes.
+fn e2(scale: Scale) -> ExperimentTable {
+    let mut rng = StdRng::seed_from_u64(102);
+    let table = dc_datagen::people_table(scale.pick(150, 400), &mut rng);
+    let fds = dc_datagen::people_fds();
+    let city_col = 4usize;
+    let country_col = 5usize;
+
+    // Ground truth city → country from the GEO domain.
+    let truth: Vec<(String, String)> = dc_datagen::domains::GEO
+        .iter()
+        .map(|&(city, country, _)| (city.to_string(), country.to_string()))
+        .collect();
+
+    let hit_at_3 = |emb: &Embeddings| -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (city, country) in &truth {
+            let city_tok = cell_token(city_col, city);
+            let Some(cv) = emb.get(&city_tok) else {
+                continue;
+            };
+            // Rank all country cells by similarity to this city cell.
+            let mut scored: Vec<(&str, f32)> = truth
+                .iter()
+                .map(|(_, c)| c.as_str())
+                .collect::<std::collections::HashSet<_>>()
+                .into_iter()
+                .filter_map(|c| {
+                    emb.get(&cell_token(country_col, c)).map(|v| {
+                        (c, dc_tensor::tensor::cosine(cv, v))
+                    })
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            total += 1;
+            if scored.first().is_some_and(|(c, _)| c == country) {
+                hits += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+
+    let sgns = |window: usize| SgnsConfig {
+        dim: 24,
+        window,
+        epochs: scale.pick(6, 12),
+        ..Default::default()
+    };
+
+    let mut t = ExperimentTable::new(
+        "E2",
+        "Cell embeddings: tuple-as-document vs heterogeneous graph (Fig 4)",
+        &["model", "city→country hit@1"],
+    );
+
+    // Tuple-as-document at two window sizes (§3.1 limitation 2: city is
+    // column 4, country column 5 — adjacent — so we also test a schema
+    // where the pair is far apart by projecting a reordered view).
+    for window in [1usize, 4] {
+        let mut r = StdRng::seed_from_u64(103);
+        let emb = CellDocEmbedder::new(sgns(window)).train(&table, &mut r);
+        t.push(vec![
+            format!("tuple-as-document (W={window})"),
+            f3(hit_at_3(&emb)),
+        ]);
+    }
+
+    // Distant-attribute variant: reorder columns so city and country
+    // are 6 apart; a small window must now miss the co-occurrence.
+    let spread = table.project(&["city", "id", "name", "email", "phone", "age", "capital", "country"]);
+    let spread_truth_cols = (0usize, 7usize);
+    {
+        let mut r = StdRng::seed_from_u64(104);
+        let emb = CellDocEmbedder::new(sgns(2)).train(&spread, &mut r);
+        // Recompute hit@3 on the spread layout.
+        let mut hits = 0;
+        let mut total = 0;
+        for (city, country) in &truth {
+            let Some(cv) = emb.get(&cell_token(spread_truth_cols.0, city)) else {
+                continue;
+            };
+            let mut scored: Vec<(&str, f32)> = truth
+                .iter()
+                .map(|(_, c)| c.as_str())
+                .collect::<std::collections::HashSet<_>>()
+                .into_iter()
+                .filter_map(|c| {
+                    emb.get(&cell_token(spread_truth_cols.1, c))
+                        .map(|v| (c, dc_tensor::tensor::cosine(cv, v)))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            total += 1;
+            if scored.first().is_some_and(|(c, _)| c == country) {
+                hits += 1;
+            }
+        }
+        t.push(vec![
+            "tuple-as-document (W=2, |i−j|=7)".into(),
+            f3(if total == 0 { 0.0 } else { hits as f64 / total as f64 }),
+        ]);
+    }
+
+    // Graph embeddings, FD edges on and ablated.
+    for fd_bias in [2.0f32, 0.0] {
+        let mut r = StdRng::seed_from_u64(105);
+        let emb = GraphEmbedder::new(GraphEmbedConfig {
+            walks_per_node: scale.pick(5, 10),
+            walk_length: 10,
+            fd_bias,
+            sgns: sgns(4),
+        })
+        .train(&table, &fds, &mut r);
+        t.push(vec![
+            format!("graph walks (fd_bias={fd_bias})"),
+            f3(hit_at_3(&emb)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_distributed_beats_local() {
+        let tables = run(Scale::Quick);
+        let e1 = &tables[0];
+        // SGNS row: related >> unrelated.
+        let related: f64 = e1.rows[1][1].parse().expect("num");
+        let unrelated: f64 = e1.rows[1][2].parse().expect("num");
+        assert!(related > unrelated + 0.2, "{related} vs {unrelated}");
+    }
+
+    #[test]
+    fn e2_graph_beats_narrow_window_on_spread_schema() {
+        let tables = run(Scale::Quick);
+        let e2 = &tables[2];
+        let find = |needle: &str| -> f64 {
+            e2.rows
+                .iter()
+                .find(|r| r[0].contains(needle))
+                .expect("row")[1]
+                .parse()
+                .expect("num")
+        };
+        let spread = find("|i−j|=7");
+        let graph = find("fd_bias=2");
+        assert!(
+            graph >= spread,
+            "graph {graph} should be at least the spread-window score {spread}"
+        );
+    }
+}

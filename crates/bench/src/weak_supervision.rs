@@ -1,0 +1,236 @@
+//! E11 (§6.2.2/§6.2.4): augmentation and weak supervision.
+//! E12 (§6.2.6): crowdsourced label inference.
+
+use crate::{f3, ExperimentTable, Scale};
+use dc_datagen::{ErBenchmark, ErSuite};
+use dc_embed::{Embeddings, SgnsConfig};
+use dc_er::eval::evaluate_at;
+use dc_er::{Composition, DeepEr, DeepErConfig};
+use dc_relational::tokenize_tuple;
+use dc_weak::augment::augment_er_pairs;
+use dc_weak::crowd::{dawid_skene, simulate_crowd};
+use dc_weak::labelmodel::{majority_vote, GenerativeLabelModel};
+use dc_weak::lf::{LabelMatrix, LabelingFunction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run E11 and E12.
+pub fn run(scale: Scale) -> Vec<ExperimentTable> {
+    vec![e11_augment(scale), e11_label_model(scale), e12(scale)]
+}
+
+/// E11a: F1 with few labels, with and without augmentation.
+fn e11_augment(scale: Scale) -> ExperimentTable {
+    let mut rng = StdRng::seed_from_u64(1100);
+    let bench = ErBenchmark::generate(ErSuite::Dirty, scale.pick(50, 100), 3, &mut rng);
+    let mut docs: Vec<Vec<String>> = bench
+        .table
+        .rows
+        .iter()
+        .map(|r| tokenize_tuple(r))
+        .collect();
+    docs.extend(dc_datagen::corpus::domain_corpus(scale.pick(300, 600), &mut rng));
+    let emb = Embeddings::train(
+        &docs,
+        &SgnsConfig {
+            dim: 16,
+            epochs: scale.pick(4, 8),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let pairs = bench.labeled_pairs(3, &mut rng);
+    let (train, test) = ErBenchmark::split_pairs(&pairs, 0.7, &mut rng);
+    let ep: Vec<(usize, usize)> = test.iter().map(|p| (p.a, p.b)).collect();
+    let el: Vec<bool> = test.iter().map(|p| p.label).collect();
+
+    let mut t = ExperimentTable::new(
+        "E11a",
+        "Data augmentation: F1 with a small label budget (§6.2.2)",
+        &["labels", "DeepER (no aug)", "DeepER (3x aug)"],
+    );
+    for &budget in scale.pick(&[30usize][..], &[20usize, 40, 80][..]) {
+        let take = budget.min(train.len());
+        let tp: Vec<(usize, usize)> = train[..take].iter().map(|p| (p.a, p.b)).collect();
+        let tl: Vec<bool> = train[..take].iter().map(|p| p.label).collect();
+
+        let mut r1 = StdRng::seed_from_u64(1101);
+        let plain = DeepEr::train(
+            emb.clone(),
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Average,
+            DeepErConfig {
+                epochs: scale.pick(20, 40),
+                ..Default::default()
+            },
+            &mut r1,
+        );
+        let f_plain = evaluate_at(&plain.predict(&bench.table, &ep), &el, 0.5).f1;
+
+        let mut r2 = StdRng::seed_from_u64(1102);
+        let (aug_table, aug_pairs, aug_labels) =
+            augment_er_pairs(&bench.table, &tp, &tl, 3, &mut r2);
+        let augmented = DeepEr::train(
+            emb.clone(),
+            &aug_table,
+            &aug_pairs,
+            &aug_labels,
+            Composition::Average,
+            DeepErConfig {
+                epochs: scale.pick(20, 40),
+                ..Default::default()
+            },
+            &mut r2,
+        );
+        // Predict on the ORIGINAL table rows (test pairs index into it).
+        let f_aug = evaluate_at(&augmented.predict(&aug_table, &ep), &el, 0.5).f1;
+
+        t.push(vec![budget.to_string(), f3(f_plain), f3(f_aug)]);
+    }
+    t
+}
+
+/// E11b: label model vs majority vote on weak ER labels.
+fn e11_label_model(scale: Scale) -> ExperimentTable {
+    let mut rng = StdRng::seed_from_u64(1110);
+    let bench = ErBenchmark::generate(ErSuite::Dirty, scale.pick(60, 120), 3, &mut rng);
+    let pairs = bench.labeled_pairs(2, &mut rng);
+    let items: Vec<(Vec<dc_relational::Value>, Vec<dc_relational::Value>)> = pairs
+        .iter()
+        .map(|p| (bench.table.rows[p.a].clone(), bench.table.rows[p.b].clone()))
+        .collect();
+    let truth: Vec<bool> = pairs.iter().map(|p| p.label).collect();
+
+    // Weak labeling functions in the §6.2.4 spirit: cheap heuristics,
+    // each noisy, some abstaining.
+    type Pair = (Vec<dc_relational::Value>, Vec<dc_relational::Value>);
+    let lfs: Vec<LabelingFunction<Pair>> = vec![
+        LabelingFunction::new("same_email", |(a, b): &Pair| {
+            match (a[1].is_null(), b[1].is_null()) {
+                (false, false) => Some(a[1] == b[1]),
+                _ => None,
+            }
+        }),
+        LabelingFunction::new("name_overlap", |(a, b): &Pair| {
+            use dc_relational::tokenize::{jaccard, tokenize};
+            let ja = jaccard(&tokenize(&a[0].canonical()), &tokenize(&b[0].canonical()));
+            if ja > 0.45 {
+                Some(true)
+            } else if ja < 0.05 {
+                Some(false)
+            } else {
+                None
+            }
+        }),
+        LabelingFunction::new("same_city", |(a, b): &Pair| {
+            match (a[3].is_null(), b[3].is_null()) {
+                (false, false) if a[3] != b[3] => Some(false),
+                _ => None,
+            }
+        }),
+        LabelingFunction::new("phone_digits", |(a, b): &Pair| {
+            let d = |v: &dc_relational::Value| -> String {
+                v.canonical().chars().filter(|c| c.is_ascii_digit()).collect()
+            };
+            let (da, db) = (d(&a[2]), d(&b[2]));
+            if da.is_empty() || db.is_empty() {
+                None
+            } else {
+                Some(da == db)
+            }
+        }),
+    ];
+    let matrix = LabelMatrix::build(&items, &lfs);
+    let mv = majority_vote(&matrix);
+    let model = GenerativeLabelModel::fit(&matrix, 10);
+    let gm = model.predict(&matrix);
+
+    let acc = |labels: &[dc_weak::labelmodel::ProbLabel]| {
+        labels
+            .iter()
+            .zip(&truth)
+            .filter(|(l, &t)| l.hard() == t)
+            .count() as f64
+            / truth.len() as f64
+    };
+
+    let mut t = ExperimentTable::new(
+        "E11b",
+        "Weak supervision: label model vs majority vote over 4 LFs (§6.2.4)",
+        &["labeler", "accuracy vs gold"],
+    );
+    t.push(vec!["majority vote".into(), f3(acc(&mv))]);
+    t.push(vec!["generative label model".into(), f3(acc(&gm))]);
+    for (i, lf) in lfs.iter().enumerate() {
+        t.push(vec![
+            format!("  (learned accuracy of '{}')", lf.name),
+            f3(model.accuracies[i]),
+        ]);
+    }
+    t
+}
+
+/// E12: Dawid–Skene vs majority at rising worker noise.
+fn e12(scale: Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "E12",
+        "Crowdsourcing: Dawid–Skene vs per-item majority (§6.2.6)",
+        &["worker skills", "majority", "Dawid–Skene"],
+    );
+    let n = scale.pick(400, 1000);
+    for skills in [
+        vec![0.9, 0.9, 0.9],
+        vec![0.9, 0.9, 0.55, 0.55, 0.55],
+        vec![0.85, 0.85, 0.5, 0.5, 0.5, 0.5, 0.5],
+    ] {
+        let mut rng = StdRng::seed_from_u64(1200);
+        let votes = skills.len().min(5);
+        let (labels, truth) = simulate_crowd(n, &skills, votes, &mut rng);
+        let majority: Vec<bool> = labels
+            .answers
+            .iter()
+            .map(|v| v.iter().filter(|(_, x)| *x).count() * 2 >= v.len())
+            .collect();
+        let ds = dawid_skene(&labels, 15).hard_labels();
+        let acc = |pred: &[bool]| {
+            pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+        };
+        t.push(vec![format!("{skills:?}"), f3(acc(&majority)), f3(acc(&ds))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11b_label_model_at_least_matches_majority() {
+        let t = e11_label_model(Scale::Quick);
+        let mv: f64 = t.rows[0][1].parse().expect("num");
+        let gm: f64 = t.rows[1][1].parse().expect("num");
+        // With strong LFs majority can saturate at 1.0; the label model
+        // must stay within noise of it.
+        assert!(gm >= mv - 0.06, "label model {gm} vs majority {mv}");
+        assert!(gm > 0.6, "label model accuracy {gm}");
+    }
+
+    #[test]
+    fn e12_ds_beats_majority_with_weak_workers() {
+        let t = e12(Scale::Quick);
+        let mixed = &t.rows[1]; // two strong + three weak
+        let maj: f64 = mixed[1].parse().expect("num");
+        let ds: f64 = mixed[2].parse().expect("num");
+        assert!(ds > maj, "DS {ds} vs majority {maj}");
+    }
+
+    #[test]
+    fn e11a_runs_and_reports() {
+        let t = e11_augment(Scale::Quick);
+        assert_eq!(t.rows.len(), 1);
+        let f: f64 = t.rows[0][2].parse().expect("num");
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

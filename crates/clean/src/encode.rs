@@ -1,0 +1,288 @@
+//! Numeric encoding of heterogeneous tables for neural models.
+//!
+//! Numerics are z-standardised into one slot; categorical/text columns
+//! become one-hot blocks over their (capped) observed domain. Nulls
+//! encode as zeros with a parallel missing-mask, which is exactly the
+//! corruption a masking denoising autoencoder trains on.
+
+use dc_relational::{AttrType, Table, Value};
+use dc_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-column encoding spec.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ColSpec {
+    /// Z-standardised numeric column.
+    Numeric {
+        /// Observed mean.
+        mean: f64,
+        /// Observed standard deviation (≥ a small floor).
+        std: f64,
+    },
+    /// One-hot categorical over an observed, capped domain.
+    Categorical {
+        /// Domain values in frequency order.
+        values: Vec<String>,
+        /// Value → slot lookup.
+        #[serde(skip)]
+        index: HashMap<String, usize>,
+    },
+}
+
+impl ColSpec {
+    fn width(&self) -> usize {
+        match self {
+            ColSpec::Numeric { .. } => 1,
+            ColSpec::Categorical { values, .. } => values.len(),
+        }
+    }
+}
+
+/// A fitted table encoder.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableEncoder {
+    /// Per-column specs in schema order.
+    pub specs: Vec<ColSpec>,
+    offsets: Vec<usize>,
+    width: usize,
+}
+
+impl TableEncoder {
+    /// Fit an encoder to a table; categorical domains are capped at
+    /// `max_domain` most frequent values (rarer values encode as all
+    /// zeros, like nulls).
+    pub fn fit(table: &Table, max_domain: usize) -> Self {
+        let mut specs = Vec::with_capacity(table.schema.arity());
+        for (c, attr) in table.schema.attrs.iter().enumerate() {
+            let numeric = matches!(attr.ty, AttrType::Int | AttrType::Float)
+                && table
+                    .rows
+                    .iter()
+                    .all(|r| r[c].is_null() || r[c].as_f64().is_some());
+            if numeric {
+                let vals: Vec<f64> = table
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[c].as_f64())
+                    .collect();
+                let mean = if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                };
+                let var = if vals.len() < 2 {
+                    1.0
+                } else {
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                        / vals.len() as f64
+                };
+                specs.push(ColSpec::Numeric {
+                    mean,
+                    std: var.sqrt().max(1e-6),
+                });
+            } else {
+                let mut counts: HashMap<String, usize> = HashMap::new();
+                for r in &table.rows {
+                    if !r[c].is_null() {
+                        *counts.entry(r[c].canonical()).or_insert(0) += 1;
+                    }
+                }
+                let mut items: Vec<(String, usize)> = counts.into_iter().collect();
+                items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let values: Vec<String> = items
+                    .into_iter()
+                    .take(max_domain)
+                    .map(|(v, _)| v)
+                    .collect();
+                let index = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.clone(), i))
+                    .collect();
+                specs.push(ColSpec::Categorical { values, index });
+            }
+        }
+        let mut offsets = Vec::with_capacity(specs.len());
+        let mut acc = 0;
+        for s in &specs {
+            offsets.push(acc);
+            acc += s.width();
+        }
+        TableEncoder {
+            specs,
+            offsets,
+            width: acc,
+        }
+    }
+
+    /// Total encoded width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Slot range of column `c`.
+    pub fn column_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.offsets[c]..self.offsets[c] + self.specs[c].width()
+    }
+
+    /// Encode a row into `buf` (length [`Self::width`]); returns the
+    /// per-column observed flags.
+    pub fn encode_row(&self, row: &[Value], buf: &mut [f32]) -> Vec<bool> {
+        buf.iter_mut().for_each(|v| *v = 0.0);
+        let mut observed = Vec::with_capacity(row.len());
+        for (c, v) in row.iter().enumerate() {
+            let range = self.column_range(c);
+            let obs = match (&self.specs[c], v) {
+                (_, Value::Null) => false,
+                (ColSpec::Numeric { mean, std }, v) => match v.as_f64() {
+                    Some(x) => {
+                        buf[range.start] = ((x - mean) / std) as f32;
+                        true
+                    }
+                    None => false,
+                },
+                (ColSpec::Categorical { index, .. }, v) => {
+                    match index.get(&v.canonical()) {
+                        Some(&slot) => {
+                            buf[range.start + slot] = 1.0;
+                            true
+                        }
+                        None => false,
+                    }
+                }
+            };
+            observed.push(obs);
+        }
+        observed
+    }
+
+    /// Encode a whole table; returns the matrix and per-row observed
+    /// flags.
+    pub fn encode(&self, table: &Table) -> (Tensor, Vec<Vec<bool>>) {
+        let mut x = Tensor::zeros(table.len(), self.width);
+        let mut observed = Vec::with_capacity(table.len());
+        for (i, row) in table.rows.iter().enumerate() {
+            let obs = self.encode_row(row, x.row_slice_mut(i));
+            observed.push(obs);
+        }
+        (x, observed)
+    }
+
+    /// Decode column `c` from an encoded row slice back to a [`Value`].
+    pub fn decode_cell(&self, c: usize, encoded_row: &[f32]) -> Value {
+        let range = self.column_range(c);
+        match &self.specs[c] {
+            ColSpec::Numeric { mean, std } => {
+                Value::Float(encoded_row[range.start] as f64 * std + mean)
+            }
+            ColSpec::Categorical { values, .. } => {
+                if values.is_empty() {
+                    return Value::Null;
+                }
+                let slice = &encoded_row[range];
+                let mut best = 0;
+                for (i, &v) in slice.iter().enumerate() {
+                    if v > slice[best] {
+                        best = i;
+                    }
+                }
+                Value::text(values[best].clone())
+            }
+        }
+    }
+}
+
+// Rebuild the skipped index after deserialisation.
+impl TableEncoder {
+    /// Restore internal lookup tables (needed after `serde` round-trips
+    /// because the hash index is not serialised).
+    pub fn rebuild_indexes(&mut self) {
+        for spec in &mut self.specs {
+            if let ColSpec::Categorical { values, index } = spec {
+                *index = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.clone(), i))
+                    .collect();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::{AttrType, Schema};
+
+    fn mixed_table() -> Table {
+        let mut t = Table::new(
+            "m",
+            Schema::new(&[
+                ("age", AttrType::Int),
+                ("city", AttrType::Categorical),
+            ]),
+        );
+        t.push(vec![Value::Int(20), Value::text("paris")]);
+        t.push(vec![Value::Int(40), Value::text("berlin")]);
+        t.push(vec![Value::Null, Value::text("paris")]);
+        t.push(vec![Value::Int(60), Value::Null]);
+        t
+    }
+
+    #[test]
+    fn width_and_ranges() {
+        let enc = TableEncoder::fit(&mixed_table(), 10);
+        assert_eq!(enc.width(), 1 + 2);
+        assert_eq!(enc.column_range(0), 0..1);
+        assert_eq!(enc.column_range(1), 1..3);
+    }
+
+    #[test]
+    fn encode_standardises_and_one_hots() {
+        let t = mixed_table();
+        let enc = TableEncoder::fit(&t, 10);
+        let (x, obs) = enc.encode(&t);
+        // Age mean = 40, so row 1 encodes to 0.
+        assert!(x.get(1, 0).abs() < 1e-6);
+        // Row 0 city = paris (more frequent → slot 0).
+        assert_eq!(x.get(0, 1), 1.0);
+        assert_eq!(x.get(0, 2), 0.0);
+        // Nulls: observed flags false and zero encoding.
+        assert!(!obs[2][0]);
+        assert!(!obs[3][1]);
+        assert_eq!(x.get(3, 1), 0.0);
+        assert_eq!(x.get(3, 2), 0.0);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let t = mixed_table();
+        let enc = TableEncoder::fit(&t, 10);
+        let (x, _) = enc.encode(&t);
+        let age = enc.decode_cell(0, x.row_slice(0));
+        assert!((age.as_f64().expect("num") - 20.0).abs() < 1e-3);
+        let city = enc.decode_cell(1, x.row_slice(0));
+        assert_eq!(city, Value::text("paris"));
+    }
+
+    #[test]
+    fn domain_cap_hides_rare_values() {
+        let t = mixed_table();
+        let enc = TableEncoder::fit(&t, 1); // keep only "paris"
+        let (x, obs) = enc.encode(&t);
+        // Berlin is out of domain → all zeros, unobserved.
+        assert_eq!(x.get(1, 1), 0.0);
+        assert!(!obs[1][1]);
+    }
+
+    #[test]
+    fn constant_numeric_column_keeps_floor_std() {
+        let mut t = Table::new("c", Schema::new(&[("x", AttrType::Int)]));
+        t.push(vec![Value::Int(5)]);
+        t.push(vec![Value::Int(5)]);
+        let enc = TableEncoder::fit(&t, 4);
+        let (x, _) = enc.encode(&t);
+        assert!(x.get(0, 0).is_finite());
+    }
+}

@@ -1,0 +1,237 @@
+//! Knowledge fusion: reconciling conflicting values from multiple
+//! sources (§5.3).
+//!
+//! "Information integration in the presence of multiple, possibly
+//! conflicting data is very challenging. ... One could simply treat
+//! this as a missing value problem." Three resolvers are provided:
+//! majority vote, Dawid–Skene-flavoured source-accuracy weighting, and
+//! the treat-as-missing DAE path via [`crate::impute::DaeImputer`].
+
+use dc_relational::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One source's claim about one (entity, attribute) slot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SourceClaim {
+    /// Claiming source id.
+    pub source: usize,
+    /// Entity (object) id.
+    pub entity: usize,
+    /// Attribute index.
+    pub attr: usize,
+    /// The claimed value.
+    pub value: Value,
+}
+
+/// Which resolver to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// Plain per-slot majority vote.
+    MajorityVote,
+    /// Iterative source-accuracy weighting (data-fusion style EM): a
+    /// source's vote counts proportionally to how often it agrees with
+    /// the current consensus.
+    SourceAccuracy {
+        /// EM iterations.
+        iterations: usize,
+    },
+}
+
+/// Resolve claims to one value per `(entity, attr)` slot.
+pub fn fuse(
+    claims: &[SourceClaim],
+    strategy: FusionStrategy,
+) -> HashMap<(usize, usize), Value> {
+    match strategy {
+        FusionStrategy::MajorityVote => fuse_weighted(claims, &uniform_weights(claims)),
+        FusionStrategy::SourceAccuracy { iterations } => {
+            let mut weights = uniform_weights(claims);
+            let mut consensus = fuse_weighted(claims, &weights);
+            for _ in 0..iterations {
+                // E-step: source accuracy = agreement with consensus.
+                let mut agree: HashMap<usize, (f64, f64)> = HashMap::new();
+                for c in claims {
+                    let entry = agree.entry(c.source).or_insert((0.0, 0.0));
+                    entry.1 += 1.0;
+                    if consensus.get(&(c.entity, c.attr)) == Some(&c.value) {
+                        entry.0 += 1.0;
+                    }
+                }
+                for (src, (hits, total)) in agree {
+                    // Laplace-smoothed accuracy turned into a log-odds
+                    // vote weight (Dawid–Skene style): two mediocre
+                    // sources must not outvote one reliable source, so
+                    // the weight must grow super-linearly in accuracy.
+                    let acc = (hits + 1.0) / (total + 2.0);
+                    let w = (acc / (1.0 - acc)).ln().max(0.05);
+                    weights.insert(src, w);
+                }
+                // M-step: re-vote with new weights.
+                consensus = fuse_weighted(claims, &weights);
+            }
+            consensus
+        }
+    }
+}
+
+fn uniform_weights(claims: &[SourceClaim]) -> HashMap<usize, f64> {
+    claims.iter().map(|c| (c.source, 1.0)).collect()
+}
+
+fn fuse_weighted(
+    claims: &[SourceClaim],
+    weights: &HashMap<usize, f64>,
+) -> HashMap<(usize, usize), Value> {
+    let mut votes: HashMap<(usize, usize), HashMap<String, (f64, Value)>> = HashMap::new();
+    for c in claims {
+        if c.value.is_null() {
+            continue;
+        }
+        let w = *weights.get(&c.source).unwrap_or(&1.0);
+        let slot = votes.entry((c.entity, c.attr)).or_default();
+        let entry = slot
+            .entry(c.value.canonical())
+            .or_insert((0.0, c.value.clone()));
+        entry.0 += w;
+    }
+    votes
+        .into_iter()
+        .map(|(slot, options)| {
+            let best = options
+                .into_iter()
+                .max_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .expect("finite weights")
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(_, (_, v))| v)
+                .expect("slot has at least one claim");
+            (slot, best)
+        })
+        .collect()
+}
+
+/// Accuracy of a fused assignment against ground truth
+/// `(entity, attr) → value`.
+pub fn fusion_accuracy(
+    fused: &HashMap<(usize, usize), Value>,
+    truth: &HashMap<(usize, usize), Value>,
+) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .filter(|(slot, v)| fused.get(slot) == Some(v))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Simulate sources with different reliabilities claiming values
+    /// for entities; returns (claims, truth).
+    fn simulate(
+        n_entities: usize,
+        source_accuracies: &[f64],
+        rng: &mut StdRng,
+    ) -> (Vec<SourceClaim>, HashMap<(usize, usize), Value>) {
+        let domain = ["paris", "berlin", "rome", "madrid"];
+        let mut truth = HashMap::new();
+        let mut claims = Vec::new();
+        for e in 0..n_entities {
+            let true_val = domain[rng.gen_range(0..domain.len())];
+            truth.insert((e, 0), Value::text(true_val));
+            for (s, &acc) in source_accuracies.iter().enumerate() {
+                let claimed = if rng.gen_bool(acc) {
+                    true_val
+                } else {
+                    // A wrong value.
+                    loop {
+                        let w = domain[rng.gen_range(0..domain.len())];
+                        if w != true_val {
+                            break w;
+                        }
+                    }
+                };
+                claims.push(SourceClaim {
+                    source: s,
+                    entity: e,
+                    attr: 0,
+                    value: Value::text(claimed),
+                });
+            }
+        }
+        (claims, truth)
+    }
+
+    #[test]
+    fn majority_vote_resolves_clear_majorities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (claims, truth) = simulate(100, &[0.9, 0.9, 0.9], &mut rng);
+        let fused = fuse(&claims, FusionStrategy::MajorityVote);
+        assert!(fusion_accuracy(&fused, &truth) > 0.9);
+    }
+
+    #[test]
+    fn source_accuracy_beats_majority_with_bad_sources() {
+        // Two noisy sources + one good one: majority often wrong when
+        // the noisy pair agrees by chance; accuracy weighting recovers.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (claims, truth) = simulate(300, &[0.95, 0.35, 0.35], &mut rng);
+        let maj = fusion_accuracy(&fuse(&claims, FusionStrategy::MajorityVote), &truth);
+        let em = fusion_accuracy(
+            &fuse(&claims, FusionStrategy::SourceAccuracy { iterations: 5 }),
+            &truth,
+        );
+        assert!(em > maj, "EM {em} should beat majority {maj}");
+        assert!(em > 0.85, "EM accuracy {em}");
+    }
+
+    #[test]
+    fn nulls_do_not_vote() {
+        let claims = vec![
+            SourceClaim {
+                source: 0,
+                entity: 0,
+                attr: 0,
+                value: Value::Null,
+            },
+            SourceClaim {
+                source: 1,
+                entity: 0,
+                attr: 0,
+                value: Value::text("x"),
+            },
+        ];
+        let fused = fuse(&claims, FusionStrategy::MajorityVote);
+        assert_eq!(fused.get(&(0, 0)), Some(&Value::text("x")));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let claims = vec![
+            SourceClaim {
+                source: 0,
+                entity: 0,
+                attr: 0,
+                value: Value::text("a"),
+            },
+            SourceClaim {
+                source: 1,
+                entity: 0,
+                attr: 0,
+                value: Value::text("b"),
+            },
+        ];
+        let f1 = fuse(&claims, FusionStrategy::MajorityVote);
+        let f2 = fuse(&claims, FusionStrategy::MajorityVote);
+        assert_eq!(f1.get(&(0, 0)), f2.get(&(0, 0)));
+    }
+}

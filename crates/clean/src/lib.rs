@@ -1,0 +1,40 @@
+//! # dc-clean
+//!
+//! Data cleaning (§5.3 of *"Data Curation with Deep Learning"*):
+//! imputation, knowledge fusion, constraint repair, outlier detection
+//! and canonical-form transformation.
+//!
+//! * [`encode::TableEncoder`] — the numeric bridge between typed tables
+//!   and the neural models ("additional DC specific challenges include
+//!   heterogeneity of data types"): standardised numerics + one-hot
+//!   categoricals, with missingness masks.
+//! * [`impute`] — mean/median/mode and kNN baselines next to the
+//!   MIDA-style [`impute::DaeImputer`]: "a series of promising work on
+//!   using DL models such as denoising autoencoders for multiple
+//!   imputation ... fill in missing values with plausible predicted
+//!   values depending on local (tuple level) and global (relation
+//!   level) patterns".
+//! * [`fusion`] — knowledge fusion: "in the presence of conflicting
+//!   values, treat them as missing and identify the most plausible
+//!   predicted values", plus majority-vote and source-accuracy
+//!   baselines.
+//! * [`repair`] — FD-driven minimal repair (the non-probabilistic
+//!   "minimal FD repair" the paper references).
+//! * [`outlier`] — z-score, embedding-distance and autoencoder
+//!   reconstruction-error detectors.
+//! * [`transform`] — canonical-form rewriting ("First Initial. Last
+//!   Name", `nnn-nnn-nnnn` phones).
+
+pub mod encode;
+pub mod fusion;
+pub mod impute;
+pub mod outlier;
+pub mod repair;
+pub mod transform;
+
+pub use encode::TableEncoder;
+pub use fusion::{FusionStrategy, SourceClaim};
+pub use impute::{DaeImputer, ImputeScore, KnnImputer, SimpleImputer, SimpleStrategy};
+pub use outlier::{ae_outlier_scores, zscore_outliers};
+pub use repair::{repair_fds, Repair};
+pub use transform::{CanonicalForm, Canonicalizer};

@@ -1,0 +1,155 @@
+//! Canonical-form data transformation (§5.3).
+//!
+//! "Data Transformation is a fundamental problem in DC where one needs
+//! to transform a given column such that all its values are in a
+//! canonical form. Examples include 'First Initial. Last Name',
+//! nnn-nnn-nnnn format for phone numbers, etc." This module provides
+//! the rule-driven canonicaliser; the *learned* transformation path
+//! (synthesising a program from examples) lives in `dc-synth`.
+
+use dc_relational::{Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// Supported canonical forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CanonicalForm {
+    /// `F. Last` — first initial, dot, last token capitalised.
+    FirstInitialLastName,
+    /// `nnn-nnn-nnnn` — digits only, re-grouped.
+    PhoneDashed,
+    /// Lowercased, whitespace-collapsed text.
+    LowerTrimmed,
+    /// Title Case text.
+    TitleCase,
+}
+
+/// Applies a [`CanonicalForm`] to strings/columns and checks conformity.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Canonicalizer {
+    /// The target form.
+    pub form: CanonicalForm,
+}
+
+impl Canonicalizer {
+    /// With the given target form.
+    pub fn new(form: CanonicalForm) -> Self {
+        Canonicalizer { form }
+    }
+
+    /// Transform one string; `None` when the input cannot be put in the
+    /// target form (e.g. a phone with the wrong digit count).
+    pub fn apply(&self, s: &str) -> Option<String> {
+        match self.form {
+            CanonicalForm::FirstInitialLastName => {
+                let tokens: Vec<&str> = s.split_whitespace().collect();
+                if tokens.len() < 2 {
+                    return None;
+                }
+                let first_initial = tokens[0].chars().next()?.to_uppercase();
+                let last = tokens.last()?;
+                Some(format!("{first_initial}. {}", capitalize(last)))
+            }
+            CanonicalForm::PhoneDashed => {
+                let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+                if digits.len() != 10 {
+                    return None;
+                }
+                Some(format!(
+                    "{}-{}-{}",
+                    &digits[0..3],
+                    &digits[3..6],
+                    &digits[6..10]
+                ))
+            }
+            CanonicalForm::LowerTrimmed => {
+                Some(s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase())
+            }
+            CanonicalForm::TitleCase => Some(
+                s.split_whitespace()
+                    .map(capitalize)
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+        }
+    }
+
+    /// Is `s` already in canonical form?
+    pub fn conforms(&self, s: &str) -> bool {
+        self.apply(s).as_deref() == Some(s)
+    }
+
+    /// Canonicalise a column of a table copy; cells that cannot be
+    /// transformed are left as-is. Returns the table and the count of
+    /// rewritten cells.
+    pub fn apply_column(&self, table: &Table, col: usize) -> (Table, usize) {
+        let mut out = table.clone();
+        let mut rewritten = 0;
+        for row in &mut out.rows {
+            if let Value::Text(s) = &row[col] {
+                if let Some(t) = self.apply(s) {
+                    if t != *s {
+                        row[col] = Value::Text(t);
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+        (out, rewritten)
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + &c.as_str().to_lowercase(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::{AttrType, Schema};
+
+    #[test]
+    fn first_initial_last_name() {
+        let c = Canonicalizer::new(CanonicalForm::FirstInitialLastName);
+        assert_eq!(c.apply("john smith"), Some("J. Smith".into()));
+        assert_eq!(c.apply("Mary Jane Watson"), Some("M. Watson".into()));
+        assert_eq!(c.apply("plato"), None);
+        assert!(c.conforms("J. Smith"));
+        assert!(!c.conforms("john smith"));
+    }
+
+    #[test]
+    fn phone_formats_normalise() {
+        let c = Canonicalizer::new(CanonicalForm::PhoneDashed);
+        assert_eq!(c.apply("(212) 555 0199"), Some("212-555-0199".into()));
+        assert_eq!(c.apply("2125550199"), Some("212-555-0199".into()));
+        assert_eq!(c.apply("212-555-0199"), Some("212-555-0199".into()));
+        assert_eq!(c.apply("555-0199"), None); // wrong digit count
+        assert!(c.conforms("212-555-0199"));
+    }
+
+    #[test]
+    fn lower_and_title_case() {
+        let lower = Canonicalizer::new(CanonicalForm::LowerTrimmed);
+        assert_eq!(lower.apply("  John   DOE "), Some("john doe".into()));
+        let title = Canonicalizer::new(CanonicalForm::TitleCase);
+        assert_eq!(title.apply("john doe"), Some("John Doe".into()));
+    }
+
+    #[test]
+    fn apply_column_counts_rewrites() {
+        let mut t = Table::new("p", Schema::new(&[("phone", AttrType::Text)]));
+        t.push(vec![Value::text("(212) 555 0199")]);
+        t.push(vec![Value::text("212-555-0199")]); // already canonical
+        t.push(vec![Value::text("bad")]);
+        t.push(vec![Value::Null]);
+        let (out, rewritten) =
+            Canonicalizer::new(CanonicalForm::PhoneDashed).apply_column(&t, 0);
+        assert_eq!(rewritten, 1);
+        assert_eq!(out.rows[0][0], Value::text("212-555-0199"));
+        assert_eq!(out.rows[2][0], Value::text("bad"));
+    }
+}

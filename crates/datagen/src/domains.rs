@@ -1,0 +1,169 @@
+//! Value domains: closed vocabularies plus factories for composed
+//! values (names, emails, phones). Closed-world domains make ground
+//! truth exact — the property §6.2.3 wants from a benchmark generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily", "andrew",
+    "donna", "joshua", "michelle", "kenneth",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson",
+];
+
+/// `(city, country, capital-of-country)` triples: cities determine
+/// countries (an FD), countries determine capitals (an FD) — the
+/// France→Paris structure §4 and §6.2.4 use as running examples.
+pub const GEO: &[(&str, &str, &str)] = &[
+    ("paris", "france", "paris"),
+    ("lyon", "france", "paris"),
+    ("marseille", "france", "paris"),
+    ("berlin", "germany", "berlin"),
+    ("munich", "germany", "berlin"),
+    ("hamburg", "germany", "berlin"),
+    ("rome", "italy", "rome"),
+    ("milan", "italy", "rome"),
+    ("naples", "italy", "rome"),
+    ("madrid", "spain", "madrid"),
+    ("barcelona", "spain", "madrid"),
+    ("seville", "spain", "madrid"),
+    ("london", "uk", "london"),
+    ("manchester", "uk", "london"),
+    ("leeds", "uk", "london"),
+    ("doha", "qatar", "doha"),
+    ("tokyo", "japan", "tokyo"),
+    ("osaka", "japan", "tokyo"),
+    ("cairo", "egypt", "cairo"),
+    ("alexandria", "egypt", "cairo"),
+];
+
+/// Product brands.
+pub const BRANDS: &[&str] = &[
+    "acme", "globex", "initech", "umbrella", "stark", "wayne", "wonka", "tyrell", "cyberdyne",
+    "aperture",
+];
+
+/// Product categories with representative nouns.
+pub const CATEGORIES: &[(&str, &[&str])] = &[
+    ("laptop", &["notebook", "ultrabook", "portable"]),
+    ("phone", &["smartphone", "handset", "mobile"]),
+    ("camera", &["dslr", "mirrorless", "compact"]),
+    ("printer", &["laserjet", "inkjet", "plotter"]),
+    ("monitor", &["display", "screen", "panel"]),
+];
+
+/// Department names (for the org tables).
+pub const DEPARTMENTS: &[&str] = &[
+    "human resources",
+    "marketing",
+    "finance",
+    "engineering",
+    "sales",
+    "legal",
+    "operations",
+];
+
+/// Pick a uniform element of a slice.
+pub fn pick<'a, T: ?Sized>(items: &'a [&'a T], rng: &mut StdRng) -> &'a T {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A random full name `first last`.
+pub fn full_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick(FIRST_NAMES, rng),
+        pick(LAST_NAMES, rng)
+    )
+}
+
+/// A deterministic email derived from a name (so duplicates of the same
+/// person naturally share it unless perturbed).
+pub fn email_for(name: &str, rng: &mut StdRng) -> String {
+    let user: String = name.replace(' ', ".");
+    let host = ["example.com", "mail.org", "corp.net"][rng.gen_range(0..3)];
+    format!("{user}@{host}")
+}
+
+/// A phone number in `nnn-nnn-nnnn` format (the canonical form §5.3
+/// mentions for data transformation).
+pub fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(100..999),
+        rng.gen_range(0..10_000)
+    )
+}
+
+/// A product title like `acme ultrabook 13`.
+pub fn product_title(rng: &mut StdRng) -> (String, String, String) {
+    let brand = pick(BRANDS, rng).to_string();
+    let (category, nouns) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+    let noun = nouns[rng.gen_range(0..nouns.len())];
+    let size = rng.gen_range(10..18);
+    (
+        format!("{brand} {noun} {size}"),
+        brand,
+        category.to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geo_fds_hold_by_construction() {
+        use std::collections::HashMap;
+        let mut city_to_country = HashMap::new();
+        let mut country_to_capital = HashMap::new();
+        for &(city, country, capital) in GEO {
+            assert!(city_to_country.insert(city, country).is_none_or(|c| c == country));
+            assert!(country_to_capital
+                .insert(country, capital)
+                .is_none_or(|c| c == capital));
+        }
+    }
+
+    #[test]
+    fn factories_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(full_name(&mut a), full_name(&mut b));
+        assert_eq!(phone(&mut a), phone(&mut b));
+        assert_eq!(product_title(&mut a), product_title(&mut b));
+    }
+
+    #[test]
+    fn phone_matches_canonical_format() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = phone(&mut rng);
+            let parts: Vec<&str> = p.split('-').collect();
+            assert_eq!(parts.len(), 3);
+            assert_eq!(parts[0].len(), 3);
+            assert_eq!(parts[1].len(), 3);
+            assert_eq!(parts[2].len(), 4);
+        }
+    }
+
+    #[test]
+    fn email_derives_from_name() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = email_for("john smith", &mut rng);
+        assert!(e.starts_with("john.smith@"));
+    }
+}

@@ -1,0 +1,353 @@
+//! BART-style error injection (§6.2.3: "BART can be used to benchmark
+//! data repair algorithms") with exact ground truth.
+//!
+//! Each injected error records its position, kind and the original
+//! value, so detection and repair experiments can score precision and
+//! recall exactly.
+
+use dc_relational::{FunctionalDependency, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of data-quality errors the injector can plant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Single-character edit in a text cell.
+    Typo,
+    /// Cell replaced by NULL.
+    Null,
+    /// Two rows' values of one column exchanged.
+    Swap,
+    /// RHS of a functional dependency changed to a conflicting value.
+    FdViolation,
+    /// Token abbreviated to its initial ("John" → "J").
+    Abbreviation,
+}
+
+/// One injected error with its ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellError {
+    /// Row of the corrupted cell.
+    pub row: usize,
+    /// Column of the corrupted cell.
+    pub col: usize,
+    /// What was done.
+    pub kind: ErrorKind,
+    /// The clean value before corruption.
+    pub original: Value,
+}
+
+/// Ground truth of an injection run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ErrorReport {
+    /// All injected errors in injection order.
+    pub errors: Vec<CellError>,
+}
+
+impl ErrorReport {
+    /// `(row, col)` set of corrupted cells.
+    pub fn dirty_cells(&self) -> std::collections::HashSet<(usize, usize)> {
+        self.errors.iter().map(|e| (e.row, e.col)).collect()
+    }
+
+    /// Number of injected errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Configurable error injector. Rates are per-cell probabilities
+/// (per-row for swaps and FD violations).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ErrorInjector {
+    /// Probability of a typo per text cell.
+    pub typo_rate: f64,
+    /// Probability of nulling a cell.
+    pub null_rate: f64,
+    /// Probability (per row) of swapping a random column value with
+    /// another row.
+    pub swap_rate: f64,
+    /// Probability (per row, per FD) of breaking the FD on that row.
+    pub fd_violation_rate: f64,
+    /// Probability of abbreviating a multi-token text cell.
+    pub abbreviation_rate: f64,
+}
+
+impl Default for ErrorInjector {
+    fn default() -> Self {
+        ErrorInjector {
+            typo_rate: 0.05,
+            null_rate: 0.03,
+            swap_rate: 0.01,
+            fd_violation_rate: 0.02,
+            abbreviation_rate: 0.03,
+        }
+    }
+}
+
+impl ErrorInjector {
+    /// An injector that only plants errors of `kind` at `rate`.
+    pub fn only(kind: ErrorKind, rate: f64) -> Self {
+        let mut inj = ErrorInjector {
+            typo_rate: 0.0,
+            null_rate: 0.0,
+            swap_rate: 0.0,
+            fd_violation_rate: 0.0,
+            abbreviation_rate: 0.0,
+        };
+        match kind {
+            ErrorKind::Typo => inj.typo_rate = rate,
+            ErrorKind::Null => inj.null_rate = rate,
+            ErrorKind::Swap => inj.swap_rate = rate,
+            ErrorKind::FdViolation => inj.fd_violation_rate = rate,
+            ErrorKind::Abbreviation => inj.abbreviation_rate = rate,
+        }
+        inj
+    }
+
+    /// Corrupt a copy of `table`, returning it with the ground truth.
+    /// `fds` are needed only for FD violations (pass `&[]` otherwise).
+    pub fn inject(
+        &self,
+        table: &Table,
+        fds: &[FunctionalDependency],
+        rng: &mut StdRng,
+    ) -> (Table, ErrorReport) {
+        let mut dirty = table.clone();
+        let mut report = ErrorReport::default();
+        let n = dirty.len();
+        let arity = dirty.schema.arity();
+
+        for row in 0..n {
+            for col in 0..arity {
+                let v = dirty.rows[row][col].clone();
+                if v.is_null() {
+                    continue;
+                }
+                if rng.gen_bool(self.null_rate) {
+                    report.errors.push(CellError {
+                        row,
+                        col,
+                        kind: ErrorKind::Null,
+                        original: v,
+                    });
+                    dirty.rows[row][col] = Value::Null;
+                    continue;
+                }
+                if let Value::Text(s) = &v {
+                    if rng.gen_bool(self.typo_rate) {
+                        let t = typo(s, rng);
+                        if t != *s {
+                            report.errors.push(CellError {
+                                row,
+                                col,
+                                kind: ErrorKind::Typo,
+                                original: v.clone(),
+                            });
+                            dirty.rows[row][col] = Value::Text(t);
+                            continue;
+                        }
+                    }
+                    if s.contains(' ') && rng.gen_bool(self.abbreviation_rate) {
+                        let t = abbreviate(s, rng);
+                        if t != *s {
+                            report.errors.push(CellError {
+                                row,
+                                col,
+                                kind: ErrorKind::Abbreviation,
+                                original: v.clone(),
+                            });
+                            dirty.rows[row][col] = Value::Text(t);
+                        }
+                    }
+                }
+            }
+
+            if n >= 2 && rng.gen_bool(self.swap_rate) {
+                let col = rng.gen_range(0..arity);
+                let other = rng.gen_range(0..n);
+                if other != row && dirty.rows[row][col] != dirty.rows[other][col] {
+                    report.errors.push(CellError {
+                        row,
+                        col,
+                        kind: ErrorKind::Swap,
+                        original: dirty.rows[row][col].clone(),
+                    });
+                    report.errors.push(CellError {
+                        row: other,
+                        col,
+                        kind: ErrorKind::Swap,
+                        original: dirty.rows[other][col].clone(),
+                    });
+                    let tmp = dirty.rows[row][col].clone();
+                    dirty.rows[row][col] = dirty.rows[other][col].clone();
+                    dirty.rows[other][col] = tmp;
+                }
+            }
+
+            for fd in fds {
+                if rng.gen_bool(self.fd_violation_rate) {
+                    // Replace the RHS with a different value from the
+                    // column's domain so the group disagrees.
+                    let domain = table.distinct(fd.rhs);
+                    if domain.len() < 2 {
+                        continue;
+                    }
+                    let current = dirty.rows[row][fd.rhs].clone();
+                    let replacement = domain
+                        .iter()
+                        .find(|v| **v != current)
+                        .cloned()
+                        .expect("domain has another value");
+                    report.errors.push(CellError {
+                        row,
+                        col: fd.rhs,
+                        kind: ErrorKind::FdViolation,
+                        original: current,
+                    });
+                    dirty.rows[row][fd.rhs] = replacement;
+                }
+            }
+        }
+        (dirty, report)
+    }
+}
+
+/// Apply one random character edit (swap, delete, duplicate, replace).
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..4) {
+        0 if chars.len() >= 2 => {
+            // transpose with neighbour
+            let j = if i + 1 < chars.len() { i + 1 } else { i - 1 };
+            out.swap(i, j);
+        }
+        1 if chars.len() >= 2 => {
+            out.remove(i);
+        }
+        2 => out.insert(i, chars[i]),
+        _ => {
+            let alpha = "abcdefghijklmnopqrstuvwxyz";
+            let c = alpha
+                .chars()
+                .nth(rng.gen_range(0..26))
+                .expect("alphabet index");
+            out[i] = c;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate one random token of a multi-token string to its initial
+/// ("john smith" → "j smith") — the §4 entity-consolidation example.
+pub fn abbreviate(s: &str, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..tokens.len());
+    let mut out: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+    if let Some(first) = tokens[i].chars().next() {
+        out[i] = first.to_string();
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{people_fds, people_table};
+    use rand::SeedableRng;
+
+    #[test]
+    fn null_injection_matches_report() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = people_table(100, &mut rng);
+        let inj = ErrorInjector::only(ErrorKind::Null, 0.1);
+        let (dirty, report) = inj.inject(&clean, &[], &mut rng);
+        assert!(!report.is_empty());
+        for e in &report.errors {
+            assert_eq!(e.kind, ErrorKind::Null);
+            assert!(dirty.rows[e.row][e.col].is_null());
+            assert_eq!(e.original, clean.rows[e.row][e.col]);
+        }
+        // Cells not in the report are untouched.
+        let dirty_set = report.dirty_cells();
+        for r in 0..clean.len() {
+            for c in 0..clean.schema.arity() {
+                if !dirty_set.contains(&(r, c)) {
+                    assert_eq!(dirty.rows[r][c], clean.rows[r][c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typo_changes_exactly_one_edit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let t = typo("john smith", &mut rng);
+            let d = dc_relational::tokenize::edit_distance("john smith", &t);
+            assert!(d <= 2, "typo produced distance {d}: {t}");
+        }
+    }
+
+    #[test]
+    fn abbreviation_shortens_a_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = abbreviate("john smith", &mut rng);
+        assert!(a == "j smith" || a == "john s", "{a}");
+        assert_eq!(abbreviate("single", &mut rng), "single");
+    }
+
+    #[test]
+    fn fd_violation_actually_violates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let clean = people_table(200, &mut rng);
+        let fds = people_fds();
+        let inj = ErrorInjector::only(ErrorKind::FdViolation, 0.05);
+        let (dirty, report) = inj.inject(&clean, &fds, &mut rng);
+        assert!(!report.is_empty());
+        let violated = fds.iter().any(|fd| !fd.holds(&dirty));
+        assert!(violated, "no FD is violated after injection");
+        for fd in &fds {
+            assert!(fd.holds(&clean));
+        }
+    }
+
+    #[test]
+    fn swap_is_symmetric_in_report() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let clean = people_table(100, &mut rng);
+        let inj = ErrorInjector::only(ErrorKind::Swap, 0.2);
+        let (_, report) = inj.inject(&clean, &[], &mut rng);
+        let swaps = report
+            .errors
+            .iter()
+            .filter(|e| e.kind == ErrorKind::Swap)
+            .count();
+        assert!(swaps > 0);
+        assert_eq!(swaps % 2, 0, "swaps must be recorded in pairs");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let clean = people_table(50, &mut rng);
+        let inj = ErrorInjector::only(ErrorKind::Typo, 0.0);
+        let (dirty, report) = inj.inject(&clean, &[], &mut rng);
+        assert!(report.is_empty());
+        assert_eq!(dirty.rows, clean.rows);
+    }
+}

@@ -1,0 +1,271 @@
+//! A synthetic enterprise data lake with planted semantic links —
+//! ground truth for the discovery experiments (E6/E7).
+//!
+//! §5.1 describes surfacing "links that were previously unknown to the
+//! analysts" (isoform ↔ Protein) and discarding "spurious results
+//! obtained from other syntactical and structural matchers" (biopsy
+//! site ↮ site_components). This generator plants both cases exactly:
+//! columns that share a *value domain* under different names (semantic
+//! links a matcher should find) and columns whose *names* share tokens
+//! while their domains differ (spurious links it should reject).
+
+use crate::domains;
+use dc_relational::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The value domains columns can draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Person full names.
+    PersonName,
+    /// Cities.
+    City,
+    /// Countries.
+    Country,
+    /// Product brands.
+    Brand,
+    /// Product categories.
+    Category,
+    /// Department names.
+    Department,
+}
+
+impl Domain {
+    /// All domains.
+    pub const ALL: [Domain; 6] = [
+        Domain::PersonName,
+        Domain::City,
+        Domain::Country,
+        Domain::Brand,
+        Domain::Category,
+        Domain::Department,
+    ];
+
+    /// Synonymous column names used across tables. The *first* name of
+    /// one domain shares a token with another domain's name on purpose
+    /// (`site`, `name`) to create spurious candidates.
+    pub fn column_names(self) -> &'static [&'static str] {
+        match self {
+            Domain::PersonName => &["name", "employee name", "contact", "person"],
+            Domain::City => &["city", "site location", "town", "municipality"],
+            Domain::Country => &["country", "nation", "site region"],
+            Domain::Brand => &["brand", "maker name", "manufacturer"],
+            Domain::Category => &["category", "product kind", "segment"],
+            Domain::Department => &["department", "division", "unit name"],
+        }
+    }
+
+    /// Draw a value from the domain.
+    pub fn sample(self, rng: &mut StdRng) -> Value {
+        match self {
+            Domain::PersonName => Value::text(domains::full_name(rng)),
+            Domain::City => {
+                Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].0)
+            }
+            Domain::Country => {
+                Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].1)
+            }
+            Domain::Brand => Value::text(domains::pick(domains::BRANDS, rng)),
+            Domain::Category => {
+                Value::text(domains::CATEGORIES[rng.gen_range(0..domains::CATEGORIES.len())].0)
+            }
+            Domain::Department => Value::text(domains::pick(domains::DEPARTMENTS, rng)),
+        }
+    }
+}
+
+/// A planted ground-truth column relationship.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlantedLink {
+    /// `(table index, column index)` of one endpoint.
+    pub a: (usize, usize),
+    /// `(table index, column index)` of the other endpoint.
+    pub b: (usize, usize),
+    /// True for a semantic link (same domain); false for a spurious
+    /// name-overlap-only candidate.
+    pub semantic: bool,
+}
+
+/// A generated data lake.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lake {
+    /// The tables.
+    pub tables: Vec<Table>,
+    /// Which domain each `(table, column)` draws from.
+    pub column_domains: Vec<Vec<Domain>>,
+    /// Ground-truth semantic links and spurious candidates.
+    pub links: Vec<PlantedLink>,
+}
+
+impl Lake {
+    /// Generate `n_tables` tables of `rows` rows, each with 3 distinct
+    /// random domains; then enumerate ground truth.
+    pub fn generate(n_tables: usize, rows: usize, rng: &mut StdRng) -> Self {
+        use rand::seq::SliceRandom;
+        let mut tables = Vec::with_capacity(n_tables);
+        let mut column_domains = Vec::with_capacity(n_tables);
+        for ti in 0..n_tables {
+            let mut pool = Domain::ALL.to_vec();
+            pool.shuffle(rng);
+            let doms: Vec<Domain> = pool.into_iter().take(3).collect();
+            let attrs: Vec<(String, AttrType)> = doms
+                .iter()
+                .map(|d| {
+                    let names = d.column_names();
+                    (
+                        names[rng.gen_range(0..names.len())].to_string(),
+                        AttrType::Categorical,
+                    )
+                })
+                .collect();
+            let attr_refs: Vec<(&str, AttrType)> =
+                attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let mut t = Table::new(format!("table_{ti}"), Schema::new(&attr_refs));
+            for _ in 0..rows {
+                t.push(doms.iter().map(|d| d.sample(rng)).collect());
+            }
+            tables.push(t);
+            column_domains.push(doms);
+        }
+
+        // Ground truth over all cross-table column pairs.
+        let mut links = Vec::new();
+        for ta in 0..n_tables {
+            for tb in ta + 1..n_tables {
+                for (ca, da) in column_domains[ta].iter().enumerate() {
+                    for (cb, db) in column_domains[tb].iter().enumerate() {
+                        let name_a = &tables[ta].schema.attrs[ca].name;
+                        let name_b = &tables[tb].schema.attrs[cb].name;
+                        if da == db {
+                            // Semantic link; the interesting ones have
+                            // *different* names, but same-name pairs are
+                            // links too.
+                            links.push(PlantedLink {
+                                a: (ta, ca),
+                                b: (tb, cb),
+                                semantic: true,
+                            });
+                        } else if shares_token(name_a, name_b) {
+                            links.push(PlantedLink {
+                                a: (ta, ca),
+                                b: (tb, cb),
+                                semantic: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Lake {
+            tables,
+            column_domains,
+            links,
+        }
+    }
+
+    /// Semantic links only.
+    pub fn semantic_links(&self) -> Vec<PlantedLink> {
+        self.links.iter().copied().filter(|l| l.semantic).collect()
+    }
+
+    /// Spurious (name-overlap, different-domain) candidates only.
+    pub fn spurious_links(&self) -> Vec<PlantedLink> {
+        self.links.iter().copied().filter(|l| !l.semantic).collect()
+    }
+
+    /// Search ground truth for E7: for each domain, a keyword query and
+    /// the set of tables containing a column of that domain.
+    pub fn search_queries(&self) -> Vec<(String, Vec<usize>)> {
+        Domain::ALL
+            .iter()
+            .map(|d| {
+                let query = d.column_names()[0].to_string();
+                let relevant: Vec<usize> = self
+                    .column_domains
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, doms)| doms.contains(d))
+                    .map(|(i, _)| i)
+                    .collect();
+                (query, relevant)
+            })
+            .collect()
+    }
+}
+
+fn shares_token(a: &str, b: &str) -> bool {
+    let ta: std::collections::HashSet<&str> = a.split(' ').collect();
+    b.split(' ').any(|t| ta.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lake_has_tables_and_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lake = Lake::generate(8, 40, &mut rng);
+        assert_eq!(lake.tables.len(), 8);
+        assert!(!lake.semantic_links().is_empty(), "no semantic links planted");
+        for t in &lake.tables {
+            assert_eq!(t.len(), 40);
+            assert_eq!(t.schema.arity(), 3);
+        }
+    }
+
+    #[test]
+    fn semantic_links_share_domains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lake = Lake::generate(10, 30, &mut rng);
+        for l in lake.semantic_links() {
+            assert_eq!(
+                lake.column_domains[l.a.0][l.a.1],
+                lake.column_domains[l.b.0][l.b.1]
+            );
+        }
+        for l in lake.spurious_links() {
+            assert_ne!(
+                lake.column_domains[l.a.0][l.a.1],
+                lake.column_domains[l.b.0][l.b.1]
+            );
+        }
+    }
+
+    #[test]
+    fn spurious_links_share_a_name_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lake = Lake::generate(12, 20, &mut rng);
+        for l in lake.spurious_links() {
+            let na = &lake.tables[l.a.0].schema.attrs[l.a.1].name;
+            let nb = &lake.tables[l.b.0].schema.attrs[l.b.1].name;
+            assert!(shares_token(na, nb), "{na} vs {nb}");
+        }
+    }
+
+    #[test]
+    fn search_queries_cover_domains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lake = Lake::generate(10, 20, &mut rng);
+        let queries = lake.search_queries();
+        assert_eq!(queries.len(), Domain::ALL.len());
+        // Every query's relevant set must be consistent with domains.
+        for (q, relevant) in &queries {
+            assert!(!q.is_empty());
+            for &t in relevant {
+                assert!(t < lake.tables.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Lake::generate(5, 10, &mut StdRng::seed_from_u64(5));
+        let b = Lake::generate(5, 10, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.tables[0].rows, b.tables[0].rows);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dc-datagen
+//!
+//! Deterministic synthetic data for every AutoDC experiment.
+//!
+//! §6.2.3 of the paper argues that when "it is not possible to create an
+//! open-source dataset that has realistic data quality issues, a useful
+//! fall back is to create synthetic datasets that exhibit representative
+//! data quality issues" (its reference points are the TPC family and the
+//! BART error generator). This crate is that fallback, and doubles as
+//! the substitution for the paper's external datasets (DESIGN.md §5):
+//!
+//! * [`domains`] — name/city/product vocabularies and value factories;
+//! * [`tables`] — clean relations with planted FDs (people, products,
+//!   orders) at configurable scale;
+//! * [`errors`] — BART-style error injection: typos, nulls, value
+//!   swaps, FD violations, abbreviations — each with ground-truth masks;
+//! * [`er`] — entity-resolution benchmark suites (clean / dirty /
+//!   textual) with exact duplicate ground truth;
+//! * [`corpus`] — co-occurrence corpora aligned with the table domains,
+//!   for pre-training embeddings (the GloVe substitution);
+//! * [`lake`] — a synthetic enterprise data lake with planted semantic
+//!   column links for the discovery experiments.
+//!
+//! Everything takes an explicit `StdRng`, so a seed fully determines a
+//! dataset.
+
+pub mod corpus;
+pub mod domains;
+pub mod er;
+pub mod errors;
+pub mod lake;
+pub mod tables;
+
+pub use er::{ErBenchmark, ErPair, ErSuite};
+pub use errors::{ErrorInjector, ErrorKind, ErrorReport};
+pub use lake::{Lake, PlantedLink};
+pub use tables::{people_fds, people_table, products_table};

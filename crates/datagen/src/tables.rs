@@ -1,0 +1,150 @@
+//! Clean synthetic relations with planted functional dependencies —
+//! the TPC-style substrate of §6.2.3.
+
+use crate::domains;
+use dc_relational::{AttrType, FunctionalDependency, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A people table:
+/// `id, name, email, phone, city, country, capital, age`.
+///
+/// Planted FDs: `city → country` (col 4 → 5) and `country → capital`
+/// (col 5 → 6); `id` is a key.
+pub fn people_table(rows: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(&[
+        ("id", AttrType::Text),
+        ("name", AttrType::Text),
+        ("email", AttrType::Text),
+        ("phone", AttrType::Text),
+        ("city", AttrType::Categorical),
+        ("country", AttrType::Categorical),
+        ("capital", AttrType::Categorical),
+        ("age", AttrType::Int),
+    ]);
+    let mut t = Table::new("people", schema);
+    for i in 0..rows {
+        let name = domains::full_name(rng);
+        let email = domains::email_for(&name, rng);
+        let (city, country, capital) = domains::GEO[rng.gen_range(0..domains::GEO.len())];
+        t.push(vec![
+            Value::text(format!("p{i:05}")),
+            Value::text(name),
+            Value::text(email),
+            Value::text(domains::phone(rng)),
+            Value::text(city),
+            Value::text(country),
+            Value::text(capital),
+            Value::Int(rng.gen_range(18..80)),
+        ]);
+    }
+    t
+}
+
+/// The FDs planted in [`people_table`].
+pub fn people_fds() -> Vec<FunctionalDependency> {
+    vec![
+        FunctionalDependency::new(vec![4], 5), // city → country
+        FunctionalDependency::new(vec![5], 6), // country → capital
+    ]
+}
+
+/// A products table:
+/// `id, title, brand, category, price, in_stock`.
+///
+/// Planted FD: the title embeds the brand, and `title → brand` holds.
+pub fn products_table(rows: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(&[
+        ("id", AttrType::Text),
+        ("title", AttrType::Text),
+        ("brand", AttrType::Categorical),
+        ("category", AttrType::Categorical),
+        ("price", AttrType::Float),
+        ("in_stock", AttrType::Bool),
+    ]);
+    let mut t = Table::new("products", schema);
+    for i in 0..rows {
+        let (title, brand, category) = domains::product_title(rng);
+        t.push(vec![
+            Value::text(format!("pr{i:05}")),
+            Value::text(title),
+            Value::text(brand),
+            Value::text(category),
+            Value::Float((rng.gen_range(50.0..2000.0f64) * 100.0).round() / 100.0),
+            Value::Bool(rng.gen_bool(0.8)),
+        ]);
+    }
+    t
+}
+
+/// An orders table referencing people and products by id:
+/// `order_id, person_id, product_id, quantity` — join fodder for the
+/// §3.1 enrichment direction and the pipeline example.
+pub fn orders_table(
+    rows: usize,
+    people: &Table,
+    products: &Table,
+    rng: &mut StdRng,
+) -> Table {
+    let schema = Schema::new(&[
+        ("order_id", AttrType::Text),
+        ("person_id", AttrType::Text),
+        ("product_id", AttrType::Text),
+        ("quantity", AttrType::Int),
+    ]);
+    let mut t = Table::new("orders", schema);
+    for i in 0..rows {
+        let p = rng.gen_range(0..people.len());
+        let pr = rng.gen_range(0..products.len());
+        t.push(vec![
+            Value::text(format!("o{i:06}")),
+            people.cell(p, 0).clone(),
+            products.cell(pr, 0).clone(),
+            Value::Int(rng.gen_range(1..5)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn people_fds_hold_on_clean_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = people_table(300, &mut rng);
+        for fd in people_fds() {
+            assert!(fd.holds(&t), "{}", fd.display(&t));
+        }
+        // id is a key → id determines everything.
+        for rhs in 1..t.schema.arity() {
+            assert!(FunctionalDependency::new(vec![0], rhs).holds(&t));
+        }
+    }
+
+    #[test]
+    fn products_title_determines_brand() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = products_table(300, &mut rng);
+        assert!(FunctionalDependency::new(vec![1], 2).holds(&t));
+    }
+
+    #[test]
+    fn orders_reference_valid_ids() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let people = people_table(50, &mut rng);
+        let products = products_table(50, &mut rng);
+        let orders = orders_table(200, &people, &products, &mut rng);
+        let joined = orders.hash_join(&people, "person_id", "id");
+        assert_eq!(joined.len(), orders.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = people_table(20, &mut StdRng::seed_from_u64(7));
+        let b = people_table(20, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.rows, b.rows);
+    }
+}

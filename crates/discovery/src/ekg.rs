@@ -1,0 +1,182 @@
+//! The enterprise knowledge graph (EKG).
+//!
+//! §5.1 (footnote 3): "An EKG is a graph structure whose nodes are data
+//! elements such as tables, attributes and reference data such as
+//! ontologies and mapping tables and whose edges represent different
+//! relationships between nodes." Discovered semantic links are
+//! materialised here; search uses it to "simultaneously return other
+//! datasets that are thematically related".
+
+use crate::matcher::ColumnRef;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A node in the EKG.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EkgNode {
+    /// A table, by lake index.
+    Table(usize),
+    /// A column of a table.
+    Column(ColumnRef),
+    /// An external ontology term.
+    Ontology(String),
+}
+
+/// An edge kind in the EKG.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EkgEdge {
+    /// Table contains column.
+    Contains,
+    /// Two columns matched semantically, with the matcher score.
+    SemanticLink(f32),
+    /// A column maps to an ontology term.
+    OntologyRef,
+}
+
+/// The enterprise knowledge graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Ekg {
+    nodes: Vec<EkgNode>,
+    index: HashMap<EkgNode, usize>,
+    adj: Vec<Vec<(usize, EkgEdge)>>,
+}
+
+impl Ekg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a node, returning its id.
+    pub fn add_node(&mut self, node: EkgNode) -> usize {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.index.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, a: EkgNode, b: EkgNode, edge: EkgEdge) {
+        let ia = self.add_node(a);
+        let ib = self.add_node(b);
+        self.adj[ia].push((ib, edge.clone()));
+        self.adj[ib].push((ia, edge));
+    }
+
+    /// Register a table with `arity` columns (adds Contains edges).
+    pub fn add_table(&mut self, table: usize, arity: usize) {
+        for column in 0..arity {
+            self.add_edge(
+                EkgNode::Table(table),
+                EkgNode::Column(ColumnRef { table, column }),
+                EkgEdge::Contains,
+            );
+        }
+    }
+
+    /// Record a discovered semantic link between two columns.
+    pub fn add_semantic_link(&mut self, a: ColumnRef, b: ColumnRef, score: f32) {
+        self.add_edge(
+            EkgNode::Column(a),
+            EkgNode::Column(b),
+            EkgEdge::SemanticLink(score),
+        );
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All semantic links incident to any column of `table`.
+    pub fn links_of_table(&self, table: usize) -> Vec<(ColumnRef, ColumnRef, f32)> {
+        let mut out = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let EkgNode::Column(cr) = node else { continue };
+            if cr.table != table {
+                continue;
+            }
+            for (to, edge) in &self.adj[id] {
+                if let (EkgNode::Column(other), EkgEdge::SemanticLink(s)) =
+                    (&self.nodes[*to], edge)
+                {
+                    out.push((*cr, *other, *s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Tables thematically related to `table`: reachable through at
+    /// least one semantic link (one hop of columns).
+    pub fn thematically_related(&self, table: usize) -> Vec<usize> {
+        let mut seen = HashSet::new();
+        for (_, other, _) in self.links_of_table(table) {
+            if other.table != table {
+                seen.insert(other.table);
+            }
+        }
+        let mut out: Vec<usize> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr(table: usize, column: usize) -> ColumnRef {
+        ColumnRef { table, column }
+    }
+
+    #[test]
+    fn tables_and_columns_intern_once() {
+        let mut g = Ekg::new();
+        g.add_table(0, 3);
+        g.add_table(0, 3); // idempotent in node count (edges duplicate)
+        assert_eq!(g.node_count(), 4); // 1 table + 3 columns
+    }
+
+    #[test]
+    fn semantic_links_surface_per_table() {
+        let mut g = Ekg::new();
+        g.add_table(0, 2);
+        g.add_table(1, 2);
+        g.add_semantic_link(cr(0, 1), cr(1, 0), 0.8);
+        let links = g.links_of_table(0);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].1, cr(1, 0));
+        assert_eq!(links[0].2, 0.8);
+        // Symmetric view from table 1.
+        assert_eq!(g.links_of_table(1).len(), 1);
+    }
+
+    #[test]
+    fn thematic_relation_is_one_hop_over_links() {
+        let mut g = Ekg::new();
+        for t in 0..3 {
+            g.add_table(t, 2);
+        }
+        g.add_semantic_link(cr(0, 0), cr(1, 1), 0.7);
+        g.add_semantic_link(cr(1, 0), cr(2, 0), 0.9);
+        assert_eq!(g.thematically_related(0), vec![1]);
+        assert_eq!(g.thematically_related(1), vec![0, 2]);
+        assert_eq!(g.thematically_related(2), vec![1]);
+    }
+
+    #[test]
+    fn ontology_nodes_attach() {
+        let mut g = Ekg::new();
+        g.add_edge(
+            EkgNode::Column(cr(0, 0)),
+            EkgNode::Ontology("protein".into()),
+            EkgEdge::OntologyRef,
+        );
+        assert_eq!(g.node_count(), 2);
+    }
+}

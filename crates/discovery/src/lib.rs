@@ -1,0 +1,26 @@
+//! # dc-discovery
+//!
+//! Data discovery (§5.1 of *"Data Curation with Deep Learning"*):
+//! finding relevant data in an enterprise lake.
+//!
+//! Three cooperating pieces, mirroring the paper's account of the
+//! Seeping-Semantics line of work and its neural-IR proposal:
+//!
+//! * [`ekg::Ekg`] — the enterprise knowledge graph "whose nodes are data
+//!   elements such as tables, attributes ... and whose edges represent
+//!   different relationships between nodes";
+//! * [`matcher`] — the semantic matcher "based on word embeddings" with
+//!   coherent groups, next to the syntactic matcher whose spurious links
+//!   it is supposed to discard;
+//! * [`search`] — the "Google-style search engine where the analyst can
+//!   enter certain textual description of the data that she is looking
+//!   for": query → distributed representation → ranked tables, with
+//!   EKG-based thematic expansion of the results.
+
+pub mod ekg;
+pub mod matcher;
+pub mod search;
+
+pub use ekg::{Ekg, EkgEdge, EkgNode};
+pub use matcher::{ColumnRef, MatchDecision, SemanticMatcher, SyntacticMatcher};
+pub use search::{mrr, precision_at, search_documents, Bm25Lite, NeuralSearch};

@@ -1,0 +1,354 @@
+//! Table search: neural IR vs keyword baseline (§5.1).
+//!
+//! "At its core, information retrieval involves two key steps: (a)
+//! generating good representations for query and documents and (b)
+//! finding relevance between query and documents." [`NeuralSearch`]
+//! embeds tables and natural-language queries in the same vector space
+//! and ranks by cosine; [`Bm25Lite`] is the keyword baseline; the EKG
+//! expands top results with thematically related tables.
+
+use crate::ekg::Ekg;
+use dc_embed::Embeddings;
+use dc_relational::tokenize::tokenize;
+use dc_relational::Table;
+use dc_tensor::tensor::cosine;
+use std::collections::HashMap;
+
+/// Embedding-based table search.
+///
+/// Relevance is *soft keyword matching* (the max-pooling interaction
+/// of DRMM-style neural IR): each query token contributes the cosine of
+/// its best-matching table token, and the table's score is the mean
+/// over query tokens. This is robust where single mean-pooled table
+/// vectors are not — averaging hundreds of one-off value tokens drowns
+/// the few informative ones, while per-token max pooling keeps them.
+pub struct NeuralSearch {
+    emb: Embeddings,
+    table_token_ids: Vec<Vec<usize>>,
+}
+
+impl NeuralSearch {
+    /// Index tables under the given (word-level) embeddings, keeping
+    /// per-table deduplicated token sets (name, column names, sampled
+    /// values).
+    pub fn index(emb: Embeddings, tables: &[&Table], values_per_column: usize) -> Self {
+        // All-but-the-top: strip the common direction so token cosines
+        // discriminate (see dc_embed::Embeddings::postprocessed).
+        let emb = emb.postprocessed(1);
+        let table_token_ids = tables
+            .iter()
+            .map(|t| {
+                let mut ids: Vec<usize> = table_tokens(t, values_per_column)
+                    .iter()
+                    .filter_map(|tok| emb.vocab.id(tok))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        NeuralSearch {
+            emb,
+            table_token_ids,
+        }
+    }
+
+    /// Rank all tables for a natural-language query; returns
+    /// `(table index, score)` sorted descending. Tables with no
+    /// representable content sink to the bottom with score −1.
+    pub fn search(&self, query: &str) -> Vec<(usize, f32)> {
+        let qids: Vec<usize> = tokenize(query)
+            .iter()
+            .filter_map(|t| self.emb.vocab.id(t))
+            .collect();
+        let mut scored: Vec<(usize, f32)> = self
+            .table_token_ids
+            .iter()
+            .enumerate()
+            .map(|(i, tids)| {
+                if qids.is_empty() || tids.is_empty() {
+                    return (i, -1.0);
+                }
+                let mut total = 0.0;
+                for &q in &qids {
+                    let qv = self.emb.vectors.row_slice(q);
+                    let best = tids
+                        .iter()
+                        .map(|&t| {
+                            if t == q {
+                                1.0 // exact keyword hit
+                            } else {
+                                cosine(qv, self.emb.vectors.row_slice(t))
+                            }
+                        })
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    total += best;
+                }
+                (i, total / qids.len() as f32)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scored
+    }
+
+    /// Search, then expand each of the top `k` results with tables the
+    /// EKG marks as thematically related (deduplicated, order kept).
+    pub fn search_with_expansion(&self, query: &str, k: usize, ekg: &Ekg) -> Vec<usize> {
+        let ranked = self.search(query);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &(t, _) in ranked.iter().take(k) {
+            if seen.insert(t) {
+                out.push(t);
+            }
+            for rel in ekg.thematically_related(t) {
+                if seen.insert(rel) {
+                    out.push(rel);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Training documents for search embeddings: one per column, holding
+/// the table-name tokens, the column-name tokens and the column's
+/// distinct values — so schema vocabulary ("city") and content
+/// vocabulary ("paris") land in the same embedding neighbourhood, which
+/// is what lets a natural-language query reach tables by either.
+pub fn search_documents(tables: &[&Table], values_per_column: usize) -> Vec<Vec<String>> {
+    let mut docs = Vec::new();
+    for t in tables {
+        for c in 0..t.schema.arity() {
+            let mut doc = tokenize(&t.name);
+            doc.extend(tokenize(&t.schema.attrs[c].name));
+            for v in t.distinct(c).into_iter().take(values_per_column) {
+                doc.extend(tokenize(&v.canonical()));
+            }
+            docs.push(doc);
+        }
+    }
+    docs
+}
+
+fn table_tokens(t: &Table, values_per_column: usize) -> Vec<String> {
+    let mut tokens = tokenize(&t.name);
+    for a in &t.schema.attrs {
+        tokens.extend(tokenize(&a.name));
+    }
+    for c in 0..t.schema.arity() {
+        for v in t.distinct(c).into_iter().take(values_per_column) {
+            tokens.extend(tokenize(&v.canonical()));
+        }
+    }
+    tokens
+}
+
+/// A small BM25 keyword ranker over table token bags — the syntactic
+/// baseline E7 compares against.
+pub struct Bm25Lite {
+    docs: Vec<HashMap<String, f64>>,
+    doc_len: Vec<f64>,
+    avg_len: f64,
+    df: HashMap<String, usize>,
+    n: usize,
+}
+
+impl Bm25Lite {
+    const K1: f64 = 1.2;
+    const B: f64 = 0.75;
+
+    /// Index tables as token bags.
+    pub fn index(tables: &[&Table], values_per_column: usize) -> Self {
+        let mut docs = Vec::new();
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for t in tables {
+            let mut tf: HashMap<String, f64> = HashMap::new();
+            for tok in table_tokens(t, values_per_column) {
+                *tf.entry(tok).or_insert(0.0) += 1.0;
+            }
+            for tok in tf.keys() {
+                *df.entry(tok.clone()).or_insert(0) += 1;
+            }
+            docs.push(tf);
+        }
+        let doc_len: Vec<f64> = docs.iter().map(|d| d.values().sum()).collect();
+        let avg_len = if doc_len.is_empty() {
+            1.0
+        } else {
+            doc_len.iter().sum::<f64>() / doc_len.len() as f64
+        };
+        Bm25Lite {
+            n: docs.len(),
+            docs,
+            doc_len,
+            avg_len,
+            df,
+        }
+    }
+
+    /// Rank all tables for a query.
+    pub fn search(&self, query: &str) -> Vec<(usize, f64)> {
+        let qtokens = tokenize(query);
+        let mut scored: Vec<(usize, f64)> = (0..self.n)
+            .map(|i| {
+                let mut s = 0.0;
+                for q in &qtokens {
+                    let Some(&tf) = self.docs[i].get(q) else {
+                        continue;
+                    };
+                    let df = *self.df.get(q).unwrap_or(&0) as f64;
+                    let idf = (((self.n as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln();
+                    let denom = tf
+                        + Self::K1 * (1.0 - Self::B + Self::B * self.doc_len[i] / self.avg_len);
+                    s += idf * tf * (Self::K1 + 1.0) / denom;
+                }
+                (i, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scored
+    }
+}
+
+/// Mean reciprocal rank of the first relevant item per query.
+/// `rankings[q]` is the ranked list of item ids; `relevant[q]` the gold
+/// set.
+pub fn mrr(rankings: &[Vec<usize>], relevant: &[Vec<usize>]) -> f64 {
+    assert_eq!(rankings.len(), relevant.len());
+    if rankings.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (ranking, rel) in rankings.iter().zip(relevant) {
+        for (i, item) in ranking.iter().enumerate() {
+            if rel.contains(item) {
+                total += 1.0 / (i + 1) as f64;
+                break;
+            }
+        }
+    }
+    total / rankings.len() as f64
+}
+
+/// Precision@k averaged over queries.
+pub fn precision_at(k: usize, rankings: &[Vec<usize>], relevant: &[Vec<usize>]) -> f64 {
+    assert_eq!(rankings.len(), relevant.len());
+    if rankings.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (ranking, rel) in rankings.iter().zip(relevant) {
+        let hits = ranking.iter().take(k).filter(|i| rel.contains(i)).count();
+        total += hits as f64 / k as f64;
+    }
+    total / rankings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::Lake;
+    use dc_embed::SgnsConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lake_and_search() -> (Lake, NeuralSearch, Bm25Lite) {
+        let mut rng = StdRng::seed_from_u64(400);
+        let lake = Lake::generate(12, 30, &mut rng);
+        let refs: Vec<&Table> = lake.tables.iter().collect();
+        // Word embeddings over column documents + name tokens.
+        let mut docs = crate::matcher::column_documents(&refs);
+        for t in &refs {
+            docs.push(
+                t.schema
+                    .attrs
+                    .iter()
+                    .flat_map(|a| tokenize(&a.name))
+                    .collect(),
+            );
+        }
+        let emb = Embeddings::train(
+            &docs,
+            &SgnsConfig {
+                dim: 24,
+                window: 8,
+                epochs: 6,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let neural = NeuralSearch::index(emb, &refs, 15);
+        let bm25 = Bm25Lite::index(&refs, 15);
+        (lake, neural, bm25)
+    }
+
+    #[test]
+    fn neural_search_finds_relevant_tables() {
+        let (lake, neural, _) = lake_and_search();
+        let queries = lake.search_queries();
+        let mut rankings = Vec::new();
+        let mut relevant = Vec::new();
+        for (q, rel) in &queries {
+            if rel.is_empty() {
+                continue;
+            }
+            rankings.push(neural.search(q).into_iter().map(|(i, _)| i).collect());
+            relevant.push(rel.clone());
+        }
+        let score = mrr(&rankings, &relevant);
+        assert!(score > 0.5, "neural MRR {score}");
+    }
+
+    #[test]
+    fn bm25_ranks_keyword_matches_first() {
+        let (lake, _, bm25) = lake_and_search();
+        let queries = lake.search_queries();
+        let (q, rel) = queries
+            .iter()
+            .find(|(_, rel)| !rel.is_empty())
+            .expect("some query has relevant tables");
+        let top = bm25.search(q)[0].0;
+        // BM25's top hit should at least be a table whose *name tokens or
+        // values* contain the query keyword — sanity, not superiority.
+        let ranked: Vec<usize> = bm25.search(q).into_iter().map(|(i, _)| i).collect();
+        let p = precision_at(rel.len().min(3), &[ranked], &[rel.clone()]);
+        assert!(p > 0.0, "bm25 found nothing for {q}; top was {top}");
+    }
+
+    #[test]
+    fn expansion_adds_thematically_related() {
+        let (lake, neural, _) = lake_and_search();
+        let mut ekg = Ekg::new();
+        for (i, t) in lake.tables.iter().enumerate() {
+            ekg.add_table(i, t.schema.arity());
+        }
+        // Manually link table 0 and table 1.
+        ekg.add_semantic_link(
+            crate::matcher::ColumnRef { table: 0, column: 0 },
+            crate::matcher::ColumnRef { table: 1, column: 0 },
+            0.9,
+        );
+        let (q, _) = &lake.search_queries()[0];
+        let plain: Vec<usize> = neural.search(q).into_iter().map(|(i, _)| i).collect();
+        let expanded = neural.search_with_expansion(q, 1, &ekg);
+        assert!(!expanded.is_empty());
+        // If table 0 or 1 is the top hit, its partner must follow.
+        if plain[0] == 0 {
+            assert!(expanded.contains(&1));
+        }
+        if plain[0] == 1 {
+            assert!(expanded.contains(&0));
+        }
+    }
+
+    #[test]
+    fn metric_edge_cases() {
+        assert_eq!(mrr(&[], &[]), 0.0);
+        assert_eq!(precision_at(0, &[vec![1]], &[vec![1]]), 0.0);
+        let r = mrr(&[vec![3, 1, 2]], &[vec![2]]);
+        assert!((r - 1.0 / 3.0).abs() < 1e-9);
+        let p = precision_at(2, &[vec![1, 2, 3]], &[vec![2, 3]]);
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+}

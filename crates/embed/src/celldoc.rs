@@ -1,0 +1,185 @@
+//! Tuple-as-document cell embeddings — the "naive adaptation" of §3.1.
+//!
+//! "A naive adaptation treats each tuple as a document where the values
+//! of each attribute correspond to words." Each distinct cell becomes a
+//! token and every row a short document read in attribute order, then
+//! SGNS learns the vectors. The paper immediately lists the model's
+//! limitations — normalisation destroys co-occurrence, the window size
+//! `W` misses attribute pairs more than `W` apart, and integrity
+//! constraints are invisible — and experiment E2 measures exactly those
+//! failure modes against the graph model in [`crate::cellgraph`].
+
+use crate::sgns::{Embeddings, SgnsConfig};
+use dc_relational::Table;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Token key of a cell: attribute-scoped so the same string in two
+/// columns stays two tokens (matching the Figure-4 node identity).
+pub fn cell_token(attr: usize, canonical: &str) -> String {
+    format!("{attr}|{canonical}")
+}
+
+/// Trainer for tuple-as-document cell embeddings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellDocEmbedder {
+    /// SGNS hyper-parameters; `window` is the `W` of §3.1's limitation 2.
+    pub config: SgnsConfig,
+}
+
+impl CellDocEmbedder {
+    /// With the given SGNS configuration.
+    pub fn new(config: SgnsConfig) -> Self {
+        CellDocEmbedder { config }
+    }
+
+    /// The tuple-documents of a table: one document per row, one token
+    /// per non-null cell, in attribute order ("some order is assumed").
+    pub fn documents(table: &Table) -> Vec<Vec<String>> {
+        table
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_null())
+                    .map(|(c, v)| cell_token(c, &v.canonical()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Train cell embeddings over one table.
+    pub fn train(&self, table: &Table, rng: &mut StdRng) -> Embeddings {
+        Embeddings::train(&Self::documents(table), &self.config, rng)
+    }
+
+    /// Train over several tables pooled into one corpus — a first step
+    /// towards the "global distributed representations" research
+    /// direction ("over the entire data ocean, not only on one
+    /// relation").
+    pub fn train_corpus(&self, tables: &[&Table], rng: &mut StdRng) -> Embeddings {
+        let mut docs = Vec::new();
+        for t in tables {
+            docs.extend(Self::documents(t));
+        }
+        Embeddings::train(&docs, &self.config, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_relational::{AttrType, Schema, Value};
+    use rand::SeedableRng;
+
+    /// A table whose column 0 and column `far` hold perfectly correlated
+    /// values (entity index), with uncorrelated noise columns between.
+    fn correlated_table(rows: usize, arity: usize, far: usize, rng: &mut StdRng) -> Table {
+        use rand::Rng;
+        let attrs: Vec<(String, AttrType)> = (0..arity)
+            .map(|i| (format!("a{i}"), AttrType::Text))
+            .collect();
+        let attr_refs: Vec<(&str, AttrType)> =
+            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let mut t = Table::new("corr", Schema::new(&attr_refs));
+        for _ in 0..rows {
+            let entity = rng.gen_range(0..5);
+            let row: Vec<Value> = (0..arity)
+                .map(|c| {
+                    if c == 0 {
+                        Value::text(format!("key{entity}"))
+                    } else if c == far {
+                        Value::text(format!("val{entity}"))
+                    } else {
+                        Value::text(format!("noise{}", rng.gen_range(0..40)))
+                    }
+                })
+                .collect();
+            t.push(row);
+        }
+        t
+    }
+
+    #[test]
+    fn documents_preserve_attribute_order_and_skip_nulls() {
+        let mut t = Table::new(
+            "d",
+            Schema::new(&[("x", AttrType::Text), ("y", AttrType::Text)]),
+        );
+        t.push(vec![Value::text("a"), Value::Null]);
+        let docs = CellDocEmbedder::documents(&t);
+        assert_eq!(docs, vec![vec![cell_token(0, "a")]]);
+    }
+
+    #[test]
+    fn adjacent_correlated_cells_become_similar() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = correlated_table(400, 3, 1, &mut rng);
+        let emb = CellDocEmbedder::new(SgnsConfig {
+            dim: 16,
+            window: 2,
+            epochs: 10,
+            ..Default::default()
+        })
+        .train(&t, &mut rng);
+        let same = emb
+            .similarity(&cell_token(0, "key0"), &cell_token(1, "val0"))
+            .expect("in vocab");
+        let diff = emb
+            .similarity(&cell_token(0, "key0"), &cell_token(1, "val3"))
+            .expect("in vocab");
+        assert!(same > diff, "correlated pair {same} vs uncorrelated {diff}");
+    }
+
+    #[test]
+    fn window_limitation_misses_distant_attributes() {
+        // §3.1 limitation 2: with |i−j| > W the co-occurrence is missed.
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = correlated_table(400, 8, 7, &mut rng);
+        let near_cfg = SgnsConfig {
+            dim: 16,
+            window: 7,
+            epochs: 10,
+            ..Default::default()
+        };
+        let far_cfg = SgnsConfig {
+            window: 2,
+            ..near_cfg.clone()
+        };
+        let mut rng_a = StdRng::seed_from_u64(23);
+        let mut rng_b = StdRng::seed_from_u64(23);
+        let wide = CellDocEmbedder::new(near_cfg).train(&t, &mut rng_a);
+        let narrow = CellDocEmbedder::new(far_cfg).train(&t, &mut rng_b);
+
+        let score = |e: &Embeddings| {
+            let mut s = 0.0;
+            for k in 0..5 {
+                s += e
+                    .similarity(
+                        &cell_token(0, &format!("key{k}")),
+                        &cell_token(7, &format!("val{k}")),
+                    )
+                    .expect("in vocab");
+            }
+            s / 5.0
+        };
+        let wide_s = score(&wide);
+        let narrow_s = score(&narrow);
+        assert!(
+            wide_s > narrow_s + 0.15,
+            "wide window {wide_s} should beat narrow {narrow_s}"
+        );
+    }
+
+    #[test]
+    fn pooled_corpus_covers_all_tables() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let t1 = correlated_table(50, 2, 1, &mut rng);
+        let mut t2 = correlated_table(50, 2, 1, &mut rng);
+        t2.name = "other".into();
+        let emb = CellDocEmbedder::new(SgnsConfig::default())
+            .train_corpus(&[&t1, &t2], &mut rng);
+        assert!(emb.get(&cell_token(0, "key0")).is_some());
+    }
+}

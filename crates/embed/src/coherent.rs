@@ -1,0 +1,132 @@
+//! Coherent groups (§5.1).
+//!
+//! From the paper's account of the Seeping-Semantics matcher: "a group
+//! of words is similar to another group of words if the average
+//! similarity in the embeddings between all pairs of words is high" —
+//! introduced "to tackle the issues of multi-word phrases and
+//! out-of-vocabulary terms". Pairs involving OOV tokens simply drop out
+//! of the average instead of poisoning it.
+
+use crate::sgns::Embeddings;
+use dc_tensor::tensor::cosine;
+
+/// Average pairwise cosine similarity between two word groups.
+///
+/// Returns `None` when no cross pair has both words in vocabulary.
+pub fn coherent_group_similarity(
+    emb: &Embeddings,
+    group_a: &[String],
+    group_b: &[String],
+) -> Option<f32> {
+    let mut total = 0.0f32;
+    let mut pairs = 0usize;
+    for a in group_a {
+        let Some(va) = emb.get(a) else { continue };
+        for b in group_b {
+            let Some(vb) = emb.get(b) else { continue };
+            total += cosine(va, vb);
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total / pairs as f32)
+    }
+}
+
+/// Internal coherence of one group: average pairwise similarity among
+/// its own words (1.0 for singleton groups). Used by the discovery
+/// matcher to reject incoherent multi-word column names before matching.
+pub fn group_coherence(emb: &Embeddings, group: &[String]) -> Option<f32> {
+    let known: Vec<&[f32]> = group.iter().filter_map(|t| emb.get(t)).collect();
+    if known.is_empty() {
+        return None;
+    }
+    if known.len() == 1 {
+        return Some(1.0);
+    }
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for i in 0..known.len() {
+        for j in i + 1..known.len() {
+            total += cosine(known[i], known[j]);
+            pairs += 1;
+        }
+    }
+    Some(total / pairs as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgns::{planted_topic_corpus, SgnsConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topic_embeddings() -> Embeddings {
+        let mut rng = StdRng::seed_from_u64(60);
+        let corpus = planted_topic_corpus(2, 5, 600, 8, &mut rng);
+        Embeddings::train(
+            &corpus,
+            &SgnsConfig {
+                dim: 16,
+                epochs: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    fn g(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn same_topic_groups_score_higher() {
+        let emb = topic_embeddings();
+        let within = coherent_group_similarity(
+            &emb,
+            &g(&["t0w0", "t0w1"]),
+            &g(&["t0w2", "t0w3"]),
+        )
+        .expect("in vocab");
+        let across = coherent_group_similarity(
+            &emb,
+            &g(&["t0w0", "t0w1"]),
+            &g(&["t1w0", "t1w1"]),
+        )
+        .expect("in vocab");
+        assert!(within > across, "within {within} vs across {across}");
+    }
+
+    #[test]
+    fn oov_words_drop_out_instead_of_failing() {
+        let emb = topic_embeddings();
+        let with_oov = coherent_group_similarity(
+            &emb,
+            &g(&["t0w0", "UNKNOWN_TOKEN"]),
+            &g(&["t0w1"]),
+        )
+        .expect("one pair remains");
+        let without = coherent_group_similarity(&emb, &g(&["t0w0"]), &g(&["t0w1"]))
+            .expect("in vocab");
+        assert!((with_oov - without).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_oov_returns_none() {
+        let emb = topic_embeddings();
+        assert!(coherent_group_similarity(&emb, &g(&["xx"]), &g(&["yy"])).is_none());
+    }
+
+    #[test]
+    fn coherence_of_topic_group_beats_mixed_group() {
+        let emb = topic_embeddings();
+        let pure = group_coherence(&emb, &g(&["t0w0", "t0w1", "t0w2"])).expect("in vocab");
+        let mixed = group_coherence(&emb, &g(&["t0w0", "t1w0", "t0w1"])).expect("in vocab");
+        assert!(pure > mixed, "pure {pure} vs mixed {mixed}");
+        assert_eq!(group_coherence(&emb, &g(&["t0w0"])), Some(1.0));
+        assert!(group_coherence(&emb, &g(&["zz"])).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Compositional distributed representations (§3.1): tuple2vec,
+//! column2vec, table2vec and database2vec.
+//!
+//! "Assuming that we can learn the distributed representations of cells,
+//! by composition, we can design representations for tuples, columns,
+//! tables, or even an entire database." The default composition is the
+//! mean ("a common approach is to simply average"); tuple2vec also
+//! supports SIF-style frequency weighting, and the *learned* LSTM
+//! composition lives in `dc-er` where it trains end-to-end.
+
+use crate::celldoc::cell_token;
+use crate::sgns::Embeddings;
+use dc_relational::{tokenize_tuple, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// Smooth-inverse-frequency weighting for token aggregation:
+/// `w(t) = a / (a + p(t))` with `p` the corpus unigram probability.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SifWeights {
+    /// Smoothing constant (typically `1e-3`).
+    pub a: f64,
+}
+
+impl Default for SifWeights {
+    fn default() -> Self {
+        SifWeights { a: 1e-3 }
+    }
+}
+
+impl SifWeights {
+    fn weight(&self, emb: &Embeddings, token: &str) -> f64 {
+        match emb.vocab.id(token) {
+            Some(id) => {
+                let p = emb.vocab.counts[id] as f64 / emb.vocab.total_count() as f64;
+                self.a / (self.a + p)
+            }
+            None => 0.0,
+        }
+    }
+}
+
+/// Compose a tuple vector from *word*-level embeddings of its cell text
+/// (DeepER-style). `sif` enables frequency-weighted averaging; `None`
+/// gives the plain mean. Returns `None` when nothing is in vocabulary.
+pub fn tuple2vec(
+    emb: &Embeddings,
+    row: &[Value],
+    sif: Option<SifWeights>,
+) -> Option<Vec<f32>> {
+    let tokens = tokenize_tuple(row);
+    weighted_mean(emb, tokens.iter().map(String::as_str), sif)
+}
+
+/// Compose a column vector from *cell*-level embeddings of its distinct
+/// values ("many tasks such as schema matching require the ability to
+/// represent an entire column").
+pub fn column2vec(emb: &Embeddings, table: &Table, col: usize) -> Option<Vec<f32>> {
+    let tokens: Vec<String> = table
+        .distinct(col)
+        .iter()
+        .map(|v| cell_token(col, &v.canonical()))
+        .collect();
+    weighted_mean(emb, tokens.iter().map(String::as_str), None)
+}
+
+/// Compose a table vector from its column vectors ("tasks such as copy
+/// detection or data discovery ... might require to represent an entire
+/// relation ... as a single vector").
+pub fn table2vec(emb: &Embeddings, table: &Table) -> Option<Vec<f32>> {
+    let cols: Vec<Vec<f32>> = (0..table.schema.arity())
+        .filter_map(|c| column2vec(emb, table, c))
+        .collect();
+    mean_of(&cols, emb.dim())
+}
+
+/// Compose a database vector from table vectors.
+pub fn database2vec(emb: &Embeddings, tables: &[&Table]) -> Option<Vec<f32>> {
+    let tvs: Vec<Vec<f32>> = tables.iter().filter_map(|t| table2vec(emb, t)).collect();
+    mean_of(&tvs, emb.dim())
+}
+
+fn weighted_mean<'a>(
+    emb: &Embeddings,
+    tokens: impl Iterator<Item = &'a str>,
+    sif: Option<SifWeights>,
+) -> Option<Vec<f32>> {
+    let mut acc = vec![0.0f32; emb.dim()];
+    let mut total_w = 0.0f64;
+    for tok in tokens {
+        let Some(v) = emb.get(tok) else { continue };
+        let w = match sif {
+            Some(s) => s.weight(emb, tok),
+            None => 1.0,
+        };
+        if w <= 0.0 {
+            continue;
+        }
+        for (a, &x) in acc.iter_mut().zip(v) {
+            *a += (w as f32) * x;
+        }
+        total_w += w;
+    }
+    if total_w == 0.0 {
+        return None;
+    }
+    let inv = (1.0 / total_w) as f32;
+    acc.iter_mut().for_each(|a| *a *= inv);
+    Some(acc)
+}
+
+fn mean_of(vecs: &[Vec<f32>], dim: usize) -> Option<Vec<f32>> {
+    if vecs.is_empty() {
+        return None;
+    }
+    let mut acc = vec![0.0f32; dim];
+    for v in vecs {
+        for (a, &x) in acc.iter_mut().zip(v) {
+            *a += x;
+        }
+    }
+    let inv = 1.0 / vecs.len() as f32;
+    acc.iter_mut().for_each(|a| *a *= inv);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celldoc::CellDocEmbedder;
+    use crate::sgns::SgnsConfig;
+    use dc_relational::table::employee_example;
+    use dc_tensor::tensor::cosine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn word_embeddings() -> Embeddings {
+        // Word-level corpus from the employee table rows.
+        let docs: Vec<Vec<String>> = employee_example()
+            .rows
+            .iter()
+            .map(|r| tokenize_tuple(r))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(50);
+        Embeddings::train(
+            &docs,
+            &SgnsConfig {
+                dim: 8,
+                epochs: 30,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn tuple2vec_mean_and_sif_both_work() {
+        let emb = word_embeddings();
+        let t = employee_example();
+        let plain = tuple2vec(&emb, &t.rows[0], None).expect("vec");
+        let sif = tuple2vec(&emb, &t.rows[0], Some(SifWeights::default())).expect("vec");
+        assert_eq!(plain.len(), 8);
+        assert_eq!(sif.len(), 8);
+        // SIF downweights frequent tokens, so the two must differ.
+        assert!(cosine(&plain, &sif) < 0.99999 || plain != sif);
+    }
+
+    #[test]
+    fn similar_tuples_have_similar_vectors() {
+        let emb = word_embeddings();
+        let t = employee_example();
+        // Rows 0 and 2 share the department; rows 0 and 1 do not.
+        let v0 = tuple2vec(&emb, &t.rows[0], None).expect("vec");
+        let v1 = tuple2vec(&emb, &t.rows[1], None).expect("vec");
+        let v2 = tuple2vec(&emb, &t.rows[2], None).expect("vec");
+        assert!(cosine(&v0, &v2) > cosine(&v0, &v1));
+    }
+
+    #[test]
+    fn tuple2vec_oov_returns_none() {
+        let emb = word_embeddings();
+        let row = vec![Value::text("completely unseen tokens only")];
+        assert!(tuple2vec(&emb, &row, None).is_none());
+    }
+
+    #[test]
+    fn column_table_database_compose() {
+        let t = employee_example();
+        let mut rng = StdRng::seed_from_u64(51);
+        let cell_emb = CellDocEmbedder::new(SgnsConfig {
+            dim: 8,
+            epochs: 20,
+            ..Default::default()
+        })
+        .train(&t, &mut rng);
+        let c0 = column2vec(&cell_emb, &t, 0).expect("col vec");
+        assert_eq!(c0.len(), 8);
+        let tv = table2vec(&cell_emb, &t).expect("table vec");
+        assert_eq!(tv.len(), 8);
+        let dv = database2vec(&cell_emb, &[&t, &t]).expect("db vec");
+        // A database of two copies of the same table averages to the
+        // table vector.
+        assert!(cosine(&dv, &tv) > 0.999);
+    }
+}

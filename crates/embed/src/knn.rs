@@ -1,0 +1,78 @@
+//! Brute-force nearest-neighbour and analogy search over labelled
+//! vector sets — the query layer the discovery engine and experiment
+//! harnesses share.
+
+use dc_tensor::tensor::cosine;
+
+/// The `k` labels most cosine-similar to `query` among `items`.
+pub fn nearest<'a>(
+    query: &[f32],
+    items: impl IntoIterator<Item = (&'a str, &'a [f32])>,
+    k: usize,
+) -> Vec<(String, f32)> {
+    let mut scored: Vec<(String, f32)> = items
+        .into_iter()
+        .map(|(label, v)| (label.to_string(), cosine(query, v)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored.truncate(k);
+    scored
+}
+
+/// 3CosAdd analogy over an arbitrary labelled vector set:
+/// answer ≈ `b − a + c`.
+pub fn analogy<'a>(
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    items: impl IntoIterator<Item = (&'a str, &'a [f32])>,
+    k: usize,
+) -> Vec<(String, f32)> {
+    let query: Vec<f32> = b
+        .iter()
+        .zip(a)
+        .zip(c)
+        .map(|((b, a), c)| b - a + c)
+        .collect();
+    nearest(&query, items, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_orders_by_cosine() {
+        let items: Vec<(&str, &[f32])> = vec![
+            ("east", &[1.0, 0.0][..]),
+            ("north", &[0.0, 1.0][..]),
+            ("northeast", &[0.7, 0.7][..]),
+        ];
+        let out = nearest(&[1.0, 0.1], items, 2);
+        assert_eq!(out[0].0, "east");
+        assert_eq!(out[1].0, "northeast");
+    }
+
+    #[test]
+    fn nearest_truncates_and_handles_empty() {
+        let out = nearest(&[1.0], Vec::<(&str, &[f32])>::new(), 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn analogy_linear_structure() {
+        // king − man + woman = queen in a toy 2-D gender/royalty space.
+        let man = [0.0f32, 0.0];
+        let woman = [1.0f32, 0.0];
+        let king = [0.0f32, 1.0];
+        let queen = [1.0f32, 1.0];
+        let items: Vec<(&str, &[f32])> = vec![
+            ("man", &man[..]),
+            ("woman", &woman[..]),
+            ("king", &king[..]),
+            ("queen", &queen[..]),
+        ];
+        let out = analogy(&man, &woman, &king, items, 1);
+        assert_eq!(out[0].0, "queen");
+    }
+}

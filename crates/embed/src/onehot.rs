@@ -1,0 +1,111 @@
+//! Local (one-hot) representations — Figure 3(a) of the paper.
+//!
+//! "Local representations are one-hot (or '1-of-N') encodings, where all
+//! except one of the values of the vectors are zeros." They are the
+//! baseline experiment E1 compares distributed representations against:
+//! every pair of distinct objects is equally (dis)similar, so no
+//! semantic structure can be expressed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A one-hot encoder over a closed set of objects.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OneHot {
+    /// Objects by id.
+    pub objects: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl OneHot {
+    /// Build from a list of distinct objects (duplicates collapse).
+    pub fn new(objects: impl IntoIterator<Item = String>) -> Self {
+        let mut out = OneHot {
+            objects: Vec::new(),
+            index: HashMap::new(),
+        };
+        for o in objects {
+            if !out.index.contains_key(&o) {
+                out.index.insert(o.clone(), out.objects.len());
+                out.objects.push(o);
+            }
+        }
+        out
+    }
+
+    /// Dimensionality — one per object ("representation power ... is
+    /// only linear to the total dimensions").
+    pub fn dim(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The one-hot vector of `object`, if known.
+    pub fn encode(&self, object: &str) -> Option<Vec<f32>> {
+        let &id = self.index.get(object)?;
+        let mut v = vec![0.0; self.dim()];
+        v[id] = 1.0;
+        Some(v)
+    }
+
+    /// Cosine similarity under one-hot encoding: 1 for identity, 0 for
+    /// anything else — the structural blindness E1 demonstrates.
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        let (ia, ib) = (self.index.get(a)?, self.index.get(b)?);
+        Some(if ia == ib { 1.0 } else { 0.0 })
+    }
+
+    /// How many distinct objects a `d`-dimensional *local* code can
+    /// represent: exactly `d`.
+    pub fn local_capacity(d: usize) -> usize {
+        d
+    }
+
+    /// How many distinct objects a `d`-dimensional *binary distributed*
+    /// code can represent: `2^d` (saturating) — "exponential in the
+    /// total dimensions available" (§2.2).
+    pub fn distributed_capacity(d: u32) -> u128 {
+        if d >= 128 {
+            u128::MAX
+        } else {
+            1u128 << d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_one_hot() {
+        let oh = OneHot::new(["man", "woman", "king"].map(String::from));
+        let v = oh.encode("woman").expect("known");
+        assert_eq!(v, vec![0.0, 1.0, 0.0]);
+        assert_eq!(oh.dim(), 3);
+        assert!(oh.encode("queen").is_none());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let oh = OneHot::new(["a", "a", "b"].map(String::from));
+        assert_eq!(oh.dim(), 2);
+    }
+
+    #[test]
+    fn similarity_is_kronecker_delta() {
+        let oh = OneHot::new(["girl", "princess", "man"].map(String::from));
+        assert_eq!(oh.similarity("girl", "girl"), Some(1.0));
+        // Figure 3's point: girl is NOT closer to princess than to man
+        // under local representations.
+        assert_eq!(oh.similarity("girl", "princess"), Some(0.0));
+        assert_eq!(oh.similarity("girl", "man"), Some(0.0));
+    }
+
+    #[test]
+    fn capacity_gap_is_exponential() {
+        assert_eq!(OneHot::local_capacity(9), 9);
+        assert_eq!(OneHot::distributed_capacity(9), 512);
+        assert!(OneHot::distributed_capacity(127) > 1u128 << 126);
+        assert_eq!(OneHot::distributed_capacity(200), u128::MAX);
+    }
+}

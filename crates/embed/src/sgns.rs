@@ -1,0 +1,422 @@
+//! Skip-gram with negative sampling (word2vec), trained from scratch.
+//!
+//! The paper's concrete systems lean on pre-trained vectors ("DeepER
+//! leveraged word embeddings from GloVe", §6.1); this environment has no
+//! web corpus, so AutoDC trains its own SGNS on synthetic corpora whose
+//! co-occurrence statistics encode the planted semantics (DESIGN.md §5).
+//! Gradients are closed-form, so this module bypasses the autograd tape
+//! for speed — the tape-backed models live in `dc-nn`.
+
+use crate::vocab::Vocabulary;
+use dc_tensor::tensor::cosine;
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for SGNS training.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality ("often fixed (such as 300)" — §2.2; we
+    /// default far smaller because the planted vocabularies are small).
+    pub dim: usize,
+    /// Context window radius `W` (§3.1 discusses its impact at length).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, linearly decayed to 10% across training.
+    pub lr: f32,
+    /// Minimum token frequency to enter the vocabulary.
+    pub min_count: u64,
+    /// Subsampling threshold for frequent words (`None` disables).
+    pub subsample: Option<f64>,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 12,
+            lr: 0.05,
+            min_count: 1,
+            subsample: None,
+        }
+    }
+}
+
+/// Trained distributed representations: one input vector per token.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embeddings {
+    /// The vocabulary the rows are indexed by.
+    pub vocab: Vocabulary,
+    /// Input ("word") vectors, `|V| × dim`.
+    pub vectors: Tensor,
+}
+
+impl Embeddings {
+    /// Train SGNS on tokenised documents.
+    pub fn train(documents: &[Vec<String>], config: &SgnsConfig, rng: &mut StdRng) -> Self {
+        let vocab = Vocabulary::build(documents, config.min_count);
+        assert!(!vocab.is_empty(), "empty vocabulary — nothing to train on");
+        let v = vocab.len();
+        let d = config.dim;
+        let mut input = Tensor::rand_uniform(v, d, -0.5 / d as f32, 0.5 / d as f32, rng);
+        let mut output = Tensor::zeros(v, d);
+
+        let encoded: Vec<Vec<usize>> = documents.iter().map(|doc| vocab.encode(doc)).collect();
+        let total_steps = (config.epochs * encoded.iter().map(Vec::len).sum::<usize>()).max(1);
+        let mut step = 0usize;
+
+        let mut grad_in = vec![0.0f32; d];
+        for _epoch in 0..config.epochs {
+            for doc in &encoded {
+                // Optional frequent-word subsampling, re-drawn each epoch.
+                let kept: Vec<usize> = match config.subsample {
+                    Some(t) => doc
+                        .iter()
+                        .copied()
+                        .filter(|&id| rng.gen::<f64>() < vocab.keep_probability(id, t))
+                        .collect(),
+                    None => doc.clone(),
+                };
+                for (pos, &center) in kept.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = config.lr * (1.0 - 0.9 * progress);
+                    let lo = pos.saturating_sub(config.window);
+                    let hi = (pos + config.window + 1).min(kept.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = kept[ctx_pos];
+                        grad_in.iter_mut().for_each(|g| *g = 0.0);
+                        // Positive pair + negatives share the same form:
+                        // dL/du_o = (σ(u_o·v_c) − label) · v_c
+                        for k in 0..=config.negative {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (vocab.sample_negative(rng), 0.0)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let vin = input.row_slice(center);
+                            let uout = output.row_slice(target);
+                            let score: f32 =
+                                vin.iter().zip(uout).map(|(a, b)| a * b).sum();
+                            let g = (sigmoid(score) - label) * lr;
+                            for i in 0..d {
+                                grad_in[i] += g * output.get(target, i);
+                            }
+                            for i in 0..d {
+                                let upd = g * input.get(center, i);
+                                let cur = output.get(target, i);
+                                output.set(target, i, cur - upd);
+                            }
+                        }
+                        for i in 0..d {
+                            let cur = input.get(center, i);
+                            input.set(center, i, cur - grad_in[i]);
+                        }
+                    }
+                }
+            }
+        }
+        Embeddings {
+            vocab,
+            vectors: input,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectors.cols
+    }
+
+    /// Vector of `token` as a slice, if in vocabulary.
+    pub fn get(&self, token: &str) -> Option<&[f32]> {
+        self.vocab.id(token).map(|id| self.vectors.row_slice(id))
+    }
+
+    /// Cosine similarity between two tokens (`None` if either is OOV).
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        Some(cosine(self.get(a)?, self.get(b)?))
+    }
+
+    /// The `k` most similar tokens to `token` (excluding itself).
+    pub fn most_similar(&self, token: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(target) = self.get(token) else {
+            return Vec::new();
+        };
+        let target = target.to_vec();
+        let mut scored: Vec<(String, f32)> = (0..self.vocab.len())
+            .filter(|&i| self.vocab.token(i) != token)
+            .map(|i| {
+                (
+                    self.vocab.token(i).to_string(),
+                    cosine(&target, self.vectors.row_slice(i)),
+                )
+            })
+            .collect();
+        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// 3CosAdd analogy: `a : b :: c : ?` — the "king − man + woman ≈
+    /// queen" query of §2.2. Returns the top `k` candidates, excluding
+    /// the three inputs.
+    pub fn analogy(&self, a: &str, b: &str, c: &str, k: usize) -> Vec<(String, f32)> {
+        let (Some(va), Some(vb), Some(vc)) = (self.get(a), self.get(b), self.get(c)) else {
+            return Vec::new();
+        };
+        let query: Vec<f32> = vb
+            .iter()
+            .zip(va)
+            .zip(vc)
+            .map(|((b, a), c)| b - a + c)
+            .collect();
+        let mut scored: Vec<(String, f32)> = (0..self.vocab.len())
+            .filter(|&i| {
+                let t = self.vocab.token(i);
+                t != a && t != b && t != c
+            })
+            .map(|i| {
+                (
+                    self.vocab.token(i).to_string(),
+                    cosine(&query, self.vectors.row_slice(i)),
+                )
+            })
+            .collect();
+        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// "All-but-the-top" post-processing (Mu & Viswanath): subtract the
+    /// vocabulary mean and the top `components` principal directions
+    /// from every vector. SGNS trained briefly on small corpora leaves
+    /// a dominant common direction that pushes *all* pairwise cosines
+    /// towards 1; removing it restores discriminative similarity.
+    /// Returns a post-processed copy.
+    pub fn postprocessed(&self, components: usize) -> Embeddings {
+        let mut vectors = self.vectors.clone();
+        let (v, d) = (vectors.rows, vectors.cols);
+        if v == 0 {
+            return self.clone();
+        }
+        // Subtract the mean vector.
+        let mut mean = vec![0.0f32; d];
+        for r in 0..v {
+            for (m, &x) in mean.iter_mut().zip(vectors.row_slice(r)) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / v as f32;
+        mean.iter_mut().for_each(|m| *m *= inv);
+        for r in 0..v {
+            for (x, &m) in vectors.row_slice_mut(r).iter_mut().zip(&mean) {
+                *x -= m;
+            }
+        }
+        // Deflate the top principal components via power iteration.
+        for c in 0..components {
+            let mut dir = vec![0.0f32; d];
+            // Deterministic varied start per component.
+            for (i, x) in dir.iter_mut().enumerate() {
+                *x = (((i + c * 7 + 1) % 13) as f32 - 6.0) / 13.0;
+            }
+            for _ in 0..30 {
+                // dir ← normalize(Σ_r (row·dir) row)
+                let mut next = vec![0.0f32; d];
+                for r in 0..v {
+                    let row = vectors.row_slice(r);
+                    let proj: f32 = row.iter().zip(&dir).map(|(a, b)| a * b).sum();
+                    for (n, &x) in next.iter_mut().zip(row) {
+                        *n += proj * x;
+                    }
+                }
+                let norm = next.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm < 1e-12 {
+                    break;
+                }
+                next.iter_mut().for_each(|x| *x /= norm);
+                dir = next;
+            }
+            for r in 0..v {
+                let row = vectors.row_slice_mut(r);
+                let proj: f32 = row.iter().zip(&dir).map(|(a, b)| a * b).sum();
+                for (x, &u) in row.iter_mut().zip(&dir) {
+                    *x -= proj * u;
+                }
+            }
+        }
+        Embeddings {
+            vocab: self.vocab.clone(),
+            vectors,
+        }
+    }
+
+    /// Mean vector of a bag of tokens (OOV tokens skipped); `None` when
+    /// nothing is in vocabulary.
+    pub fn mean_vector(&self, tokens: &[String]) -> Option<Vec<f32>> {
+        let mut acc = vec![0.0f32; self.dim()];
+        let mut n = 0usize;
+        for t in tokens {
+            if let Some(v) = self.get(t) {
+                for (a, &x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let inv = 1.0 / n as f32;
+        acc.iter_mut().for_each(|a| *a *= inv);
+        Some(acc)
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Build a synthetic corpus with planted co-occurrence structure for
+/// tests and benches: each "topic" owns `words_per_topic` words, and
+/// sentences only mix words within a topic.
+pub fn planted_topic_corpus(
+    topics: usize,
+    words_per_topic: usize,
+    sentences: usize,
+    sentence_len: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<String>> {
+    let mut corpus = Vec::with_capacity(sentences);
+    for _ in 0..sentences {
+        let topic = rng.gen_range(0..topics);
+        let sent: Vec<String> = (0..sentence_len)
+            .map(|_| format!("t{topic}w{}", rng.gen_range(0..words_per_topic)))
+            .collect();
+        corpus.push(sent);
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_topic_words_cluster() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let corpus = planted_topic_corpus(3, 4, 600, 8, &mut rng);
+        let emb = Embeddings::train(
+            &corpus,
+            &SgnsConfig {
+                dim: 16,
+                epochs: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let within = emb.similarity("t0w0", "t0w1").expect("in vocab");
+        let across = emb.similarity("t0w0", "t1w0").expect("in vocab");
+        assert!(
+            within > across + 0.3,
+            "within {within} should beat across {across}"
+        );
+    }
+
+    #[test]
+    fn most_similar_prefers_same_topic() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let corpus = planted_topic_corpus(2, 5, 500, 8, &mut rng);
+        let emb = Embeddings::train(&corpus, &SgnsConfig::default(), &mut rng);
+        let top = emb.most_similar("t0w0", 3);
+        assert_eq!(top.len(), 3);
+        let same_topic = top.iter().filter(|(t, _)| t.starts_with("t0")).count();
+        assert!(same_topic >= 2, "top-3 {top:?}");
+    }
+
+    #[test]
+    fn analogy_recovers_planted_relation() {
+        // Corpus layout: countries share a "nation" context, cities a
+        // "metropolis" context, and each pair co-occurs. The shared
+        // contexts give the city−country offset a consistent direction,
+        // which is what makes 3CosAdd work (§2.2's king−man+woman).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut corpus = Vec::new();
+        for i in 0..4 {
+            for _ in 0..120 {
+                corpus.push(vec![format!("country{i}"), "nation".to_string()]);
+                corpus.push(vec![format!("city{i}"), "metropolis".to_string()]);
+                corpus.push(vec![format!("country{i}"), format!("city{i}")]);
+            }
+        }
+        let emb = Embeddings::train(
+            &corpus,
+            &SgnsConfig {
+                dim: 12,
+                window: 2,
+                epochs: 15,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // country0 : city0 :: country1 : ?  → city1 should rank highly.
+        let result = emb.analogy("country0", "city0", "country1", 3);
+        let names: Vec<&str> = result.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(
+            names.contains(&"city1"),
+            "expected city1 in top-3, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn oov_queries_return_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let corpus = vec![vec!["a".to_string(), "b".to_string()]];
+        let emb = Embeddings::train(&corpus, &SgnsConfig::default(), &mut rng);
+        assert!(emb.get("zzz").is_none());
+        assert!(emb.most_similar("zzz", 5).is_empty());
+        assert!(emb.similarity("a", "zzz").is_none());
+    }
+
+    #[test]
+    fn mean_vector_skips_oov() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = vec![vec!["a".to_string(), "b".to_string()]; 20];
+        let emb = Embeddings::train(&corpus, &SgnsConfig::default(), &mut rng);
+        let m = emb
+            .mean_vector(&["a".to_string(), "nope".to_string()])
+            .expect("has a");
+        assert_eq!(m.len(), emb.dim());
+        assert_eq!(m, emb.get("a").expect("a").to_vec());
+        assert!(emb.mean_vector(&["nope".to_string()]).is_none());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let corpus = planted_topic_corpus(2, 3, 100, 6, &mut StdRng::seed_from_u64(3));
+        let e1 = Embeddings::train(
+            &corpus,
+            &SgnsConfig::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let e2 = Embeddings::train(
+            &corpus,
+            &SgnsConfig::default(),
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_eq!(e1.vectors, e2.vectors);
+    }
+}

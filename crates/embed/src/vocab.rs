@@ -1,0 +1,180 @@
+//! Token vocabulary with frequency statistics and the unigram^0.75
+//! negative-sampling table of Mikolov et al. (cited as [40] in the
+//! paper).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vocabulary over string tokens.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocabulary {
+    /// Tokens by id.
+    pub tokens: Vec<String>,
+    /// Raw corpus counts, parallel to `tokens`.
+    pub counts: Vec<u64>,
+    index: HashMap<String, usize>,
+    /// Cumulative unigram^0.75 mass for negative sampling.
+    sampling_cdf: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// Build from documents, keeping tokens seen at least `min_count`
+    /// times. Ids are assigned in descending frequency order (ties by
+    /// first occurrence), which keeps downstream dumps readable.
+    pub fn build(documents: &[Vec<String>], min_count: u64) -> Self {
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        let mut first_seen: HashMap<&str, usize> = HashMap::new();
+        let mut order = 0usize;
+        for doc in documents {
+            for tok in doc {
+                *counts.entry(tok).or_insert(0) += 1;
+                first_seen.entry(tok).or_insert_with(|| {
+                    order += 1;
+                    order
+                });
+            }
+        }
+        let mut items: Vec<(&str, u64)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(first_seen[a.0].cmp(&first_seen[b.0])));
+        let tokens: Vec<String> = items.iter().map(|(t, _)| t.to_string()).collect();
+        let counts: Vec<u64> = items.iter().map(|(_, c)| *c).collect();
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        let mut sampling_cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for &c in &counts {
+            acc += (c as f64).powf(0.75);
+            sampling_cdf.push(acc);
+        }
+        Vocabulary {
+            tokens,
+            counts,
+            index,
+            sampling_cdf,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Id of `token`, if in vocabulary.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// Token of `id`.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Total corpus token count (post-min-count).
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Encode a document to known-token ids.
+    pub fn encode(&self, doc: &[String]) -> Vec<usize> {
+        doc.iter().filter_map(|t| self.id(t)).collect()
+    }
+
+    /// Draw one negative sample from the unigram^0.75 distribution.
+    pub fn sample_negative(&self, rng: &mut StdRng) -> usize {
+        let total = *self.sampling_cdf.last().expect("nonempty vocabulary");
+        let x = rng.gen_range(0.0..total);
+        // Binary search for the first cdf entry exceeding x.
+        match self
+            .sampling_cdf
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Word2vec-style subsampling keep-probability for token `id` with
+    /// threshold `t` (e.g. `1e-3`); frequent tokens are kept less often.
+    pub fn keep_probability(&self, id: usize, t: f64) -> f64 {
+        let f = self.counts[id] as f64 / self.total_count() as f64;
+        if f <= t {
+            1.0
+        } else {
+            ((t / f).sqrt() + t / f).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn docs(strs: &[&str]) -> Vec<Vec<String>> {
+        strs.iter()
+            .map(|s| s.split(' ').map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let v = Vocabulary::build(&docs(&["a b a c a b"]), 1);
+        assert_eq!(v.token(0), "a");
+        assert_eq!(v.token(1), "b");
+        assert_eq!(v.counts, vec![3, 2, 1]);
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.id("zz"), None);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = Vocabulary::build(&docs(&["a a b"]), 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.token(0), "a");
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let v = Vocabulary::build(&docs(&["a b"]), 1);
+        let enc = v.encode(&["a".into(), "zzz".into(), "b".into()]);
+        assert_eq!(enc, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_sampling_follows_power_law() {
+        let v = Vocabulary::build(&docs(&["a a a a a a a a b"]), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = [0usize; 2];
+        for _ in 0..10_000 {
+            hits[v.sample_negative(&mut rng)] += 1;
+        }
+        // a:b count ratio is 8:1 → mass ratio 8^0.75 ≈ 4.76.
+        let ratio = hits[0] as f64 / hits[1] as f64;
+        assert!(ratio > 3.5 && ratio < 6.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn keep_probability_downweights_frequent() {
+        let v = Vocabulary::build(&docs(&["the the the the the the rare"]), 1);
+        let the = v.id("the").expect("the");
+        let rare = v.id("rare").expect("rare");
+        // With threshold 0.2: "the" (f = 6/7) is downweighted, "rare"
+        // (f = 1/7 ≤ t) is always kept.
+        assert!(v.keep_probability(the, 0.2) < 1.0);
+        assert_eq!(v.keep_probability(rare, 0.2), 1.0);
+        assert!(v.keep_probability(the, 0.2) > v.keep_probability(the, 1e-3));
+    }
+}

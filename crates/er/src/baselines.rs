@@ -1,0 +1,207 @@
+//! Classical ER baselines DeepER is compared against (experiment E3):
+//! exact matching, a threshold rule matcher, and feature-engineered
+//! logistic regression ("traditional machine learning based approaches
+//! which require handcrafted features, and similarity functions along
+//! with their associated thresholds", §5.2).
+
+use crate::features::{classical_feature_matrix, classical_pair_features};
+use dc_nn::linear::Activation;
+use dc_nn::loss::{class_weights, LossKind};
+use dc_nn::mlp::Mlp;
+use dc_nn::optim::Adam;
+use dc_relational::{Table, Value};
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Declares a pair a match only when every non-null attribute is equal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactMatcher;
+
+impl ExactMatcher {
+    /// Predict labels for pairs.
+    pub fn predict(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                table.rows[a]
+                    .iter()
+                    .zip(&table.rows[b])
+                    .all(|(x, y)| x.is_null() || y.is_null() || x == y)
+            })
+            .collect()
+    }
+}
+
+/// Rule matcher: average attribute similarity (edit similarity over
+/// canonical strings, nulls contribute 0) must exceed a threshold — the
+/// hand-tuned-threshold style of pre-DL matchers.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleMatcher {
+    /// Decision threshold on mean attribute similarity.
+    pub threshold: f64,
+}
+
+impl RuleMatcher {
+    /// With the given threshold.
+    pub fn new(threshold: f64) -> Self {
+        RuleMatcher { threshold }
+    }
+
+    /// Mean attribute similarity of one pair.
+    pub fn score(&self, a: &[Value], b: &[Value]) -> f64 {
+        use dc_relational::tokenize::edit_similarity;
+        let mut total = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            if !x.is_null() && !y.is_null() {
+                total += edit_similarity(&x.canonical(), &y.canonical());
+            }
+        }
+        total / a.len() as f64
+    }
+
+    /// Predict labels for pairs.
+    pub fn predict(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.score(&table.rows[a], &table.rows[b]) >= self.threshold)
+            .collect()
+    }
+
+    /// Match scores (for AUC-style evaluation).
+    pub fn scores(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<f32> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.score(&table.rows[a], &table.rows[b]) as f32)
+            .collect()
+    }
+}
+
+/// Feature-engineered logistic regression (magellan-style): classical
+/// per-attribute features into a single-layer sigmoid classifier.
+pub struct FeatureLogReg {
+    model: Mlp,
+}
+
+impl FeatureLogReg {
+    /// Train on labelled pairs.
+    pub fn train(
+        table: &Table,
+        pairs: &[(usize, usize)],
+        labels: &[bool],
+        epochs: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let x = classical_feature_matrix(table, pairs);
+        let y = Tensor::from_vec(
+            labels.len(),
+            1,
+            labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect(),
+        );
+        let mut model = Mlp::new(
+            &[x.cols, 1],
+            Activation::Identity,
+            Activation::Identity,
+            rng,
+        );
+        let (w_neg, w_pos) = class_weights(labels);
+        let mut opt = Adam::new(0.05);
+        model.fit(
+            &x,
+            &y,
+            LossKind::Bce { w_neg, w_pos },
+            &mut opt,
+            epochs,
+            32,
+            rng,
+        );
+        FeatureLogReg { model }
+    }
+
+    /// Match probabilities.
+    pub fn predict(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<f32> {
+        let x = classical_feature_matrix(table, pairs);
+        self.model.predict_proba(&x)
+    }
+
+    /// Binary decisions at a threshold.
+    pub fn predict_labels(
+        &self,
+        table: &Table,
+        pairs: &[(usize, usize)],
+        threshold: f32,
+    ) -> Vec<bool> {
+        self.predict(table, pairs)
+            .into_iter()
+            .map(|p| p >= threshold)
+            .collect()
+    }
+
+    /// Number of hand-crafted features per pair for `table`.
+    pub fn feature_count(table: &Table) -> usize {
+        classical_pair_features(&table.rows[0], &table.rows[0]).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{ErBenchmark, ErSuite};
+    use dc_nn::metrics::f1_score;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_matcher_only_catches_identical() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bench = ErBenchmark::generate(ErSuite::Dirty, 40, 3, &mut rng);
+        let pairs = bench.labeled_pairs(1, &mut rng);
+        let p: Vec<(usize, usize)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+        let gold: Vec<bool> = pairs.iter().map(|p| p.label).collect();
+        let pred = ExactMatcher.predict(&bench.table, &p);
+        // High precision, poor recall on dirty data.
+        let c = dc_nn::metrics::confusion(&pred, &gold);
+        assert!(c.precision() >= c.recall());
+    }
+
+    #[test]
+    fn rule_matcher_threshold_tradeoff() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 50, 3, &mut rng);
+        let pairs = bench.labeled_pairs(2, &mut rng);
+        let p: Vec<(usize, usize)> = pairs.iter().map(|x| (x.a, x.b)).collect();
+        let gold: Vec<bool> = pairs.iter().map(|x| x.label).collect();
+        let loose = RuleMatcher::new(0.1).predict(&bench.table, &p);
+        let strict = RuleMatcher::new(0.95).predict(&bench.table, &p);
+        let loose_pos = loose.iter().filter(|&&b| b).count();
+        let strict_pos = strict.iter().filter(|&&b| b).count();
+        assert!(loose_pos >= strict_pos);
+        // A mid threshold should do decently on clean data.
+        let mid = RuleMatcher::new(0.6).predict(&bench.table, &p);
+        assert!(f1_score(&mid, &gold) > 0.5);
+    }
+
+    #[test]
+    fn logreg_learns_clean_benchmark() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 60, 3, &mut rng);
+        let pairs = bench.labeled_pairs(3, &mut rng);
+        let (train, test) = ErBenchmark::split_pairs(&pairs, 0.7, &mut rng);
+        let tp: Vec<(usize, usize)> = train.iter().map(|x| (x.a, x.b)).collect();
+        let tl: Vec<bool> = train.iter().map(|x| x.label).collect();
+        let model = FeatureLogReg::train(&bench.table, &tp, &tl, 60, &mut rng);
+        let ep: Vec<(usize, usize)> = test.iter().map(|x| (x.a, x.b)).collect();
+        let el: Vec<bool> = test.iter().map(|x| x.label).collect();
+        let pred = model.predict_labels(&bench.table, &ep, 0.5);
+        let f1 = f1_score(&pred, &el);
+        assert!(f1 > 0.75, "logreg F1 {f1}");
+    }
+
+    #[test]
+    fn feature_count_is_4_per_attribute() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 5, 1, &mut rng);
+        assert_eq!(
+            FeatureLogReg::feature_count(&bench.table),
+            bench.table.schema.arity() * 4
+        );
+    }
+}

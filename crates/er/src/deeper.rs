@@ -1,0 +1,443 @@
+//! The DeepER matcher (Figure 5): tuple → distributed representation →
+//! similarity vector → dense classifier.
+//!
+//! Two compositions are provided, mirroring §3.1 and §5.2:
+//! * **Average** — mean of the tuple's word embeddings (fast; the
+//!   similarity vector includes cosine);
+//! * **Lstm** — a trained LSTM reads the tuple's token-embedding
+//!   sequence and its final hidden state represents the tuple
+//!   ("uni- and bi-directional recurrent neural networks (RNNs) with
+//!   long short term memory (LSTM) hidden units to convert each tuple
+//!   to a distributed representation").
+//!
+//! Word embeddings are *frozen* during matcher training, exactly as
+//! DeepER froze its GloVe vectors: "built a light-weight DL model that
+//! can be trained in a matter of minutes even on a CPU" (§6.1).
+
+use crate::features::{embedding_feature_matrix, tuple_vectors};
+use dc_embed::Embeddings;
+use dc_nn::linear::Activation;
+use dc_nn::loss::{class_weights, LossKind};
+use dc_nn::lstm::LstmEncoder;
+use dc_nn::mlp::Mlp;
+use dc_nn::optim::{Adam, Optimizer};
+use dc_relational::{tokenize_tuple, Table};
+use dc_tensor::{Tape, Tensor, Var};
+use rand::rngs::StdRng;
+
+/// How tuples are composed into distributed representations.
+#[derive(Clone, Debug)]
+pub enum Composition {
+    /// Mean of word embeddings (no trained parameters).
+    Average,
+    /// Trained LSTM over the token-embedding sequence, with the given
+    /// hidden width. Token sequences are truncated to `max_tokens`.
+    Lstm {
+        /// Hidden-state width of the encoder.
+        hidden: usize,
+        /// Truncation length for tuple token sequences.
+        max_tokens: usize,
+    },
+}
+
+/// Hyper-parameters for DeepER training.
+#[derive(Clone, Debug)]
+pub struct DeepErConfig {
+    /// Widths of the classifier's hidden layers.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size (average composition only; the LSTM path trains
+    /// pair-by-pair).
+    pub batch: usize,
+    /// Use inverse-frequency class weights (§6.1 skew remedy).
+    pub class_weighting: bool,
+}
+
+impl Default for DeepErConfig {
+    fn default() -> Self {
+        DeepErConfig {
+            hidden: vec![32],
+            epochs: 30,
+            lr: 0.01,
+            batch: 32,
+            class_weighting: true,
+        }
+    }
+}
+
+/// A trained DeepER matcher.
+pub struct DeepEr {
+    /// Frozen word embeddings.
+    pub emb: Embeddings,
+    /// Tuple composition strategy (and its trained encoder, if LSTM).
+    composition: CompositionState,
+    /// The classifier head.
+    pub classifier: Mlp,
+    config: DeepErConfig,
+}
+
+enum CompositionState {
+    Average,
+    Lstm {
+        encoder: LstmEncoder,
+        max_tokens: usize,
+    },
+}
+
+impl DeepEr {
+    /// Train a matcher on labelled pairs over `table`.
+    pub fn train(
+        emb: Embeddings,
+        table: &Table,
+        pairs: &[(usize, usize)],
+        labels: &[bool],
+        composition: Composition,
+        config: DeepErConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(pairs.len(), labels.len(), "pair/label mismatch");
+        match composition {
+            Composition::Average => {
+                Self::train_average(emb, table, pairs, labels, config, rng)
+            }
+            Composition::Lstm { hidden, max_tokens } => {
+                Self::train_lstm(emb, table, pairs, labels, hidden, max_tokens, config, rng)
+            }
+        }
+    }
+
+    fn train_average(
+        emb: Embeddings,
+        table: &Table,
+        pairs: &[(usize, usize)],
+        labels: &[bool],
+        config: DeepErConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let vectors = tuple_vectors(&emb, table);
+        let x = embedding_feature_matrix(&vectors, pairs);
+        let y = Tensor::from_vec(
+            labels.len(),
+            1,
+            labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect(),
+        );
+        let mut dims = vec![x.cols];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(1);
+        let mut classifier = Mlp::new(&dims, Activation::Relu, Activation::Identity, rng);
+        let mut opt = Adam::new(config.lr);
+        let loss = if config.class_weighting {
+            let (w_neg, w_pos) = class_weights(labels);
+            LossKind::Bce { w_neg, w_pos }
+        } else {
+            LossKind::bce()
+        };
+        classifier.fit(&x, &y, loss, &mut opt, config.epochs, config.batch, rng);
+        DeepEr {
+            emb,
+            composition: CompositionState::Average,
+            classifier,
+            config,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_lstm(
+        emb: Embeddings,
+        table: &Table,
+        pairs: &[(usize, usize)],
+        labels: &[bool],
+        hidden: usize,
+        max_tokens: usize,
+        config: DeepErConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut encoder = LstmEncoder::new(emb.dim(), hidden, rng);
+        let mut dims = vec![2 * hidden];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(1);
+        let mut classifier = Mlp::new(&dims, Activation::Relu, Activation::Identity, rng);
+        let mut opt = Adam::new(config.lr);
+        let (w_neg, w_pos) = if config.class_weighting {
+            class_weights(labels)
+        } else {
+            (1.0, 1.0)
+        };
+
+        // Pre-tokenise every row once.
+        let sequences: Vec<Vec<Vec<f32>>> = table
+            .rows
+            .iter()
+            .map(|row| {
+                tokenize_tuple(row)
+                    .iter()
+                    .filter_map(|t| emb.get(t).map(|v| v.to_vec()))
+                    .take(max_tokens)
+                    .collect()
+            })
+            .collect();
+
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _epoch in 0..config.epochs {
+            order.shuffle(rng);
+            for &idx in &order {
+                let (a, b) = pairs[idx];
+                let label = labels[idx];
+                let tape = Tape::new();
+                let lvars = encoder.bind(&tape);
+                let cvars = classifier.bind(&tape);
+                let steps_a = Self::steps(&tape, &sequences[a], emb.dim());
+                let steps_b = Self::steps(&tape, &sequences[b], emb.dim());
+                let ha = encoder.forward_tape(&tape, &steps_a, &lvars);
+                let hb = encoder.forward_tape(&tape, &steps_b, &lvars);
+                let diff = tape.abs(tape.sub(ha, hb));
+                let had = tape.mul(ha, hb);
+                let feat = tape.concat(&[diff, had]);
+                let logit = classifier.forward_tape(&tape, feat, &cvars, None);
+                let target = Tensor::scalar(if label { 1.0 } else { 0.0 });
+                let weight = Tensor::scalar(if label { w_pos } else { w_neg });
+                let loss = tape.bce_with_logits(logit, target, weight);
+                tape.backward(loss);
+                opt.begin_step();
+                encoder.apply_grads(&mut opt, 0, &tape, &lvars);
+                let base = encoder.slot_count();
+                for (slot, (layer, lv)) in
+                    classifier.layers.iter_mut().zip(&cvars).enumerate()
+                {
+                    layer.apply_grads(
+                        &mut opt,
+                        base + slot,
+                        &tape.grad(lv.w),
+                        &tape.grad(lv.b),
+                    );
+                }
+            }
+        }
+        DeepEr {
+            emb,
+            composition: CompositionState::Lstm {
+                encoder,
+                max_tokens,
+            },
+            classifier,
+            config,
+        }
+    }
+
+    fn steps(tape: &Tape, seq: &[Vec<f32>], dim: usize) -> Vec<Var> {
+        if seq.is_empty() {
+            // Guarantee at least one step so empty tuples still encode.
+            return vec![tape.var(Tensor::zeros(1, dim))];
+        }
+        seq.iter()
+            .map(|v| tape.var(Tensor::row(v.clone())))
+            .collect()
+    }
+
+    /// Match probabilities for candidate pairs over `table`.
+    pub fn predict(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<f32> {
+        match &self.composition {
+            CompositionState::Average => {
+                let vectors = tuple_vectors(&self.emb, table);
+                let x = embedding_feature_matrix(&vectors, pairs);
+                self.classifier.predict_proba(&x)
+            }
+            CompositionState::Lstm {
+                encoder,
+                max_tokens,
+            } => {
+                let encode = |row: &[dc_relational::Value]| {
+                    let toks: Vec<Vec<f32>> = tokenize_tuple(row)
+                        .iter()
+                        .filter_map(|t| self.emb.get(t).map(|v| v.to_vec()))
+                        .take(*max_tokens)
+                        .collect();
+                    if toks.is_empty() {
+                        Tensor::zeros(1, encoder.hidden_dim)
+                    } else {
+                        let seq = Tensor::from_vec(
+                            toks.len(),
+                            self.emb.dim(),
+                            toks.concat(),
+                        );
+                        encoder.encode(&seq)
+                    }
+                };
+                // Cache one encoding per distinct row index.
+                let mut cache: std::collections::HashMap<usize, Tensor> =
+                    std::collections::HashMap::new();
+                let mut feats = Vec::with_capacity(pairs.len());
+                for &(a, b) in pairs {
+                    let ha = cache
+                        .entry(a)
+                        .or_insert_with(|| encode(&table.rows[a]))
+                        .clone();
+                    let hb = cache
+                        .entry(b)
+                        .or_insert_with(|| encode(&table.rows[b]))
+                        .clone();
+                    let diff = ha.sub(&hb).map(f32::abs);
+                    let had = ha.mul(&hb);
+                    feats.push(Tensor::hstack(&[diff, had]));
+                }
+                let x = Tensor::vstack(&feats);
+                self.classifier.predict_proba(&x)
+            }
+        }
+    }
+
+    /// Binary decisions at a threshold.
+    pub fn predict_labels(
+        &self,
+        table: &Table,
+        pairs: &[(usize, usize)],
+        threshold: f32,
+    ) -> Vec<bool> {
+        self.predict(table, pairs)
+            .into_iter()
+            .map(|p| p >= threshold)
+            .collect()
+    }
+
+    /// The training configuration used.
+    pub fn config(&self) -> &DeepErConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{ErBenchmark, ErSuite};
+    use dc_embed::SgnsConfig;
+    use dc_nn::metrics::f1_score;
+    use rand::SeedableRng;
+
+    fn word_embeddings(bench: &ErBenchmark, rng: &mut StdRng) -> Embeddings {
+        let mut docs: Vec<Vec<String>> = bench
+            .table
+            .rows
+            .iter()
+            .map(|r| tokenize_tuple(r))
+            .collect();
+        docs.extend(dc_datagen::corpus::domain_corpus(300, rng));
+        Embeddings::train(
+            &docs,
+            &SgnsConfig {
+                dim: 16,
+                epochs: 5,
+                ..Default::default()
+            },
+            rng,
+        )
+    }
+
+    fn split(bench: &ErBenchmark, rng: &mut StdRng) -> (Vec<(usize, usize)>, Vec<bool>, Vec<(usize, usize)>, Vec<bool>) {
+        let pairs = bench.labeled_pairs(3, rng);
+        let (train, test) = ErBenchmark::split_pairs(&pairs, 0.7, rng);
+        (
+            train.iter().map(|p| (p.a, p.b)).collect(),
+            train.iter().map(|p| p.label).collect(),
+            test.iter().map(|p| (p.a, p.b)).collect(),
+            test.iter().map(|p| p.label).collect(),
+        )
+    }
+
+    #[test]
+    fn average_composition_learns_clean_suite() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 60, 3, &mut rng);
+        let emb = word_embeddings(&bench, &mut rng);
+        let (tp, tl, ep, el) = split(&bench, &mut rng);
+        let model = DeepEr::train(
+            emb,
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Average,
+            DeepErConfig::default(),
+            &mut rng,
+        );
+        let pred = model.predict_labels(&bench.table, &ep, 0.5);
+        let f1 = f1_score(&pred, &el);
+        assert!(f1 > 0.8, "clean-suite F1 {f1}");
+    }
+
+    #[test]
+    fn average_composition_learns_dirty_suite() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let bench = ErBenchmark::generate(ErSuite::Dirty, 60, 3, &mut rng);
+        let emb = word_embeddings(&bench, &mut rng);
+        let (tp, tl, ep, el) = split(&bench, &mut rng);
+        let model = DeepEr::train(
+            emb,
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Average,
+            DeepErConfig::default(),
+            &mut rng,
+        );
+        let pred = model.predict_labels(&bench.table, &ep, 0.5);
+        let f1 = f1_score(&pred, &el);
+        assert!(f1 > 0.6, "dirty-suite F1 {f1}");
+    }
+
+    #[test]
+    fn lstm_composition_trains_and_predicts() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 25, 2, &mut rng);
+        let emb = word_embeddings(&bench, &mut rng);
+        let (tp, tl, ep, el) = split(&bench, &mut rng);
+        let model = DeepEr::train(
+            emb,
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Lstm {
+                hidden: 8,
+                max_tokens: 10,
+            },
+            DeepErConfig {
+                epochs: 8,
+                lr: 0.02,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let pred = model.predict_labels(&bench.table, &ep, 0.5);
+        let f1 = f1_score(&pred, &el);
+        assert!(f1 > 0.5, "LSTM-composition F1 {f1}");
+    }
+
+    #[test]
+    fn predict_handles_empty_tuples() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let mut bench = ErBenchmark::generate(ErSuite::Clean, 10, 2, &mut rng);
+        // Null out one row entirely.
+        let arity = bench.table.schema.arity();
+        for c in 0..arity {
+            bench.table.rows[0][c] = dc_relational::Value::Null;
+        }
+        let emb = word_embeddings(&bench, &mut rng);
+        let (tp, tl, _, _) = split(&bench, &mut rng);
+        let model = DeepEr::train(
+            emb,
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Average,
+            DeepErConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let probs = model.predict(&bench.table, &[(0, 1)]);
+        assert!(probs[0].is_finite());
+    }
+}

@@ -1,0 +1,344 @@
+//! Recurrent encoders (Figure 2 d): LSTM and bidirectional LSTM.
+//!
+//! The paper uses "uni- and bi-directional recurrent neural networks
+//! (RNNs) with long short term memory (LSTM) hidden units to convert
+//! each tuple to a distributed representation" (§5.2, DeepER). These
+//! encoders consume a sequence of `1×d` row vectors (token embeddings)
+//! and produce the final hidden state as the sequence representation.
+
+use dc_tensor::{Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Gate order inside the weight arrays.
+const GATES: usize = 4; // input, forget, output, candidate
+
+/// A single-direction LSTM encoder.
+///
+/// Gates use separate weight matrices (no fused projection), which keeps
+/// the autograd tape free of slicing ops:
+/// `i = σ(xWxᵢ + hWhᵢ + bᵢ)`, `f`, `o` likewise, `g = tanh(·)`,
+/// `c' = f⊙c + i⊙g`, `h' = o⊙tanh(c')`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmEncoder {
+    /// Input-to-gate weights, each `input_dim × hidden_dim`.
+    pub wx: Vec<Tensor>,
+    /// Hidden-to-gate weights, each `hidden_dim × hidden_dim`.
+    pub wh: Vec<Tensor>,
+    /// Gate biases, each `1 × hidden_dim`.
+    pub b: Vec<Tensor>,
+    /// Embedding dimensionality of the inputs.
+    pub input_dim: usize,
+    /// Hidden-state dimensionality.
+    pub hidden_dim: usize,
+}
+
+/// Tape handles for an [`LstmEncoder`]'s parameters during one step.
+#[derive(Clone, Debug)]
+pub struct LstmVars {
+    /// Input-weight vars, one per gate.
+    pub wx: Vec<Var>,
+    /// Hidden-weight vars, one per gate.
+    pub wh: Vec<Var>,
+    /// Bias vars, one per gate.
+    pub b: Vec<Var>,
+}
+
+impl LstmEncoder {
+    /// Xavier-initialised LSTM; the forget-gate bias starts at 1 so long
+    /// sequences keep gradient flow early in training.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
+        let mut b = vec![Tensor::zeros(1, hidden_dim); GATES];
+        b[1] = Tensor::ones(1, hidden_dim); // forget gate
+        LstmEncoder {
+            wx: (0..GATES)
+                .map(|_| Tensor::xavier(input_dim, hidden_dim, rng))
+                .collect(),
+            wh: (0..GATES)
+                .map(|_| Tensor::xavier(hidden_dim, hidden_dim, rng))
+                .collect(),
+            b,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Total learnable parameter count.
+    pub fn capacity(&self) -> usize {
+        GATES * (self.input_dim * self.hidden_dim + self.hidden_dim * self.hidden_dim + self.hidden_dim)
+    }
+
+    /// Register parameters on a tape.
+    pub fn bind(&self, tape: &Tape) -> LstmVars {
+        LstmVars {
+            wx: self.wx.iter().map(|t| tape.var(t.clone())).collect(),
+            wh: self.wh.iter().map(|t| tape.var(t.clone())).collect(),
+            b: self.b.iter().map(|t| tape.var(t.clone())).collect(),
+        }
+    }
+
+    /// Encode a sequence of `1×input_dim` step vars; returns the final
+    /// hidden state (`1×hidden_dim`). Empty sequences yield a zero state.
+    pub fn forward_tape(&self, tape: &Tape, steps: &[Var], vars: &LstmVars) -> Var {
+        let mut h = tape.var(Tensor::zeros(1, self.hidden_dim));
+        let mut c = tape.var(Tensor::zeros(1, self.hidden_dim));
+        for &x in steps {
+            let gate = |tape: &Tape, g: usize| {
+                tape.add_row(
+                    tape.add(tape.matmul(x, vars.wx[g]), tape.matmul(h, vars.wh[g])),
+                    vars.b[g],
+                )
+            };
+            let i = tape.sigmoid(gate(tape, 0));
+            let f = tape.sigmoid(gate(tape, 1));
+            let o = tape.sigmoid(gate(tape, 2));
+            let g = tape.tanh(gate(tape, 3));
+            c = tape.add(tape.mul(f, c), tape.mul(i, g));
+            h = tape.mul(o, tape.tanh(c));
+        }
+        h
+    }
+
+    /// Tape-free encode of a `T×input_dim` sequence tensor (inference).
+    pub fn encode(&self, seq: &Tensor) -> Tensor {
+        assert_eq!(seq.cols, self.input_dim, "encode: input dim mismatch");
+        let mut h = Tensor::zeros(1, self.hidden_dim);
+        let mut c = Tensor::zeros(1, self.hidden_dim);
+        for t in 0..seq.rows {
+            let x = seq.row_tensor(t);
+            let gate = |g: usize, h: &Tensor| {
+                let mut z = x.matmul(&self.wx[g]);
+                z.axpy(1.0, &h.matmul(&self.wh[g]));
+                z.axpy(1.0, &self.b[g]);
+                z
+            };
+            let i = gate(0, &h).map(sigmoid);
+            let f = gate(1, &h).map(sigmoid);
+            let o = gate(2, &h).map(sigmoid);
+            let g = gate(3, &h).map(f32::tanh);
+            c = f.mul(&c).add(&i.mul(&g));
+            h = o.mul(&c.map(f32::tanh));
+        }
+        h
+    }
+
+    /// Apply optimiser updates; uses 3·GATES slots starting at
+    /// `slot_base`.
+    pub fn apply_grads(
+        &mut self,
+        opt: &mut dyn crate::optim::Optimizer,
+        slot_base: usize,
+        tape: &Tape,
+        vars: &LstmVars,
+    ) {
+        for g in 0..GATES {
+            opt.update(slot_base + g * 3, &mut self.wx[g], &tape.grad(vars.wx[g]));
+            opt.update(
+                slot_base + g * 3 + 1,
+                &mut self.wh[g],
+                &tape.grad(vars.wh[g]),
+            );
+            opt.update(slot_base + g * 3 + 2, &mut self.b[g], &tape.grad(vars.b[g]));
+        }
+    }
+
+    /// Number of optimiser slots this encoder consumes.
+    pub fn slot_count(&self) -> usize {
+        GATES * 3
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A bidirectional LSTM: concatenates forward and backward final states
+/// into a `1 × 2·hidden_dim` representation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BiLstmEncoder {
+    /// Left-to-right encoder.
+    pub fwd: LstmEncoder,
+    /// Right-to-left encoder.
+    pub bwd: LstmEncoder,
+}
+
+/// Tape handles for a [`BiLstmEncoder`].
+#[derive(Clone, Debug)]
+pub struct BiLstmVars {
+    /// Forward-direction vars.
+    pub fwd: LstmVars,
+    /// Backward-direction vars.
+    pub bwd: LstmVars,
+}
+
+impl BiLstmEncoder {
+    /// Build both directions with independent parameters.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
+        BiLstmEncoder {
+            fwd: LstmEncoder::new(input_dim, hidden_dim, rng),
+            bwd: LstmEncoder::new(input_dim, hidden_dim, rng),
+        }
+    }
+
+    /// Output dimensionality (`2 × hidden_dim`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden_dim
+    }
+
+    /// Register parameters on a tape.
+    pub fn bind(&self, tape: &Tape) -> BiLstmVars {
+        BiLstmVars {
+            fwd: self.fwd.bind(tape),
+            bwd: self.bwd.bind(tape),
+        }
+    }
+
+    /// Encode step vars in both directions and concatenate final states.
+    pub fn forward_tape(&self, tape: &Tape, steps: &[Var], vars: &BiLstmVars) -> Var {
+        let hf = self.fwd.forward_tape(tape, steps, &vars.fwd);
+        let rev: Vec<Var> = steps.iter().rev().copied().collect();
+        let hb = self.bwd.forward_tape(tape, &rev, &vars.bwd);
+        tape.concat(&[hf, hb])
+    }
+
+    /// Tape-free encode of a `T×input_dim` sequence (inference).
+    pub fn encode(&self, seq: &Tensor) -> Tensor {
+        let hf = self.fwd.encode(seq);
+        let mut rev = Tensor::zeros(seq.rows, seq.cols);
+        for t in 0..seq.rows {
+            rev.row_slice_mut(t)
+                .copy_from_slice(seq.row_slice(seq.rows - 1 - t));
+        }
+        let hb = self.bwd.encode(&rev);
+        Tensor::hstack(&[hf, hb])
+    }
+
+    /// Apply optimiser updates; consumes `2 × fwd.slot_count()` slots.
+    pub fn apply_grads(
+        &mut self,
+        opt: &mut dyn crate::optim::Optimizer,
+        slot_base: usize,
+        tape: &Tape,
+        vars: &BiLstmVars,
+    ) {
+        self.fwd.apply_grads(opt, slot_base, tape, &vars.fwd);
+        self.bwd
+            .apply_grads(opt, slot_base + self.fwd.slot_count(), tape, &vars.bwd);
+    }
+
+    /// Number of optimiser slots this encoder consumes.
+    pub fn slot_count(&self) -> usize {
+        self.fwd.slot_count() + self.bwd.slot_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn tape_and_inference_agree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = LstmEncoder::new(3, 5, &mut rng);
+        let seq = Tensor::randn(4, 3, 1.0, &mut rng);
+
+        let fast = enc.encode(&seq);
+
+        let tape = Tape::new();
+        let vars = enc.bind(&tape);
+        let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
+        let h = enc.forward_tape(&tape, &steps, &vars);
+        assert!(fast.distance(&tape.value(h)) < 1e-5);
+    }
+
+    #[test]
+    fn bilstm_tape_and_inference_agree() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = BiLstmEncoder::new(3, 4, &mut rng);
+        let seq = Tensor::randn(5, 3, 1.0, &mut rng);
+
+        let fast = enc.encode(&seq);
+        assert_eq!(fast.cols, 8);
+
+        let tape = Tape::new();
+        let vars = enc.bind(&tape);
+        let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
+        let h = enc.forward_tape(&tape, &steps, &vars);
+        assert!(fast.distance(&tape.value(h)) < 1e-5);
+    }
+
+    #[test]
+    fn empty_sequence_encodes_to_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = LstmEncoder::new(3, 5, &mut rng);
+        let h = enc.encode(&Tensor::zeros(0, 3));
+        assert_eq!(h.data, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // An RNN "processes them one step at a time ... the order of
+        // feeding an input to RNN matters" (§2.1).
+        let mut rng = StdRng::seed_from_u64(10);
+        let enc = LstmEncoder::new(2, 6, &mut rng);
+        let a = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let ha = enc.encode(&a);
+        let hb = enc.encode(&b);
+        assert!(ha.distance(&hb) > 1e-4, "order should change the encoding");
+    }
+
+    #[test]
+    fn learns_first_token_classification() {
+        // Task: label = does the sequence start with pattern A?
+        // Solvable only if gradients flow through all time steps.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut enc = LstmEncoder::new(2, 8, &mut rng);
+        let mut head = crate::linear::Linear::new(8, 1, crate::linear::Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.02);
+
+        let tok_a = Tensor::row(vec![1.0, 0.0]);
+        let tok_b = Tensor::row(vec![0.0, 1.0]);
+        let make_seq = |first_a: bool| {
+            let first = if first_a { tok_a.clone() } else { tok_b.clone() };
+            Tensor::vstack(&[first, tok_b.clone(), tok_b.clone(), tok_b.clone()])
+        };
+
+        for _ in 0..150 {
+            for &label in &[true, false] {
+                let seq = make_seq(label);
+                let tape = Tape::new();
+                let vars = enc.bind(&tape);
+                let hvars = head.bind(&tape);
+                let steps: Vec<Var> =
+                    (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
+                let h = enc.forward_tape(&tape, &steps, &vars);
+                let logit = head.forward_tape(&tape, h, hvars);
+                let y = Tensor::scalar(if label { 1.0 } else { 0.0 });
+                let loss = tape.bce_with_logits(logit, y, Tensor::ones(1, 1));
+                tape.backward(loss);
+                opt.begin_step();
+                enc.apply_grads(&mut opt, 0, &tape, &vars);
+                let slot = enc.slot_count();
+                opt.update(slot, &mut head.w, &tape.grad(hvars.w));
+                opt.update(slot + 1, &mut head.b, &tape.grad(hvars.b));
+            }
+        }
+
+        let score = |label: bool| {
+            let h = enc.encode(&make_seq(label));
+            head.forward(&h).data[0]
+        };
+        assert!(score(true) > 0.0, "positive logit {}", score(true));
+        assert!(score(false) < 0.0, "negative logit {}", score(false));
+    }
+
+    #[test]
+    fn capacity_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = LstmEncoder::new(10, 20, &mut rng);
+        assert_eq!(enc.capacity(), 4 * (10 * 20 + 20 * 20 + 20));
+    }
+}

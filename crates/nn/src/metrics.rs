@@ -1,0 +1,189 @@
+//! Evaluation metrics shared by every AutoDC task: classification
+//! accuracy, binary precision/recall/F1 and ROC-AUC.
+
+/// Counts of a binary confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Precision `tp / (tp + fp)`; 0 when the denominator is 0.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when the denominator is 0.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Tally a confusion matrix from predictions and gold labels.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn confusion(pred: &[bool], gold: &[bool]) -> BinaryConfusion {
+    assert_eq!(pred.len(), gold.len(), "confusion: length mismatch");
+    let mut c = BinaryConfusion::default();
+    for (&p, &g) in pred.iter().zip(gold) {
+        match (p, g) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// Binary `(precision, recall, f1)` in one call.
+pub fn precision_recall_f1(pred: &[bool], gold: &[bool]) -> (f64, f64, f64) {
+    let c = confusion(pred, gold);
+    (c.precision(), c.recall(), c.f1())
+}
+
+/// Binary F1 score.
+pub fn f1_score(pred: &[bool], gold: &[bool]) -> f64 {
+    confusion(pred, gold).f1()
+}
+
+/// Fraction of positions where `pred == gold` (generic labels).
+pub fn accuracy<T: PartialEq>(pred: &[T], gold: &[T]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hit = pred.iter().zip(gold).filter(|(p, g)| p == g).count();
+    hit as f64 / pred.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) estimator;
+/// ties share rank. Returns 0.5 when one class is absent.
+pub fn roc_auc(scores: &[f32], gold: &[bool]) -> f64 {
+    assert_eq!(scores.len(), gold.len(), "roc_auc: length mismatch");
+    let pos = gold.iter().filter(|&&g| g).count();
+    let neg = gold.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    // Average ranks over tie groups.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = gold
+        .iter()
+        .zip(&ranks)
+        .filter(|(&g, _)| g)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [true, true, false, false, true];
+        let gold = [true, false, false, true, true];
+        let c = confusion(&pred, &gold);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.accuracy() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_and_empty_edges() {
+        let c = confusion(&[true, false], &[true, false]);
+        assert_eq!(c.f1(), 1.0);
+        let empty = confusion(&[], &[]);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let gold = [true, true, false, false];
+        assert!((roc_auc(&scores, &gold) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half_with_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let gold = [true, false, true, false];
+        assert!((roc_auc(&scores, &gold) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_inverted_ranking_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let gold = [true, true, false, false];
+        assert!(roc_auc(&scores, &gold).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn accuracy_generic_labels() {
+        assert!((accuracy(&[1usize, 2, 3], &[1, 9, 3]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy::<usize>(&[], &[]), 0.0);
+    }
+}

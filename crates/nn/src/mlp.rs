@@ -1,0 +1,345 @@
+//! Multi-layer perceptrons (the paper's Figure 2 a–b) with a complete
+//! train/predict loop.
+
+use crate::linear::{Activation, Linear, LinearVars};
+use crate::loss::{target_tensor, weight_tensor, LossKind};
+use crate::optim::Optimizer;
+use dc_tensor::{Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward stack of [`Linear`] layers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    /// The layers, applied in order.
+    pub layers: Vec<Linear>,
+    /// Dropout probability applied to hidden activations during
+    /// training (0 disables dropout).
+    pub dropout: f32,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths; hidden layers use
+    /// `hidden_act`, the output layer `out_act`.
+    ///
+    /// `dims = [in, h1, ..., out]` must have at least two entries.
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new needs input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() {
+                out_act
+            } else {
+                hidden_act
+            };
+            layers.push(Linear::new(dims[i], dims[i + 1], act, rng));
+        }
+        Mlp {
+            layers,
+            dropout: 0.0,
+        }
+    }
+
+    /// Enable dropout on hidden activations.
+    pub fn with_dropout(mut self, p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p));
+        self.dropout = p;
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Total learnable parameter count ("model capacity" in §2).
+    pub fn capacity(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Register all parameters on a tape.
+    pub fn bind(&self, tape: &Tape) -> Vec<LinearVars> {
+        self.layers.iter().map(|l| l.bind(tape)).collect()
+    }
+
+    /// Forward on the tape; applies dropout to hidden activations when
+    /// `rng` is provided (training mode).
+    pub fn forward_tape(
+        &self,
+        tape: &Tape,
+        x: Var,
+        vars: &[LinearVars],
+        mut rng: Option<&mut StdRng>,
+    ) -> Var {
+        let mut h = x;
+        for (i, (layer, lv)) in self.layers.iter().zip(vars).enumerate() {
+            h = layer.forward_tape(tape, h, *lv);
+            let is_hidden = i + 1 < self.layers.len();
+            if is_hidden && self.dropout > 0.0 {
+                if let Some(r) = rng.as_deref_mut() {
+                    let (rows, cols) = tape.shape(h);
+                    let mask = Tape::dropout_mask(rows, cols, self.dropout, r);
+                    h = tape.dropout(h, mask);
+                }
+            }
+        }
+        h
+    }
+
+    /// Tape-free forward (inference; dropout disabled).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// One optimisation step on a batch; returns the loss value.
+    ///
+    /// For [`LossKind::Bce`] the output layer must emit a single logit
+    /// per row and `y` must be `n×1` with 0/1 entries; for
+    /// [`LossKind::SoftmaxCe`], `y` holds the class index in column 0.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        loss: LossKind,
+        opt: &mut dyn Optimizer,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let tape = Tape::new();
+        let vx = tape.var(x.clone());
+        let vars = self.bind(&tape);
+        let use_dropout = self.dropout > 0.0;
+        let out = if use_dropout {
+            self.forward_tape(&tape, vx, &vars, Some(rng))
+        } else {
+            self.forward_tape(&tape, vx, &vars, None)
+        };
+        let loss_var = match loss {
+            LossKind::Mse => tape.mse_loss(out, y.clone()),
+            LossKind::Bce { w_neg, w_pos } => {
+                let labels: Vec<bool> = y.data.iter().map(|&v| v >= 0.5).collect();
+                tape.bce_with_logits(
+                    out,
+                    target_tensor(&labels),
+                    weight_tensor(&labels, w_neg, w_pos),
+                )
+            }
+            LossKind::SoftmaxCe => {
+                let labels: Vec<usize> = y.data.iter().map(|&v| v as usize).collect();
+                tape.softmax_ce(out, labels)
+            }
+        };
+        let loss_value = tape.value(loss_var).data[0];
+        tape.backward(loss_var);
+        opt.begin_step();
+        for (slot, (layer, lv)) in self.layers.iter_mut().zip(&vars).enumerate() {
+            let gw = tape.grad(lv.w);
+            let gb = tape.grad(lv.b);
+            layer.apply_grads(opt, slot, &gw, &gb);
+        }
+        loss_value
+    }
+
+    /// Train for `epochs` full passes over `(x, y)` in minibatches.
+    /// Returns the loss trace (one entry per epoch, averaged over
+    /// batches).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        loss: LossKind,
+        opt: &mut dyn Optimizer,
+        epochs: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        use rand::seq::SliceRandom;
+        assert_eq!(x.rows, y.rows, "fit: x/y row mismatch");
+        let n = x.rows;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let bx = gather_rows(x, chunk);
+                let by = gather_rows(y, chunk);
+                epoch_loss += self.train_batch(&bx, &by, loss, opt, rng);
+                batches += 1;
+            }
+            trace.push(epoch_loss / batches.max(1) as f32);
+        }
+        trace
+    }
+
+    /// Sigmoid probabilities for a single-logit binary head.
+    pub fn predict_proba(&self, x: &Tensor) -> Vec<f32> {
+        assert_eq!(self.out_dim(), 1, "predict_proba needs a 1-logit head");
+        self.forward(x)
+            .data
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
+    /// Class predictions for a softmax head.
+    pub fn predict_class(&self, x: &Tensor) -> Vec<usize> {
+        let out = self.forward(x);
+        (0..out.rows)
+            .map(|r| {
+                let row = out.row_slice(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Gather the given rows of `t` into a new tensor.
+pub fn gather_rows(t: &Tensor, rows: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(rows.len(), t.cols);
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_slice_mut(i).copy_from_slice(t.row_slice(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let y = Tensor::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.05);
+        mlp.fit(&x, &y, LossKind::bce(), &mut opt, 300, 4, &mut rng);
+        let p = mlp.predict_proba(&x);
+        assert!(p[0] < 0.2 && p[3] < 0.2, "negatives {p:?}");
+        assert!(p[1] > 0.8 && p[2] > 0.8, "positives {p:?}");
+    }
+
+    #[test]
+    fn learns_three_class_softmax() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Three well-separated Gaussian blobs in 2-D.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [(0.0f32, 0.0f32), (4.0, 0.0), (0.0, 4.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                let n = Tensor::randn(1, 2, 0.4, &mut rng);
+                xs.push(cx + n.data[0]);
+                xs.push(cy + n.data[1]);
+                ys.push(c as f32);
+            }
+        }
+        let x = Tensor::from_vec(90, 2, xs);
+        let y = Tensor::from_vec(90, 1, ys);
+        let mut mlp = Mlp::new(&[2, 16, 3], Activation::Relu, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.02);
+        mlp.fit(&x, &y, LossKind::SoftmaxCe, &mut opt, 60, 16, &mut rng);
+        let pred = mlp.predict_class(&x);
+        let correct = pred
+            .iter()
+            .zip(y.data.iter())
+            .filter(|(&p, &t)| p == t as usize)
+            .count();
+        assert!(correct >= 85, "accuracy {correct}/90");
+    }
+
+    #[test]
+    fn mse_regression_fits_linear_map() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn(64, 3, 1.0, &mut rng);
+        // Target: y = x · [1, -2, 0.5]ᵀ
+        let w = Tensor::from_vec(3, 1, vec![1.0, -2.0, 0.5]);
+        let y = x.matmul(&w);
+        let mut mlp = Mlp::new(
+            &[3, 1],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
+        let mut opt = Adam::new(0.05);
+        let trace = mlp.fit(&x, &y, LossKind::Mse, &mut opt, 120, 16, &mut rng);
+        assert!(trace.last().copied().expect("trace") < 1e-3);
+        assert!(mlp.layers[0].w.distance(&w) < 0.05);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(40, 4, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            40,
+            1,
+            (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+        );
+        let mut mlp = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let trace = mlp.fit(&x, &y, LossKind::bce(), &mut opt, 30, 8, &mut rng);
+        assert!(trace.last().expect("trace") < trace.first().expect("trace"));
+    }
+
+    #[test]
+    fn capacity_counts_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Paper §2.1: two fully-connected 100-unit layers ⇒ 10,000
+        // weights between them.
+        let mlp = Mlp::new(
+            &[100, 100, 100],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        assert_eq!(mlp.capacity(), 100 * 100 + 100 + 100 * 100 + 100);
+    }
+
+    #[test]
+    fn dropout_training_still_learns() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let y = Tensor::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut mlp = Mlp::new(
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
+        .with_dropout(0.1);
+        let mut opt = Adam::new(0.05);
+        mlp.fit(&x, &y, LossKind::bce(), &mut opt, 400, 4, &mut rng);
+        let p = mlp.predict_proba(&x);
+        assert!(p[1] > 0.6 && p[2] > 0.6 && p[0] < 0.4 && p[3] < 0.4, "{p:?}");
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let t = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = gather_rows(&t, &[2, 0]);
+        assert_eq!(g.data, vec![5.0, 6.0, 1.0, 2.0]);
+    }
+}

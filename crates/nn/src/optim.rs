@@ -1,0 +1,340 @@
+//! First-order optimisers.
+//!
+//! Each optimiser keeps per-parameter state keyed by a caller-chosen
+//! `slot` index, so a model with `k` parameter tensors uses slots
+//! `0..k` consistently across steps. State is allocated lazily on first
+//! use, sized to the parameter it serves.
+
+use dc_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A stateful first-order update rule.
+pub trait Optimizer {
+    /// Apply one update to `param` given its gradient, using per-slot
+    /// internal state.
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor);
+
+    /// Advance the shared step counter (used by Adam bias correction).
+    /// Call once per optimisation step, before the slot updates.
+    fn begin_step(&mut self) {}
+
+    /// The current base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the base learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, _slot: usize, param: &mut Tensor, grad: &Tensor) {
+        param.axpy(-self.lr, grad);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (typically 0.9).
+    pub beta: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Momentum {
+    /// Momentum SGD.
+    pub fn new(lr: f32, beta: f32) -> Self {
+        Momentum {
+            lr,
+            beta,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        for (vi, gi) in v.data.iter_mut().zip(grad.data.iter()) {
+            *vi = self.beta * *vi + gi;
+        }
+        param.axpy(-self.lr, v);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdaGrad: per-coordinate learning rates from accumulated squared grads.
+#[derive(Clone, Debug)]
+pub struct AdaGrad {
+    /// Learning rate.
+    pub lr: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    accum: HashMap<usize, Tensor>,
+}
+
+impl AdaGrad {
+    /// AdaGrad with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        AdaGrad {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        let a = self
+            .accum
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        for ((ai, gi), pi) in a
+            .data
+            .iter_mut()
+            .zip(grad.data.iter())
+            .zip(param.data.iter_mut())
+        {
+            *ai += gi * gi;
+            *pi -= self.lr * gi / (ai.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// RMSProp: exponentially-decayed squared-gradient normalisation.
+#[derive(Clone, Debug)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub lr: f32,
+    /// Decay rate for the squared-gradient average (typically 0.9).
+    pub rho: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    accum: HashMap<usize, Tensor>,
+}
+
+impl RmsProp {
+    /// RMSProp with the given learning rate and decay 0.9.
+    pub fn new(lr: f32) -> Self {
+        RmsProp {
+            lr,
+            rho: 0.9,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        let a = self
+            .accum
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        for ((ai, gi), pi) in a
+            .data
+            .iter_mut()
+            .zip(grad.data.iter())
+            .zip(param.data.iter_mut())
+        {
+            *ai = self.rho * *ai + (1.0 - self.rho) * gi * gi;
+            *pi -= self.lr * gi / (ai.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam with bias correction — the default optimiser for every model in
+/// this repository.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay (typically 0.9).
+    pub beta1: f32,
+    /// Second-moment decay (typically 0.999).
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    t: u32,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        if self.t == 0 {
+            self.t = 1; // tolerate callers that skip begin_step
+        }
+        let m = self
+            .m
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        let v = self
+            .v
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((mi, vi), gi), pi) in m
+            .data
+            .iter_mut()
+            .zip(v.data.iter_mut())
+            .zip(grad.data.iter())
+            .zip(param.data.iter_mut())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each optimiser should drive f(x) = ||x||² towards zero.
+    fn converges(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = Tensor::row(vec![5.0, -3.0, 2.0]);
+        for _ in 0..steps {
+            opt.begin_step();
+            let grad = x.scale(2.0);
+            opt.update(0, &mut x, &grad);
+        }
+        x.norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(&mut Sgd::new(0.1), 100) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert!(converges(&mut Momentum::new(0.05, 0.9), 200) < 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert!(converges(&mut AdaGrad::new(0.9), 400) < 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        // RMSProp's normalised steps oscillate at ~lr scale near the
+        // optimum, so the bound is looser than for SGD/Adam.
+        assert!(converges(&mut RmsProp::new(0.01), 800) < 0.1);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(&mut Adam::new(0.2), 300) < 1e-2);
+    }
+
+    #[test]
+    fn adam_faster_than_sgd_on_ill_conditioned() {
+        // f(x, y) = 100x² + y² — poorly conditioned for plain SGD.
+        let run = |opt: &mut dyn Optimizer| {
+            let mut x = Tensor::row(vec![1.0, 1.0]);
+            for _ in 0..200 {
+                opt.begin_step();
+                let grad = Tensor::row(vec![200.0 * x.data[0], 2.0 * x.data[1]]);
+                opt.update(0, &mut x, &grad);
+            }
+            100.0 * x.data[0] * x.data[0] + x.data[1] * x.data[1]
+        };
+        let adam = run(&mut Adam::new(0.05));
+        let sgd = run(&mut Sgd::new(0.004)); // near max stable lr for 100x²
+        assert!(adam < sgd, "adam {adam} vs sgd {sgd}");
+    }
+
+    #[test]
+    fn separate_slots_keep_separate_state() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Tensor::row(vec![1.0]);
+        let mut b = Tensor::row(vec![1.0]);
+        opt.begin_step();
+        opt.update(0, &mut a, &Tensor::row(vec![1.0]));
+        opt.update(1, &mut b, &Tensor::row(vec![-1.0]));
+        assert!(a.data[0] < 1.0);
+        assert!(b.data[0] > 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Denial constraints — the rule language for weak supervision (§6.2.4:
+//! "if two tuples have the same country but different capitals, they are
+//! in error") and for BART-style error benchmarking (§6.2.3).
+//!
+//! A denial constraint forbids any pair of tuples `(s, t)` satisfying
+//! all its predicates; a table is clean w.r.t. the constraint when no
+//! such pair exists.
+
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator in a denial-constraint predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Neq,
+    /// Less than (numeric or lexicographic per [`Value`] ordering).
+    Lt,
+    /// Greater than.
+    Gt,
+}
+
+impl PredicateOp {
+    fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            PredicateOp::Eq => a == b,
+            PredicateOp::Neq => a != b,
+            PredicateOp::Lt => matches!(
+                a.partial_cmp(b),
+                Some(std::cmp::Ordering::Less)
+            ),
+            PredicateOp::Gt => matches!(
+                a.partial_cmp(b),
+                Some(std::cmp::Ordering::Greater)
+            ),
+        }
+    }
+}
+
+/// One predicate `s.left  op  t.right` over a tuple pair.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Column of the first tuple.
+    pub left: usize,
+    /// Comparison operator.
+    pub op: PredicateOp,
+    /// Column of the second tuple.
+    pub right: usize,
+}
+
+impl Predicate {
+    /// `s.left op t.right`.
+    pub fn new(left: usize, op: PredicateOp, right: usize) -> Self {
+        Predicate { left, op, right }
+    }
+}
+
+/// A denial constraint: ¬(p₁ ∧ p₂ ∧ …) over tuple pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenialConstraint {
+    /// The conjunction of predicates that must never all hold.
+    pub predicates: Vec<Predicate>,
+    /// Optional human-readable label.
+    pub label: String,
+}
+
+impl DenialConstraint {
+    /// Build from predicates with a label.
+    pub fn new(label: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        DenialConstraint {
+            predicates,
+            label: label.into(),
+        }
+    }
+
+    /// Express an FD `lhs → rhs` as a denial constraint:
+    /// ¬(s.lhs = t.lhs ∧ s.rhs ≠ t.rhs).
+    pub fn from_fd(fd: &crate::fd::FunctionalDependency, label: impl Into<String>) -> Self {
+        let mut preds: Vec<Predicate> = fd
+            .lhs
+            .iter()
+            .map(|&c| Predicate::new(c, PredicateOp::Eq, c))
+            .collect();
+        preds.push(Predicate::new(fd.rhs, PredicateOp::Neq, fd.rhs));
+        DenialConstraint::new(label, preds)
+    }
+
+    /// Does the ordered pair `(s, t)` jointly satisfy every predicate
+    /// (i.e. witness a violation)? Pairs with nulls on any referenced
+    /// column never violate.
+    pub fn pair_violates(&self, s: &[Value], t: &[Value]) -> bool {
+        for p in &self.predicates {
+            let a = &s[p.left];
+            let b = &t[p.right];
+            if a.is_null() || b.is_null() {
+                return false;
+            }
+            if !p.op.eval(a, b) {
+                return false;
+            }
+        }
+        !self.predicates.is_empty()
+    }
+
+    /// All violating ordered pairs `(i, j)`, `i != j`.
+    pub fn violations(&self, table: &Table) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, s) in table.rows.iter().enumerate() {
+            for (j, t) in table.rows.iter().enumerate() {
+                if i != j && self.pair_violates(s, t) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when no tuple pair violates the constraint.
+    pub fn holds(&self, table: &Table) -> bool {
+        for (i, s) in table.rows.iter().enumerate() {
+            for (j, t) in table.rows.iter().enumerate() {
+                if i != j && self.pair_violates(s, t) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FunctionalDependency;
+    use crate::table::{employee_example, AttrType, Schema, Table};
+
+    #[test]
+    fn fd_as_denial_constraint_matches_fd_semantics() {
+        let t = employee_example();
+        let fd_ok = FunctionalDependency::new(vec![0], 2);
+        let fd_bad = FunctionalDependency::new(vec![2], 3);
+        assert!(DenialConstraint::from_fd(&fd_ok, "fd1").holds(&t));
+        assert!(!DenialConstraint::from_fd(&fd_bad, "fd2").holds(&t));
+    }
+
+    #[test]
+    fn country_capital_weak_rule() {
+        // §6.2.4's example: same country, different capitals ⇒ error.
+        let mut t = Table::new(
+            "geo",
+            Schema::new(&[("country", AttrType::Text), ("capital", AttrType::Text)]),
+        );
+        t.push(vec!["France".into(), "Paris".into()]);
+        t.push(vec!["France".into(), "Lyon".into()]);
+        t.push(vec!["Germany".into(), "Berlin".into()]);
+        let dc = DenialConstraint::new(
+            "same country different capital",
+            vec![
+                Predicate::new(0, PredicateOp::Eq, 0),
+                Predicate::new(1, PredicateOp::Neq, 1),
+            ],
+        );
+        let v = dc.violations(&t);
+        assert!(v.contains(&(0, 1)) && v.contains(&(1, 0)));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ordering_predicates() {
+        // "No employee may earn more than their manager":
+        // ¬(s.manager_id = t.id ∧ s.salary > t.salary)
+        let mut t = Table::new(
+            "pay",
+            Schema::new(&[
+                ("id", AttrType::Int),
+                ("manager_id", AttrType::Int),
+                ("salary", AttrType::Int),
+            ]),
+        );
+        t.push(vec![Value::Int(1), Value::Null, Value::Int(100)]);
+        t.push(vec![Value::Int(2), Value::Int(1), Value::Int(150)]); // violates
+        t.push(vec![Value::Int(3), Value::Int(1), Value::Int(80)]);
+        let dc = DenialConstraint::new(
+            "salary above manager",
+            vec![
+                Predicate::new(1, PredicateOp::Eq, 0),
+                Predicate::new(2, PredicateOp::Gt, 2),
+            ],
+        );
+        assert_eq!(dc.violations(&t), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn nulls_never_violate() {
+        let mut t = Table::new(
+            "geo",
+            Schema::new(&[("country", AttrType::Text), ("capital", AttrType::Text)]),
+        );
+        t.push(vec!["France".into(), Value::Null]);
+        t.push(vec!["France".into(), "Paris".into()]);
+        let dc = DenialConstraint::new(
+            "x",
+            vec![
+                Predicate::new(0, PredicateOp::Eq, 0),
+                Predicate::new(1, PredicateOp::Neq, 1),
+            ],
+        );
+        assert!(dc.holds(&t));
+    }
+
+    #[test]
+    fn empty_constraint_never_violates() {
+        let t = employee_example();
+        assert!(DenialConstraint::new("empty", vec![]).holds(&t));
+    }
+}

@@ -1,0 +1,367 @@
+//! Functional dependencies and conditional functional dependencies —
+//! the "data dependencies ... within tables" that §3.1 says cell
+//! embeddings must capture, and the repair vocabulary of `dc-clean`.
+
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A functional dependency `lhs → rhs` over column indices.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalDependency {
+    /// Determinant column indices.
+    pub lhs: Vec<usize>,
+    /// Dependent column index.
+    pub rhs: usize,
+}
+
+impl FunctionalDependency {
+    /// `lhs → rhs`.
+    pub fn new(lhs: Vec<usize>, rhs: usize) -> Self {
+        FunctionalDependency { lhs, rhs }
+    }
+
+    /// Human-readable rendering with attribute names.
+    pub fn display(&self, table: &Table) -> String {
+        let lhs: Vec<&str> = self
+            .lhs
+            .iter()
+            .map(|&i| table.schema.attrs[i].name.as_str())
+            .collect();
+        format!(
+            "{} -> {}",
+            lhs.join(","),
+            table.schema.attrs[self.rhs].name
+        )
+    }
+
+    fn key(&self, row: &[Value]) -> Vec<Value> {
+        self.lhs.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// True when the table satisfies this FD (rows with nulls on either
+    /// side are skipped, the usual simple-null semantics).
+    pub fn holds(&self, table: &Table) -> bool {
+        self.violations(table).is_empty()
+    }
+
+    /// Pairs of row indices that jointly violate the FD: equal LHS,
+    /// different RHS. Returns each clashing pair once.
+    pub fn violations(&self, table: &Table) -> Vec<(usize, usize)> {
+        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        'rows: for (i, row) in table.rows.iter().enumerate() {
+            if row[self.rhs].is_null() {
+                continue;
+            }
+            for &l in &self.lhs {
+                if row[l].is_null() {
+                    continue 'rows;
+                }
+            }
+            groups.entry(self.key(row)).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for idxs in groups.values() {
+            for (a, &i) in idxs.iter().enumerate() {
+                for &j in &idxs[a + 1..] {
+                    if table.rows[i][self.rhs] != table.rows[j][self.rhs] {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The fraction of rows that would need to change for the FD to
+    /// hold (a coarse g3-style error measure in `[0, 1]`).
+    pub fn error_rate(&self, table: &Table) -> f64 {
+        if table.is_empty() {
+            return 0.0;
+        }
+        let mut groups: HashMap<Vec<Value>, HashMap<Value, usize>> = HashMap::new();
+        let mut counted = 0usize;
+        'rows: for row in &table.rows {
+            if row[self.rhs].is_null() {
+                continue;
+            }
+            for &l in &self.lhs {
+                if row[l].is_null() {
+                    continue 'rows;
+                }
+            }
+            counted += 1;
+            *groups
+                .entry(self.key(row))
+                .or_default()
+                .entry(row[self.rhs].clone())
+                .or_insert(0) += 1;
+        }
+        if counted == 0 {
+            return 0.0;
+        }
+        // Keep the majority RHS per group; the rest are errors.
+        let kept: usize = groups
+            .values()
+            .map(|counts| counts.values().copied().max().unwrap_or(0))
+            .sum();
+        (counted - kept) as f64 / counted as f64
+    }
+}
+
+/// A pattern cell in a conditional FD tableau.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Matches any value (the `_` wildcard).
+    Any,
+    /// Matches exactly this constant.
+    Const(Value),
+}
+
+impl Pattern {
+    fn matches(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Const(c) => c == v,
+        }
+    }
+}
+
+/// A conditional functional dependency: an embedded FD that only applies
+/// to tuples matching the LHS pattern tableau, optionally constraining
+/// the RHS to a constant (Fan et al., cited as [19] in the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionalFd {
+    /// The embedded FD.
+    pub fd: FunctionalDependency,
+    /// One pattern per LHS column (parallel to `fd.lhs`).
+    pub lhs_patterns: Vec<Pattern>,
+    /// Optional RHS constant pattern.
+    pub rhs_pattern: Pattern,
+}
+
+impl ConditionalFd {
+    /// CFD whose tableau row is `lhs_patterns ‖ rhs_pattern`.
+    pub fn new(
+        fd: FunctionalDependency,
+        lhs_patterns: Vec<Pattern>,
+        rhs_pattern: Pattern,
+    ) -> Self {
+        assert_eq!(
+            fd.lhs.len(),
+            lhs_patterns.len(),
+            "one pattern per LHS column"
+        );
+        ConditionalFd {
+            fd,
+            lhs_patterns,
+            rhs_pattern,
+        }
+    }
+
+    fn row_in_scope(&self, row: &[Value]) -> bool {
+        self.fd
+            .lhs
+            .iter()
+            .zip(&self.lhs_patterns)
+            .all(|(&col, pat)| pat.matches(&row[col]))
+    }
+
+    /// Row indices violating the CFD.
+    ///
+    /// With a constant RHS pattern, any in-scope row whose RHS differs is
+    /// a violation on its own; with a wildcard RHS the semantics reduce
+    /// to the embedded FD restricted to in-scope rows (pairs are
+    /// flattened to the involved rows).
+    pub fn violations(&self, table: &Table) -> Vec<usize> {
+        match &self.rhs_pattern {
+            Pattern::Const(c) => {
+                let mut out = Vec::new();
+                for (i, row) in table.rows.iter().enumerate() {
+                    if self.row_in_scope(row) && !row[self.fd.rhs].is_null() && &row[self.fd.rhs] != c
+                    {
+                        out.push(i);
+                    }
+                }
+                out
+            }
+            Pattern::Any => {
+                let scoped = table.select(|r| self.row_in_scope(r));
+                // Map back to original indices.
+                let orig: Vec<usize> = table
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| self.row_in_scope(r))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut out: Vec<usize> = self
+                    .fd
+                    .violations(&scoped)
+                    .into_iter()
+                    .flat_map(|(a, b)| [orig[a], orig[b]])
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// Level-wise (TANE-style) discovery of minimal exact FDs with LHS size
+/// up to `max_lhs`.
+///
+/// Exhaustive partition-refinement checking is overkill at AutoDC's
+/// table sizes; a direct group-and-test per candidate is O(#candidates ·
+/// n) and keeps the code auditable. Candidates whose LHS contains a
+/// column already known to determine the RHS (with a smaller LHS) are
+/// pruned, so only minimal FDs are returned.
+pub fn discover_fds(table: &Table, max_lhs: usize) -> Vec<FunctionalDependency> {
+    let m = table.schema.arity();
+    let mut found: Vec<FunctionalDependency> = Vec::new();
+    let mut lhs_sets: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+    for _level in 1..=max_lhs {
+        let mut next_sets = Vec::new();
+        for lhs in &lhs_sets {
+            for rhs in 0..m {
+                if lhs.contains(&rhs) {
+                    continue;
+                }
+                // Minimality pruning: skip if a subset already works.
+                let dominated = found.iter().any(|fd| {
+                    fd.rhs == rhs && fd.lhs.iter().all(|c| lhs.contains(c))
+                });
+                if dominated {
+                    continue;
+                }
+                let fd = FunctionalDependency::new(lhs.clone(), rhs);
+                if fd.holds(table) {
+                    found.push(fd);
+                }
+            }
+        }
+        // Extend candidate LHS sets for the next level.
+        for lhs in &lhs_sets {
+            let last = *lhs.last().expect("nonempty lhs");
+            for add in last + 1..m {
+                let mut bigger = lhs.clone();
+                bigger.push(add);
+                next_sets.push(bigger);
+            }
+        }
+        lhs_sets = next_sets;
+        if lhs_sets.is_empty() {
+            break;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{employee_example, AttrType, Schema, Table};
+
+    #[test]
+    fn figure_4_fds() {
+        let t = employee_example();
+        // FD1: Employee ID → Department ID (holds).
+        assert!(FunctionalDependency::new(vec![0], 2).holds(&t));
+        // FD2: Department ID → Department Name (violated: dept 1 maps to
+        // both Human Resources and Finance in the figure's table).
+        let fd2 = FunctionalDependency::new(vec![2], 3);
+        let v = fd2.violations(&t);
+        assert_eq!(v, vec![(0, 3), (2, 3)]);
+        assert!(fd2.error_rate(&t) > 0.0);
+    }
+
+    #[test]
+    fn error_rate_counts_minority() {
+        let t = employee_example();
+        let fd2 = FunctionalDependency::new(vec![2], 3);
+        // Dept 1 has {HR: 2, Finance: 1}; dept 2 has {Marketing: 1}.
+        // One of four rows must change.
+        assert!((fd2.error_rate(&t) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let mut t = Table::new(
+            "n",
+            Schema::new(&[("a", AttrType::Int), ("b", AttrType::Int)]),
+        );
+        t.push(vec![Value::Int(1), Value::Null]);
+        t.push(vec![Value::Int(1), Value::Int(2)]);
+        assert!(FunctionalDependency::new(vec![0], 1).holds(&t));
+    }
+
+    #[test]
+    fn discover_finds_planted_fds() {
+        let t = employee_example();
+        let fds = discover_fds(&t, 2);
+        let rendered: Vec<String> = fds.iter().map(|f| f.display(&t)).collect();
+        assert!(
+            rendered.contains(&"Employee ID -> Department ID".to_string()),
+            "{rendered:?}"
+        );
+        // Dept ID → Dept Name must NOT be discovered (it is violated).
+        assert!(!rendered.contains(&"Department ID -> Department Name".to_string()));
+        // All discovered FDs must actually hold.
+        for fd in &fds {
+            assert!(fd.holds(&t), "{}", fd.display(&t));
+        }
+    }
+
+    #[test]
+    fn discover_returns_minimal_only() {
+        let t = employee_example();
+        let fds = discover_fds(&t, 2);
+        for fd in &fds {
+            if fd.lhs.len() == 2 {
+                for &c in &fd.lhs {
+                    let smaller = FunctionalDependency::new(vec![c], fd.rhs);
+                    assert!(
+                        !smaller.holds(&t),
+                        "non-minimal FD reported: {}",
+                        fd.display(&t)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfd_constant_rhs() {
+        let t = employee_example();
+        // "If Department ID = 2 then Department Name = Marketing".
+        let cfd = ConditionalFd::new(
+            FunctionalDependency::new(vec![2], 3),
+            vec![Pattern::Const(Value::Int(2))],
+            Pattern::Const(Value::text("Marketing")),
+        );
+        assert!(cfd.violations(&t).is_empty());
+        // "If Department ID = 1 then Department Name = Human Resources"
+        // is violated by row 3 (Finance).
+        let cfd2 = ConditionalFd::new(
+            FunctionalDependency::new(vec![2], 3),
+            vec![Pattern::Const(Value::Int(1))],
+            Pattern::Const(Value::text("Human Resources")),
+        );
+        assert_eq!(cfd2.violations(&t), vec![3]);
+    }
+
+    #[test]
+    fn cfd_wildcard_rhs_reduces_to_scoped_fd() {
+        let t = employee_example();
+        let cfd = ConditionalFd::new(
+            FunctionalDependency::new(vec![2], 3),
+            vec![Pattern::Any],
+            Pattern::Any,
+        );
+        // Same rows as the unconditional FD2 violations, flattened.
+        assert_eq!(cfd.violations(&t), vec![0, 2, 3]);
+    }
+}

@@ -1,0 +1,287 @@
+//! The heterogeneous graph of a table — Figure 4 of the paper.
+//!
+//! "Each relation D is modeled as a graph G(V, E), where each node u ∈ V
+//! is a unique attribute value, and each edge (u, v) ∈ E represents
+//! multiple relationships, such as (u, v) co-occur in one tuple, there
+//! is a functional dependency from the attribute of u to the attribute
+//! of v, and so on" (§3.1).
+//!
+//! Nodes are `(attribute, value)` pairs — the same string in different
+//! columns is a different node, exactly as in the figure. Undirected
+//! co-occurrence edges carry the number of tuples in which the pair
+//! appears; directed FD edges connect determinant values to their
+//! dependent values.
+
+use crate::fd::FunctionalDependency;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What relationship an edge encodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The two values co-occur in at least one tuple (undirected; stored
+    /// in both adjacency lists).
+    CoOccur,
+    /// A declared FD maps the source value's attribute to the target
+    /// value's attribute (directed).
+    Fd,
+}
+
+/// An outgoing edge in the adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Target node id.
+    pub to: usize,
+    /// Relationship kind.
+    pub kind: EdgeKind,
+    /// Multiplicity (tuple count for co-occurrence; 1 per witness for FD
+    /// edges, accumulated).
+    pub weight: f32,
+}
+
+/// A node: one distinct value of one attribute.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Column index in the source table.
+    pub attr: usize,
+    /// Canonical string of the value.
+    pub value: String,
+}
+
+/// The heterogeneous graph of one table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableGraph {
+    /// All nodes; ids are indices into this vector.
+    pub nodes: Vec<Node>,
+    /// Adjacency lists, parallel to `nodes`.
+    pub adj: Vec<Vec<Edge>>,
+    index: HashMap<(usize, String), usize>,
+}
+
+impl TableGraph {
+    /// Build the graph of `table` with co-occurrence edges for every
+    /// in-tuple value pair and FD edges for each declared dependency.
+    pub fn build(table: &Table, fds: &[FunctionalDependency]) -> Self {
+        let mut g = TableGraph {
+            nodes: Vec::new(),
+            adj: Vec::new(),
+            index: HashMap::new(),
+        };
+        // Co-occurrence edges: accumulate pair counts first so parallel
+        // tuples produce one weighted edge instead of multi-edges.
+        let mut co: HashMap<(usize, usize), f32> = HashMap::new();
+        let mut fd_edges: HashMap<(usize, usize), f32> = HashMap::new();
+        for row in &table.rows {
+            let ids: Vec<Option<usize>> = row
+                .iter()
+                .enumerate()
+                .map(|(c, v)| {
+                    if v.is_null() {
+                        None
+                    } else {
+                        Some(g.intern(c, v.canonical()))
+                    }
+                })
+                .collect();
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    if let (Some(a), Some(b)) = (ids[i], ids[j]) {
+                        let key = if a < b { (a, b) } else { (b, a) };
+                        *co.entry(key).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            for fd in fds {
+                if let Some(rhs_id) = ids[fd.rhs] {
+                    for &l in &fd.lhs {
+                        if let Some(lhs_id) = ids[l] {
+                            *fd_edges.entry((lhs_id, rhs_id)).or_insert(0.0) += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        for ((a, b), w) in co {
+            g.adj[a].push(Edge {
+                to: b,
+                kind: EdgeKind::CoOccur,
+                weight: w,
+            });
+            g.adj[b].push(Edge {
+                to: a,
+                kind: EdgeKind::CoOccur,
+                weight: w,
+            });
+        }
+        for ((from, to), w) in fd_edges {
+            g.adj[from].push(Edge {
+                to,
+                kind: EdgeKind::Fd,
+                weight: w,
+            });
+        }
+        // Deterministic adjacency order regardless of HashMap iteration.
+        for list in &mut g.adj {
+            list.sort_by_key(|e| (e.to, e.kind as u8));
+        }
+        g
+    }
+
+    fn intern(&mut self, attr: usize, value: String) -> usize {
+        if let Some(&id) = self.index.get(&(attr, value.clone())) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            attr,
+            value: value.clone(),
+        });
+        self.adj.push(Vec::new());
+        self.index.insert((attr, value), id);
+        id
+    }
+
+    /// Node id of `(attr, value)`, if present.
+    pub fn node_id(&self, attr: usize, value: &str) -> Option<usize> {
+        self.index.get(&(attr, value.to_string())).copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored directed edge entries (undirected edges count
+    /// twice).
+    pub fn edge_entries(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn neighbors(&self, id: usize) -> &[Edge] {
+        &self.adj[id]
+    }
+
+    /// Weighted degree of a node, counting only edges of `kind` (or all
+    /// kinds when `None`).
+    pub fn degree(&self, id: usize, kind: Option<EdgeKind>) -> f32 {
+        self.adj[id]
+            .iter()
+            .filter(|e| kind.is_none_or(|k| e.kind == k))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Nodes of one attribute.
+    pub fn nodes_of_attr(&self, attr: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.attr == attr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::employee_example;
+
+    fn figure_4_graph() -> TableGraph {
+        let t = employee_example();
+        let fds = vec![
+            FunctionalDependency::new(vec![0], 2), // Employee ID → Dept ID
+            FunctionalDependency::new(vec![2], 3), // Dept ID → Dept Name
+        ];
+        TableGraph::build(&t, &fds)
+    }
+
+    #[test]
+    fn node_counts_match_figure_4() {
+        let g = figure_4_graph();
+        // 4 employee ids + 3 names + 2 dept ids + 3 dept names = 12.
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.nodes_of_attr(0).len(), 4);
+        assert_eq!(g.nodes_of_attr(1).len(), 3);
+        assert_eq!(g.nodes_of_attr(2).len(), 2);
+        assert_eq!(g.nodes_of_attr(3).len(), 3);
+    }
+
+    #[test]
+    fn cooccurrence_edges_exist_and_are_symmetric() {
+        let g = figure_4_graph();
+        let id_0001 = g.node_id(0, "0001").expect("0001");
+        let john = g.node_id(1, "John Doe").expect("John Doe");
+        let fwd = g.neighbors(id_0001).iter().any(|e| {
+            e.to == john && e.kind == EdgeKind::CoOccur
+        });
+        let back = g.neighbors(john).iter().any(|e| {
+            e.to == id_0001 && e.kind == EdgeKind::CoOccur
+        });
+        assert!(fwd && back);
+    }
+
+    #[test]
+    fn cooccurrence_weight_counts_tuples() {
+        let g = figure_4_graph();
+        // "John Doe" appears with Dept ID 1 in two tuples (0001, 0004).
+        let john = g.node_id(1, "John Doe").expect("node");
+        let dept1 = g.node_id(2, "1").expect("node");
+        let w = g
+            .neighbors(john)
+            .iter()
+            .find(|e| e.to == dept1 && e.kind == EdgeKind::CoOccur)
+            .map(|e| e.weight)
+            .expect("edge");
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn fd_edges_are_directed() {
+        let g = figure_4_graph();
+        let id_0001 = g.node_id(0, "0001").expect("node");
+        let dept1 = g.node_id(2, "1").expect("node");
+        let fwd = g
+            .neighbors(id_0001)
+            .iter()
+            .any(|e| e.to == dept1 && e.kind == EdgeKind::Fd);
+        let back = g
+            .neighbors(dept1)
+            .iter()
+            .any(|e| e.to == id_0001 && e.kind == EdgeKind::Fd);
+        assert!(fwd, "FD edge 0001 → dept 1 missing");
+        assert!(!back, "FD edges must be directed");
+    }
+
+    #[test]
+    fn same_string_different_attr_is_different_node() {
+        let g = figure_4_graph();
+        // Dept ID "1" and Dept ID "2" exist under attr 2 only.
+        assert!(g.node_id(2, "1").is_some());
+        assert!(g.node_id(0, "1").is_none());
+    }
+
+    #[test]
+    fn degree_filters_by_kind() {
+        let g = figure_4_graph();
+        let dept1 = g.node_id(2, "1").expect("node");
+        let co = g.degree(dept1, Some(EdgeKind::CoOccur));
+        let fd = g.degree(dept1, Some(EdgeKind::Fd));
+        assert!(co > 0.0);
+        // Dept 1 has outgoing FD edges to both HR and Finance dept names.
+        assert!(fd >= 2.0);
+        assert_eq!(g.degree(dept1, None), co + fd);
+    }
+
+    #[test]
+    fn nulls_create_no_nodes() {
+        let mut t = employee_example();
+        t.rows[0][1] = crate::value::Value::Null;
+        let g = TableGraph::build(&t, &[]);
+        // John Doe still appears via row 3.
+        assert!(g.node_id(1, "John Doe").is_some());
+        assert_eq!(g.nodes_of_attr(1).len(), 3);
+    }
+}

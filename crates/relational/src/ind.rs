@@ -1,0 +1,190 @@
+//! Key and inclusion-dependency discovery — the metadata behind §3.1's
+//! "data enrichment" direction ("joining with other tables ... may
+//! result in an enriched table that is more suitable for learning
+//! representations"): to enrich automatically, AutoDC must first find
+//! which columns are keys and which foreign-key-like inclusions hold
+//! across the lake.
+
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A unary inclusion dependency `from_table.from_col ⊆ to_table.to_col`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InclusionDependency {
+    /// Index of the dependent table in the analysed lake.
+    pub from_table: usize,
+    /// Dependent column.
+    pub from_col: usize,
+    /// Index of the referenced table.
+    pub to_table: usize,
+    /// Referenced column.
+    pub to_col: usize,
+}
+
+/// Columns whose non-null values are all distinct (candidate keys).
+pub fn unique_columns(table: &Table) -> Vec<usize> {
+    (0..table.schema.arity())
+        .filter(|&c| {
+            let mut seen = HashSet::new();
+            table
+                .rows
+                .iter()
+                .filter(|r| !r[c].is_null())
+                .all(|r| seen.insert(r[c].clone()))
+        })
+        .collect()
+}
+
+/// Does every non-null value of `a[col_a]` appear in `b[col_b]`?
+pub fn inclusion_holds(a: &Table, col_a: usize, b: &Table, col_b: usize) -> bool {
+    let domain: HashSet<&Value> = b
+        .rows
+        .iter()
+        .map(|r| &r[col_b])
+        .filter(|v| !v.is_null())
+        .collect();
+    let mut any = false;
+    for r in &a.rows {
+        let v = &r[col_a];
+        if v.is_null() {
+            continue;
+        }
+        any = true;
+        if !domain.contains(v) {
+            return false;
+        }
+    }
+    any // an all-null column is not evidence of inclusion
+}
+
+/// Discover all unary INDs across a lake whose referenced column is a
+/// candidate key (i.e. foreign-key-shaped inclusions). Self-inclusions
+/// (same table+column) are skipped.
+pub fn discover_inds(tables: &[&Table]) -> Vec<InclusionDependency> {
+    let keys: Vec<Vec<usize>> = tables.iter().map(|t| unique_columns(t)).collect();
+    let mut out = Vec::new();
+    for (ti, ta) in tables.iter().enumerate() {
+        for ca in 0..ta.schema.arity() {
+            for (tj, tb) in tables.iter().enumerate() {
+                for &cb in &keys[tj] {
+                    if ti == tj && ca == cb {
+                        continue;
+                    }
+                    if inclusion_holds(ta, ca, tb, cb) {
+                        out.push(InclusionDependency {
+                            from_table: ti,
+                            from_col: ca,
+                            to_table: tj,
+                            to_col: cb,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enrich `table` by following one discovered IND: hash-join onto the
+/// referenced table. Returns `None` when the IND references the same
+/// table.
+pub fn enrich_via_ind(
+    tables: &[&Table],
+    ind: &InclusionDependency,
+) -> Option<Table> {
+    if ind.from_table == ind.to_table {
+        return None;
+    }
+    let from = tables[ind.from_table];
+    let to = tables[ind.to_table];
+    let left = from.schema.attrs[ind.from_col].name.clone();
+    let right = to.schema.attrs[ind.to_col].name.clone();
+    Some(from.hash_join(to, &left, &right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{AttrType, Schema};
+
+    fn people_and_orders() -> (Table, Table) {
+        let mut people = Table::new(
+            "people",
+            Schema::new(&[("id", AttrType::Int), ("name", AttrType::Text)]),
+        );
+        people.push(vec![Value::Int(1), Value::text("ann")]);
+        people.push(vec![Value::Int(2), Value::text("bob")]);
+        let mut orders = Table::new(
+            "orders",
+            Schema::new(&[("oid", AttrType::Int), ("person", AttrType::Int)]),
+        );
+        orders.push(vec![Value::Int(10), Value::Int(1)]);
+        orders.push(vec![Value::Int(11), Value::Int(1)]);
+        orders.push(vec![Value::Int(12), Value::Int(2)]);
+        (people, orders)
+    }
+
+    #[test]
+    fn unique_columns_detects_keys() {
+        let (people, orders) = people_and_orders();
+        assert_eq!(unique_columns(&people), vec![0, 1]);
+        assert_eq!(unique_columns(&orders), vec![0]); // person repeats
+    }
+
+    #[test]
+    fn unique_ignores_nulls() {
+        let mut t = Table::new("n", Schema::new(&[("a", AttrType::Int)]));
+        t.push(vec![Value::Null]);
+        t.push(vec![Value::Null]);
+        t.push(vec![Value::Int(1)]);
+        assert_eq!(unique_columns(&t), vec![0]);
+    }
+
+    #[test]
+    fn inclusion_detects_foreign_key() {
+        let (people, orders) = people_and_orders();
+        assert!(inclusion_holds(&orders, 1, &people, 0));
+        assert!(!inclusion_holds(&people, 0, &orders, 0));
+    }
+
+    #[test]
+    fn discover_finds_the_fk_shape() {
+        let (people, orders) = people_and_orders();
+        let tables = [&people, &orders];
+        let inds = discover_inds(&tables);
+        assert!(inds.contains(&InclusionDependency {
+            from_table: 1,
+            from_col: 1,
+            to_table: 0,
+            to_col: 0,
+        }));
+        // No IND claims orders.oid ⊆ people.id (10 ∉ {1,2}).
+        assert!(!inds.iter().any(|i| i.from_table == 1 && i.from_col == 0));
+    }
+
+    #[test]
+    fn enrichment_joins_through_the_ind() {
+        let (people, orders) = people_and_orders();
+        let tables = [&people, &orders];
+        let ind = InclusionDependency {
+            from_table: 1,
+            from_col: 1,
+            to_table: 0,
+            to_col: 0,
+        };
+        let enriched = enrich_via_ind(&tables, &ind).expect("cross-table");
+        assert_eq!(enriched.len(), 3);
+        let name_col = enriched.schema.index_of("name").expect("name");
+        assert_eq!(enriched.cell(0, name_col), &Value::text("ann"));
+    }
+
+    #[test]
+    fn all_null_column_is_no_inclusion_evidence() {
+        let (people, _) = people_and_orders();
+        let mut empty = Table::new("e", Schema::new(&[("x", AttrType::Int)]));
+        empty.push(vec![Value::Null]);
+        assert!(!inclusion_holds(&empty, 0, &people, 0));
+    }
+}

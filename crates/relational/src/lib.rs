@@ -1,0 +1,34 @@
+//! # dc-relational
+//!
+//! The relational substrate AutoDC curates: typed tables, CSV I/O,
+//! tokenisation, integrity constraints and the heterogeneous table graph.
+//!
+//! The paper (*"Data Curation with Deep Learning"*, EDBT 2020) treats the
+//! relational database as the object of curation and repeatedly leans on
+//! structures a plain document model lacks:
+//!
+//! * typed cells, tuples, columns and tables — the "atomic units" whose
+//!   distributed representations §3.1 proposes (see [`value`], [`table`]);
+//! * functional dependencies and conditional FDs — "important hints
+//!   between semantically related cells" (§3.1; see [`fd`]);
+//! * denial constraints — the weak-supervision rule language of §6.2.4
+//!   and BART-style benchmarking of §6.2.3 (see [`constraints`]);
+//! * the heterogeneous graph of a table — Figure 4: one node per distinct
+//!   attribute value, undirected co-occurrence edges, directed FD edges
+//!   (see [`graph`]).
+
+pub mod constraints;
+pub mod fd;
+pub mod graph;
+pub mod ind;
+pub mod table;
+pub mod tokenize;
+pub mod value;
+
+pub use constraints::{DenialConstraint, Predicate, PredicateOp};
+pub use fd::{discover_fds, ConditionalFd, FunctionalDependency};
+pub use graph::{EdgeKind, TableGraph};
+pub use ind::{discover_inds, inclusion_holds, unique_columns, InclusionDependency};
+pub use table::{AttrType, Attribute, Schema, Table};
+pub use tokenize::{normalize, tokenize, tokenize_tuple};
+pub use value::Value;

@@ -1,0 +1,515 @@
+//! Schemas and typed tables, with CSV I/O and the relational operations
+//! the curation pipeline needs (project, select, hash join for the §3.1
+//! "data enrichment" direction).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Declared type of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Integer-valued.
+    Int,
+    /// Float-valued.
+    Float,
+    /// Free text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Categorical text drawn from a small domain.
+    Categorical,
+}
+
+/// A named, typed attribute.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name (unique within a schema).
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+/// An ordered list of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// The attributes in column order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new(attrs: &[(&str, AttrType)]) -> Self {
+        Schema {
+            attrs: attrs
+                .iter()
+                .map(|(n, t)| Attribute {
+                    name: n.to_string(),
+                    ty: *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Column index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+/// A typed relation: a schema plus rows of [`Value`]s.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (used by discovery and the EKG).
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    /// Row-major tuples; every row has `schema.arity()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the schema.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} != schema arity {} in table {}",
+            row.len(),
+            self.schema.arity(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// All values of one column.
+    pub fn column(&self, col: usize) -> Vec<&Value> {
+        self.rows.iter().map(|r| &r[col]).collect()
+    }
+
+    /// Distinct non-null values of one column, in first-seen order.
+    pub fn distinct(&self, col: usize) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let v = &row[col];
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Fraction of null cells across the whole table.
+    pub fn null_rate(&self) -> f64 {
+        let total = self.rows.len() * self.schema.arity();
+        if total == 0 {
+            return 0.0;
+        }
+        let nulls: usize = self
+            .rows
+            .iter()
+            .map(|r| r.iter().filter(|v| v.is_null()).count())
+            .sum();
+        nulls as f64 / total as f64
+    }
+
+    /// Project onto the named columns (order as given).
+    pub fn project(&self, cols: &[&str]) -> Table {
+        let idxs: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                self.schema
+                    .index_of(c)
+                    .unwrap_or_else(|| panic!("no column {c} in {}", self.name))
+            })
+            .collect();
+        let schema = Schema {
+            attrs: idxs.iter().map(|&i| self.schema.attrs[i].clone()).collect(),
+        };
+        let mut out = Table::new(format!("{}_proj", self.name), schema);
+        for row in &self.rows {
+            out.push(idxs.iter().map(|&i| row[i].clone()).collect());
+        }
+        out
+    }
+
+    /// Keep rows matching `pred`.
+    pub fn select(&self, pred: impl Fn(&[Value]) -> bool) -> Table {
+        let mut out = Table::new(self.name.clone(), self.schema.clone());
+        for row in &self.rows {
+            if pred(row) {
+                out.push(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Equi hash-join with `other` on `self.left_col == other.right_col`.
+    ///
+    /// Output schema is `self ++ other-minus-join-column`; the §3.1
+    /// "data enrichment" primitive ("joining with other tables ... may
+    /// result in an enriched table that is more suitable for learning
+    /// representations").
+    pub fn hash_join(&self, other: &Table, left_col: &str, right_col: &str) -> Table {
+        let li = self
+            .schema
+            .index_of(left_col)
+            .unwrap_or_else(|| panic!("no column {left_col}"));
+        let ri = other
+            .schema
+            .index_of(right_col)
+            .unwrap_or_else(|| panic!("no column {right_col}"));
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in other.rows.iter().enumerate() {
+            if !row[ri].is_null() {
+                index.entry(row[ri].clone()).or_default().push(i);
+            }
+        }
+        let mut attrs = self.schema.attrs.clone();
+        for (i, a) in other.schema.attrs.iter().enumerate() {
+            if i != ri {
+                let mut a = a.clone();
+                if self.schema.index_of(&a.name).is_some() {
+                    a.name = format!("{}_{}", other.name, a.name);
+                }
+                attrs.push(a);
+            }
+        }
+        let mut out = Table::new(format!("{}_join_{}", self.name, other.name), Schema { attrs });
+        for lrow in &self.rows {
+            if lrow[li].is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(&lrow[li]) {
+                for &m in matches {
+                    let mut row = lrow.clone();
+                    for (i, v) in other.rows[m].iter().enumerate() {
+                        if i != ri {
+                            row.push(v.clone());
+                        }
+                    }
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+
+    // ----- CSV ---------------------------------------------------------
+
+    /// Serialise to CSV with a header row. Fields containing commas,
+    /// quotes or newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<String> = self
+            .schema
+            .attrs
+            .iter()
+            .map(|a| csv_escape(&a.name))
+            .collect();
+        out.push_str(&names.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let fields: Vec<String> = row.iter().map(|v| csv_escape(&v.to_string())).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse CSV with a header row, inferring types per
+    /// [`Value::parse`]. Column types are declared from the majority
+    /// non-null value kind.
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Table, String> {
+        let mut records = parse_csv(csv)?;
+        if records.is_empty() {
+            return Err("empty csv".into());
+        }
+        let header = records.remove(0);
+        let arity = header.len();
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if rec.len() != arity {
+                return Err(format!(
+                    "row {} has {} fields, expected {arity}",
+                    i + 2,
+                    rec.len()
+                ));
+            }
+            rows.push(rec.iter().map(|f| Value::parse(f)).collect());
+        }
+        let attrs = header
+            .iter()
+            .enumerate()
+            .map(|(c, h)| Attribute {
+                name: h.clone(),
+                ty: infer_type(rows.iter().map(|r| &r[c])),
+            })
+            .collect();
+        Ok(Table {
+            name: name.into(),
+            schema: Schema { attrs },
+            rows,
+        })
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} rows)", self.name, self.rows.len())?;
+        writeln!(f, "  {}", self.schema.names().join(" | "))?;
+        for row in self.rows.iter().take(10) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 10 {
+            writeln!(f, "  … {} more", self.rows.len() - 10)?;
+        }
+        Ok(())
+    }
+}
+
+fn infer_type<'a>(values: impl Iterator<Item = &'a Value>) -> AttrType {
+    let (mut ints, mut floats, mut texts, mut bools) = (0usize, 0usize, 0usize, 0usize);
+    for v in values {
+        match v {
+            Value::Int(_) => ints += 1,
+            Value::Float(_) => floats += 1,
+            Value::Text(_) => texts += 1,
+            Value::Bool(_) => bools += 1,
+            Value::Null => {}
+        }
+    }
+    let max = ints.max(floats).max(texts).max(bools);
+    if max == 0 || max == texts {
+        AttrType::Text
+    } else if max == floats {
+        AttrType::Float
+    } else if max == ints {
+        AttrType::Int
+    } else {
+        AttrType::Bool
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Minimal RFC-4180 CSV parser (quotes, escaped quotes, newlines in
+/// quoted fields).
+fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// The employee table of the paper's Figure 4, used across the test
+/// suites and the quickstart example.
+pub fn employee_example() -> Table {
+    let schema = Schema::new(&[
+        ("Employee ID", AttrType::Text),
+        ("Employee Name", AttrType::Text),
+        ("Department ID", AttrType::Int),
+        ("Department Name", AttrType::Text),
+    ]);
+    let mut t = Table::new("employees", schema);
+    t.push(vec![
+        Value::text("0001"),
+        Value::text("John Doe"),
+        Value::Int(1),
+        Value::text("Human Resources"),
+    ]);
+    t.push(vec![
+        Value::text("0002"),
+        Value::text("Jane Doe"),
+        Value::Int(2),
+        Value::text("Marketing"),
+    ]);
+    t.push(vec![
+        Value::text("0003"),
+        Value::text("John Smith"),
+        Value::Int(1),
+        Value::text("Human Resources"),
+    ]);
+    t.push(vec![
+        Value::text("0004"),
+        Value::text("John Doe"),
+        Value::Int(1),
+        Value::text("Finance"),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn employee_example_matches_figure_4() {
+        let t = employee_example();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.distinct(0).len(), 4); // four Employee IDs
+        assert_eq!(t.distinct(1).len(), 3); // three names
+        assert_eq!(t.distinct(2).len(), 2); // two department ids
+        assert_eq!(t.distinct(3).len(), 3); // three department names
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = employee_example();
+        let csv = t.to_csv();
+        let back = Table::from_csv("employees", &csv).expect("parse");
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.schema.names(), t.schema.names());
+    }
+
+    #[test]
+    fn csv_quoting_and_newlines() {
+        let schema = Schema::new(&[("a", AttrType::Text), ("b", AttrType::Text)]);
+        let mut t = Table::new("q", schema);
+        t.push(vec![Value::text("x,y"), Value::text("he said \"hi\"\nbye")]);
+        let back = Table::from_csv("q", &t.to_csv()).expect("parse");
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn csv_malformed_errors() {
+        assert!(Table::from_csv("x", "").is_err());
+        assert!(Table::from_csv("x", "a,b\n1").is_err());
+        assert!(Table::from_csv("x", "a,b\n\"open,2").is_err());
+    }
+
+    #[test]
+    fn project_and_select() {
+        let t = employee_example();
+        let p = t.project(&["Employee Name", "Department Name"]);
+        assert_eq!(p.schema.arity(), 2);
+        assert_eq!(p.cell(0, 0), &Value::text("John Doe"));
+        let s = t.select(|r| r[2] == Value::Int(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn hash_join_enriches() {
+        let t = employee_example();
+        let mut depts = Table::new(
+            "departments",
+            Schema::new(&[("Department ID", AttrType::Int), ("Floor", AttrType::Int)]),
+        );
+        depts.push(vec![Value::Int(1), Value::Int(4)]);
+        depts.push(vec![Value::Int(2), Value::Int(9)]);
+        let joined = t.hash_join(&depts, "Department ID", "Department ID");
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.schema.arity(), 5);
+        let floor_col = joined.schema.index_of("Floor").expect("Floor");
+        assert_eq!(joined.cell(1, floor_col), &Value::Int(9));
+    }
+
+    #[test]
+    fn null_rate_counts() {
+        let schema = Schema::new(&[("a", AttrType::Int), ("b", AttrType::Int)]);
+        let mut t = Table::new("n", schema);
+        t.push(vec![Value::Int(1), Value::Null]);
+        t.push(vec![Value::Null, Value::Null]);
+        assert!((t.null_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_inference_majority() {
+        let csv = "a,b\n1,x\n2,y\n3.5,z\n";
+        let t = Table::from_csv("t", csv).expect("parse");
+        assert_eq!(t.schema.attrs[0].ty, AttrType::Int); // 2 ints beat 1 float
+        assert_eq!(t.schema.attrs[1].ty, AttrType::Text);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn push_wrong_arity_panics() {
+        let mut t = Table::new("x", Schema::new(&[("a", AttrType::Int)]));
+        t.push(vec![Value::Int(1), Value::Int(2)]);
+    }
+}

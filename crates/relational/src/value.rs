@@ -1,0 +1,237 @@
+//! Typed cell values — the "smallest data element in a relational
+//! database" (§3.1).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value of a tuple.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL / missing.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Text constructor from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and floats (and bools as 0/1) become `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Text view (only for [`Value::Text`]).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a raw CSV field: empty → Null, then int, float, bool, text.
+    pub fn parse(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") {
+            return Value::Null;
+        }
+        // Only treat a field as numeric when the text round-trips, so
+        // identifier-like strings ("0001", "+5") keep their exact form.
+        if let Ok(i) = trimmed.parse::<i64>() {
+            if i.to_string() == trimmed {
+                return Value::Int(i);
+            }
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            if Value::Float(f).canonical() == trimmed || format!("{f}") == trimmed {
+                return Value::Float(f);
+            }
+        }
+        match trimmed.to_ascii_lowercase().as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::Text(trimmed.to_string()),
+        }
+    }
+
+    /// Canonical string used for hashing, graph node identity and
+    /// tokenisation. Nulls map to the empty string.
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            // Trim trailing zeros so 1.0 and 1.00 share a node.
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash through the canonical string so Int(1) and Float(1.0)
+        // (which compare equal) also hash equal.
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            _ => {
+                2u8.hash(state);
+                self.canonical().hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) => Some(Ordering::Less),
+            (_, Value::Null) => Some(Ordering::Greater),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            other => write!(f, "{}", other.canonical()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn parse_infers_types() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("4.5"), Value::Float(4.5));
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("  hi  "), Value::text("hi"));
+        assert!(Value::parse("").is_null());
+        assert!(Value::parse("NULL").is_null());
+    }
+
+    #[test]
+    fn int_float_cross_type_equality_and_hash() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        assert!(set.contains(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn canonical_trims_float_zeros() {
+        assert_eq!(Value::Float(3.0).canonical(), "3");
+        assert_eq!(Value::Float(3.25).canonical(), "3.25");
+    }
+
+    #[test]
+    fn ordering_null_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn nan_equals_nan() {
+        // Needed so distinct-value maps don't grow unboundedly on NaN.
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn display_roundtrip_for_text() {
+        let v = Value::text("John Doe");
+        assert_eq!(v.to_string(), "John Doe");
+        assert_eq!(Value::parse(&v.to_string()), v);
+    }
+}

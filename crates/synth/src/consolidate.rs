@@ -1,0 +1,195 @@
+//! Preference-driven entity consolidation — the golden-record problem
+//! (§4): "Given conflicting values 'John Smith' and 'J Smith' for the
+//! attribute Name, the domain expert might prefer to use the former to
+//! latter. Can one use program synthesis to identify the preferences of
+//! the domain expert so as to automatically take them into account for
+//! other conflicting tuples?"
+//!
+//! The preference model is a linear ranker over interpretable value
+//! features (length, abbreviation-ness, frequency, null-ness), trained
+//! with a perceptron on the expert's picks.
+
+use dc_relational::Value;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of ranking features.
+pub const PREF_FEATURES: usize = 5;
+
+/// Feature vector of one candidate value within its conflict group.
+fn features(v: &Value, group: &[Value]) -> [f32; PREF_FEATURES] {
+    let s = v.canonical();
+    let max_len = group
+        .iter()
+        .map(|g| g.canonical().chars().count())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let freq = group.iter().filter(|g| *g == v).count() as f32 / group.len().max(1) as f32;
+    let has_single_char_token = s.split_whitespace().any(|t| t.chars().count() == 1);
+    [
+        if v.is_null() { 1.0 } else { 0.0 },
+        s.chars().count() as f32 / max_len as f32, // relative length
+        freq,                                      // within-group support
+        if has_single_char_token { 1.0 } else { 0.0 }, // looks abbreviated
+        if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+            1.0
+        } else {
+            0.0
+        },
+    ]
+}
+
+/// A learned linear preference over conflicting values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PreferenceModel {
+    /// Feature weights.
+    pub weights: [f32; PREF_FEATURES],
+}
+
+impl Default for PreferenceModel {
+    fn default() -> Self {
+        // Sensible prior: avoid nulls and abbreviations, prefer longer
+        // and more frequent values.
+        PreferenceModel {
+            weights: [-2.0, 1.0, 1.0, -1.0, 0.1],
+        }
+    }
+}
+
+impl PreferenceModel {
+    /// Score a candidate within its group (higher = preferred).
+    pub fn score(&self, v: &Value, group: &[Value]) -> f32 {
+        features(v, group)
+            .iter()
+            .zip(&self.weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// Train with a perceptron on expert picks: each training item is a
+    /// conflict group plus the index the expert chose.
+    pub fn train(
+        groups: &[(Vec<Value>, usize)],
+        epochs: usize,
+        lr: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        use rand::seq::SliceRandom;
+        let mut model = PreferenceModel {
+            weights: [0.0; PREF_FEATURES],
+        };
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for &gi in &order {
+                let (group, chosen) = &groups[gi];
+                // Perceptron update against the current best wrong pick.
+                let scores: Vec<f32> =
+                    group.iter().map(|v| model.score(v, group)).collect();
+                let best = scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("nonempty group");
+                if best != *chosen {
+                    let fc = features(&group[*chosen], group);
+                    let fb = features(&group[best], group);
+                    for ((w, c), b) in model.weights.iter_mut().zip(fc).zip(fb) {
+                        *w += lr * (c - b);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Pick the preferred value of a conflict group.
+    pub fn pick<'v>(&self, group: &'v [Value]) -> Option<&'v Value> {
+        group
+            .iter()
+            .max_by(|a, b| {
+                self.score(a, group)
+                    .partial_cmp(&self.score(b, group))
+                    .expect("finite")
+            })
+    }
+}
+
+/// Consolidate one duplicate cluster into a golden record: for every
+/// attribute, the preference model picks among the cluster's values.
+pub fn consolidate_cluster(rows: &[&[Value]], model: &PreferenceModel) -> Vec<Value> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let arity = rows[0].len();
+    (0..arity)
+        .map(|c| {
+            let group: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+            model.pick(&group).cloned().unwrap_or(Value::Null)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_model_prefers_full_names_over_abbreviations() {
+        let group = vec![Value::text("John Smith"), Value::text("J Smith")];
+        let pick = PreferenceModel::default().pick(&group).expect("pick");
+        assert_eq!(pick, &Value::text("John Smith"));
+    }
+
+    #[test]
+    fn default_model_avoids_nulls() {
+        let group = vec![Value::Null, Value::text("x")];
+        let pick = PreferenceModel::default().pick(&group).expect("pick");
+        assert_eq!(pick, &Value::text("x"));
+    }
+
+    #[test]
+    fn trained_model_learns_inverted_preference() {
+        // This expert *prefers* the abbreviated form — the model must
+        // learn the preference, not hard-code "longer is better".
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups: Vec<(Vec<Value>, usize)> = (0..30)
+            .map(|i| {
+                (
+                    vec![
+                        Value::text(format!("John Smith{i}")),
+                        Value::text(format!("J Smith{i}")),
+                    ],
+                    1usize, // expert picks the abbreviation
+                )
+            })
+            .collect();
+        let model = PreferenceModel::train(&groups, 50, 0.1, &mut rng);
+        let test = vec![Value::text("Grace Hopper"), Value::text("G Hopper")];
+        assert_eq!(model.pick(&test).expect("pick"), &Value::text("G Hopper"));
+    }
+
+    #[test]
+    fn consolidation_builds_golden_record() {
+        let r1 = vec![Value::text("John Smith"), Value::Null];
+        let r2 = vec![Value::text("J Smith"), Value::text("NYC")];
+        let golden =
+            consolidate_cluster(&[&r1, &r2], &PreferenceModel::default());
+        assert_eq!(golden[0], Value::text("John Smith"));
+        assert_eq!(golden[1], Value::text("NYC"));
+    }
+
+    #[test]
+    fn frequency_breaks_ties() {
+        let group = vec![
+            Value::text("paris"),
+            Value::text("paris"),
+            Value::text("lyons"),
+        ];
+        let pick = PreferenceModel::default().pick(&group).expect("pick");
+        assert_eq!(pick, &Value::text("paris"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The string-transformation DSL (FlashFill's spirit, §4).
+//!
+//! A [`Program`] is a concatenation of [`Atom`]s; each atom extracts or
+//! rewrites a piece of the input. The space is deliberately closed and
+//! enumerable — "program synthesis often searches for valid programs
+//! within the confines of a DSL".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One extraction/rewrite step of a program.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// A literal string.
+    Const(String),
+    /// The whole input, unchanged.
+    Input,
+    /// The `i`-th whitespace token (negative indexes from the end:
+    /// `-1` is the last token).
+    Token(i32),
+    /// The first character of the `i`-th token (abbreviation).
+    TokenInitial(i32),
+    /// Uppercase of an inner atom.
+    Upper(Box<Atom>),
+    /// Lowercase of an inner atom.
+    Lower(Box<Atom>),
+    /// Title-case of an inner atom (first char upper, rest lower).
+    Title(Box<Atom>),
+    /// All ASCII digits of the input, concatenated.
+    Digits,
+    /// `len` digits starting at `start` within the digit string.
+    DigitGroup {
+        /// Start offset in the concatenated digit string.
+        start: usize,
+        /// Number of digits taken.
+        len: usize,
+    },
+    /// Characters `[start, start+len)` of the input (char-indexed).
+    SubStr {
+        /// Start character index.
+        start: usize,
+        /// Number of characters.
+        len: usize,
+    },
+}
+
+impl Atom {
+    /// Evaluate against an input; `None` when the atom does not apply
+    /// (token/digit out of range).
+    pub fn eval(&self, input: &str) -> Option<String> {
+        match self {
+            Atom::Const(s) => Some(s.clone()),
+            Atom::Input => Some(input.to_string()),
+            Atom::Token(i) => token(input, *i).map(str::to_string),
+            Atom::TokenInitial(i) => {
+                token(input, *i).and_then(|t| t.chars().next()).map(|c| c.to_string())
+            }
+            Atom::Upper(inner) => inner.eval(input).map(|s| s.to_uppercase()),
+            Atom::Lower(inner) => inner.eval(input).map(|s| s.to_lowercase()),
+            Atom::Title(inner) => inner.eval(input).map(|s| {
+                let mut c = s.chars();
+                match c.next() {
+                    Some(f) => {
+                        f.to_uppercase().collect::<String>() + &c.as_str().to_lowercase()
+                    }
+                    None => String::new(),
+                }
+            }),
+            Atom::Digits => {
+                let d: String = input.chars().filter(|c| c.is_ascii_digit()).collect();
+                if d.is_empty() {
+                    None
+                } else {
+                    Some(d)
+                }
+            }
+            Atom::DigitGroup { start, len } => {
+                let d: Vec<char> = input.chars().filter(|c| c.is_ascii_digit()).collect();
+                if start + len > d.len() {
+                    None
+                } else {
+                    Some(d[*start..start + len].iter().collect())
+                }
+            }
+            Atom::SubStr { start, len } => {
+                let chars: Vec<char> = input.chars().collect();
+                if start + len > chars.len() {
+                    None
+                } else {
+                    Some(chars[*start..start + len].iter().collect())
+                }
+            }
+        }
+    }
+
+    /// Structural size (for smallest-program ranking).
+    pub fn size(&self) -> usize {
+        match self {
+            Atom::Upper(i) | Atom::Lower(i) | Atom::Title(i) => 1 + i.size(),
+            _ => 1,
+        }
+    }
+
+    /// Coarse operator class for neural guidance (stable across nesting).
+    pub fn op_class(&self) -> usize {
+        match self {
+            Atom::Const(_) => 0,
+            Atom::Input => 1,
+            Atom::Token(_) => 2,
+            Atom::TokenInitial(_) => 3,
+            Atom::Upper(_) => 4,
+            Atom::Lower(_) => 5,
+            Atom::Title(_) => 6,
+            Atom::Digits | Atom::DigitGroup { .. } => 7,
+            Atom::SubStr { .. } => 8,
+        }
+    }
+}
+
+/// Number of distinct [`Atom::op_class`] values.
+pub const OP_CLASSES: usize = 9;
+
+fn token(input: &str, i: i32) -> Option<&str> {
+    let tokens: Vec<&str> = input.split_whitespace().collect();
+    let idx = if i < 0 {
+        tokens.len().checked_sub(i.unsigned_abs() as usize)?
+    } else {
+        i as usize
+    };
+    tokens.get(idx).copied()
+}
+
+/// A straight-line program: the concatenation of its atoms.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Program {
+    /// Atoms concatenated left to right.
+    pub atoms: Vec<Atom>,
+}
+
+impl Program {
+    /// Build from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Program { atoms }
+    }
+
+    /// Run on one input; `None` if any atom fails.
+    pub fn run(&self, input: &str) -> Option<String> {
+        let mut out = String::new();
+        for a in &self.atoms {
+            out.push_str(&a.eval(input)?);
+        }
+        Some(out)
+    }
+
+    /// True when the program maps every example input to its output.
+    pub fn consistent(&self, examples: &[(String, String)]) -> bool {
+        examples
+            .iter()
+            .all(|(i, o)| self.run(i).as_deref() == Some(o.as_str()))
+    }
+
+    /// Structural size.
+    pub fn size(&self) -> usize {
+        self.atoms.iter().map(Atom::size).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.atoms.iter().map(|a| format!("{a:?}")).collect();
+        write!(f, "Concat({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_indexing_both_ends() {
+        assert_eq!(Atom::Token(0).eval("john smith"), Some("john".into()));
+        assert_eq!(Atom::Token(-1).eval("john q smith"), Some("smith".into()));
+        assert_eq!(Atom::Token(5).eval("john"), None);
+        assert_eq!(Atom::Token(-5).eval("john"), None);
+    }
+
+    #[test]
+    fn the_flashfill_example() {
+        // {(John Smith, J Smith), (Jane Doe, J Doe)} — §4's FlashFill
+        // example. Program: TokenInitial(0) ++ " " ++ Token(-1).
+        let p = Program::new(vec![
+            Atom::TokenInitial(0),
+            Atom::Const(" ".into()),
+            Atom::Token(-1),
+        ]);
+        assert_eq!(p.run("John Smith"), Some("J Smith".into()));
+        assert_eq!(p.run("Jane Doe"), Some("J Doe".into()));
+        assert!(p.consistent(&[
+            ("John Smith".into(), "J Smith".into()),
+            ("Jane Doe".into(), "J Doe".into()),
+        ]));
+    }
+
+    #[test]
+    fn phone_digit_regrouping() {
+        // (212) 555 0199 → 212-555-0199, the §5.3 canonical phone form.
+        let p = Program::new(vec![
+            Atom::DigitGroup { start: 0, len: 3 },
+            Atom::Const("-".into()),
+            Atom::DigitGroup { start: 3, len: 3 },
+            Atom::Const("-".into()),
+            Atom::DigitGroup { start: 6, len: 4 },
+        ]);
+        assert_eq!(p.run("(212) 555 0199"), Some("212-555-0199".into()));
+        assert_eq!(p.run("no digits"), None);
+    }
+
+    #[test]
+    fn case_operators_nest() {
+        let a = Atom::Title(Box::new(Atom::Token(-1)));
+        assert_eq!(a.eval("john SMITH"), Some("Smith".into()));
+        assert_eq!(Atom::Upper(Box::new(Atom::Input)).eval("ab"), Some("AB".into()));
+        assert_eq!(a.size(), 2);
+    }
+
+    #[test]
+    fn substr_bounds() {
+        assert_eq!(
+            Atom::SubStr { start: 1, len: 2 }.eval("abcd"),
+            Some("bc".into())
+        );
+        assert_eq!(Atom::SubStr { start: 3, len: 2 }.eval("abcd"), None);
+    }
+
+    #[test]
+    fn empty_program_is_empty_string() {
+        assert_eq!(Program::default().run("anything"), Some(String::new()));
+    }
+
+    #[test]
+    fn op_classes_are_dense() {
+        let atoms = [
+            Atom::Const("x".into()),
+            Atom::Input,
+            Atom::Token(0),
+            Atom::TokenInitial(0),
+            Atom::Upper(Box::new(Atom::Input)),
+            Atom::Lower(Box::new(Atom::Input)),
+            Atom::Title(Box::new(Atom::Input)),
+            Atom::Digits,
+            Atom::SubStr { start: 0, len: 1 },
+        ];
+        let mut seen: Vec<usize> = atoms.iter().map(Atom::op_class).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), OP_CLASSES);
+        assert!(seen.iter().all(|&c| c < OP_CLASSES));
+    }
+}

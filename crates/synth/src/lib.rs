@@ -1,0 +1,39 @@
+//! # dc-synth
+//!
+//! Data curation by neural program synthesis (§4 of *"Data Curation
+//! with Deep Learning"*).
+//!
+//! "The area of program synthesis aims to automatically construct
+//! programs ... often through few input-output examples." Four pieces:
+//!
+//! * [`dsl`] — a FlashFill-style domain-specific language for string
+//!   transformation (token extraction, substrings, case operators,
+//!   digit regrouping, constants) — the "DSL that can encode common DC
+//!   operations" research direction;
+//! * [`enumerate`] — enumerative synthesis: breadth-first search over
+//!   programs, pruned to prefix-consistent candidates, counting every
+//!   candidate explored;
+//! * [`neural`] — DeepCoder-style guidance: a network trained on
+//!   randomly sampled (program, IO) pairs predicts which DSL operators
+//!   a task needs, reordering the enumerator's search space ("a neural
+//!   network is trained on input-output examples and generates a
+//!   program");
+//! * [`semantic`] — semantic (non-syntactic) transformations: learning
+//!   France → Paris from examples via embedding offsets ("can one
+//!   automatically learn that the latter is the capital city of the
+//!   former?");
+//! * [`consolidate`] — preference-driven entity consolidation (the
+//!   golden-record problem): learning an expert's value preferences
+//!   from a few picks.
+
+pub mod consolidate;
+pub mod dsl;
+pub mod enumerate;
+pub mod neural;
+pub mod semantic;
+
+pub use consolidate::{consolidate_cluster, PreferenceModel};
+pub use dsl::{Atom, Program};
+pub use enumerate::{synthesize, SynthConfig, SynthResult};
+pub use neural::{GuidanceModel, OpFeatures};
+pub use semantic::SemanticTransformer;

@@ -1,0 +1,191 @@
+//! Semantic transformations (§4): "given the example pairs {(France,
+//! Paris), (Germany, Berlin), ...} can one automatically learn that the
+//! latter is the capital city of the former?"
+//!
+//! Syntactic DSLs cannot express this mapping; the transformer instead
+//! works in embedding space (§2.2's king−man+woman mechanics). A
+//! candidate output `y` for input `x` is scored by
+//! `cos(y, x) + cos(y, ĉ_out) − cos(y, ĉ_in)` where `ĉ_in`/`ĉ_out` are
+//! the centroids of the example inputs/outputs: the first term demands
+//! that `y` belong to `x`'s entity (pair co-occurrence), the other two
+//! that `y` sit on the *output side* of the relation. This is more
+//! robust than the raw mean-offset query when pair-specific components
+//! dominate the embedding geometry, which is typical for embeddings
+//! trained on co-occurrence-heavy curation corpora.
+
+use dc_embed::Embeddings;
+use dc_tensor::tensor::cosine;
+
+/// A learned semantic input→output mapping.
+pub struct SemanticTransformer<'a> {
+    emb: &'a Embeddings,
+    in_centroid: Vec<f32>,
+    out_centroid: Vec<f32>,
+    /// Example pairs kept for exact-match lookup (examples always map
+    /// to their given outputs).
+    known: Vec<(String, String)>,
+}
+
+impl<'a> SemanticTransformer<'a> {
+    /// Learn the relation from example pairs. Pairs with OOV words are
+    /// skipped; returns `None` when no pair is usable.
+    pub fn learn(emb: &'a Embeddings, examples: &[(String, String)]) -> Option<Self> {
+        let dim = emb.dim();
+        let mut in_centroid = vec![0.0f32; dim];
+        let mut out_centroid = vec![0.0f32; dim];
+        let mut used = 0usize;
+        for (a, b) in examples {
+            let (Some(va), Some(vb)) = (emb.get(a), emb.get(b)) else {
+                continue;
+            };
+            for ((acc, &x), (occ, &y)) in in_centroid
+                .iter_mut()
+                .zip(va)
+                .zip(out_centroid.iter_mut().zip(vb))
+            {
+                *acc += x;
+                *occ += y;
+            }
+            used += 1;
+        }
+        if used == 0 {
+            return None;
+        }
+        let inv = 1.0 / used as f32;
+        in_centroid.iter_mut().for_each(|v| *v *= inv);
+        out_centroid.iter_mut().for_each(|v| *v *= inv);
+        Some(SemanticTransformer {
+            emb,
+            in_centroid,
+            out_centroid,
+            known: examples.to_vec(),
+        })
+    }
+
+    /// Transform a new input: exact example lookup first, then the
+    /// relation-scored nearest neighbour.
+    pub fn apply(&self, input: &str) -> Option<String> {
+        self.apply_ranked(input, 1).into_iter().next()
+    }
+
+    /// Top-`k` candidate outputs, excluding the input itself and all
+    /// example endpoints (in a functional relation an example's
+    /// input/output cannot be a fresh input's output).
+    pub fn apply_ranked(&self, input: &str, k: usize) -> Vec<String> {
+        if let Some((_, out)) = self.known.iter().find(|(a, _)| a == input) {
+            return vec![out.clone()];
+        }
+        let Some(v) = self.emb.get(input) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(usize, f32)> = (0..self.emb.vocab.len())
+            .filter(|&i| {
+                let tok = self.emb.vocab.token(i);
+                tok != input
+                    && !self
+                        .known
+                        .iter()
+                        .any(|(a, b)| a == tok || b == tok)
+            })
+            .map(|i| {
+                let y = self.emb.vectors.row_slice(i);
+                let s = cosine(y, v) + cosine(y, &self.out_centroid)
+                    - cosine(y, &self.in_centroid);
+                (i, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| self.emb.vocab.token(i).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_embed::SgnsConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Corpus with consistent country/capital structure: countries
+    /// share a "nation" context, capitals share "capitalcity", and each
+    /// pair co-occurs (same construction as the analogy test in
+    /// dc-embed, which is what makes the relation learnable).
+    fn capital_embeddings() -> Embeddings {
+        let mut corpus = Vec::new();
+        let pairs = [
+            ("france", "paris"),
+            ("germany", "berlin"),
+            ("italy", "rome"),
+            ("spain", "madrid"),
+            ("japan", "tokyo"),
+        ];
+        for (country, capital) in pairs {
+            for _ in 0..120 {
+                corpus.push(vec![country.to_string(), "nation".to_string()]);
+                corpus.push(vec![capital.to_string(), "capitalcity".to_string()]);
+                corpus.push(vec![country.to_string(), capital.to_string()]);
+            }
+        }
+        Embeddings::train(
+            &corpus,
+            &SgnsConfig {
+                dim: 16,
+                window: 2,
+                epochs: 25,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn learns_country_capital_from_two_examples() {
+        let emb = capital_embeddings();
+        let t = SemanticTransformer::learn(
+            &emb,
+            &[
+                ("france".into(), "paris".into()),
+                ("germany".into(), "berlin".into()),
+            ],
+        )
+        .expect("usable examples");
+        // Held-out countries: the right capital must rank in the top 3.
+        let expected = [("italy", "rome"), ("spain", "madrid"), ("japan", "tokyo")];
+        let hits = expected
+            .iter()
+            .filter(|(c, cap)| t.apply_ranked(c, 3).iter().any(|o| o == cap))
+            .count();
+        assert!(hits >= 2, "only {hits}/3 capitals in top-3");
+    }
+
+    #[test]
+    fn examples_always_map_exactly() {
+        let emb = capital_embeddings();
+        let t = SemanticTransformer::learn(
+            &emb,
+            &[("france".into(), "paris".into())],
+        )
+        .expect("usable");
+        assert_eq!(t.apply("france"), Some("paris".into()));
+    }
+
+    #[test]
+    fn oov_input_and_examples_handled() {
+        let emb = capital_embeddings();
+        assert!(SemanticTransformer::learn(
+            &emb,
+            &[("atlantis".into(), "poseidonia".into())],
+        )
+        .is_none());
+        let t = SemanticTransformer::learn(
+            &emb,
+            &[("france".into(), "paris".into())],
+        )
+        .expect("usable");
+        assert_eq!(t.apply("atlantis"), None);
+    }
+}

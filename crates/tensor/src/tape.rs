@@ -1,0 +1,780 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! The tape is rebuilt for every training step ("define-by-run"): layers
+//! own plain [`Tensor`] parameters, register them as tape variables at the
+//! start of a step, run the forward pass, call [`Tape::backward`] once on
+//! the scalar loss, then read gradients back out for the optimiser. Node
+//! indices are monotonically increasing, so a single reverse sweep over
+//! the arena visits every node after all of its consumers.
+
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+
+/// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
+/// that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub usize);
+
+/// The operation that produced a node, with everything backward needs.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Input / parameter leaf.
+    Leaf,
+    /// Elementwise `a + b`.
+    Add(Var, Var),
+    /// Elementwise `a - b`.
+    Sub(Var, Var),
+    /// Elementwise (Hadamard) `a * b`.
+    Mul(Var, Var),
+    /// Matrix product `a · b`.
+    MatMul(Var, Var),
+    /// `a * s` for a constant scalar.
+    Scale(Var, f32),
+    /// `a + s` for a constant scalar.
+    AddScalar(Var, f32),
+    /// Elementwise logistic sigmoid.
+    Sigmoid(Var),
+    /// Elementwise hyperbolic tangent.
+    Tanh(Var),
+    /// Elementwise rectified linear unit.
+    Relu(Var),
+    /// Elementwise leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f32),
+    /// Elementwise natural exponent.
+    Exp(Var),
+    /// Elementwise natural log of `max(x, eps)`.
+    Ln(Var),
+    /// Elementwise absolute value.
+    Abs(Var),
+    /// Sum of all elements to a `1×1` scalar.
+    Sum(Var),
+    /// Mean of all elements to a `1×1` scalar.
+    Mean(Var),
+    /// Broadcast add: `[n×m] + [1×m]`.
+    AddRow(Var, Var),
+    /// Horizontal concatenation of equal-row-count tensors.
+    Concat(Vec<Var>),
+    /// Gather rows `indices` from `a` (embedding lookup).
+    RowsSelect(Var, Vec<usize>),
+    /// Mean over selected rows of `a`, one output row per group.
+    RowsMean(Var, Vec<Vec<usize>>),
+    /// Elementwise product with a fixed 0/1 mask, rescaled by `1/keep`.
+    Dropout(Var, Tensor),
+    /// Mean-squared-error against a constant target (scalar output).
+    MseLoss(Var, Tensor),
+    /// Binary cross entropy with logits against constant targets and
+    /// per-example weights; caches the forward sigmoid (scalar output).
+    BceWithLogits {
+        /// Logits node (`n×1`).
+        logits: Var,
+        /// Targets in `{0,1}` (`n×1`).
+        targets: Tensor,
+        /// Per-example weights (`n×1`); use ones for the unweighted case.
+        weights: Tensor,
+        /// Cached `sigmoid(logits)` from the forward pass.
+        probs: Tensor,
+    },
+    /// Softmax cross entropy over rows of logits against class labels;
+    /// caches the forward softmax (scalar output).
+    SoftmaxCe {
+        /// Logits node (`n×k`).
+        logits: Var,
+        /// One class index per row.
+        labels: Vec<usize>,
+        /// Cached row-softmax from the forward pass.
+        probs: Tensor,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// An autograd tape: an append-only arena of [`Op`] nodes.
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+    grads: RefCell<Vec<Option<Tensor>>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+            grads: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        self.grads.borrow_mut().push(None);
+        Var(nodes.len() - 1)
+    }
+
+    /// Register `t` as a leaf (input or parameter).
+    pub fn var(&self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Clone the current value of a node.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of a node's value without cloning it.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        let n = self.nodes.borrow();
+        (n[v.0].value.rows, n[v.0].value.cols)
+    }
+
+    /// Clone the accumulated gradient of a node (zeros if untouched by
+    /// the last [`Tape::backward`] call).
+    pub fn grad(&self, v: Var) -> Tensor {
+        let g = self.grads.borrow();
+        match &g[v.0] {
+            Some(t) => t.clone(),
+            None => {
+                let n = self.nodes.borrow();
+                Tensor::zeros(n[v.0].value.rows, n[v.0].value.cols)
+            }
+        }
+    }
+
+    fn with_values<R>(&self, f: impl FnOnce(&[Node]) -> R) -> R {
+        f(&self.nodes.borrow())
+    }
+
+    // ----- elementwise / structural ops -------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.add(&n[b.0].value));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.sub(&n[b.0].value));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.mul(&n[b.0].value));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.matmul(&n[b.0].value));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Multiply by a constant scalar.
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let v = self.with_values(|n| n[a.0].value.scale(s));
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Add a constant scalar.
+    pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(|x| x + s));
+        self.push(v, Op::AddScalar(a, s))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp())));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(f32::tanh));
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(|x| x.max(0.0)));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x }));
+        self.push(v, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Elementwise exponent.
+    pub fn exp(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(f32::exp));
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise `ln(max(x, 1e-12))` — clamped to stay finite.
+    pub fn ln(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(|x| x.max(1e-12).ln()));
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self, a: Var) -> Var {
+        let v = self.with_values(|n| n[a.0].value.map(f32::abs));
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Sum to scalar.
+    pub fn sum(&self, a: Var) -> Var {
+        let v = self.with_values(|n| Tensor::scalar(n[a.0].value.sum()));
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean to scalar.
+    pub fn mean(&self, a: Var) -> Var {
+        let v = self.with_values(|n| Tensor::scalar(n[a.0].value.mean()));
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Broadcast add a `1×m` row vector to every row of an `n×m` tensor.
+    pub fn add_row(&self, a: Var, row: Var) -> Var {
+        let v = self.with_values(|n| {
+            let x = &n[a.0].value;
+            let r = &n[row.0].value;
+            assert_eq!(r.rows, 1, "add_row: rhs must be 1×m");
+            assert_eq!(r.cols, x.cols, "add_row: column mismatch");
+            let mut out = x.clone();
+            for i in 0..out.rows {
+                for (o, &b) in out.row_slice_mut(i).iter_mut().zip(r.data.iter()) {
+                    *o += b;
+                }
+            }
+            out
+        });
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Concatenate along columns.
+    pub fn concat(&self, parts: &[Var]) -> Var {
+        let v = self.with_values(|n| {
+            let ts: Vec<Tensor> = parts.iter().map(|p| n[p.0].value.clone()).collect();
+            Tensor::hstack(&ts)
+        });
+        self.push(v, Op::Concat(parts.to_vec()))
+    }
+
+    /// Gather rows (embedding lookup): output row `i` is `a[indices[i]]`.
+    pub fn rows_select(&self, a: Var, indices: Vec<usize>) -> Var {
+        let v = self.with_values(|n| {
+            let x = &n[a.0].value;
+            let mut out = Tensor::zeros(indices.len(), x.cols);
+            for (i, &idx) in indices.iter().enumerate() {
+                out.row_slice_mut(i).copy_from_slice(x.row_slice(idx));
+            }
+            out
+        });
+        self.push(v, Op::RowsSelect(a, indices))
+    }
+
+    /// Mean-pool groups of rows: output row `g` is the mean of
+    /// `a[groups[g]]`. Empty groups produce a zero row.
+    pub fn rows_mean(&self, a: Var, groups: Vec<Vec<usize>>) -> Var {
+        let v = self.with_values(|n| {
+            let x = &n[a.0].value;
+            let mut out = Tensor::zeros(groups.len(), x.cols);
+            for (g, idxs) in groups.iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let inv = 1.0 / idxs.len() as f32;
+                for &idx in idxs {
+                    for (o, &v) in out.row_slice_mut(g).iter_mut().zip(x.row_slice(idx)) {
+                        *o += v * inv;
+                    }
+                }
+            }
+            out
+        });
+        self.push(v, Op::RowsMean(a, groups))
+    }
+
+    /// Inverted dropout with the given 0/1 `mask` (already scaled to the
+    /// keep probability by the caller via [`Tape::dropout_mask`]).
+    pub fn dropout(&self, a: Var, mask: Tensor) -> Var {
+        let v = self.with_values(|n| n[a.0].value.mul(&mask));
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    /// Build an inverted-dropout mask: entries are `0` with probability
+    /// `p` and `1/(1-p)` otherwise.
+    pub fn dropout_mask(
+        rows: usize,
+        cols: usize,
+        p: f32,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Tensor {
+        use rand::Rng;
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        let keep = 1.0 - p;
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data.iter_mut() {
+            if rng.gen::<f32>() >= p {
+                *v = 1.0 / keep;
+            }
+        }
+        t
+    }
+
+    // ----- losses -----------------------------------------------------
+
+    /// Mean squared error against a constant `target` (scalar node).
+    pub fn mse_loss(&self, pred: Var, target: Tensor) -> Var {
+        let v = self.with_values(|n| {
+            let p = &n[pred.0].value;
+            assert_eq!((p.rows, p.cols), (target.rows, target.cols), "mse shapes");
+            let d = p.sub(&target);
+            Tensor::scalar(d.data.iter().map(|x| x * x).sum::<f32>() / d.len() as f32)
+        });
+        self.push(v, Op::MseLoss(pred, target))
+    }
+
+    /// Weighted binary cross entropy with logits (scalar node).
+    ///
+    /// `targets` and `weights` are `n×1`; the loss is
+    /// `mean_i w_i · BCE(sigmoid(z_i), y_i)`. Cost-sensitive training
+    /// (paper §6.1, skewed label distributions) passes class-dependent
+    /// weights here.
+    pub fn bce_with_logits(&self, logits: Var, targets: Tensor, weights: Tensor) -> Var {
+        let (probs, loss) = self.with_values(|n| {
+            let z = &n[logits.0].value;
+            assert_eq!((z.rows, z.cols), (targets.rows, targets.cols), "bce shapes");
+            assert_eq!((z.rows, z.cols), (weights.rows, weights.cols), "bce weights");
+            let probs = z.map(|x| 1.0 / (1.0 + (-x).exp()));
+            let mut loss = 0.0;
+            for i in 0..z.len() {
+                let p = probs.data[i].clamp(1e-7, 1.0 - 1e-7);
+                let y = targets.data[i];
+                loss -= weights.data[i] * (y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            }
+            (probs, Tensor::scalar(loss / z.len() as f32))
+        });
+        self.push(
+            loss,
+            Op::BceWithLogits {
+                logits,
+                targets,
+                weights,
+                probs,
+            },
+        )
+    }
+
+    /// Softmax cross entropy over row logits against integer labels
+    /// (scalar node).
+    pub fn softmax_ce(&self, logits: Var, labels: Vec<usize>) -> Var {
+        let (probs, loss) = self.with_values(|n| {
+            let z = &n[logits.0].value;
+            assert_eq!(z.rows, labels.len(), "softmax_ce label count");
+            let probs = z.softmax_rows();
+            let mut loss = 0.0;
+            for (r, &lbl) in labels.iter().enumerate() {
+                assert!(lbl < z.cols, "label out of range");
+                loss -= probs.get(r, lbl).max(1e-12).ln();
+            }
+            (probs.clone(), Tensor::scalar(loss / labels.len() as f32))
+        });
+        self.push(
+            loss,
+            Op::SoftmaxCe {
+                logits,
+                labels,
+                probs,
+            },
+        )
+    }
+
+    // ----- backward ----------------------------------------------------
+
+    /// Run reverse-mode differentiation from the scalar node `out`.
+    ///
+    /// Gradients accumulate; call once per tape. Reading them back is via
+    /// [`Tape::grad`].
+    ///
+    /// # Panics
+    /// Panics if `out` is not a `1×1` scalar.
+    pub fn backward(&self, out: Var) {
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[out.0].value.len(), 1, "backward needs a scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[out.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=out.0).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &nodes[i];
+            match &node.op {
+                Op::Leaf => {
+                    grads[i] = Some(g);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &g, &nodes);
+                    accumulate(&mut grads, b.0, &g, &nodes);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &g, &nodes);
+                    let neg = g.scale(-1.0);
+                    accumulate(&mut grads, b.0, &neg, &nodes);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.mul(&nodes[b.0].value);
+                    let gb = g.mul(&nodes[a.0].value);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, b.0, &gb, &nodes);
+                }
+                Op::MatMul(a, b) => {
+                    // dL/dA = G · Bᵀ ; dL/dB = Aᵀ · G
+                    let ga = g.matmul_t(&nodes[b.0].value);
+                    let gb = nodes[a.0].value.t_matmul(&g);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, b.0, &gb, &nodes);
+                }
+                Op::Scale(a, s) => {
+                    let ga = g.scale(*s);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::AddScalar(a, _) => accumulate(&mut grads, a.0, &g, &nodes),
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Relu(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let x = &nodes[a.0].value;
+                    let al = *alpha;
+                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { al * gi });
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Exp(a) => {
+                    let ga = g.mul(&node.value);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Ln(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| gi / xi.max(1e-12));
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Abs(a) => {
+                    let x = &nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| gi * xi.signum());
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Sum(a) => {
+                    let s = g.data[0];
+                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let ga = Tensor::full(r, c, s);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Mean(a) => {
+                    let n = nodes[a.0].value.len() as f32;
+                    let s = g.data[0] / n;
+                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let ga = Tensor::full(r, c, s);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::AddRow(a, row) => {
+                    accumulate(&mut grads, a.0, &g, &nodes);
+                    // Row gradient: column sums of g.
+                    let mut gr = Tensor::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for (o, &v) in gr.data.iter_mut().zip(g.row_slice(r)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, row.0, &gr, &nodes);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let pc = nodes[p.0].value.cols;
+                        let mut gp = Tensor::zeros(g.rows, pc);
+                        for r in 0..g.rows {
+                            gp.row_slice_mut(r)
+                                .copy_from_slice(&g.row_slice(r)[offset..offset + pc]);
+                        }
+                        accumulate(&mut grads, p.0, &gp, &nodes);
+                        offset += pc;
+                    }
+                }
+                Op::RowsSelect(a, indices) => {
+                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let mut ga = Tensor::zeros(r, c);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for (o, &v) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(i)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::RowsMean(a, groups) => {
+                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let mut ga = Tensor::zeros(r, c);
+                    for (gi, idxs) in groups.iter().enumerate() {
+                        if idxs.is_empty() {
+                            continue;
+                        }
+                        let inv = 1.0 / idxs.len() as f32;
+                        for &idx in idxs {
+                            for (o, &v) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(gi)) {
+                                *o += v * inv;
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::Dropout(a, mask) => {
+                    let ga = g.mul(mask);
+                    accumulate(&mut grads, a.0, &ga, &nodes);
+                }
+                Op::MseLoss(pred, target) => {
+                    let p = &nodes[pred.0].value;
+                    let scale = 2.0 * g.data[0] / p.len() as f32;
+                    let gp = p.sub(target).scale(scale);
+                    accumulate(&mut grads, pred.0, &gp, &nodes);
+                }
+                Op::BceWithLogits {
+                    logits,
+                    targets,
+                    weights,
+                    probs,
+                } => {
+                    // d/dz of mean_i w_i BCE = w_i (p_i - y_i) / n
+                    let n = probs.len() as f32;
+                    let s = g.data[0] / n;
+                    let gz = probs
+                        .sub(targets)
+                        .mul(weights)
+                        .scale(s);
+                    accumulate(&mut grads, logits.0, &gz, &nodes);
+                }
+                Op::SoftmaxCe {
+                    logits,
+                    labels,
+                    probs,
+                } => {
+                    let n = labels.len() as f32;
+                    let s = g.data[0] / n;
+                    let mut gz = probs.scale(s);
+                    for (r, &lbl) in labels.iter().enumerate() {
+                        let v = gz.get(r, lbl);
+                        gz.set(r, lbl, v - s);
+                    }
+                    accumulate(&mut grads, logits.0, &gz, &nodes);
+                }
+            }
+        }
+
+        *self.grads.borrow_mut() = grads;
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, nodes: &[Node]) {
+    match &mut grads[idx] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => {
+            debug_assert_eq!(
+                (nodes[idx].value.rows, nodes[idx].value.cols),
+                (g.rows, g.cols),
+                "gradient shape mismatch at node {idx}"
+            );
+            *slot = Some(g.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backward_linear() {
+        // y = sum(3x + 2) ; dy/dx = 3.
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0]));
+        let y = t.sum(t.add_scalar(t.scale(x, 3.0), 2.0));
+        t.backward(y);
+        assert_eq!(t.grad(x).data, vec![3.0, 3.0]);
+        assert_eq!(t.value(y).data[0], 3.0 + 2.0 + 6.0 + 2.0);
+    }
+
+    #[test]
+    fn backward_shared_subexpression_accumulates() {
+        // y = sum(x*x + x) ; dy/dx = 2x + 1.
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![2.0]));
+        let y = t.sum(t.add(t.mul(x, x), x));
+        t.backward(y);
+        assert!((t.grad(x).data[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_sigmoid_tanh_relu_abs_ln_exp() {
+        let x = Tensor::from_vec(1, 5, vec![0.3, -0.7, 1.5, -2.0, 0.9]);
+        for (name, f) in [
+            (
+                "sigmoid",
+                Box::new(|t: &Tape, v: Var| t.sum(t.sigmoid(v))) as Box<dyn Fn(&Tape, Var) -> Var>,
+            ),
+            ("tanh", Box::new(|t: &Tape, v: Var| t.sum(t.tanh(v)))),
+            (
+                "leaky",
+                Box::new(|t: &Tape, v: Var| t.sum(t.leaky_relu(v, 0.1))),
+            ),
+            ("abs", Box::new(|t: &Tape, v: Var| t.sum(t.abs(v)))),
+            ("exp", Box::new(|t: &Tape, v: Var| t.sum(t.exp(v)))),
+            (
+                "lnsq",
+                Box::new(|t: &Tape, v: Var| t.sum(t.ln(t.add_scalar(t.mul(v, v), 1.0)))),
+            ),
+        ] {
+            let err = grad_check(&x, f, 1e-3);
+            assert!(err < 2e-2, "{name} gradient error {err}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_add_row_and_concat() {
+        let x = Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let err = grad_check(
+            &x,
+            |t, v| {
+                let row = t.var(Tensor::row(vec![1.0, -2.0]));
+                let y = t.add_row(v, row);
+                let c = t.concat(&[y, v]);
+                t.sum(t.mul(c, c))
+            },
+            1e-3,
+        );
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_rows_select_and_mean() {
+        let x = Tensor::from_vec(4, 2, vec![0.1, 0.9, -0.2, 0.4, 0.7, -0.5, 0.3, 0.3]);
+        let err = grad_check(
+            &x,
+            |t, v| {
+                let sel = t.rows_select(v, vec![0, 2, 2, 3]);
+                let m = t.rows_mean(sel, vec![vec![0, 1], vec![2, 3]]);
+                t.sum(t.mul(m, m))
+            },
+            1e-3,
+        );
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_mse() {
+        let x = Tensor::from_vec(2, 2, vec![0.5, -0.5, 1.0, 2.0]);
+        let target = Tensor::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let err = grad_check(&x, move |t, v| t.mse_loss(v, target.clone()), 1e-3);
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_bce_with_logits() {
+        let x = Tensor::from_vec(3, 1, vec![0.5, -1.5, 2.0]);
+        let targets = Tensor::from_vec(3, 1, vec![1.0, 0.0, 1.0]);
+        let weights = Tensor::from_vec(3, 1, vec![1.0, 4.0, 0.5]);
+        let err = grad_check(
+            &x,
+            move |t, v| t.bce_with_logits(v, targets.clone(), weights.clone()),
+            1e-3,
+        );
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_softmax_ce() {
+        let x = Tensor::from_vec(2, 3, vec![0.2, -0.4, 0.9, 1.2, 0.0, -0.3]);
+        let err = grad_check(&x, |t, v| t.softmax_ce(v, vec![2, 0]), 1e-3);
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_matmul_both_sides() {
+        // Check gradient w.r.t. the right operand too.
+        let w = Tensor::from_vec(3, 2, vec![0.3, -0.1, 0.4, 0.2, -0.6, 0.5]);
+        let err = grad_check(
+            &w,
+            |t, v| {
+                let x = t.var(Tensor::from_vec(2, 3, vec![1.0, 0.5, -0.5, 0.2, 0.8, -1.0]));
+                let y = t.matmul(x, v);
+                t.mse_loss(y, Tensor::zeros(2, 2))
+            },
+            1e-3,
+        );
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn dropout_mask_scales_kept_units() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = Tape::dropout_mask(10, 10, 0.5, &mut rng);
+        for &v in &m.data {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        let kept = m.data.iter().filter(|&&v| v != 0.0).count();
+        assert!(kept > 20 && kept < 80, "kept {kept}");
+    }
+
+    #[test]
+    fn dropout_grad_flows_through_mask() {
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0, 3.0]));
+        let mask = Tensor::row(vec![2.0, 0.0, 2.0]);
+        let y = t.sum(t.dropout(x, mask));
+        t.backward(y);
+        assert_eq!(t.grad(x).data, vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_non_scalar_panics() {
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0]));
+        t.backward(x);
+    }
+}

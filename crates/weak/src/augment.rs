@@ -1,0 +1,156 @@
+//! Label-preserving data augmentation for DC training sets (§6.2.2).
+//!
+//! The image analogues are translation/rotation/shearing; for tuples
+//! the transformations are the *error processes curation data actually
+//! exhibits* — typos, abbreviations, dropped values, case noise — which
+//! preserve the match/non-match label of an ER pair while multiplying
+//! the training data ("provides many more synthetic training data").
+
+use dc_relational::{Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One label-preserving perturbation of a tuple.
+fn perturb_row(row: &[Value], rng: &mut StdRng) -> Vec<Value> {
+    row.iter()
+        .map(|v| match v {
+            Value::Text(s) => {
+                let roll = rng.gen_range(0..4);
+                match roll {
+                    0 => Value::Text(typo(s, rng)),
+                    1 if s.contains(' ') => Value::Text(abbreviate(s, rng)),
+                    2 => Value::Text(flip_case(s)),
+                    3 if rng.gen_bool(0.3) => Value::Null,
+                    _ => v.clone(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars;
+    out.swap(i, i + 1);
+    out.into_iter().collect()
+}
+
+fn abbreviate(s: &str, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    let i = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(j, t)| {
+            if j == i {
+                t.chars().next().map(String::from).unwrap_or_default()
+            } else {
+                t.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn flip_case(s: &str) -> String {
+    if s.chars().any(|c| c.is_uppercase()) {
+        s.to_lowercase()
+    } else {
+        s.to_uppercase()
+    }
+}
+
+/// Augment labelled ER pairs `copies` times: each copy perturbs one
+/// side of the pair and appends it as a new row, keeping the label.
+/// Returns the grown table plus the extended pair/label lists (the
+/// originals come first, unchanged).
+pub fn augment_er_pairs(
+    table: &Table,
+    pairs: &[(usize, usize)],
+    labels: &[bool],
+    copies: usize,
+    rng: &mut StdRng,
+) -> (Table, Vec<(usize, usize)>, Vec<bool>) {
+    assert_eq!(pairs.len(), labels.len());
+    let mut out = table.clone();
+    let mut out_pairs = pairs.to_vec();
+    let mut out_labels = labels.to_vec();
+    for _ in 0..copies {
+        for (&(a, b), &label) in pairs.iter().zip(labels) {
+            // Perturb one side at random; a perturbed duplicate is
+            // still a duplicate, a perturbed non-match is (with our
+            // closed domains) still a non-match.
+            let (keep, perturb) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+            let new_row = perturb_row(&table.rows[perturb], rng);
+            out.push(new_row);
+            let new_idx = out.len() - 1;
+            out_pairs.push((keep, new_idx));
+            out_labels.push(label);
+        }
+    }
+    (out, out_pairs, out_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{ErBenchmark, ErSuite};
+    use rand::SeedableRng;
+
+    #[test]
+    fn augmentation_grows_data_preserving_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 20, 2, &mut rng);
+        let pairs = bench.labeled_pairs(2, &mut rng);
+        let p: Vec<(usize, usize)> = pairs.iter().map(|x| (x.a, x.b)).collect();
+        let l: Vec<bool> = pairs.iter().map(|x| x.label).collect();
+        let (table, ap, al) = augment_er_pairs(&bench.table, &p, &l, 2, &mut rng);
+        assert_eq!(ap.len(), p.len() * 3);
+        assert_eq!(al.len(), ap.len());
+        assert_eq!(table.len(), bench.table.len() + 2 * p.len());
+        // Originals preserved verbatim.
+        assert_eq!(&ap[..p.len()], &p[..]);
+        assert_eq!(&al[..l.len()], &l[..]);
+        // New pair indexes are valid.
+        for &(a, b) in &ap {
+            assert!(a < table.len() && b < table.len());
+        }
+    }
+
+    #[test]
+    fn perturbations_change_text_but_rarely_destroy_it() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let row = vec![Value::text("john smith"), Value::Int(5)];
+        let mut changed = 0;
+        for _ in 0..50 {
+            let p = perturb_row(&row, &mut rng);
+            assert_eq!(p[1], Value::Int(5), "non-text cells untouched");
+            if p[0] != row[0] {
+                changed += 1;
+            }
+        }
+        assert!(changed > 20, "perturbation too weak: {changed}/50");
+    }
+
+    #[test]
+    fn flip_case_round_trips() {
+        assert_eq!(flip_case("abc"), "ABC");
+        assert_eq!(flip_case("ABC"), "abc");
+        assert_eq!(flip_case("Abc"), "abc");
+    }
+
+    #[test]
+    fn zero_copies_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 5, 1, &mut rng);
+        let (t, p, l) = augment_er_pairs(&bench.table, &[(0, 1)], &[false], 0, &mut rng);
+        assert_eq!(t.len(), bench.table.len());
+        assert_eq!(p, vec![(0, 1)]);
+        assert_eq!(l, vec![false]);
+    }
+}

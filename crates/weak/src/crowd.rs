@@ -1,0 +1,187 @@
+//! Crowdsourced label inference (§6.2.6): "the output of crowd workers
+//! are often noisy and hence requires sophisticated algorithms for
+//! inferring true labels from noisy labels, learning the skill of
+//! workers".
+//!
+//! Binary Dawid–Skene EM: latent item labels, per-worker accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Crowd annotations: `answers[item]` is a list of `(worker, vote)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrowdLabels {
+    /// Per-item worker votes.
+    pub answers: Vec<Vec<(usize, bool)>>,
+    /// Number of workers.
+    pub workers: usize,
+}
+
+/// Output of Dawid–Skene inference.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DawidSkeneResult {
+    /// Posterior P(label = true) per item.
+    pub posteriors: Vec<f64>,
+    /// Estimated accuracy per worker.
+    pub worker_accuracy: Vec<f64>,
+}
+
+impl DawidSkeneResult {
+    /// Hard labels at 0.5.
+    pub fn hard_labels(&self) -> Vec<bool> {
+        self.posteriors.iter().map(|&p| p >= 0.5).collect()
+    }
+}
+
+/// Run binary Dawid–Skene EM.
+pub fn dawid_skene(labels: &CrowdLabels, iterations: usize) -> DawidSkeneResult {
+    let n = labels.answers.len();
+    let w = labels.workers;
+    // Initialise posteriors with per-item majority.
+    let mut post: Vec<f64> = labels
+        .answers
+        .iter()
+        .map(|votes| {
+            if votes.is_empty() {
+                0.5
+            } else {
+                votes.iter().filter(|(_, v)| *v).count() as f64 / votes.len() as f64
+            }
+        })
+        .collect();
+    let mut acc = vec![0.7f64; w];
+    let mut prior;
+    for _ in 0..iterations {
+        // M-step: worker accuracies under *hard* current labels (hard
+        // EM — see dc-weak::labelmodel for why soft counting stalls).
+        let mut correct = vec![0.0f64; w];
+        let mut total = vec![0.0f64; w];
+        for (votes, &p) in labels.answers.iter().zip(&post) {
+            if (p - 0.5).abs() < 1e-9 {
+                continue; // a tied item carries no signal
+            }
+            let hard = p > 0.5;
+            for &(worker, vote) in votes {
+                if vote == hard {
+                    correct[worker] += 1.0;
+                }
+                total[worker] += 1.0;
+            }
+        }
+        for j in 0..w {
+            acc[j] = ((correct[j] + 1.0) / (total[j] + 2.0)).clamp(0.05, 0.95);
+        }
+        prior = (post.iter().sum::<f64>() / n.max(1) as f64).clamp(0.05, 0.95);
+        // E-step: item posteriors.
+        for (votes, p) in labels.answers.iter().zip(post.iter_mut()) {
+            let mut log_odds = (prior / (1.0 - prior)).ln();
+            for &(worker, vote) in votes {
+                let a = acc[worker];
+                if vote {
+                    log_odds += (a / (1.0 - a)).ln();
+                } else {
+                    log_odds -= (a / (1.0 - a)).ln();
+                }
+            }
+            *p = 1.0 / (1.0 + (-log_odds).exp());
+        }
+    }
+    DawidSkeneResult {
+        posteriors: post,
+        worker_accuracy: acc,
+    }
+}
+
+/// Simulate `workers` annotators with the given accuracies labelling
+/// `n` items `votes_per_item` times. Returns `(labels, ground truth)`.
+pub fn simulate_crowd(
+    n: usize,
+    worker_accuracies: &[f64],
+    votes_per_item: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> (CrowdLabels, Vec<bool>) {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    let truth: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let mut answers = Vec::with_capacity(n);
+    let worker_ids: Vec<usize> = (0..worker_accuracies.len()).collect();
+    for &y in &truth {
+        let mut chosen = worker_ids.clone();
+        chosen.shuffle(rng);
+        chosen.truncate(votes_per_item.min(worker_ids.len()));
+        let votes = chosen
+            .into_iter()
+            .map(|wid| {
+                let correct = rng.gen_bool(worker_accuracies[wid]);
+                (wid, if correct { y } else { !y })
+            })
+            .collect();
+        answers.push(votes);
+    }
+    (
+        CrowdLabels {
+            answers,
+            workers: worker_accuracies.len(),
+        },
+        truth,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn accuracy(pred: &[bool], truth: &[bool]) -> f64 {
+        pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn recovers_labels_and_worker_skills() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let skills = [0.95, 0.85, 0.6, 0.55];
+        let (labels, truth) = simulate_crowd(800, &skills, 3, &mut rng);
+        let result = dawid_skene(&labels, 15);
+        let acc = accuracy(&result.hard_labels(), &truth);
+        assert!(acc > 0.9, "label recovery {acc}");
+        // Estimated skill order matches the simulation.
+        assert!(result.worker_accuracy[0] > result.worker_accuracy[2]);
+        assert!(result.worker_accuracy[1] > result.worker_accuracy[3]);
+    }
+
+    #[test]
+    fn beats_majority_when_skills_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Agreement-based EM needs the reliable workers to corroborate
+        // each other: a *single* good worker cannot be told apart from
+        // the weak majority that forms its only reference. Two strong
+        // workers among three weak ones is the canonical separable
+        // regime.
+        let skills = [0.9, 0.9, 0.55, 0.55, 0.55];
+        let (labels, truth) = simulate_crowd(1500, &skills, 5, &mut rng);
+        let majority: Vec<bool> = labels
+            .answers
+            .iter()
+            .map(|votes| {
+                votes.iter().filter(|(_, v)| *v).count() * 2 >= votes.len()
+            })
+            .collect();
+        let ds = dawid_skene(&labels, 15);
+        let ds_acc = accuracy(&ds.hard_labels(), &truth);
+        let mv_acc = accuracy(&majority, &truth);
+        assert!(ds_acc > mv_acc, "DS {ds_acc} vs majority {mv_acc}");
+    }
+
+    #[test]
+    fn unlabelled_items_stay_uncertain() {
+        let labels = CrowdLabels {
+            answers: vec![vec![], vec![(0, true)]],
+            workers: 1,
+        };
+        let result = dawid_skene(&labels, 5);
+        // An unvoted item's posterior is the class prior — strictly
+        // less confident than the voted item's.
+        assert!(result.posteriors[0] < result.posteriors[1]);
+        assert!(result.posteriors[1] > 0.5);
+    }
+}

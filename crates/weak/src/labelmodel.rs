@@ -1,0 +1,217 @@
+//! Label models: turning noisy LF votes into training labels.
+//!
+//! [`majority_vote`] is the baseline; [`GenerativeLabelModel`] is the
+//! Snorkel-style generative model (§6.2.4 cites Snorkel's "convenient
+//! programming mechanism to specify 'mostly correct' training data"):
+//! per-LF accuracies are learned by EM under a conditionally-
+//! independent naive-Bayes model, and items get posterior probabilistic
+//! labels.
+
+use crate::lf::LabelMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A probabilistic label.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProbLabel {
+    /// Posterior probability that the item is positive.
+    pub p_true: f64,
+}
+
+impl ProbLabel {
+    /// Hard decision at 0.5.
+    pub fn hard(&self) -> bool {
+        self.p_true >= 0.5
+    }
+}
+
+/// Majority vote over non-abstaining LFs; abstaining items get 0.5.
+pub fn majority_vote(matrix: &LabelMatrix) -> Vec<ProbLabel> {
+    matrix
+        .votes
+        .iter()
+        .map(|votes| {
+            let pos = votes.iter().filter(|v| **v == Some(true)).count();
+            let neg = votes.iter().filter(|v| **v == Some(false)).count();
+            let p_true = if pos + neg == 0 {
+                0.5
+            } else {
+                pos as f64 / (pos + neg) as f64
+            };
+            ProbLabel { p_true }
+        })
+        .collect()
+}
+
+/// The generative label model: learns per-LF accuracy by EM.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenerativeLabelModel {
+    /// Learned accuracy of each LF (probability its vote equals the
+    /// latent label, given it voted).
+    pub accuracies: Vec<f64>,
+    /// Learned class prior P(y = true).
+    pub prior: f64,
+}
+
+impl GenerativeLabelModel {
+    /// Fit by EM for `iterations` rounds.
+    pub fn fit(matrix: &LabelMatrix, iterations: usize) -> Self {
+        let m = matrix.num_lfs();
+        let mut acc = vec![0.7f64; m];
+        let mut prior = 0.5f64;
+        let mut posteriors = majority_vote(matrix)
+            .into_iter()
+            .map(|p| p.p_true)
+            .collect::<Vec<_>>();
+        for _ in 0..iterations {
+            // M-step: accuracy of each LF under *hard* current labels.
+            // Soft counting attenuates towards the consensus accuracy
+            // and never lets a strong LF pull away from mediocre ones;
+            // hard EM converges to the crisp fixed point.
+            for j in 0..m {
+                let mut correct = 0.0f64;
+                let mut total = 0.0f64;
+                for (votes, &p) in matrix.votes.iter().zip(&posteriors) {
+                    if (p - 0.5).abs() < 1e-9 {
+                        continue; // a tied item carries no signal
+                    }
+                    let hard = p > 0.5;
+                    if let Some(v) = votes[j] {
+                        if v == hard {
+                            correct += 1.0;
+                        }
+                        total += 1.0;
+                    }
+                }
+                // Laplace smoothing keeps accuracies off the 0/1 walls.
+                acc[j] = ((correct + 1.0) / (total + 2.0)).clamp(0.05, 0.95);
+            }
+            prior = (posteriors.iter().sum::<f64>() / posteriors.len().max(1) as f64)
+                .clamp(0.05, 0.95);
+            // E-step: naive-Bayes posterior per item.
+            for (votes, post) in matrix.votes.iter().zip(posteriors.iter_mut()) {
+                let mut log_odds = (prior / (1.0 - prior)).ln();
+                for (j, v) in votes.iter().enumerate() {
+                    match v {
+                        Some(true) => log_odds += (acc[j] / (1.0 - acc[j])).ln(),
+                        Some(false) => log_odds -= (acc[j] / (1.0 - acc[j])).ln(),
+                        None => {}
+                    }
+                }
+                *post = 1.0 / (1.0 + (-log_odds).exp());
+            }
+        }
+        GenerativeLabelModel {
+            accuracies: acc,
+            prior,
+        }
+    }
+
+    /// Posterior labels for a (possibly new) label matrix.
+    pub fn predict(&self, matrix: &LabelMatrix) -> Vec<ProbLabel> {
+        matrix
+            .votes
+            .iter()
+            .map(|votes| {
+                let mut log_odds = (self.prior / (1.0 - self.prior)).ln();
+                for (j, v) in votes.iter().enumerate() {
+                    let a = self.accuracies[j];
+                    match v {
+                        Some(true) => log_odds += (a / (1.0 - a)).ln(),
+                        Some(false) => log_odds -= (a / (1.0 - a)).ln(),
+                        None => {}
+                    }
+                }
+                ProbLabel {
+                    p_true: 1.0 / (1.0 + (-log_odds).exp()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lf::LabelingFunction;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Items are (ground truth, feature noise seeds); LFs see the truth
+    /// through per-LF noise.
+    fn noisy_matrix(
+        n: usize,
+        lf_accuracies: &[f64],
+        rng: &mut StdRng,
+    ) -> (LabelMatrix, Vec<bool>) {
+        let truth: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let votes = truth
+            .iter()
+            .map(|&y| {
+                lf_accuracies
+                    .iter()
+                    .map(|&a| {
+                        if rng.gen_bool(0.2) {
+                            None // abstain 20% of the time
+                        } else if rng.gen_bool(a) {
+                            Some(y)
+                        } else {
+                            Some(!y)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (LabelMatrix { votes }, truth)
+    }
+
+    fn acc_of(labels: &[ProbLabel], truth: &[bool]) -> f64 {
+        labels
+            .iter()
+            .zip(truth)
+            .filter(|(l, &t)| l.hard() == t)
+            .count() as f64
+            / truth.len() as f64
+    }
+
+    #[test]
+    fn majority_vote_handles_abstains() {
+        let lfs = vec![LabelingFunction::new("yes", |_: &i32| Some(true))];
+        let m = LabelMatrix::build(&[1], &lfs);
+        assert_eq!(majority_vote(&m)[0].p_true, 1.0);
+        let empty = LabelMatrix {
+            votes: vec![vec![None, None]],
+        };
+        assert_eq!(majority_vote(&empty)[0].p_true, 0.5);
+    }
+
+    #[test]
+    fn generative_model_recovers_lf_accuracies() {
+        let mut rng = StdRng::seed_from_u64(800);
+        let (m, _) = noisy_matrix(2000, &[0.9, 0.6, 0.55], &mut rng);
+        let model = GenerativeLabelModel::fit(&m, 10);
+        assert!(model.accuracies[0] > model.accuracies[1]);
+        assert!(model.accuracies[1] >= model.accuracies[2] - 0.05);
+        assert!((model.accuracies[0] - 0.9).abs() < 0.1, "{:?}", model.accuracies);
+    }
+
+    #[test]
+    fn generative_model_beats_majority_with_unequal_lfs() {
+        let mut rng = StdRng::seed_from_u64(801);
+        let (m, truth) = noisy_matrix(1500, &[0.92, 0.55, 0.55, 0.55], &mut rng);
+        let mv = acc_of(&majority_vote(&m), &truth);
+        let model = GenerativeLabelModel::fit(&m, 10);
+        let gm = acc_of(&model.predict(&m), &truth);
+        assert!(gm > mv, "generative {gm} should beat majority {mv}");
+        assert!(gm > 0.85, "generative accuracy {gm}");
+    }
+
+    #[test]
+    fn predict_on_fresh_matrix_uses_learned_accuracies() {
+        let mut rng = StdRng::seed_from_u64(802);
+        let (train, _) = noisy_matrix(1000, &[0.9, 0.6, 0.6], &mut rng);
+        let model = GenerativeLabelModel::fit(&train, 10);
+        let (test, truth) = noisy_matrix(500, &[0.9, 0.6, 0.6], &mut rng);
+        let acc = acc_of(&model.predict(&test), &truth);
+        assert!(acc > 0.8, "held-out accuracy {acc}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Labeling functions and the label matrix they produce.
+//!
+//! A labeling function votes `Some(true)`, `Some(false)` or abstains
+//! (`None`) on each item — the §6.2.4 programming model ("she can say
+//! that if two tuples have the same country but different capitals,
+//! they are in error").
+
+/// A named weak labeler over items of type `T`.
+pub struct LabelingFunction<T> {
+    /// Human-readable name (shown in diagnostics).
+    pub name: String,
+    f: Box<dyn Fn(&T) -> Option<bool> + Send + Sync>,
+}
+
+impl<T> LabelingFunction<T> {
+    /// Wrap a closure as a labeling function.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&T) -> Option<bool> + Send + Sync + 'static,
+    ) -> Self {
+        LabelingFunction {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+
+    /// Vote on one item.
+    pub fn label(&self, item: &T) -> Option<bool> {
+        (self.f)(item)
+    }
+}
+
+/// The `items × functions` vote matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabelMatrix {
+    /// `votes[i][j]` is LF `j`'s vote on item `i`.
+    pub votes: Vec<Vec<Option<bool>>>,
+}
+
+impl LabelMatrix {
+    /// Apply every LF to every item.
+    pub fn build<T>(items: &[T], lfs: &[LabelingFunction<T>]) -> Self {
+        LabelMatrix {
+            votes: items
+                .iter()
+                .map(|it| lfs.iter().map(|lf| lf.label(it)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// True when no item was labelled.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Number of labeling functions.
+    pub fn num_lfs(&self) -> usize {
+        self.votes.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Fraction of items on which LF `j` votes.
+    pub fn coverage(&self, j: usize) -> f64 {
+        if self.votes.is_empty() {
+            return 0.0;
+        }
+        let n = self.votes.iter().filter(|v| v[j].is_some()).count();
+        n as f64 / self.votes.len() as f64
+    }
+
+    /// Fraction of items where LFs `a` and `b` both vote and disagree.
+    pub fn conflict(&self, a: usize, b: usize) -> f64 {
+        if self.votes.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .votes
+            .iter()
+            .filter(|v| matches!((v[a], v[b]), (Some(x), Some(y)) if x != y))
+            .count();
+        n as f64 / self.votes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfs() -> Vec<LabelingFunction<i32>> {
+        vec![
+            LabelingFunction::new("positive", |x: &i32| (*x > 0).then_some(true)),
+            LabelingFunction::new("negative", |x: &i32| (*x < 0).then_some(false)),
+            LabelingFunction::new("even_true", |x: &i32| Some(x % 2 == 0)),
+        ]
+    }
+
+    #[test]
+    fn matrix_shape_and_votes() {
+        let items = [3, -2, 0];
+        let m = LabelMatrix::build(&items, &lfs());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.num_lfs(), 3);
+        assert_eq!(m.votes[0], vec![Some(true), None, Some(false)]);
+        assert_eq!(m.votes[1], vec![None, Some(false), Some(true)]);
+    }
+
+    #[test]
+    fn coverage_counts_non_abstains() {
+        let items = [3, -2, 0, 5];
+        let m = LabelMatrix::build(&items, &lfs());
+        assert_eq!(m.coverage(0), 0.5); // votes on 3 and 5
+        assert_eq!(m.coverage(2), 1.0);
+    }
+
+    #[test]
+    fn conflict_requires_both_votes() {
+        let items = [3, -2];
+        let m = LabelMatrix::build(&items, &lfs());
+        // LF0 vs LF2 on item 0: true vs false → conflict on 1 of 2.
+        assert_eq!(m.conflict(0, 2), 0.5);
+        // LF0 abstains on -2 → no conflict there.
+        assert_eq!(m.conflict(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dc-weak
+//!
+//! Taming deep learning's hunger for data (§6.2 of *"Data Curation with
+//! Deep Learning"*): weak supervision, data augmentation, crowdsourcing
+//! and transfer learning.
+//!
+//! * [`lf`] — labeling functions: "the domain expert can specify a high
+//!   level mechanism to generate training data without endeavoring to
+//!   make it perfect" (§6.2.4);
+//! * [`labelmodel`] — majority vote and a Snorkel-style generative
+//!   label model that learns per-LF accuracies by EM and emits
+//!   probabilistic labels;
+//! * [`augment`] — label-preserving transformations for DC training
+//!   pairs (§6.2.2's translation/rotation analogues: typos,
+//!   abbreviations, null injection, case noise);
+//! * [`crowd`] — Dawid–Skene inference over noisy crowd workers
+//!   ("sophisticated algorithms for inferring true labels from noisy
+//!   labels, learning the skill of workers", §6.2.6);
+//! * [`transfer`] — pre-train + fine-tune utilities (§6.2.5: "train a
+//!   DL model for one task and tune the model for the new task").
+
+pub mod augment;
+pub mod crowd;
+pub mod labelmodel;
+pub mod lf;
+pub mod transfer;
+
+pub use augment::augment_er_pairs;
+pub use crowd::{dawid_skene, CrowdLabels, DawidSkeneResult};
+pub use labelmodel::{majority_vote, GenerativeLabelModel, ProbLabel};
+pub use lf::{LabelMatrix, LabelingFunction};
+pub use transfer::FineTuner;

@@ -1,0 +1,112 @@
+//! DeepER in action (§5.2, Figure 5): train the deep matcher on a dirty
+//! synthetic benchmark, compare it with the feature-engineered and
+//! rule baselines, and show LSH blocking statistics.
+//!
+//! ```sh
+//! cargo run --release --example entity_resolution
+//! ```
+
+use autodc::er::baselines::{FeatureLogReg, RuleMatcher};
+use autodc::er::blocking::{blocking_quality, TokenBlocker};
+use autodc::er::features::tuple_vectors;
+use autodc::prelude::*;
+use autodc::relational::tokenize_tuple;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A dirty benchmark: 120 entities, up to 3 noisy duplicates each.
+    let bench = ErBenchmark::generate(ErSuite::Dirty, 120, 3, &mut rng);
+    println!(
+        "benchmark: {} records, {} duplicate pairs",
+        bench.table.len(),
+        bench.duplicate_pairs().len()
+    );
+
+    // Word embeddings from the records plus a domain corpus — the
+    // pre-trained-vectors substitution (DESIGN.md §5).
+    let mut docs: Vec<Vec<String>> = bench
+        .table
+        .rows
+        .iter()
+        .map(|r| tokenize_tuple(r))
+        .collect();
+    docs.extend(autodc::datagen::corpus::domain_corpus(500, &mut rng));
+    let emb = Embeddings::train(
+        &docs,
+        &SgnsConfig {
+            dim: 24,
+            epochs: 6,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    // Labelled pairs, 3 negatives per positive (§6.1 skew handling).
+    let pairs = bench.labeled_pairs(3, &mut rng);
+    let (train, test) = ErBenchmark::split_pairs(&pairs, 0.7, &mut rng);
+    let tp: Vec<(usize, usize)> = train.iter().map(|p| (p.a, p.b)).collect();
+    let tl: Vec<bool> = train.iter().map(|p| p.label).collect();
+    let ep: Vec<(usize, usize)> = test.iter().map(|p| (p.a, p.b)).collect();
+    let el: Vec<bool> = test.iter().map(|p| p.label).collect();
+
+    // --- DeepER (average composition) -----------------------------------
+    let deeper = DeepEr::train(
+        emb.clone(),
+        &bench.table,
+        &tp,
+        &tl,
+        Composition::Average,
+        DeepErConfig::default(),
+        &mut rng,
+    );
+    let scores = deeper.predict(&bench.table, &ep);
+    let eval = autodc::er::eval::evaluate_at(&scores, &el, 0.5);
+    println!(
+        "\nDeepER (avg)   P={:.3} R={:.3} F1={:.3}",
+        eval.precision, eval.recall, eval.f1
+    );
+
+    // --- feature-engineered logistic regression --------------------------
+    let logreg = FeatureLogReg::train(&bench.table, &tp, &tl, 60, &mut rng);
+    let scores = logreg.predict(&bench.table, &ep);
+    let eval = autodc::er::eval::evaluate_at(&scores, &el, 0.5);
+    println!(
+        "Feature LogReg P={:.3} R={:.3} F1={:.3}",
+        eval.precision, eval.recall, eval.f1
+    );
+
+    // --- threshold rule ---------------------------------------------------
+    let rule = RuleMatcher::new(0.7);
+    let scores = rule.scores(&bench.table, &ep);
+    let eval = autodc::er::eval::evaluate_at(&scores, &el, 0.7);
+    println!(
+        "Rule @0.7      P={:.3} R={:.3} F1={:.3}",
+        eval.precision, eval.recall, eval.f1
+    );
+
+    // --- blocking ----------------------------------------------------------
+    let vectors = tuple_vectors(&emb, &bench.table);
+    let lsh = LshBlocker::new(emb.dim(), 8, 4, &mut rng);
+    let lsh_q = blocking_quality(
+        &lsh.candidates(&vectors),
+        &bench.duplicate_pairs(),
+        bench.table.len(),
+    );
+    let tok_q = blocking_quality(
+        &TokenBlocker { column: 0 }.candidates(&bench.table),
+        &bench.duplicate_pairs(),
+        bench.table.len(),
+    );
+    println!("\nblocking              reduction  completeness  candidates");
+    println!(
+        "LSH over embeddings    {:.3}      {:.3}         {}",
+        lsh_q.reduction_ratio, lsh_q.pair_completeness, lsh_q.candidates
+    );
+    println!(
+        "token blocking (name)  {:.3}      {:.3}         {}",
+        tok_q.reduction_ratio, tok_q.pair_completeness, tok_q.candidates
+    );
+}

@@ -1,0 +1,101 @@
+//! Model and dataset persistence.
+//!
+//! §3.3's pre-trained-model story ("training a DL model on a large
+//! dataset and then reusing it") needs artifacts that survive the
+//! process: embeddings, classifiers and encoders serialise to JSON so a
+//! pre-training run can feed many later curation tasks.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::Path;
+
+/// Serialise any model/dataset to pretty JSON at `path`.
+pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(path.as_ref(), json).map_err(|e| format!("write: {e}"))
+}
+
+/// Load a model/dataset previously written by [`save_json`].
+pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, String> {
+    let json = std::fs::read_to_string(path.as_ref()).map_err(|e| format!("read: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("deserialize: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_clean::TableEncoder;
+    use dc_embed::{Embeddings, SgnsConfig};
+    use dc_nn::{Activation, Mlp};
+    use dc_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("autodc_io_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn mlp_round_trips_with_identical_predictions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Tensor::randn(5, 4, 1.0, &mut rng);
+        let before = mlp.predict_proba(&x);
+
+        let path = tmp("mlp");
+        save_json(&path, &mlp).expect("save");
+        let loaded: Mlp = load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.predict_proba(&x), before);
+    }
+
+    #[test]
+    fn embeddings_round_trip_preserves_similarity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = vec![vec!["a".to_string(), "b".to_string()]; 30];
+        let emb = Embeddings::train(&corpus, &SgnsConfig::default(), &mut rng);
+        let before = emb.similarity("a", "b").expect("in vocab");
+
+        let path = tmp("emb");
+        save_json(&path, &emb).expect("save");
+        let loaded: Embeddings = load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.similarity("a", "b"), Some(before));
+        assert_eq!(loaded.vocab.len(), emb.vocab.len());
+    }
+
+    #[test]
+    fn table_encoder_round_trips_after_index_rebuild() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = dc_datagen::people_table(30, &mut rng);
+        let encoder = TableEncoder::fit(&table, 16);
+        let (before, _) = encoder.encode(&table);
+
+        let path = tmp("encoder");
+        save_json(&path, &encoder).expect("save");
+        let mut loaded: TableEncoder = load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        loaded.rebuild_indexes(); // serde skips the hash index
+
+        let (after, _) = loaded.encode(&table);
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let table = dc_relational::table::employee_example();
+        let path = tmp("table");
+        save_json(&path, &table).expect("save");
+        let loaded: dc_relational::Table = load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, table);
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        let err = load_json::<Mlp>("/nonexistent/path.json").expect_err("missing");
+        assert!(err.contains("read"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Pipeline orchestration — Figure 1 and §3.4 ("Data Curation as a
+//! Service": "whether we can orchestrate a DC pipeline, where each
+//! component possibly uses some DL model, such that the input data is
+//! integrated and cleaned automatically for a user specified task").
+//!
+//! [`Pipeline::run`] executes the three stages of the figure against a
+//! lake of tables:
+//!
+//! 1. **discover** — embed the lake, rank tables against the analyst's
+//!    natural-language query, keep the top-k compatible tables;
+//! 2. **integrate** — union compatible tables, block with embedding
+//!    LSH, match with a similarity rule, cluster with union–find, and
+//!    consolidate each duplicate cluster into a golden record;
+//! 3. **clean** — discover FDs, repair violations by majority, impute
+//!    remaining nulls.
+//!
+//! The report records what every stage did plus before/after
+//! [`crate::quality::QualityReport`]s.
+
+use crate::quality::{quality_score, QualityReport};
+use dc_clean::{SimpleImputer, SimpleStrategy};
+use dc_discovery::NeuralSearch;
+use dc_embed::{Embeddings, SgnsConfig};
+use dc_er::baselines::RuleMatcher;
+use dc_er::features::tuple_vectors;
+use dc_er::LshBlocker;
+use dc_relational::{discover_fds, Table};
+use dc_synth::consolidate::{consolidate_cluster, PreferenceModel};
+use rand::rngs::StdRng;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// The analyst's discovery query ("Google-style search", §5.1).
+    pub query: String,
+    /// How many top-ranked tables to integrate.
+    pub top_k_tables: usize,
+    /// SGNS settings for the lake embeddings.
+    pub sgns: SgnsConfig,
+    /// Mean-attribute-similarity threshold for the duplicate matcher.
+    pub dedup_threshold: f64,
+    /// LSH shape: (bands, rows per band).
+    pub lsh: (usize, usize),
+    /// Impute remaining nulls after repair.
+    pub impute: bool,
+    /// Maximum FD LHS size during discovery.
+    pub max_fd_lhs: usize,
+    /// Maximum majority-repair rounds (interacting FDs need several).
+    pub repair_rounds: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            query: String::new(),
+            top_k_tables: 2,
+            sgns: SgnsConfig {
+                dim: 24,
+                window: 8,
+                epochs: 5,
+                ..Default::default()
+            },
+            dedup_threshold: 0.82,
+            lsh: (8, 4),
+            impute: true,
+            max_fd_lhs: 1,
+            repair_rounds: 12,
+        }
+    }
+}
+
+/// What the pipeline did.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Names of the tables discovery selected, in rank order.
+    pub discovered: Vec<String>,
+    /// Rows entering integration.
+    pub rows_in: usize,
+    /// Candidate pairs surviving blocking.
+    pub candidates: usize,
+    /// Duplicate clusters consolidated (clusters of size ≥ 2).
+    pub clusters_merged: usize,
+    /// FD repairs applied.
+    pub repairs: usize,
+    /// Cells imputed.
+    pub cells_imputed: usize,
+    /// Quality before cleaning (after integration).
+    pub before: QualityReport,
+    /// Quality after the full pipeline.
+    pub after: QualityReport,
+}
+
+/// The Figure-1 orchestrator.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    /// Configuration.
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// With the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Run discover → integrate → clean over a lake.
+    ///
+    /// # Panics
+    /// Panics when `tables` is empty.
+    pub fn run(&self, tables: &[Table], rng: &mut StdRng) -> (Table, PipelineReport) {
+        assert!(!tables.is_empty(), "pipeline needs at least one table");
+
+        // ---- discover -------------------------------------------------
+        let refs: Vec<&Table> = tables.iter().collect();
+        let docs = dc_discovery::search_documents(&refs, 15);
+        let emb = Embeddings::train(&docs, &self.config.sgns, rng);
+        let search = NeuralSearch::index(emb.clone(), &refs, 15);
+        let ranked = search.search(&self.config.query);
+        // Keep the top table plus lower-ranked tables with an identical
+        // schema (only those can be unioned).
+        let base = &tables[ranked[0].0];
+        let mut discovered = vec![base.name.clone()];
+        let mut merged = base.clone();
+        merged.name = format!("{}_curated", base.name);
+        for &(ti, _) in ranked.iter().skip(1).take(self.config.top_k_tables.saturating_sub(1)) {
+            let t = &tables[ti];
+            if t.schema.names() == base.schema.names() {
+                discovered.push(t.name.clone());
+                for row in &t.rows {
+                    merged.push(row.clone());
+                }
+            }
+        }
+        let rows_in = merged.len();
+
+        // ---- integrate (dedup + golden records) ------------------------
+        // Word-level tuple embeddings for blocking.
+        let tuple_docs: Vec<Vec<String>> = merged
+            .rows
+            .iter()
+            .map(|r| dc_relational::tokenize_tuple(r))
+            .collect();
+        let tuple_emb = Embeddings::train(&tuple_docs, &self.config.sgns, rng);
+        let vectors = tuple_vectors(&tuple_emb, &merged);
+        let blocker = LshBlocker::new(
+            tuple_emb.dim(),
+            self.config.lsh.0,
+            self.config.lsh.1,
+            rng,
+        );
+        let candidates = blocker.candidates(&vectors);
+        let matcher = RuleMatcher::new(self.config.dedup_threshold);
+        let mut uf = UnionFind::new(merged.len());
+        for &(a, b) in &candidates {
+            if matcher.score(&merged.rows[a], &merged.rows[b]) >= self.config.dedup_threshold
+            {
+                uf.union(a, b);
+            }
+        }
+        let clusters = uf.clusters();
+        let preference = PreferenceModel::default();
+        let mut integrated = Table::new(merged.name.clone(), merged.schema.clone());
+        let mut clusters_merged = 0usize;
+        for cluster in &clusters {
+            if cluster.len() > 1 {
+                clusters_merged += 1;
+            }
+            let rows: Vec<&[dc_relational::Value]> = cluster
+                .iter()
+                .map(|&i| merged.rows[i].as_slice())
+                .collect();
+            integrated.push(consolidate_cluster(&rows, &preference));
+        }
+        let fds = select_repair_fds(discover_fds(&integrated, self.config.max_fd_lhs));
+        let before = quality_score(&integrated, &fds);
+
+        // ---- clean ------------------------------------------------------
+        // Impute BEFORE repairing: a global-mode fill ignores FD groups,
+        // so running the majority repair afterwards restores group
+        // consistency over the imputed values too.
+        let mut cleaned = integrated;
+        let mut cells_imputed = 0usize;
+        if self.config.impute {
+            // Key-like columns (near-unique values: ids, emails, phones)
+            // must not receive a global-mode fill — duplicated "modes"
+            // in a key column poison every FD keyed on it and send the
+            // majority repair into oscillation. This is §3.1's "rare
+            // values, such as primary keys, should be treated fairly".
+            let key_like: Vec<bool> = (0..cleaned.schema.arity())
+                .map(|c| {
+                    let non_null = cleaned
+                        .rows
+                        .iter()
+                        .filter(|r| !r[c].is_null())
+                        .count();
+                    non_null > 0
+                        && cleaned.distinct(c).len() as f64 / non_null as f64 > 0.8
+                })
+                .collect();
+            let imputer = SimpleImputer::fit(&cleaned, SimpleStrategy::MeanMode);
+            let filled = imputer.impute(&cleaned);
+            for (row, frow) in cleaned.rows.iter_mut().zip(&filled.rows) {
+                for c in 0..row.len() {
+                    if row[c].is_null() && !key_like[c] {
+                        row[c] = frow[c].clone();
+                        cells_imputed += 1;
+                    }
+                }
+            }
+        }
+        let repairs = dc_clean::repair::repair_fds(&mut cleaned, &fds, self.config.repair_rounds).len();
+        // Cleaning can turn near-duplicates into exact duplicates
+        // (imputed nulls, repaired RHS values); collapse them.
+        let mut seen = std::collections::HashSet::new();
+        cleaned.rows.retain(|row| {
+            let key: Vec<String> = row.iter().map(|v| v.canonical()).collect();
+            seen.insert(key)
+        });
+        let after = quality_score(&cleaned, &fds);
+
+        (
+            cleaned,
+            PipelineReport {
+                discovered,
+                rows_in,
+                candidates: candidates.len(),
+                clusters_merged,
+                repairs,
+                cells_imputed,
+                before,
+                after,
+            },
+        )
+    }
+}
+
+/// Keep a repair-safe subset of discovered FDs: at most one FD per
+/// RHS column (two FDs writing the same column with contradicting
+/// majorities make the fixpoint oscillate) and no 2-cycles
+/// (`A → B` and `B → A` repairing each other forever).
+fn select_repair_fds(
+    fds: Vec<dc_relational::FunctionalDependency>,
+) -> Vec<dc_relational::FunctionalDependency> {
+    let mut kept: Vec<dc_relational::FunctionalDependency> = Vec::new();
+    let mut rhs_taken = std::collections::HashSet::new();
+    for fd in fds {
+        if rhs_taken.contains(&fd.rhs) {
+            continue;
+        }
+        let cycles = kept
+            .iter()
+            .any(|k| fd.lhs.contains(&k.rhs) && k.lhs.contains(&fd.rhs));
+        if cycles {
+            continue;
+        }
+        rhs_taken.insert(fd.rhs);
+        kept.push(fd);
+    }
+    kept
+}
+
+/// Minimal union–find for duplicate clustering.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Clusters in ascending order of their smallest member.
+    fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut map: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let r = self.find(i);
+            map.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{people_fds, people_table, ErrorInjector};
+    use rand::SeedableRng;
+
+    #[test]
+    fn union_find_clusters() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        let c = uf.clusters();
+        assert_eq!(c, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn pipeline_improves_quality_on_dirty_lake() {
+        let mut rng = StdRng::seed_from_u64(1000);
+        // Two overlapping dirty shards of a people table + a decoy.
+        let clean = people_table(80, &mut rng);
+        let inj = ErrorInjector {
+            typo_rate: 0.01,
+            null_rate: 0.05,
+            swap_rate: 0.0,
+            fd_violation_rate: 0.02,
+            abbreviation_rate: 0.0,
+        };
+        let (mut shard_a, _) = inj.inject(&clean, &people_fds(), &mut rng);
+        shard_a.name = "people_a".into();
+        let (mut shard_b, _) = inj.inject(&clean, &people_fds(), &mut rng);
+        shard_b.name = "people_b".into();
+        let decoy = dc_datagen::products_table(40, &mut rng);
+        let tables = vec![shard_a, decoy, shard_b];
+
+        let pipeline = Pipeline::new(PipelineConfig {
+            query: "people name city country".into(),
+            top_k_tables: 3,
+            ..Default::default()
+        });
+        let (curated, report) = pipeline.run(&tables, &mut rng);
+
+        // Both people shards discovered, not the products decoy.
+        assert!(report.discovered.iter().any(|n| n == "people_a"));
+        assert!(report.discovered.iter().any(|n| n == "people_b"));
+        assert!(!report.discovered.iter().any(|n| n == "products"));
+        // The two shards duplicate every entity: integration must merge.
+        assert!(report.clusters_merged > 20, "merged {}", report.clusters_merged);
+        assert!(curated.len() < report.rows_in);
+        // Cleaning improves the quality score.
+        assert!(
+            report.after.score() >= report.before.score(),
+            "quality {:?} → {:?}",
+            report.before,
+            report.after
+        );
+        // Key-like columns are deliberately not mode-imputed, so a few
+        // nulls may survive; completeness must still improve.
+        assert!(
+            report.after.completeness >= report.before.completeness,
+            "completeness {:?} → {:?}",
+            report.before,
+            report.after
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_lake_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        Pipeline::default().run(&[], &mut rng);
+    }
+}

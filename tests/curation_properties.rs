@@ -1,0 +1,112 @@
+//! Property-based integration tests over core curation invariants,
+//! spanning relational, clean, er and synth.
+
+use autodc::prelude::*;
+use autodc::relational::tokenize::{edit_distance, jaccard, normalize, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    /// CSV round-trips for arbitrary text tables (quoting, commas,
+    /// newlines, unicode).
+    #[test]
+    fn csv_round_trip(cells in proptest::collection::vec(
+        proptest::collection::vec("[a-zA-Z0-9 ,\"\n\u{e9}\u{4e2d}]{0,12}", 3),
+        1..8,
+    )) {
+        let schema = Schema::new(&[
+            ("a", AttrType::Text),
+            ("b", AttrType::Text),
+            ("c", AttrType::Text),
+        ]);
+        let mut t = Table::new("p", schema);
+        for row in &cells {
+            t.push(row.iter().map(|s| {
+                // parse() trims and may coerce types; bracket with
+                // letters so the round trip is value-exact.
+                Value::text(format!("x{s}x"))
+            }).collect());
+        }
+        let back = Table::from_csv("p", &t.to_csv()).expect("parse");
+        prop_assert_eq!(back.rows, t.rows);
+    }
+
+    /// Normalisation is idempotent.
+    #[test]
+    fn normalize_idempotent(s in ".{0,40}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Edit distance is a metric (symmetry + identity + triangle over
+    /// small samples).
+    #[test]
+    fn edit_distance_metric(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert!(
+            edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+        );
+    }
+
+    /// Jaccard is bounded and symmetric.
+    #[test]
+    fn jaccard_bounded(a in "[a-d ]{0,20}", b in "[a-d ]{0,20}") {
+        let ta = tokenize(&a);
+        let tb = tokenize(&b);
+        let j = jaccard(&ta, &tb);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&tb, &ta));
+    }
+
+    /// FD repair always reaches tables where the repaired FD holds, and
+    /// never touches columns other than the FD's RHS.
+    #[test]
+    fn fd_repair_converges(values in proptest::collection::vec((0u8..4, 0u8..3), 2..30)) {
+        let schema = Schema::new(&[("k", AttrType::Int), ("v", AttrType::Int)]);
+        let mut t = Table::new("r", schema);
+        for (k, v) in &values {
+            t.push(vec![Value::Int(*k as i64), Value::Int(*v as i64)]);
+        }
+        let before = t.clone();
+        let fd = FunctionalDependency::new(vec![0], 1);
+        autodc::clean::repair::repair_fds(&mut t, &[fd.clone()], 10);
+        prop_assert!(fd.holds(&t));
+        for (orig, fixed) in before.rows.iter().zip(&t.rows) {
+            prop_assert_eq!(&orig[0], &fixed[0], "repair must not edit the LHS");
+        }
+    }
+
+    /// Synthesised programs are consistent with their examples by
+    /// construction.
+    #[test]
+    fn synthesis_consistency(first in "[a-z]{1,6}", last in "[a-z]{1,6}") {
+        let examples = vec![
+            (format!("{first} {last}"), last.to_string()),
+            ("alpha beta".to_string(), "beta".to_string()),
+        ];
+        let result = synthesize(&examples, &SynthConfig::default());
+        if let Some(p) = result.program {
+            for (input, output) in &examples {
+                let got = p.run(input);
+                prop_assert_eq!(got.as_deref(), Some(output.as_str()));
+            }
+        }
+    }
+
+    /// The quality score is monotone in nulls: adding a null can never
+    /// raise the score.
+    #[test]
+    fn quality_monotone_in_nulls(n in 1usize..12, kill in 0usize..12) {
+        let schema = Schema::new(&[("a", AttrType::Int), ("b", AttrType::Int)]);
+        let mut t = Table::new("q", schema);
+        for i in 0..n {
+            t.push(vec![Value::Int(i as i64), Value::Int((i * 7) as i64)]);
+        }
+        let before = quality_score(&t, &[]).score();
+        if kill < n {
+            t.rows[kill][1] = Value::Null;
+        }
+        let after = quality_score(&t, &[]).score();
+        prop_assert!(after <= before + 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the DeepER workflow of Figure 5 — embed,
+//! block, match, evaluate — spanning datagen, embed, nn and er.
+
+use autodc::er::blocking::blocking_quality;
+use autodc::er::eval::best_threshold;
+use autodc::er::features::tuple_vectors;
+use autodc::prelude::*;
+use autodc::relational::tokenize_tuple;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn embeddings(bench: &ErBenchmark, rng: &mut StdRng) -> Embeddings {
+    let mut docs: Vec<Vec<String>> = bench
+        .table
+        .rows
+        .iter()
+        .map(|r| tokenize_tuple(r))
+        .collect();
+    docs.extend(autodc::datagen::corpus::domain_corpus(300, rng));
+    Embeddings::train(
+        &docs,
+        &SgnsConfig {
+            dim: 16,
+            epochs: 5,
+            ..Default::default()
+        },
+        rng,
+    )
+}
+
+#[test]
+fn block_then_match_recovers_duplicates() {
+    let mut rng = StdRng::seed_from_u64(500);
+    let bench = ErBenchmark::generate(ErSuite::Clean, 60, 3, &mut rng);
+    let emb = embeddings(&bench, &mut rng);
+
+    // Blocking: the candidate set must be much smaller than n² while
+    // keeping most true pairs.
+    let vectors = tuple_vectors(&emb, &bench.table);
+    let blocker = LshBlocker::new(emb.dim(), 8, 4, &mut rng);
+    let candidates = blocker.candidates(&vectors);
+    let q = blocking_quality(&candidates, &bench.duplicate_pairs(), bench.table.len());
+    assert!(q.reduction_ratio > 0.3, "{q:?}");
+    assert!(q.pair_completeness > 0.6, "{q:?}");
+
+    // Matching: train on labelled pairs, score the *candidates*.
+    let pairs = bench.labeled_pairs(3, &mut rng);
+    let (train, _) = ErBenchmark::split_pairs(&pairs, 0.8, &mut rng);
+    let tp: Vec<(usize, usize)> = train.iter().map(|p| (p.a, p.b)).collect();
+    let tl: Vec<bool> = train.iter().map(|p| p.label).collect();
+    let model = DeepEr::train(
+        emb,
+        &bench.table,
+        &tp,
+        &tl,
+        Composition::Average,
+        DeepErConfig::default(),
+        &mut rng,
+    );
+    let cand_list: Vec<(usize, usize)> = candidates.into_iter().collect();
+    let scores = model.predict(&bench.table, &cand_list);
+    let gold: Vec<bool> = cand_list
+        .iter()
+        .map(|&(a, b)| bench.entity[a] == bench.entity[b])
+        .collect();
+    let eval = best_threshold(&scores, &gold);
+    // The candidate set is far more imbalanced than the training pairs
+    // (every non-duplicate collision counts), so the bar is lower than
+    // the E3 in-distribution F1.
+    assert!(
+        eval.f1 > 0.6,
+        "end-to-end block+match F1 {} at threshold {}",
+        eval.f1,
+        eval.threshold
+    );
+}
+
+#[test]
+fn golden_records_from_matched_clusters() {
+    // ER output feeds entity consolidation (§4's golden-record problem).
+    let mut rng = StdRng::seed_from_u64(501);
+    let bench = ErBenchmark::generate(ErSuite::Dirty, 25, 3, &mut rng);
+    let model_pref = autodc::synth::PreferenceModel::default();
+
+    // Group rows by ground-truth entity and consolidate each cluster.
+    let max_entity = *bench.entity.iter().max().expect("nonempty");
+    let mut consolidated = 0;
+    for e in 0..=max_entity {
+        let rows: Vec<&[Value]> = bench
+            .entity
+            .iter()
+            .enumerate()
+            .filter(|(_, &ent)| ent == e)
+            .map(|(i, _)| bench.table.rows[i].as_slice())
+            .collect();
+        if rows.len() < 2 {
+            continue;
+        }
+        let golden = autodc::synth::consolidate_cluster(&rows, &model_pref);
+        assert_eq!(golden.len(), bench.table.schema.arity());
+        // The golden record must prefer non-null values when any exist.
+        for (c, v) in golden.iter().enumerate() {
+            if rows.iter().any(|r| !r[c].is_null()) {
+                assert!(!v.is_null(), "column {c} null despite candidates");
+            }
+        }
+        consolidated += 1;
+    }
+    assert!(consolidated > 5, "too few multi-record entities");
+}
