@@ -49,7 +49,7 @@ fn bench_ae_steps(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_ae_steps

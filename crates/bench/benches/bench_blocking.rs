@@ -16,12 +16,7 @@ fn bench_blockers(c: &mut Criterion) {
     for &entities in &[50usize, 100] {
         let mut rng = StdRng::seed_from_u64(1);
         let bench = ErBenchmark::generate(ErSuite::Dirty, entities, 3, &mut rng);
-        let docs: Vec<Vec<String>> = bench
-            .table
-            .rows
-            .iter()
-            .map(|r| tokenize_tuple(r))
-            .collect();
+        let docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
         let emb = Embeddings::train(
             &docs,
             &SgnsConfig {
@@ -55,7 +50,7 @@ fn bench_blockers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_blockers

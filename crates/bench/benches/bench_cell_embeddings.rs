@@ -52,7 +52,7 @@ fn bench_celldoc_training(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_graph_build, bench_walks, bench_celldoc_training

@@ -22,12 +22,7 @@ struct Setup {
 fn setup() -> Setup {
     let mut rng = StdRng::seed_from_u64(1);
     let bench = ErBenchmark::generate(ErSuite::Dirty, 40, 3, &mut rng);
-    let docs: Vec<Vec<String>> = bench
-        .table
-        .rows
-        .iter()
-        .map(|r| tokenize_tuple(r))
-        .collect();
+    let docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
     let emb = Embeddings::train(
         &docs,
         &SgnsConfig {
@@ -92,12 +87,18 @@ fn bench_logreg_train(c: &mut Criterion) {
     c.bench_function("feature_logreg_train", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(4);
-            black_box(FeatureLogReg::train(&s.bench.table, &s.tp, &s.tl, 20, &mut r))
+            black_box(FeatureLogReg::train(
+                &s.bench.table,
+                &s.tp,
+                &s.tl,
+                20,
+                &mut r,
+            ))
         })
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_deeper_train, bench_deeper_predict, bench_logreg_train

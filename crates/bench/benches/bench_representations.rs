@@ -38,7 +38,7 @@ fn bench_similarity_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_sgns_training, bench_similarity_queries

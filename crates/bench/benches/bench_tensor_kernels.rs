@@ -53,7 +53,7 @@ fn bench_autograd_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_matmul, bench_autograd_step

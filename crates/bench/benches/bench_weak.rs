@@ -37,7 +37,7 @@ fn bench_dawid_skene(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_label_model, bench_dawid_skene

@@ -39,13 +39,8 @@ fn e15_reconstruction(scale: Scale) -> ExperimentTable {
         ks.train_step(&x, &mut Adam::new(0.005));
     }
 
-    let mut dae = DenoisingAutoencoder::new(
-        d,
-        &[d / 2],
-        d / 4,
-        Noise::Masking { p: 0.2 },
-        &mut rng,
-    );
+    let mut dae =
+        DenoisingAutoencoder::new(d, &[d / 2], d / 4, Noise::Masking { p: 0.2 }, &mut rng);
     dae.fit(&x, &mut Adam::new(0.005), epochs, 32, &mut rng);
 
     // Evaluate: reconstruction MSE on clean input and on 20%-masked
@@ -140,7 +135,11 @@ fn e15_generation(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E15b",
         "Synthetic tuple generation: VAE vs GAN (§6.2.3)",
-        &["generator", "post-hoc discriminator AUC (0.5 = perfect)", "column-mean RMSE"],
+        &[
+            "generator",
+            "post-hoc discriminator AUC (0.5 = perfect)",
+            "column-mean RMSE",
+        ],
     );
     let vauc = auc_against_real(&vae_samples, &mut rng);
     t.push(vec!["VAE".into(), f3(vauc), f3(mean_gap(&vae_samples))]);
@@ -149,7 +148,11 @@ fn e15_generation(scale: Scale) -> ExperimentTable {
     // Sanity anchor: pure noise should be trivially detectable.
     let noise = Tensor::randn(n, d, 1.0, &mut rng);
     let nauc = auc_against_real(&noise, &mut rng);
-    t.push(vec!["iid noise (anchor)".into(), f3(nauc), f3(mean_gap(&noise))]);
+    t.push(vec![
+        "iid noise (anchor)".into(),
+        f3(nauc),
+        f3(mean_gap(&noise)),
+    ]);
     t
 }
 
@@ -161,10 +164,7 @@ mod tests {
     fn e15a_dae_is_most_robust_to_corruption() {
         let t = e15_reconstruction(Scale::Quick);
         let corrupted = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].contains(name))
-                .expect("row")[2]
+            t.rows.iter().find(|r| r[0].contains(name)).expect("row")[2]
                 .parse()
                 .expect("num")
         };
@@ -180,10 +180,7 @@ mod tests {
     fn e15b_generators_beat_the_noise_anchor() {
         let t = e15_generation(Scale::Quick);
         let col = |name: &str, idx: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].contains(name))
-                .expect("row")[idx]
+            t.rows.iter().find(|r| r[0].contains(name)).expect("row")[idx]
                 .parse()
                 .expect("num")
         };

@@ -72,7 +72,9 @@ fn run_selected(scale: Scale, wanted: &[String]) -> Vec<ExperimentTable> {
     }
     tables.retain(|t| {
         let id = t.id.to_lowercase();
-        wanted.iter().any(|w| id == *w || id.starts_with(w.as_str()))
+        wanted
+            .iter()
+            .any(|w| id == *w || id.starts_with(w.as_str()))
     });
     tables
 }

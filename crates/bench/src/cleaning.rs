@@ -44,15 +44,8 @@ fn e8(scale: Scale) -> ExperimentTable {
         let mode = SimpleImputer::fit(&dirty, SimpleStrategy::MeanMode).impute(&dirty);
         let knn = KnnImputer { k: 5 }.impute(&dirty, &encoder);
         let mut r = StdRng::seed_from_u64(801);
-        let dae = DaeImputer::train(
-            &dirty,
-            encoder,
-            &[48],
-            24,
-            scale.pick(30, 60),
-            &mut r,
-        )
-        .impute(&dirty);
+        let dae = DaeImputer::train(&dirty, encoder, &[48], 24, scale.pick(30, 60), &mut r)
+            .impute(&dirty);
 
         for (name, imputed) in [("mean/mode", &mode), ("kNN(5)", &knn), ("DAE", &dae)] {
             let s = score_imputation(&clean, &dirty, imputed);

@@ -4,8 +4,7 @@
 use crate::{f3, ExperimentTable, Scale};
 use dc_datagen::Lake;
 use dc_discovery::{
-    mrr, precision_at, search_documents, Bm25Lite, NeuralSearch, SemanticMatcher,
-    SyntacticMatcher,
+    mrr, precision_at, search_documents, Bm25Lite, NeuralSearch, SemanticMatcher, SyntacticMatcher,
 };
 use dc_embed::{Embeddings, SgnsConfig};
 use dc_relational::Table;
@@ -87,17 +86,37 @@ fn e6(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E6",
         "Semantic matching: renamed-link recall & spurious-link rejection (§5.1)",
-        &["matcher", "renamed links surfaced", "spurious links rejected"],
+        &[
+            "matcher",
+            "renamed links surfaced",
+            "spurious links rejected",
+        ],
     );
     t.push(vec![
         "semantic (coherent groups)".into(),
-        format!("{sem_surfaced}/{} ({})", renamed.len(), f3(sem_surfaced as f64 / renamed.len().max(1) as f64)),
-        format!("{sem_rejected}/{} ({})", spurious.len(), f3(sem_rejected as f64 / spurious.len().max(1) as f64)),
+        format!(
+            "{sem_surfaced}/{} ({})",
+            renamed.len(),
+            f3(sem_surfaced as f64 / renamed.len().max(1) as f64)
+        ),
+        format!(
+            "{sem_rejected}/{} ({})",
+            spurious.len(),
+            f3(sem_rejected as f64 / spurious.len().max(1) as f64)
+        ),
     ]);
     t.push(vec![
         "syntactic (name Jaccard)".into(),
-        format!("{syn_surfaced}/{} ({})", renamed.len(), f3(syn_surfaced as f64 / renamed.len().max(1) as f64)),
-        format!("{syn_rejected}/{} ({})", spurious.len(), f3(syn_rejected as f64 / spurious.len().max(1) as f64)),
+        format!(
+            "{syn_surfaced}/{} ({})",
+            renamed.len(),
+            f3(syn_surfaced as f64 / renamed.len().max(1) as f64)
+        ),
+        format!(
+            "{syn_rejected}/{} ({})",
+            spurious.len(),
+            f3(syn_rejected as f64 / spurious.len().max(1) as f64)
+        ),
     ]);
     t
 }

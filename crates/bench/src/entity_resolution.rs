@@ -22,12 +22,7 @@ pub fn run(scale: Scale) -> Vec<ExperimentTable> {
 }
 
 fn word_embeddings(bench: &ErBenchmark, scale: Scale, rng: &mut StdRng) -> Embeddings {
-    let mut docs: Vec<Vec<String>> = bench
-        .table
-        .rows
-        .iter()
-        .map(|r| tokenize_tuple(r))
-        .collect();
+    let mut docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
     docs.extend(dc_datagen::corpus::domain_corpus(scale.pick(300, 800), rng));
     Embeddings::train(
         &docs,
@@ -63,7 +58,13 @@ fn e3(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E3",
         "ER accuracy (F1) across suites (Fig 5, §5.2)",
-        &["suite", "DeepER (avg)", "DeepER (LSTM)", "Feature LogReg", "Rule @0.7"],
+        &[
+            "suite",
+            "DeepER (avg)",
+            "DeepER (LSTM)",
+            "Feature LogReg",
+            "Rule @0.7",
+        ],
     );
     let entities = scale.pick(50, 120);
     for suite in [ErSuite::Clean, ErSuite::Dirty, ErSuite::Textual] {
@@ -152,7 +153,11 @@ fn e4(scale: Scale) -> ExperimentTable {
             q.candidates.to_string(),
         ]);
     }
-    let q = blocking_quality(&TokenBlocker { column: 0 }.candidates(&bench.table), &truth, n);
+    let q = blocking_quality(
+        &TokenBlocker { column: 0 }.candidates(&bench.table),
+        &truth,
+        n,
+    );
     t.push(vec![
         "token blocking (name only)".into(),
         f3(q.reduction_ratio),
@@ -186,7 +191,12 @@ fn e5(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E5",
         "Label efficiency: F1 vs training labels (§5.2 ease-of-use)",
-        &["labels", "DeepER (pretrained emb)", "DeepER (no weighting)", "Feature LogReg"],
+        &[
+            "labels",
+            "DeepER (pretrained emb)",
+            "DeepER (no weighting)",
+            "Feature LogReg",
+        ],
     );
     for &budget in scale.pick(&[20usize, 60, 200][..], &[20usize, 50, 100, 200, 400][..]) {
         let take = budget.min(tp_all.len());

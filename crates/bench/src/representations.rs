@@ -160,9 +160,8 @@ fn e2(scale: Scale) -> ExperimentTable {
                 .collect::<std::collections::HashSet<_>>()
                 .into_iter()
                 .filter_map(|c| {
-                    emb.get(&cell_token(country_col, c)).map(|v| {
-                        (c, dc_tensor::tensor::cosine(cv, v))
-                    })
+                    emb.get(&cell_token(country_col, c))
+                        .map(|v| (c, dc_tensor::tensor::cosine(cv, v)))
                 })
                 .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
@@ -205,7 +204,9 @@ fn e2(scale: Scale) -> ExperimentTable {
 
     // Distant-attribute variant: reorder columns so city and country
     // are 6 apart; a small window must now miss the co-occurrence.
-    let spread = table.project(&["city", "id", "name", "email", "phone", "age", "capital", "country"]);
+    let spread = table.project(&[
+        "city", "id", "name", "email", "phone", "age", "capital", "country",
+    ]);
     let spread_truth_cols = (0usize, 7usize);
     {
         let mut r = StdRng::seed_from_u64(104);
@@ -235,7 +236,11 @@ fn e2(scale: Scale) -> ExperimentTable {
         }
         t.push(vec![
             "tuple-as-document (W=2, |i−j|=7)".into(),
-            f3(if total == 0 { 0.0 } else { hits as f64 / total as f64 }),
+            f3(if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }),
         ]);
     }
 
@@ -276,10 +281,7 @@ mod tests {
         let tables = run(Scale::Quick);
         let e2 = &tables[2];
         let find = |needle: &str| -> f64 {
-            e2.rows
-                .iter()
-                .find(|r| r[0].contains(needle))
-                .expect("row")[1]
+            e2.rows.iter().find(|r| r[0].contains(needle)).expect("row")[1]
                 .parse()
                 .expect("num")
         };

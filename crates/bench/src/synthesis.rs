@@ -41,14 +41,8 @@ fn e10(scale: Scale) -> ExperimentTable {
                 ("(617) 555 1234", "617-555-1234"),
             ]),
         ),
-        (
-            "uppercase",
-            ex(&[("hello world", "HELLO WORLD")]),
-        ),
-        (
-            "last token",
-            ex(&[("a b c", "c"), ("x y", "y")]),
-        ),
+        ("uppercase", ex(&[("hello world", "HELLO WORLD")])),
+        ("last token", ex(&[("a b c", "c"), ("x y", "y")])),
         (
             "title-case both tokens",
             ex(&[("john smith", "John Smith"), ("jane doe", "Jane Doe")]),
@@ -58,7 +52,13 @@ fn e10(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E10",
         "Program synthesis: candidates explored, plain vs neural-guided (§4)",
-        &["task", "plain found", "plain explored", "guided found", "guided explored"],
+        &[
+            "task",
+            "plain found",
+            "plain explored",
+            "guided found",
+            "guided explored",
+        ],
     );
     for (name, task) in &tasks {
         let plain = synthesize(task, &config);

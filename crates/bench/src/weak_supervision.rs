@@ -23,13 +23,11 @@ pub fn run(scale: Scale) -> Vec<ExperimentTable> {
 fn e11_augment(scale: Scale) -> ExperimentTable {
     let mut rng = StdRng::seed_from_u64(1100);
     let bench = ErBenchmark::generate(ErSuite::Dirty, scale.pick(50, 100), 3, &mut rng);
-    let mut docs: Vec<Vec<String>> = bench
-        .table
-        .rows
-        .iter()
-        .map(|r| tokenize_tuple(r))
-        .collect();
-    docs.extend(dc_datagen::corpus::domain_corpus(scale.pick(300, 600), &mut rng));
+    let mut docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
+    docs.extend(dc_datagen::corpus::domain_corpus(
+        scale.pick(300, 600),
+        &mut rng,
+    ));
     let emb = Embeddings::train(
         &docs,
         &SgnsConfig {
@@ -132,7 +130,10 @@ fn e11_label_model(scale: Scale) -> ExperimentTable {
         }),
         LabelingFunction::new("phone_digits", |(a, b): &Pair| {
             let d = |v: &dc_relational::Value| -> String {
-                v.canonical().chars().filter(|c| c.is_ascii_digit()).collect()
+                v.canonical()
+                    .chars()
+                    .filter(|c| c.is_ascii_digit())
+                    .collect()
             };
             let (da, db) = (d(&a[2]), d(&b[2]));
             if da.is_empty() || db.is_empty() {
@@ -197,7 +198,11 @@ fn e12(scale: Scale) -> ExperimentTable {
         let acc = |pred: &[bool]| {
             pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
         };
-        t.push(vec![format!("{skills:?}"), f3(acc(&majority)), f3(acc(&ds))]);
+        t.push(vec![
+            format!("{skills:?}"),
+            f3(acc(&majority)),
+            f3(acc(&ds)),
+        ]);
     }
     t
 }

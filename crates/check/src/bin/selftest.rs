@@ -1,0 +1,114 @@
+//! dc-check self-test: exercises every pass against known-good and
+//! known-bad graphs and prints a one-line verdict per check. Exits
+//! non-zero on any failure, so `scripts/lint.sh` can gate on it.
+
+use dc_check::{
+    audit_all_ops, check_plan, check_root, check_tape, lint_graph, sanitize, Defect, SymNode, SymOp,
+};
+use dc_tensor::{Tape, Tensor};
+
+fn leaf(rows: usize, cols: usize) -> SymNode {
+    SymNode::new(SymOp::Leaf { rows, cols })
+}
+
+fn main() {
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        println!("{} {name}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // 1. The full finite-difference audit over every Op variant.
+    let audits = audit_all_ops(5e-3, 1e-3);
+    for a in &audits {
+        check(
+            &format!("fd-audit {} (rel err {:.2e})", a.kind.name(), a.max_rel_err),
+            a.pass,
+        );
+    }
+
+    // 2. A healthy training-step graph validates clean.
+    let t = Tape::new();
+    let x = t.var(Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]));
+    let w = t.var(Tensor::from_vec(3, 2, vec![0.5; 6]));
+    let b = t.var(Tensor::row(vec![0.1, -0.1]));
+    let h = t.sigmoid(t.add_row(t.matmul(x, w), b));
+    let loss = t.mse_loss(h, Tensor::zeros(2, 2));
+    check("healthy graph: shapes", check_tape(&t).is_ok());
+    check("healthy graph: root", check_root(&t, loss).is_empty());
+    check("healthy graph: lints", lint_graph(&t, loss).is_empty());
+    check("healthy graph: numerics", sanitize(&t).is_empty());
+
+    // 3. Each defect class is detected.
+    let found = |r: &Result<_, Vec<dc_check::GraphError>>, d: Defect| {
+        r.as_ref()
+            .err()
+            .is_some_and(|es| es.iter().any(|e| e.defect == d))
+    };
+
+    let bad = vec![leaf(2, 3), leaf(3, 3), SymNode::new(SymOp::Add(0, 1))];
+    check(
+        "detects shape mismatch",
+        found(&check_plan(&bad), Defect::ShapeMismatch),
+    );
+
+    let bad = vec![
+        leaf(4, 3),
+        leaf(2, 3),
+        SymNode::new(SymOp::AddRow { lhs: 0, rhs: 1 }),
+    ];
+    check(
+        "detects bad broadcast",
+        found(&check_plan(&bad), Defect::BadBroadcast),
+    );
+
+    let bad = vec![
+        leaf(3, 2),
+        SymNode::new(SymOp::RowsSelect {
+            src: 0,
+            indices: vec![0, 5],
+        }),
+    ];
+    check(
+        "detects out-of-bounds gather",
+        found(&check_plan(&bad), Defect::IndexOutOfBounds),
+    );
+
+    let t = Tape::new();
+    let x = t.var(Tensor::row(vec![1.0, 2.0]));
+    let _dead = t.var(Tensor::row(vec![9.9; 4]));
+    let loss = t.sum(x);
+    check(
+        "detects dead parameter",
+        lint_graph(&t, loss)
+            .iter()
+            .any(|e| e.defect == Defect::DeadParameter),
+    );
+
+    let other = Tape::new();
+    let foreign = other.var(Tensor::scalar(1.0));
+    check(
+        "detects cross-tape Var",
+        check_root(&t, foreign)
+            .iter()
+            .any(|e| e.defect == Defect::CrossTapeVar),
+    );
+
+    let t = Tape::new();
+    let x = t.var(Tensor::row(vec![1.0, f32::NAN, 3.0]));
+    let _ = t.sum(x);
+    check(
+        "detects NaN injection",
+        sanitize(&t)
+            .iter()
+            .any(|e| e.defect == Defect::NonFiniteValue),
+    );
+
+    if failures > 0 {
+        eprintln!("dc-check selftest: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("dc-check selftest: all checks passed");
+}

@@ -1,0 +1,101 @@
+//! Structured diagnostics shared by every dc-check pass.
+
+use std::fmt;
+
+/// The class of defect a diagnostic reports. The first group are hard
+/// errors (the graph would panic or silently miscompute); the second
+/// group are lints (legal but almost certainly unintended).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Defect {
+    /// Operand shapes are incompatible with the op's contract.
+    ShapeMismatch,
+    /// `add_row` broadcast where the right-hand side is not `1×m`.
+    BadBroadcast,
+    /// A gather/group/label index points past the end of its operand.
+    IndexOutOfBounds,
+    /// A backward root that is not a `1×1` scalar.
+    NonScalarLoss,
+    /// A dropout mask whose kept entries are not one uniform scale `≥ 1`.
+    BadDropoutMask,
+    /// Structurally broken arena: forward references or indices past the
+    /// end of the node list.
+    Malformed,
+    /// A `Var` minted by a different tape.
+    CrossTapeVar,
+    /// A parameter leaf the backward root never reads — it will receive
+    /// zero gradient and silently never train.
+    DeadParameter,
+    /// A non-leaf node computed before the root but feeding nothing.
+    UnusedNode,
+    /// `Tape::backward` ran more than once on the same tape; each run
+    /// replaces the gradients of the previous one.
+    DoubleBackward,
+    /// A NaN or ±Inf in a node's forward value.
+    NonFiniteValue,
+    /// A NaN or ±Inf in a node's gradient.
+    NonFiniteGrad,
+}
+
+impl Defect {
+    /// Lints are advisory; everything else is a hard error.
+    pub fn is_warning(self) -> bool {
+        matches!(
+            self,
+            Defect::DeadParameter | Defect::UnusedNode | Defect::DoubleBackward
+        )
+    }
+}
+
+/// One diagnostic, anchored to a node of the analyzed graph.
+#[derive(Clone, Debug)]
+pub struct GraphError {
+    /// Arena index of the offending node.
+    pub node: usize,
+    /// Name of the op that produced the node (see [`dc_tensor::op_name`]).
+    pub op: &'static str,
+    /// Defect class.
+    pub defect: Defect,
+    /// What the op's contract required.
+    pub expected: String,
+    /// What the graph actually contains.
+    pub got: String,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at node {} ({}): expected {}, got {}",
+            match self.defect {
+                Defect::ShapeMismatch => "shape mismatch",
+                Defect::BadBroadcast => "bad broadcast",
+                Defect::IndexOutOfBounds => "index out of bounds",
+                Defect::NonScalarLoss => "non-scalar loss",
+                Defect::BadDropoutMask => "bad dropout mask",
+                Defect::Malformed => "malformed graph",
+                Defect::CrossTapeVar => "cross-tape Var",
+                Defect::DeadParameter => "dead parameter",
+                Defect::UnusedNode => "unused node",
+                Defect::DoubleBackward => "double backward",
+                Defect::NonFiniteValue => "non-finite value",
+                Defect::NonFiniteGrad => "non-finite gradient",
+            },
+            self.node,
+            self.op,
+            self.expected,
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Render a batch of diagnostics, one per line, for panic messages and
+/// the self-test binary.
+pub fn render(errors: &[GraphError]) -> String {
+    errors
+        .iter()
+        .map(|e| format!("  - {e}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,59 @@
+//! Numerics sanitizer: NaN / ±Inf detection with provenance.
+//!
+//! The arena is topologically ordered, so the *first* node (in arena
+//! order) with a non-finite forward value is where the poison entered
+//! the graph — its inputs are all earlier and, if they were poisoned
+//! too, they would have been reported first. Gradients flow the other
+//! way, so for them the *last* node is the origin and the scan runs
+//! descending.
+
+use crate::diag::{Defect, GraphError};
+use dc_tensor::{op_name, Tape, Tensor};
+
+/// Index and description of the first non-finite element, if any.
+fn first_non_finite(t: &Tensor) -> Option<String> {
+    t.data
+        .iter()
+        .position(|v| !v.is_finite())
+        .map(|i| format!("{} at element {i} of {}x{}", t.data[i], t.rows, t.cols))
+}
+
+/// Scan every node's forward value and gradient for NaN / ±Inf.
+///
+/// Returns one [`Defect::NonFiniteValue`] per poisoned value (ascending
+/// arena order — the first entry is the op that *introduced* the poison)
+/// followed by one [`Defect::NonFiniteGrad`] per poisoned gradient
+/// (descending order, same convention under the backward sweep). Each
+/// diagnostic carries the offending element and the node's operand
+/// indices as provenance.
+pub fn sanitize(tape: &Tape) -> Vec<GraphError> {
+    let mut value_errors = Vec::new();
+    let mut grad_errors = Vec::new();
+
+    tape.for_each_node(|i, op, value, grad| {
+        if let Some(desc) = first_non_finite(value) {
+            value_errors.push(GraphError {
+                node: i,
+                op: op_name(op),
+                defect: Defect::NonFiniteValue,
+                expected: "finite forward values".to_string(),
+                got: desc,
+            });
+        }
+        if let Some(g) = grad {
+            if let Some(desc) = first_non_finite(g) {
+                grad_errors.push(GraphError {
+                    node: i,
+                    op: op_name(op),
+                    defect: Defect::NonFiniteGrad,
+                    expected: "finite gradients".to_string(),
+                    got: desc,
+                });
+            }
+        }
+    });
+
+    grad_errors.reverse(); // descending: first entry = origin of the poison
+    value_errors.extend(grad_errors);
+    value_errors
+}

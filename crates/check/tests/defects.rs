@@ -1,0 +1,155 @@
+//! Acceptance tests: one dedicated test per defect class dc-check must
+//! detect — shape mismatch, bad broadcast, out-of-bounds gather, dead
+//! parameter, cross-tape `Var`, and NaN injection.
+
+use dc_check::{check_plan, check_root, lint_graph, sanitize, Defect, SymNode, SymOp};
+use dc_tensor::{Tape, Tensor};
+
+fn leaf(rows: usize, cols: usize) -> SymNode {
+    SymNode::new(SymOp::Leaf { rows, cols })
+}
+
+#[test]
+fn detects_shape_mismatch() {
+    // add of a 2x3 and a 3x3 — the kernels would panic mid-record; the
+    // symbolic checker reports it as structured data instead.
+    let graph = vec![leaf(2, 3), leaf(3, 3), SymNode::new(SymOp::Add(0, 1))];
+    let errs = check_plan(&graph).unwrap_err();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].defect, Defect::ShapeMismatch);
+    assert_eq!(errs[0].node, 2);
+    assert!(errs[0].got.contains("2x3"), "got: {}", errs[0].got);
+    assert!(errs[0].got.contains("3x3"), "got: {}", errs[0].got);
+}
+
+#[test]
+fn detects_bad_broadcast() {
+    // add_row where the right-hand side is 2x3, not 1x3.
+    let graph = vec![
+        leaf(4, 3),
+        leaf(2, 3),
+        SymNode::new(SymOp::AddRow { lhs: 0, rhs: 1 }),
+    ];
+    let errs = check_plan(&graph).unwrap_err();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].defect, Defect::BadBroadcast);
+    assert_eq!(errs[0].node, 2);
+
+    // Column mismatch is also a broadcast defect, even with one row.
+    let graph = vec![
+        leaf(4, 3),
+        leaf(1, 2),
+        SymNode::new(SymOp::AddRow { lhs: 0, rhs: 1 }),
+    ];
+    assert_eq!(
+        check_plan(&graph).unwrap_err()[0].defect,
+        Defect::BadBroadcast
+    );
+}
+
+#[test]
+fn detects_out_of_bounds_gather() {
+    let graph = vec![
+        leaf(3, 2),
+        SymNode::new(SymOp::RowsSelect {
+            src: 0,
+            indices: vec![0, 2, 5],
+        }),
+    ];
+    let errs = check_plan(&graph).unwrap_err();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].defect, Defect::IndexOutOfBounds);
+    assert!(errs[0].got.contains("index 5"), "got: {}", errs[0].got);
+
+    // Same class for group pooling and class labels.
+    let graph = vec![
+        leaf(3, 2),
+        SymNode::new(SymOp::RowsMean {
+            src: 0,
+            groups: vec![vec![0], vec![1, 7]],
+        }),
+    ];
+    assert_eq!(
+        check_plan(&graph).unwrap_err()[0].defect,
+        Defect::IndexOutOfBounds
+    );
+
+    let graph = vec![
+        leaf(2, 4),
+        SymNode::new(SymOp::SoftmaxCe {
+            logits: 0,
+            labels: vec![1, 4],
+        }),
+    ];
+    assert_eq!(
+        check_plan(&graph).unwrap_err()[0].defect,
+        Defect::IndexOutOfBounds
+    );
+}
+
+#[test]
+fn detects_dead_parameter() {
+    let t = Tape::new();
+    let x = t.var(Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+    let w_used = t.var(Tensor::from_vec(2, 2, vec![0.5; 4]));
+    let w_dead = t.var(Tensor::from_vec(2, 2, vec![0.7; 4])); // never consumed
+    let loss = t.mse_loss(t.matmul(x, w_used), Tensor::zeros(2, 2));
+
+    let warnings = lint_graph(&t, loss);
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].defect, Defect::DeadParameter);
+    assert_eq!(warnings[0].node, w_dead.index());
+    assert!(warnings[0].defect.is_warning());
+
+    // And indeed backward leaves its gradient at zero.
+    t.backward(loss);
+    assert!(t.grad(w_dead).data.iter().all(|&g| g == 0.0));
+    assert!(t.grad(w_used).data.iter().any(|&g| g != 0.0));
+}
+
+#[test]
+fn detects_cross_tape_var() {
+    let a = Tape::new();
+    let b = Tape::new();
+    let _ = a.var(Tensor::scalar(1.0));
+    let foreign = b.var(Tensor::scalar(2.0));
+
+    let errs = check_root(&a, foreign);
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].defect, Defect::CrossTapeVar);
+
+    let lints = lint_graph(&a, foreign);
+    assert_eq!(lints.len(), 1);
+    assert_eq!(lints[0].defect, Defect::CrossTapeVar);
+}
+
+#[test]
+fn detects_nan_injection_at_its_origin() {
+    let t = Tape::new();
+    let clean = t.var(Tensor::row(vec![1.0, 2.0]));
+    let poisoned = t.var(Tensor::row(vec![3.0, f32::NAN]));
+    let s = t.add(clean, poisoned);
+    let _ = t.sum(s);
+
+    let errs = sanitize(&t);
+    // The leaf that introduced the NaN is reported first; downstream
+    // nodes that merely propagate it follow.
+    assert!(errs.len() >= 2);
+    assert_eq!(errs[0].defect, Defect::NonFiniteValue);
+    assert_eq!(errs[0].node, poisoned.index());
+    assert!(errs[0].got.contains("element 1"), "got: {}", errs[0].got);
+}
+
+#[test]
+fn detects_inf_in_gradients() {
+    let t = Tape::new();
+    // exp(90) overflows f32 in the *backward* product even though the
+    // forward sum is already Inf; both show up, values first.
+    let x = t.var(Tensor::row(vec![90.0, 0.0]));
+    let loss = t.sum(t.exp(x));
+    t.backward(loss);
+
+    let errs = sanitize(&t);
+    assert!(errs.iter().any(|e| e.defect == Defect::NonFiniteValue));
+    assert!(errs.iter().any(|e| e.defect == Defect::NonFiniteGrad));
+}

@@ -61,11 +61,7 @@ impl TableEncoder {
                     .iter()
                     .all(|r| r[c].is_null() || r[c].as_f64().is_some());
             if numeric {
-                let vals: Vec<f64> = table
-                    .rows
-                    .iter()
-                    .filter_map(|r| r[c].as_f64())
-                    .collect();
+                let vals: Vec<f64> = table.rows.iter().filter_map(|r| r[c].as_f64()).collect();
                 let mean = if vals.is_empty() {
                     0.0
                 } else {
@@ -74,8 +70,7 @@ impl TableEncoder {
                 let var = if vals.len() < 2 {
                     1.0
                 } else {
-                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                        / vals.len() as f64
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64
                 };
                 specs.push(ColSpec::Numeric {
                     mean,
@@ -90,11 +85,8 @@ impl TableEncoder {
                 }
                 let mut items: Vec<(String, usize)> = counts.into_iter().collect();
                 items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                let values: Vec<String> = items
-                    .into_iter()
-                    .take(max_domain)
-                    .map(|(v, _)| v)
-                    .collect();
+                let values: Vec<String> =
+                    items.into_iter().take(max_domain).map(|(v, _)| v).collect();
                 let index = values
                     .iter()
                     .enumerate()
@@ -142,15 +134,13 @@ impl TableEncoder {
                     }
                     None => false,
                 },
-                (ColSpec::Categorical { index, .. }, v) => {
-                    match index.get(&v.canonical()) {
-                        Some(&slot) => {
-                            buf[range.start + slot] = 1.0;
-                            true
-                        }
-                        None => false,
+                (ColSpec::Categorical { index, .. }, v) => match index.get(&v.canonical()) {
+                    Some(&slot) => {
+                        buf[range.start + slot] = 1.0;
+                        true
                     }
-                }
+                    None => false,
+                },
             };
             observed.push(obs);
         }
@@ -218,10 +208,7 @@ mod tests {
     fn mixed_table() -> Table {
         let mut t = Table::new(
             "m",
-            Schema::new(&[
-                ("age", AttrType::Int),
-                ("city", AttrType::Categorical),
-            ]),
+            Schema::new(&[("age", AttrType::Int), ("city", AttrType::Categorical)]),
         );
         t.push(vec![Value::Int(20), Value::text("paris")]);
         t.push(vec![Value::Int(40), Value::text("berlin")]);

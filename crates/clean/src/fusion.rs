@@ -39,10 +39,7 @@ pub enum FusionStrategy {
 }
 
 /// Resolve claims to one value per `(entity, attr)` slot.
-pub fn fuse(
-    claims: &[SourceClaim],
-    strategy: FusionStrategy,
-) -> HashMap<(usize, usize), Value> {
+pub fn fuse(claims: &[SourceClaim], strategy: FusionStrategy) -> HashMap<(usize, usize), Value> {
     match strategy {
         FusionStrategy::MajorityVote => fuse_weighted(claims, &uniform_weights(claims)),
         FusionStrategy::SourceAccuracy { iterations } => {

@@ -34,20 +34,14 @@ impl SimpleImputer {
     pub fn fit(table: &Table, strategy: SimpleStrategy) -> Self {
         let fills = (0..table.schema.arity())
             .map(|c| {
-                let nums: Vec<f64> = table
-                    .rows
-                    .iter()
-                    .filter_map(|r| r[c].as_f64())
-                    .collect();
+                let nums: Vec<f64> = table.rows.iter().filter_map(|r| r[c].as_f64()).collect();
                 let all_numeric = table
                     .rows
                     .iter()
                     .all(|r| r[c].is_null() || r[c].as_f64().is_some());
                 if all_numeric && !nums.is_empty() {
                     let v = match strategy {
-                        SimpleStrategy::MeanMode => {
-                            nums.iter().sum::<f64>() / nums.len() as f64
-                        }
+                        SimpleStrategy::MeanMode => nums.iter().sum::<f64>() / nums.len() as f64,
                         SimpleStrategy::MedianMode => {
                             let mut s = nums.clone();
                             s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -114,8 +108,10 @@ impl KnnImputer {
                     .map(|j| {
                         let mut d = 0.0;
                         let mut shared = 0usize;
-                        for cc in 0..table.schema.arity() {
-                            if cc == c || !observed[i][cc] || !observed[j][cc] {
+                        for (cc, (&oi, &oj)) in
+                            observed[i].iter().zip(observed[j].iter()).enumerate()
+                        {
+                            if cc == c || !oi || !oj {
                                 continue;
                             }
                             for s in encoder.column_range(cc) {
@@ -134,8 +130,7 @@ impl KnnImputer {
                     })
                     .collect();
                 scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-                let neighbours: Vec<usize> =
-                    scored.iter().take(self.k).map(|&(j, _)| j).collect();
+                let neighbours: Vec<usize> = scored.iter().take(self.k).map(|&(j, _)| j).collect();
                 if neighbours.is_empty() {
                     continue;
                 }
@@ -157,8 +152,7 @@ fn aggregate_neighbours(table: &Table, c: usize, neighbours: &[usize]) -> Value 
     if numeric && !nums.is_empty() {
         Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
     } else {
-        let mut counts: std::collections::HashMap<String, usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
         for &j in neighbours {
             if !table.rows[j][c].is_null() {
                 *counts.entry(table.rows[j][c].canonical()).or_insert(0) += 1;
@@ -191,6 +185,18 @@ impl DaeImputer {
         rng: &mut StdRng,
     ) -> Self {
         let (x, _) = encoder.encode(table);
+        if dc_check::enabled() {
+            // The DAE hot path validates its own graphs; here we vet the
+            // *input* — a non-finite encoding would poison every epoch.
+            let probe = dc_tensor::Tape::new();
+            let _ = probe.var(x.clone());
+            let poisoned = dc_check::sanitize(&probe);
+            assert!(
+                poisoned.is_empty(),
+                "dc-check [DaeImputer::train]: encoded table is not finite\n{}",
+                dc_check::render(&poisoned)
+            );
+        }
         let mut dae = DenoisingAutoencoder::new(
             encoder.width(),
             hidden,
@@ -224,12 +230,7 @@ impl DaeImputer {
     /// Each draw perturbs the observed inputs with the DAE's own
     /// training corruption before reconstruction, so the spread across
     /// draws reflects the model's uncertainty.
-    pub fn impute_multiple(
-        &self,
-        table: &Table,
-        m: usize,
-        rng: &mut StdRng,
-    ) -> Vec<Table> {
+    pub fn impute_multiple(&self, table: &Table, m: usize, rng: &mut StdRng) -> Vec<Table> {
         let (x, _) = self.encoder.encode(table);
         (0..m)
             .map(|_| {
@@ -239,8 +240,7 @@ impl DaeImputer {
                 for i in 0..table.len() {
                     for c in 0..table.schema.arity() {
                         if out.rows[i][c].is_null() {
-                            out.rows[i][c] =
-                                self.encoder.decode_cell(c, recon.row_slice(i));
+                            out.rows[i][c] = self.encoder.decode_cell(c, recon.row_slice(i));
                         }
                     }
                 }
@@ -322,7 +322,11 @@ pub fn score_imputation(clean: &Table, dirty: &Table, imputed: &Table) -> Impute
         }
     }
     ImputeScore {
-        numeric_rmse: if nnum == 0 { 0.0 } else { (se / nnum as f64).sqrt() },
+        numeric_rmse: if nnum == 0 {
+            0.0
+        } else {
+            (se / nnum as f64).sqrt()
+        },
         numeric_cells: nnum,
         categorical_accuracy: if ncat == 0 {
             0.0
@@ -400,8 +404,7 @@ mod tests {
         let dae_filled = dae.impute(&dirty);
         let dae_score = score_imputation(&clean, &dirty, &dae_filled);
 
-        let mode_filled =
-            SimpleImputer::fit(&dirty, SimpleStrategy::MeanMode).impute(&dirty);
+        let mode_filled = SimpleImputer::fit(&dirty, SimpleStrategy::MeanMode).impute(&dirty);
         let mode_score = score_imputation(&clean, &dirty, &mode_filled);
 
         assert!(

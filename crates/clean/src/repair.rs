@@ -54,10 +54,7 @@ pub fn repair_fds(
                 let mut counts: HashMap<String, (usize, Value)> = HashMap::new();
                 for &i in rows {
                     let v = &table.rows[i][fd.rhs];
-                    counts
-                        .entry(v.canonical())
-                        .or_insert((0, v.clone()))
-                        .0 += 1;
+                    counts.entry(v.canonical()).or_insert((0, v.clone())).0 += 1;
                 }
                 if counts.len() <= 1 {
                     continue;
@@ -101,7 +98,7 @@ mod tests {
         let mut t = employee_example();
         let fd = FunctionalDependency::new(vec![2], 3); // Dept ID → Name
         assert!(!fd.holds(&t));
-        let repairs = repair_fds(&mut t, &[fd.clone()], 5);
+        let repairs = repair_fds(&mut t, std::slice::from_ref(&fd), 5);
         assert!(fd.holds(&t));
         // Majority for dept 1 is Human Resources; row 3 (Finance) flips.
         assert_eq!(repairs.len(), 1);

@@ -61,9 +61,12 @@ impl Canonicalizer {
                     &digits[6..10]
                 ))
             }
-            CanonicalForm::LowerTrimmed => {
-                Some(s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase())
-            }
+            CanonicalForm::LowerTrimmed => Some(
+                s.split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    .to_lowercase(),
+            ),
             CanonicalForm::TitleCase => Some(
                 s.split_whitespace()
                     .map(capitalize)
@@ -146,8 +149,7 @@ mod tests {
         t.push(vec![Value::text("212-555-0199")]); // already canonical
         t.push(vec![Value::text("bad")]);
         t.push(vec![Value::Null]);
-        let (out, rewritten) =
-            Canonicalizer::new(CanonicalForm::PhoneDashed).apply_column(&t, 0);
+        let (out, rewritten) = Canonicalizer::new(CanonicalForm::PhoneDashed).apply_column(&t, 0);
         assert_eq!(rewritten, 1);
         assert_eq!(out.rows[0][0], Value::text("212-555-0199"));
         assert_eq!(out.rows[2][0], Value::text("bad"));

@@ -7,19 +7,80 @@ use rand::Rng;
 
 /// First names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
-    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily", "andrew",
-    "donna", "joshua", "michelle", "kenneth",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
+    "kenneth",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
 ];
 
 /// `(city, country, capital-of-country)` triples: cities determine
@@ -50,7 +111,15 @@ pub const GEO: &[(&str, &str, &str)] = &[
 
 /// Product brands.
 pub const BRANDS: &[&str] = &[
-    "acme", "globex", "initech", "umbrella", "stark", "wayne", "wonka", "tyrell", "cyberdyne",
+    "acme",
+    "globex",
+    "initech",
+    "umbrella",
+    "stark",
+    "wayne",
+    "wonka",
+    "tyrell",
+    "cyberdyne",
     "aperture",
 ];
 
@@ -81,11 +150,7 @@ pub fn pick<'a, T: ?Sized>(items: &'a [&'a T], rng: &mut StdRng) -> &'a T {
 
 /// A random full name `first last`.
 pub fn full_name(rng: &mut StdRng) -> String {
-    format!(
-        "{} {}",
-        pick(FIRST_NAMES, rng),
-        pick(LAST_NAMES, rng)
-    )
+    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
 }
 
 /// A deterministic email derived from a name (so duplicates of the same
@@ -131,7 +196,9 @@ mod tests {
         let mut city_to_country = HashMap::new();
         let mut country_to_capital = HashMap::new();
         for &(city, country, capital) in GEO {
-            assert!(city_to_country.insert(city, country).is_none_or(|c| c == country));
+            assert!(city_to_country
+                .insert(city, country)
+                .is_none_or(|c| c == country));
             assert!(country_to_capital
                 .insert(country, capital)
                 .is_none_or(|c| c == capital));

@@ -50,12 +50,7 @@ pub struct ErBenchmark {
 impl ErBenchmark {
     /// Generate a benchmark with `entities` distinct entities, each
     /// duplicated `1..=max_dups` times.
-    pub fn generate(
-        suite: ErSuite,
-        entities: usize,
-        max_dups: usize,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn generate(suite: ErSuite, entities: usize, max_dups: usize, rng: &mut StdRng) -> Self {
         assert!(max_dups >= 1);
         let schema = match suite {
             ErSuite::Textual => Schema::new(&[
@@ -83,9 +78,7 @@ impl ErBenchmark {
                 let row = match suite {
                     ErSuite::Clean => clean_copy(&name, &email, &phone, city, perturb, rng),
                     ErSuite::Dirty => dirty_copy(&name, &email, &phone, city, perturb, rng),
-                    ErSuite::Textual => {
-                        textual_copy(&name, city, country, perturb, rng)
-                    }
+                    ErSuite::Textual => textual_copy(&name, city, country, perturb, rng),
                 };
                 table.push(row);
                 entity.push(e);

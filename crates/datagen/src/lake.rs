@@ -61,12 +61,8 @@ impl Domain {
     pub fn sample(self, rng: &mut StdRng) -> Value {
         match self {
             Domain::PersonName => Value::text(domains::full_name(rng)),
-            Domain::City => {
-                Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].0)
-            }
-            Domain::Country => {
-                Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].1)
-            }
+            Domain::City => Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].0),
+            Domain::Country => Value::text(domains::GEO[rng.gen_range(0..domains::GEO.len())].1),
             Domain::Brand => Value::text(domains::pick(domains::BRANDS, rng)),
             Domain::Category => {
                 Value::text(domains::CATEGORIES[rng.gen_range(0..domains::CATEGORIES.len())].0)
@@ -210,7 +206,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let lake = Lake::generate(8, 40, &mut rng);
         assert_eq!(lake.tables.len(), 8);
-        assert!(!lake.semantic_links().is_empty(), "no semantic links planted");
+        assert!(
+            !lake.semantic_links().is_empty(),
+            "no semantic links planted"
+        );
         for t in &lake.tables {
             assert_eq!(t.len(), 40);
             assert_eq!(t.schema.arity(), 3);

@@ -80,12 +80,7 @@ pub fn products_table(rows: usize, rng: &mut StdRng) -> Table {
 /// An orders table referencing people and products by id:
 /// `order_id, person_id, product_id, quantity` — join fodder for the
 /// §3.1 enrichment direction and the pipeline example.
-pub fn orders_table(
-    rows: usize,
-    people: &Table,
-    products: &Table,
-    rng: &mut StdRng,
-) -> Table {
+pub fn orders_table(rows: usize, people: &Table, products: &Table, rng: &mut StdRng) -> Table {
     let schema = Schema::new(&[
         ("order_id", AttrType::Text),
         ("person_id", AttrType::Text),

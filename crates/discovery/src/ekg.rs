@@ -101,8 +101,7 @@ impl Ekg {
                 continue;
             }
             for (to, edge) in &self.adj[id] {
-                if let (EkgNode::Column(other), EkgEdge::SemanticLink(s)) =
-                    (&self.nodes[*to], edge)
+                if let (EkgNode::Column(other), EkgEdge::SemanticLink(s)) = (&self.nodes[*to], edge)
                 {
                     out.push((*cr, *other, *s));
                 }

@@ -156,12 +156,7 @@ mod tests {
             let mut s = 0.0;
             for l in links {
                 s += matcher
-                    .decide(
-                        &lake.tables[l.a.0],
-                        l.a.1,
-                        &lake.tables[l.b.0],
-                        l.b.1,
-                    )
+                    .decide(&lake.tables[l.a.0], l.a.1, &lake.tables[l.b.0], l.b.1)
                     .score;
             }
             s / links.len().max(1) as f32
@@ -224,7 +219,10 @@ mod tests {
                 ("b", dc_relational::AttrType::Text),
             ]),
         );
-        t.push(vec![dc_relational::Value::text("x"), dc_relational::Value::Null]);
+        t.push(vec![
+            dc_relational::Value::text("x"),
+            dc_relational::Value::Null,
+        ]);
         let docs = column_documents(&[&t]);
         assert_eq!(docs.len(), 1);
     }

@@ -199,8 +199,8 @@ impl Bm25Lite {
                     };
                     let df = *self.df.get(q).unwrap_or(&0) as f64;
                     let idf = (((self.n as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln();
-                    let denom = tf
-                        + Self::K1 * (1.0 - Self::B + Self::B * self.doc_len[i] / self.avg_len);
+                    let denom =
+                        tf + Self::K1 * (1.0 - Self::B + Self::B * self.doc_len[i] / self.avg_len);
                     s += idf * tf * (Self::K1 + 1.0) / denom;
                 }
                 (i, s)
@@ -312,7 +312,7 @@ mod tests {
         // BM25's top hit should at least be a table whose *name tokens or
         // values* contain the query keyword — sanity, not superiority.
         let ranked: Vec<usize> = bm25.search(q).into_iter().map(|(i, _)| i).collect();
-        let p = precision_at(rel.len().min(3), &[ranked], &[rel.clone()]);
+        let p = precision_at(rel.len().min(3), &[ranked], std::slice::from_ref(rel));
         assert!(p > 0.0, "bm25 found nothing for {q}; top was {top}");
     }
 
@@ -325,8 +325,14 @@ mod tests {
         }
         // Manually link table 0 and table 1.
         ekg.add_semantic_link(
-            crate::matcher::ColumnRef { table: 0, column: 0 },
-            crate::matcher::ColumnRef { table: 1, column: 0 },
+            crate::matcher::ColumnRef {
+                table: 0,
+                column: 0,
+            },
+            crate::matcher::ColumnRef {
+                table: 1,
+                column: 0,
+            },
             0.9,
         );
         let (q, _) = &lake.search_queries()[0];

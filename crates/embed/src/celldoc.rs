@@ -178,8 +178,7 @@ mod tests {
         let t1 = correlated_table(50, 2, 1, &mut rng);
         let mut t2 = correlated_table(50, 2, 1, &mut rng);
         t2.name = "other".into();
-        let emb = CellDocEmbedder::new(SgnsConfig::default())
-            .train_corpus(&[&t1, &t2], &mut rng);
+        let emb = CellDocEmbedder::new(SgnsConfig::default()).train_corpus(&[&t1, &t2], &mut rng);
         assert!(emb.get(&cell_token(0, "key0")).is_some());
     }
 }

@@ -85,32 +85,21 @@ mod tests {
     #[test]
     fn same_topic_groups_score_higher() {
         let emb = topic_embeddings();
-        let within = coherent_group_similarity(
-            &emb,
-            &g(&["t0w0", "t0w1"]),
-            &g(&["t0w2", "t0w3"]),
-        )
-        .expect("in vocab");
-        let across = coherent_group_similarity(
-            &emb,
-            &g(&["t0w0", "t0w1"]),
-            &g(&["t1w0", "t1w1"]),
-        )
-        .expect("in vocab");
+        let within = coherent_group_similarity(&emb, &g(&["t0w0", "t0w1"]), &g(&["t0w2", "t0w3"]))
+            .expect("in vocab");
+        let across = coherent_group_similarity(&emb, &g(&["t0w0", "t0w1"]), &g(&["t1w0", "t1w1"]))
+            .expect("in vocab");
         assert!(within > across, "within {within} vs across {across}");
     }
 
     #[test]
     fn oov_words_drop_out_instead_of_failing() {
         let emb = topic_embeddings();
-        let with_oov = coherent_group_similarity(
-            &emb,
-            &g(&["t0w0", "UNKNOWN_TOKEN"]),
-            &g(&["t0w1"]),
-        )
-        .expect("one pair remains");
-        let without = coherent_group_similarity(&emb, &g(&["t0w0"]), &g(&["t0w1"]))
-            .expect("in vocab");
+        let with_oov =
+            coherent_group_similarity(&emb, &g(&["t0w0", "UNKNOWN_TOKEN"]), &g(&["t0w1"]))
+                .expect("one pair remains");
+        let without =
+            coherent_group_similarity(&emb, &g(&["t0w0"]), &g(&["t0w1"])).expect("in vocab");
         assert!((with_oov - without).abs() < 1e-6);
     }
 

@@ -42,11 +42,7 @@ impl SifWeights {
 /// Compose a tuple vector from *word*-level embeddings of its cell text
 /// (DeepER-style). `sif` enables frequency-weighted averaging; `None`
 /// gives the plain mean. Returns `None` when nothing is in vocabulary.
-pub fn tuple2vec(
-    emb: &Embeddings,
-    row: &[Value],
-    sif: Option<SifWeights>,
-) -> Option<Vec<f32>> {
+pub fn tuple2vec(emb: &Embeddings, row: &[Value], sif: Option<SifWeights>) -> Option<Vec<f32>> {
     let tokens = tokenize_tuple(row);
     weighted_mean(emb, tokens.iter().map(String::as_str), sif)
 }

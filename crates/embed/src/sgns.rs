@@ -89,11 +89,10 @@ impl Embeddings {
                     let lr = config.lr * (1.0 - 0.9 * progress);
                     let lo = pos.saturating_sub(config.window);
                     let hi = (pos + config.window + 1).min(kept.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = kept[ctx_pos];
                         grad_in.iter_mut().for_each(|g| *g = 0.0);
                         // Positive pair + negatives share the same form:
                         // dL/du_o = (σ(u_o·v_c) − label) · v_c
@@ -108,11 +107,10 @@ impl Embeddings {
                             }
                             let vin = input.row_slice(center);
                             let uout = output.row_slice(target);
-                            let score: f32 =
-                                vin.iter().zip(uout).map(|(a, b)| a * b).sum();
+                            let score: f32 = vin.iter().zip(uout).map(|(a, b)| a * b).sum();
                             let g = (sigmoid(score) - label) * lr;
-                            for i in 0..d {
-                                grad_in[i] += g * output.get(target, i);
+                            for (i, gi) in grad_in.iter_mut().enumerate() {
+                                *gi += g * output.get(target, i);
                             }
                             for i in 0..d {
                                 let upd = g * input.get(center, i);
@@ -120,9 +118,9 @@ impl Embeddings {
                                 output.set(target, i, cur - upd);
                             }
                         }
-                        for i in 0..d {
+                        for (i, &gi) in grad_in.iter().enumerate() {
                             let cur = input.get(center, i);
-                            input.set(center, i, cur - grad_in[i]);
+                            input.set(center, i, cur - gi);
                         }
                     }
                 }

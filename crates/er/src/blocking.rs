@@ -32,9 +32,7 @@ impl LshBlocker {
     /// dimensions.
     pub fn new(dim: usize, bands: usize, rows_per_band: usize, rng: &mut StdRng) -> Self {
         let planes = (0..bands * rows_per_band)
-            .map(|_| {
-                dc_tensor::Tensor::randn(1, dim, 1.0, rng).data
-            })
+            .map(|_| dc_tensor::Tensor::randn(1, dim, 1.0, rng).data)
             .collect();
         LshBlocker {
             planes,
@@ -219,12 +217,7 @@ mod tests {
     fn setup() -> (ErBenchmark, Vec<Vec<f32>>, StdRng) {
         let mut rng = StdRng::seed_from_u64(200);
         let bench = ErBenchmark::generate(ErSuite::Dirty, 80, 3, &mut rng);
-        let docs: Vec<Vec<String>> = bench
-            .table
-            .rows
-            .iter()
-            .map(|r| tokenize_tuple(r))
-            .collect();
+        let docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
         let emb = Embeddings::train(
             &docs,
             &SgnsConfig {
@@ -262,7 +255,12 @@ mod tests {
         let (_, vectors, mut rng) = setup();
         let loose = LshBlocker::new(16, 4, 1, &mut rng).candidates(&vectors);
         let strict = LshBlocker::new(16, 4, 6, &mut rng).candidates(&vectors);
-        assert!(loose.len() > strict.len(), "{} vs {}", loose.len(), strict.len());
+        assert!(
+            loose.len() > strict.len(),
+            "{} vs {}",
+            loose.len(),
+            strict.len()
+        );
     }
 
     #[test]

@@ -100,9 +100,7 @@ impl DeepEr {
     ) -> Self {
         assert_eq!(pairs.len(), labels.len(), "pair/label mismatch");
         match composition {
-            Composition::Average => {
-                Self::train_average(emb, table, pairs, labels, config, rng)
-            }
+            Composition::Average => Self::train_average(emb, table, pairs, labels, config, rng),
             Composition::Lstm { hidden, max_tokens } => {
                 Self::train_lstm(emb, table, pairs, labels, hidden, max_tokens, config, rng)
             }
@@ -201,19 +199,13 @@ impl DeepEr {
                 let target = Tensor::scalar(if label { 1.0 } else { 0.0 });
                 let weight = Tensor::scalar(if label { w_pos } else { w_neg });
                 let loss = tape.bce_with_logits(logit, target, weight);
+                dc_check::debug_validate("DeepEr::train_lstm", &tape, loss);
                 tape.backward(loss);
                 opt.begin_step();
                 encoder.apply_grads(&mut opt, 0, &tape, &lvars);
                 let base = encoder.slot_count();
-                for (slot, (layer, lv)) in
-                    classifier.layers.iter_mut().zip(&cvars).enumerate()
-                {
-                    layer.apply_grads(
-                        &mut opt,
-                        base + slot,
-                        &tape.grad(lv.w),
-                        &tape.grad(lv.b),
-                    );
+                for (slot, (layer, lv)) in classifier.layers.iter_mut().zip(&cvars).enumerate() {
+                    layer.apply_grads(&mut opt, base + slot, &tape.grad(lv.w), &tape.grad(lv.b));
                 }
             }
         }
@@ -259,11 +251,7 @@ impl DeepEr {
                     if toks.is_empty() {
                         Tensor::zeros(1, encoder.hidden_dim)
                     } else {
-                        let seq = Tensor::from_vec(
-                            toks.len(),
-                            self.emb.dim(),
-                            toks.concat(),
-                        );
+                        let seq = Tensor::from_vec(toks.len(), self.emb.dim(), toks.concat());
                         encoder.encode(&seq)
                     }
                 };
@@ -318,12 +306,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn word_embeddings(bench: &ErBenchmark, rng: &mut StdRng) -> Embeddings {
-        let mut docs: Vec<Vec<String>> = bench
-            .table
-            .rows
-            .iter()
-            .map(|r| tokenize_tuple(r))
-            .collect();
+        let mut docs: Vec<Vec<String>> =
+            bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
         docs.extend(dc_datagen::corpus::domain_corpus(300, rng));
         Embeddings::train(
             &docs,
@@ -336,7 +320,9 @@ mod tests {
         )
     }
 
-    fn split(bench: &ErBenchmark, rng: &mut StdRng) -> (Vec<(usize, usize)>, Vec<bool>, Vec<(usize, usize)>, Vec<bool>) {
+    type Pairs = Vec<(usize, usize)>;
+
+    fn split(bench: &ErBenchmark, rng: &mut StdRng) -> (Pairs, Vec<bool>, Pairs, Vec<bool>) {
         let pairs = bench.labeled_pairs(3, rng);
         let (train, test) = ErBenchmark::split_pairs(&pairs, 0.7, rng);
         (

@@ -36,10 +36,7 @@ pub fn embedding_pair_features(a: &[f32], b: &[f32]) -> Vec<f32> {
 }
 
 /// Build the full `n_pairs × (2d+1)` feature matrix for labelled pairs.
-pub fn embedding_feature_matrix(
-    vectors: &[Vec<f32>],
-    pairs: &[(usize, usize)],
-) -> Tensor {
+pub fn embedding_feature_matrix(vectors: &[Vec<f32>], pairs: &[(usize, usize)]) -> Tensor {
     let d = vectors.first().map(|v| 2 * v.len() + 1).unwrap_or(1);
     let mut x = Tensor::zeros(pairs.len(), d);
     for (i, &(a, b)) in pairs.iter().enumerate() {

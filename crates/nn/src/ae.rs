@@ -33,7 +33,9 @@ impl Noise {
     /// Produce a corrupted copy of `x`.
     pub fn corrupt(self, x: &Tensor, rng: &mut StdRng) -> Tensor {
         match self {
-            Noise::Masking { p } => x.map_with_rng(rng, |v, r| if r.gen::<f32>() < p { 0.0 } else { v }),
+            Noise::Masking { p } => {
+                x.map_with_rng(rng, |v, r| if r.gen::<f32>() < p { 0.0 } else { v })
+            }
             Noise::Gaussian { std } => {
                 let noise = Tensor::randn(x.rows, x.cols, std, rng);
                 x.add(&noise)
@@ -74,10 +76,23 @@ impl Autoencoder {
         enc_dims.push(latent_dim);
         let mut dec_dims: Vec<usize> = enc_dims.clone();
         dec_dims.reverse();
-        Autoencoder {
+        let ae = Autoencoder {
             encoder: Mlp::new(&enc_dims, Activation::Tanh, Activation::Identity, rng),
             decoder: Mlp::new(&dec_dims, Activation::Tanh, Activation::Identity, rng),
+        };
+        if dc_check::enabled() {
+            // Construct-time static validation of the full
+            // encode → decode → loss graph.
+            let tape = Tape::new();
+            let evars = ae.encoder.bind(&tape);
+            let dvars = ae.decoder.bind(&tape);
+            let x = tape.var(Tensor::zeros(1, input_dim));
+            let z = ae.encoder.forward_tape(&tape, x, &evars, None);
+            let xhat = ae.decoder.forward_tape(&tape, z, &dvars, None);
+            let loss = tape.mse_loss(xhat, Tensor::zeros(1, input_dim));
+            dc_check::debug_validate("Autoencoder::new", &tape, loss);
         }
+        ae
     }
 
     /// Latent dimensionality.
@@ -117,12 +132,7 @@ impl Autoencoder {
 
     /// One gradient step reconstructing `target` from `input` (they
     /// differ for denoising training). Returns the MSE loss.
-    pub fn train_step(
-        &mut self,
-        input: &Tensor,
-        target: &Tensor,
-        opt: &mut dyn Optimizer,
-    ) -> f32 {
+    pub fn train_step(&mut self, input: &Tensor, target: &Tensor, opt: &mut dyn Optimizer) -> f32 {
         let tape = Tape::new();
         let vx = tape.var(input.clone());
         let evars = self.encoder.bind(&tape);
@@ -131,14 +141,18 @@ impl Autoencoder {
         let xhat = self.decoder.forward_tape(&tape, z, &dvars, None);
         let loss = tape.mse_loss(xhat, target.clone());
         let loss_value = tape.value(loss).data[0];
+        dc_check::debug_validate("Autoencoder::train_step", &tape, loss);
         tape.backward(loss);
         opt.begin_step();
-        let mut slot = 0;
-        for (layer, lv) in self.encoder.layers.iter_mut().chain(&mut self.decoder.layers).zip(
-            evars.iter().chain(dvars.iter()),
-        ) {
+        for (slot, (layer, lv)) in self
+            .encoder
+            .layers
+            .iter_mut()
+            .chain(&mut self.decoder.layers)
+            .zip(evars.iter().chain(dvars.iter()))
+            .enumerate()
+        {
             layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
-            slot += 1;
         }
         loss_value
     }
@@ -238,19 +252,19 @@ impl KSparseAutoencoder {
         let xhat = self.ae.decoder.forward_tape(&tape, zs, &dvars, None);
         let loss = tape.mse_loss(xhat, x.clone());
         let loss_value = tape.value(loss).data[0];
+        dc_check::debug_validate("KSparseAutoencoder::train_step", &tape, loss);
         tape.backward(loss);
         opt.begin_step();
-        let mut slot = 0;
-        for (layer, lv) in self
+        for (slot, (layer, lv)) in self
             .ae
             .encoder
             .layers
             .iter_mut()
             .chain(&mut self.ae.decoder.layers)
             .zip(evars.iter().chain(dvars.iter()))
+            .enumerate()
         {
             layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
-            slot += 1;
         }
         loss_value
     }
@@ -338,7 +352,7 @@ impl Vae {
     /// Build a VAE with one hidden layer of `hidden` units and a latent
     /// space of `latent_dim`.
     pub fn new(input_dim: usize, hidden: usize, latent_dim: usize, rng: &mut StdRng) -> Self {
-        Vae {
+        let vae = Vae {
             trunk: Mlp::new(
                 &[input_dim, hidden],
                 Activation::Tanh,
@@ -354,7 +368,25 @@ impl Vae {
                 rng,
             ),
             beta: 1.0,
+        };
+        if dc_check::enabled() {
+            // Construct-time static validation of the deterministic path
+            // trunk → mu head → decoder → reconstruction loss (the eps
+            // draw is the only piece left out — it is a plain leaf).
+            let tape = Tape::new();
+            let tvars = vae.trunk.bind(&tape);
+            let muv = vae.mu_head.bind(&tape);
+            let lvv = vae.logvar_head.bind(&tape);
+            let dvars = vae.decoder.bind(&tape);
+            let x = tape.var(Tensor::zeros(1, input_dim));
+            let h = vae.trunk.forward_tape(&tape, x, &tvars, None);
+            let mu = vae.mu_head.forward_tape(&tape, h, muv);
+            let _logvar = vae.logvar_head.forward_tape(&tape, h, lvv);
+            let xhat = vae.decoder.forward_tape(&tape, mu, &dvars, None);
+            let _ = tape.mse_loss(xhat, Tensor::zeros(1, input_dim));
+            dc_check::debug_validate_graph("Vae::new", &tape);
         }
+        vae
     }
 
     /// Latent dimensionality.
@@ -415,6 +447,7 @@ impl Vae {
 
         let recon_v = tape.value(recon).data[0];
         let kl_v = tape.value(kl).data[0];
+        dc_check::debug_validate("Vae::train_step", &tape, loss);
         tape.backward(loss);
 
         opt.begin_step();
@@ -563,8 +596,7 @@ mod tests {
     fn dae_denoises_masked_inputs() {
         let mut rng = StdRng::seed_from_u64(35);
         let x = two_cluster_data(&mut rng, 80);
-        let mut dae =
-            DenoisingAutoencoder::new(4, &[8], 2, Noise::Masking { p: 0.25 }, &mut rng);
+        let mut dae = DenoisingAutoencoder::new(4, &[8], 2, Noise::Masking { p: 0.25 }, &mut rng);
         let mut opt = Adam::new(0.01);
         dae.fit(&x, &mut opt, 200, 16, &mut rng);
         // Corrupt the first coordinate of a fresh positive-cluster point;

@@ -26,7 +26,7 @@ pub struct Gan {
 impl Gan {
     /// Build a GAN for `data_dim`-dimensional rows.
     pub fn new(data_dim: usize, latent_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        Gan {
+        let gan = Gan {
             generator: Mlp::new(
                 &[latent_dim, hidden, data_dim],
                 Activation::LeakyRelu,
@@ -42,7 +42,20 @@ impl Gan {
             latent_dim,
             gen_opt: Adam::new(2e-3),
             disc_opt: Adam::new(1e-3),
+        };
+        if dc_check::enabled() {
+            // Construct-time static validation of the adversarial
+            // composite: discriminator(generator(z)) → loss.
+            let tape = Tape::new();
+            let gvars = gan.generator.bind(&tape);
+            let dvars = gan.discriminator.bind(&tape);
+            let z = tape.var(Tensor::zeros(1, latent_dim));
+            let fake = gan.generator.forward_tape(&tape, z, &gvars, None);
+            let logits = gan.discriminator.forward_tape(&tape, fake, &dvars, None);
+            let loss = tape.bce_with_logits(logits, Tensor::ones(1, 1), Tensor::ones(1, 1));
+            dc_check::debug_validate("Gan::new", &tape, loss);
         }
+        gan
     }
 
     /// Generate `n` synthetic rows.
@@ -79,16 +92,18 @@ impl Gan {
             let logits = self.discriminator.forward_tape(&tape, vx, &dvars, None);
             let loss = tape.bce_with_logits(logits, y, Tensor::ones(2 * n, 1));
             let lv = tape.value(loss).data[0];
+            dc_check::debug_validate("Gan::train_round[disc]", &tape, loss);
             tape.backward(loss);
             self.disc_opt.begin_step();
-            for (slot, (layer, lvars)) in self
-                .discriminator
-                .layers
-                .iter_mut()
-                .zip(&dvars)
-                .enumerate()
+            for (slot, (layer, lvars)) in
+                self.discriminator.layers.iter_mut().zip(&dvars).enumerate()
             {
-                layer.apply_grads(&mut self.disc_opt, slot, &tape.grad(lvars.w), &tape.grad(lvars.b));
+                layer.apply_grads(
+                    &mut self.disc_opt,
+                    slot,
+                    &tape.grad(lvars.w),
+                    &tape.grad(lvars.b),
+                );
             }
             lv
         };
@@ -104,11 +119,16 @@ impl Gan {
             // Non-saturating loss: label fakes as real.
             let loss = tape.bce_with_logits(logits, Tensor::ones(n, 1), Tensor::ones(n, 1));
             let lv = tape.value(loss).data[0];
+            dc_check::debug_validate("Gan::train_round[gen]", &tape, loss);
             tape.backward(loss);
             self.gen_opt.begin_step();
-            for (slot, (layer, lvars)) in self.generator.layers.iter_mut().zip(&gvars).enumerate()
-            {
-                layer.apply_grads(&mut self.gen_opt, slot, &tape.grad(lvars.w), &tape.grad(lvars.b));
+            for (slot, (layer, lvars)) in self.generator.layers.iter_mut().zip(&gvars).enumerate() {
+                layer.apply_grads(
+                    &mut self.gen_opt,
+                    slot,
+                    &tape.grad(lvars.w),
+                    &tape.grad(lvars.b),
+                );
             }
             lv
         };
@@ -164,8 +184,7 @@ mod tests {
             let batch = crate::mlp::gather_rows(&real, &take);
             gan.train_round(&batch, &mut rng);
         }
-        let p_real: f32 =
-            gan.discriminate(&real).iter().sum::<f32>() / 100.0;
+        let p_real: f32 = gan.discriminate(&real).iter().sum::<f32>() / 100.0;
         let junk = Tensor::randn(100, 2, 0.3, &mut rng).map(|v| v - 5.0);
         let p_junk: f32 = gan.discriminate(&junk).iter().sum::<f32>() / 100.0;
         assert!(

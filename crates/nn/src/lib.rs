@@ -38,4 +38,4 @@ pub use loss::{class_weights, LossKind};
 pub use lstm::{BiLstmEncoder, LstmEncoder};
 pub use metrics::{accuracy, confusion, f1_score, precision_recall_f1, roc_auc, BinaryConfusion};
 pub use mlp::Mlp;
-pub use optim::{Adam, AdaGrad, Momentum, Optimizer, RmsProp, Sgd};
+pub use optim::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};

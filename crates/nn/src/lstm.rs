@@ -50,7 +50,7 @@ impl LstmEncoder {
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
         let mut b = vec![Tensor::zeros(1, hidden_dim); GATES];
         b[1] = Tensor::ones(1, hidden_dim); // forget gate
-        LstmEncoder {
+        let enc = LstmEncoder {
             wx: (0..GATES)
                 .map(|_| Tensor::xavier(input_dim, hidden_dim, rng))
                 .collect(),
@@ -60,12 +60,27 @@ impl LstmEncoder {
             b,
             input_dim,
             hidden_dim,
+        };
+        if dc_check::enabled() {
+            // Construct-time static validation over a two-step probe
+            // sequence (enough to exercise the recurrent wiring).
+            let tape = Tape::new();
+            let vars = enc.bind(&tape);
+            let steps: Vec<Var> = (0..2)
+                .map(|_| tape.var(Tensor::zeros(1, input_dim)))
+                .collect();
+            let _ = enc.forward_tape(&tape, &steps, &vars);
+            dc_check::debug_validate_graph("LstmEncoder::new", &tape);
         }
+        enc
     }
 
     /// Total learnable parameter count.
     pub fn capacity(&self) -> usize {
-        GATES * (self.input_dim * self.hidden_dim + self.hidden_dim * self.hidden_dim + self.hidden_dim)
+        GATES
+            * (self.input_dim * self.hidden_dim
+                + self.hidden_dim * self.hidden_dim
+                + self.hidden_dim)
     }
 
     /// Register parameters on a tape.
@@ -174,10 +189,22 @@ pub struct BiLstmVars {
 impl BiLstmEncoder {
     /// Build both directions with independent parameters.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
-        BiLstmEncoder {
+        let enc = BiLstmEncoder {
             fwd: LstmEncoder::new(input_dim, hidden_dim, rng),
             bwd: LstmEncoder::new(input_dim, hidden_dim, rng),
+        };
+        if dc_check::enabled() {
+            // The per-direction encoders validate themselves; this probe
+            // covers the reverse-and-concat wiring on top.
+            let tape = Tape::new();
+            let vars = enc.bind(&tape);
+            let steps: Vec<Var> = (0..2)
+                .map(|_| tape.var(Tensor::zeros(1, input_dim)))
+                .collect();
+            let _ = enc.forward_tape(&tape, &steps, &vars);
+            dc_check::debug_validate_graph("BiLstmEncoder::new", &tape);
         }
+        enc
     }
 
     /// Output dimensionality (`2 × hidden_dim`).
@@ -296,13 +323,18 @@ mod tests {
         // Solvable only if gradients flow through all time steps.
         let mut rng = StdRng::seed_from_u64(12);
         let mut enc = LstmEncoder::new(2, 8, &mut rng);
-        let mut head = crate::linear::Linear::new(8, 1, crate::linear::Activation::Identity, &mut rng);
+        let mut head =
+            crate::linear::Linear::new(8, 1, crate::linear::Activation::Identity, &mut rng);
         let mut opt = Adam::new(0.02);
 
         let tok_a = Tensor::row(vec![1.0, 0.0]);
         let tok_b = Tensor::row(vec![0.0, 1.0]);
         let make_seq = |first_a: bool| {
-            let first = if first_a { tok_a.clone() } else { tok_b.clone() };
+            let first = if first_a {
+                tok_a.clone()
+            } else {
+                tok_b.clone()
+            };
             Tensor::vstack(&[first, tok_b.clone(), tok_b.clone(), tok_b.clone()])
         };
 
@@ -312,8 +344,7 @@ mod tests {
                 let tape = Tape::new();
                 let vars = enc.bind(&tape);
                 let hvars = head.bind(&tape);
-                let steps: Vec<Var> =
-                    (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
+                let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
                 let h = enc.forward_tape(&tape, &steps, &vars);
                 let logit = head.forward_tape(&tape, h, hvars);
                 let y = Tensor::scalar(if label { 1.0 } else { 0.0 });

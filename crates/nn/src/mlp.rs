@@ -39,10 +39,20 @@ impl Mlp {
             };
             layers.push(Linear::new(dims[i], dims[i + 1], act, rng));
         }
-        Mlp {
+        let mlp = Mlp {
             layers,
             dropout: 0.0,
+        };
+        if dc_check::enabled() {
+            // Construct-time static validation: record a probe forward
+            // pass and shape-check it before any training step runs.
+            let tape = Tape::new();
+            let vars = mlp.bind(&tape);
+            let x = tape.var(Tensor::zeros(1, dims[0]));
+            let _ = mlp.forward_tape(&tape, x, &vars, None);
+            dc_check::debug_validate_graph("Mlp::new", &tape);
         }
+        mlp
     }
 
     /// Enable dropout on hidden activations.
@@ -143,6 +153,7 @@ impl Mlp {
             }
         };
         let loss_value = tape.value(loss_var).data[0];
+        dc_check::debug_validate("Mlp::train_batch", &tape, loss_var);
         tape.backward(loss_var);
         opt.begin_step();
         for (slot, (layer, lv)) in self.layers.iter_mut().zip(&vars).enumerate() {
@@ -258,7 +269,12 @@ mod tests {
         }
         let x = Tensor::from_vec(90, 2, xs);
         let y = Tensor::from_vec(90, 1, ys);
-        let mut mlp = Mlp::new(&[2, 16, 3], Activation::Relu, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 16, 3],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut opt = Adam::new(0.02);
         mlp.fit(&x, &y, LossKind::SoftmaxCe, &mut opt, 60, 16, &mut rng);
         let pred = mlp.predict_class(&x);
@@ -296,7 +312,9 @@ mod tests {
         let y = Tensor::from_vec(
             40,
             1,
-            (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+            (0..40)
+                .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+                .collect(),
         );
         let mut mlp = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
         let mut opt = Adam::new(0.01);
@@ -333,7 +351,10 @@ mod tests {
         let mut opt = Adam::new(0.05);
         mlp.fit(&x, &y, LossKind::bce(), &mut opt, 400, 4, &mut rng);
         let p = mlp.predict_proba(&x);
-        assert!(p[1] > 0.6 && p[2] > 0.6 && p[0] < 0.4 && p[3] < 0.4, "{p:?}");
+        assert!(
+            p[1] > 0.6 && p[2] > 0.6 && p[0] < 0.4 && p[3] < 0.4,
+            "{p:?}"
+        );
     }
 
     #[test]

@@ -28,14 +28,8 @@ impl PredicateOp {
         match self {
             PredicateOp::Eq => a == b,
             PredicateOp::Neq => a != b,
-            PredicateOp::Lt => matches!(
-                a.partial_cmp(b),
-                Some(std::cmp::Ordering::Less)
-            ),
-            PredicateOp::Gt => matches!(
-                a.partial_cmp(b),
-                Some(std::cmp::Ordering::Greater)
-            ),
+            PredicateOp::Lt => matches!(a.partial_cmp(b), Some(std::cmp::Ordering::Less)),
+            PredicateOp::Gt => matches!(a.partial_cmp(b), Some(std::cmp::Ordering::Greater)),
         }
     }
 }

@@ -29,11 +29,7 @@ impl FunctionalDependency {
             .iter()
             .map(|&i| table.schema.attrs[i].name.as_str())
             .collect();
-        format!(
-            "{} -> {}",
-            lhs.join(","),
-            table.schema.attrs[self.rhs].name
-        )
+        format!("{} -> {}", lhs.join(","), table.schema.attrs[self.rhs].name)
     }
 
     fn key(&self, row: &[Value]) -> Vec<Value> {
@@ -144,11 +140,7 @@ pub struct ConditionalFd {
 
 impl ConditionalFd {
     /// CFD whose tableau row is `lhs_patterns ‖ rhs_pattern`.
-    pub fn new(
-        fd: FunctionalDependency,
-        lhs_patterns: Vec<Pattern>,
-        rhs_pattern: Pattern,
-    ) -> Self {
+    pub fn new(fd: FunctionalDependency, lhs_patterns: Vec<Pattern>, rhs_pattern: Pattern) -> Self {
         assert_eq!(
             fd.lhs.len(),
             lhs_patterns.len(),
@@ -180,7 +172,9 @@ impl ConditionalFd {
             Pattern::Const(c) => {
                 let mut out = Vec::new();
                 for (i, row) in table.rows.iter().enumerate() {
-                    if self.row_in_scope(row) && !row[self.fd.rhs].is_null() && &row[self.fd.rhs] != c
+                    if self.row_in_scope(row)
+                        && !row[self.fd.rhs].is_null()
+                        && &row[self.fd.rhs] != c
                     {
                         out.push(i);
                     }
@@ -231,9 +225,9 @@ pub fn discover_fds(table: &Table, max_lhs: usize) -> Vec<FunctionalDependency> 
                     continue;
                 }
                 // Minimality pruning: skip if a subset already works.
-                let dominated = found.iter().any(|fd| {
-                    fd.rhs == rhs && fd.lhs.iter().all(|c| lhs.contains(c))
-                });
+                let dominated = found
+                    .iter()
+                    .any(|fd| fd.rhs == rhs && fd.lhs.iter().all(|c| lhs.contains(c)));
                 if dominated {
                     continue;
                 }

@@ -214,12 +214,14 @@ mod tests {
         let g = figure_4_graph();
         let id_0001 = g.node_id(0, "0001").expect("0001");
         let john = g.node_id(1, "John Doe").expect("John Doe");
-        let fwd = g.neighbors(id_0001).iter().any(|e| {
-            e.to == john && e.kind == EdgeKind::CoOccur
-        });
-        let back = g.neighbors(john).iter().any(|e| {
-            e.to == id_0001 && e.kind == EdgeKind::CoOccur
-        });
+        let fwd = g
+            .neighbors(id_0001)
+            .iter()
+            .any(|e| e.to == john && e.kind == EdgeKind::CoOccur);
+        let back = g
+            .neighbors(john)
+            .iter()
+            .any(|e| e.to == id_0001 && e.kind == EdgeKind::CoOccur);
         assert!(fwd && back);
     }
 

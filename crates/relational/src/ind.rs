@@ -90,10 +90,7 @@ pub fn discover_inds(tables: &[&Table]) -> Vec<InclusionDependency> {
 /// Enrich `table` by following one discovered IND: hash-join onto the
 /// referenced table. Returns `None` when the IND references the same
 /// table.
-pub fn enrich_via_ind(
-    tables: &[&Table],
-    ind: &InclusionDependency,
-) -> Option<Table> {
+pub fn enrich_via_ind(tables: &[&Table], ind: &InclusionDependency) -> Option<Table> {
     if ind.from_table == ind.to_table {
         return None;
     }

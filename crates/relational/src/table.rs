@@ -214,7 +214,10 @@ impl Table {
                 attrs.push(a);
             }
         }
-        let mut out = Table::new(format!("{}_join_{}", self.name, other.name), Schema { attrs });
+        let mut out = Table::new(
+            format!("{}_join_{}", self.name, other.name),
+            Schema { attrs },
+        );
         for lrow in &self.rows {
             if lrow[li].is_null() {
                 continue;

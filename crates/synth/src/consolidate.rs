@@ -69,12 +69,7 @@ impl PreferenceModel {
 
     /// Train with a perceptron on expert picks: each training item is a
     /// conflict group plus the index the expert chose.
-    pub fn train(
-        groups: &[(Vec<Value>, usize)],
-        epochs: usize,
-        lr: f32,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn train(groups: &[(Vec<Value>, usize)], epochs: usize, lr: f32, rng: &mut StdRng) -> Self {
         use rand::seq::SliceRandom;
         let mut model = PreferenceModel {
             weights: [0.0; PREF_FEATURES],
@@ -85,8 +80,7 @@ impl PreferenceModel {
             for &gi in &order {
                 let (group, chosen) = &groups[gi];
                 // Perceptron update against the current best wrong pick.
-                let scores: Vec<f32> =
-                    group.iter().map(|v| model.score(v, group)).collect();
+                let scores: Vec<f32> = group.iter().map(|v| model.score(v, group)).collect();
                 let best = scores
                     .iter()
                     .enumerate()
@@ -107,13 +101,11 @@ impl PreferenceModel {
 
     /// Pick the preferred value of a conflict group.
     pub fn pick<'v>(&self, group: &'v [Value]) -> Option<&'v Value> {
-        group
-            .iter()
-            .max_by(|a, b| {
-                self.score(a, group)
-                    .partial_cmp(&self.score(b, group))
-                    .expect("finite")
-            })
+        group.iter().max_by(|a, b| {
+            self.score(a, group)
+                .partial_cmp(&self.score(b, group))
+                .expect("finite")
+        })
     }
 }
 
@@ -176,8 +168,7 @@ mod tests {
     fn consolidation_builds_golden_record() {
         let r1 = vec![Value::text("John Smith"), Value::Null];
         let r2 = vec![Value::text("J Smith"), Value::text("NYC")];
-        let golden =
-            consolidate_cluster(&[&r1, &r2], &PreferenceModel::default());
+        let golden = consolidate_cluster(&[&r1, &r2], &PreferenceModel::default());
         assert_eq!(golden[0], Value::text("John Smith"));
         assert_eq!(golden[1], Value::text("NYC"));
     }

@@ -52,17 +52,15 @@ impl Atom {
             Atom::Const(s) => Some(s.clone()),
             Atom::Input => Some(input.to_string()),
             Atom::Token(i) => token(input, *i).map(str::to_string),
-            Atom::TokenInitial(i) => {
-                token(input, *i).and_then(|t| t.chars().next()).map(|c| c.to_string())
-            }
+            Atom::TokenInitial(i) => token(input, *i)
+                .and_then(|t| t.chars().next())
+                .map(|c| c.to_string()),
             Atom::Upper(inner) => inner.eval(input).map(|s| s.to_uppercase()),
             Atom::Lower(inner) => inner.eval(input).map(|s| s.to_lowercase()),
             Atom::Title(inner) => inner.eval(input).map(|s| {
                 let mut c = s.chars();
                 match c.next() {
-                    Some(f) => {
-                        f.to_uppercase().collect::<String>() + &c.as_str().to_lowercase()
-                    }
+                    Some(f) => f.to_uppercase().collect::<String>() + &c.as_str().to_lowercase(),
                     None => String::new(),
                 }
             }),
@@ -219,7 +217,10 @@ mod tests {
     fn case_operators_nest() {
         let a = Atom::Title(Box::new(Atom::Token(-1)));
         assert_eq!(a.eval("john SMITH"), Some("Smith".into()));
-        assert_eq!(Atom::Upper(Box::new(Atom::Input)).eval("ab"), Some("AB".into()));
+        assert_eq!(
+            Atom::Upper(Box::new(Atom::Input)).eval("ab"),
+            Some("AB".into())
+        );
         assert_eq!(a.size(), 2);
     }
 

@@ -104,8 +104,7 @@ pub fn synthesize_with_pool(
     // Pre-evaluate every atom on every input; drop inapplicable atoms.
     let mut atom_outputs: Vec<(Atom, Vec<String>)> = Vec::new();
     for a in pool {
-        let outs: Option<Vec<String>> =
-            examples.iter().map(|(i, _)| a.eval(i)).collect();
+        let outs: Option<Vec<String>> = examples.iter().map(|(i, _)| a.eval(i)).collect();
         if let Some(outs) = outs {
             // An atom that yields "" everywhere only bloats programs.
             if outs.iter().any(|o| !o.is_empty()) {
@@ -156,9 +155,8 @@ pub fn synthesize_with_pool(
             let mut atoms = chosen.clone();
             atoms.push(ai);
             if complete {
-                let program = Program::new(
-                    atoms.iter().map(|&i| atom_outputs[i].0.clone()).collect(),
-                );
+                let program =
+                    Program::new(atoms.iter().map(|&i| atom_outputs[i].0.clone()).collect());
                 debug_assert!(program.consistent(examples));
                 return SynthResult {
                     program: Some(program),

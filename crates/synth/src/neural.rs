@@ -43,16 +43,14 @@ impl OpFeatures {
             // 3: output all digits or separators
             f[3] += output
                 .chars()
-                .all(|c| c.is_ascii_digit() || "-. ()".contains(c))
-                as u8 as f32;
+                .all(|c| c.is_ascii_digit() || "-. ()".contains(c)) as u8
+                as f32;
             // 4: input has digits
             f[4] += input.chars().any(|c| c.is_ascii_digit()) as u8 as f32;
             // 5: output tokens all appear as input tokens (any case)
-            let subset = out_tokens.iter().all(|t| {
-                in_tokens
-                    .iter()
-                    .any(|s| s.eq_ignore_ascii_case(t))
-            });
+            let subset = out_tokens
+                .iter()
+                .all(|t| in_tokens.iter().any(|s| s.eq_ignore_ascii_case(t)));
             f[5] += subset as u8 as f32;
             // 6: output equals uppercased input
             f[6] += (output == &input.to_uppercase()) as u8 as f32;
@@ -64,7 +62,8 @@ impl OpFeatures {
                 t.chars().count() == 1
                     && in_tokens.iter().any(|s| {
                         s.chars().next().map(|c| {
-                            c.to_lowercase().eq(t.chars().next().expect("len 1").to_lowercase())
+                            c.to_lowercase()
+                                .eq(t.chars().next().expect("len 1").to_lowercase())
                         }) == Some(true)
                     })
             });
@@ -170,9 +169,7 @@ impl GuidanceModel {
         let pool = atom_pool(examples, config);
         let likely: Vec<Atom> = pool
             .iter()
-            .filter(|a| {
-                matches!(a, Atom::Const(_)) || probs[a.op_class()] >= 0.5 * max_p
-            })
+            .filter(|a| matches!(a, Atom::Const(_)) || probs[a.op_class()] >= 0.5 * max_p)
             .cloned()
             .collect();
         let first = synthesize_with_pool(examples, &likely, config);

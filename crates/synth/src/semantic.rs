@@ -81,16 +81,11 @@ impl<'a> SemanticTransformer<'a> {
         let mut scored: Vec<(usize, f32)> = (0..self.emb.vocab.len())
             .filter(|&i| {
                 let tok = self.emb.vocab.token(i);
-                tok != input
-                    && !self
-                        .known
-                        .iter()
-                        .any(|(a, b)| a == tok || b == tok)
+                tok != input && !self.known.iter().any(|(a, b)| a == tok || b == tok)
             })
             .map(|i| {
                 let y = self.emb.vectors.row_slice(i);
-                let s = cosine(y, v) + cosine(y, &self.out_centroid)
-                    - cosine(y, &self.in_centroid);
+                let s = cosine(y, v) + cosine(y, &self.out_centroid) - cosine(y, &self.in_centroid);
                 (i, s)
             })
             .collect();
@@ -165,27 +160,20 @@ mod tests {
     #[test]
     fn examples_always_map_exactly() {
         let emb = capital_embeddings();
-        let t = SemanticTransformer::learn(
-            &emb,
-            &[("france".into(), "paris".into())],
-        )
-        .expect("usable");
+        let t =
+            SemanticTransformer::learn(&emb, &[("france".into(), "paris".into())]).expect("usable");
         assert_eq!(t.apply("france"), Some("paris".into()));
     }
 
     #[test]
     fn oov_input_and_examples_handled() {
         let emb = capital_embeddings();
-        assert!(SemanticTransformer::learn(
-            &emb,
-            &[("atlantis".into(), "poseidonia".into())],
-        )
-        .is_none());
-        let t = SemanticTransformer::learn(
-            &emb,
-            &[("france".into(), "paris".into())],
-        )
-        .expect("usable");
+        assert!(
+            SemanticTransformer::learn(&emb, &[("atlantis".into(), "poseidonia".into())],)
+                .is_none()
+        );
+        let t =
+            SemanticTransformer::learn(&emb, &[("france".into(), "paris".into())]).expect("usable");
         assert_eq!(t.apply("atlantis"), None);
     }
 }

@@ -22,7 +22,7 @@
 pub mod tape;
 pub mod tensor;
 
-pub use tape::{Op, Tape, Var};
+pub use tape::{op_name, Op, Tape, Var};
 pub use tensor::Tensor;
 
 /// Numerically check the gradient of `f` at `x` against finite differences.

@@ -8,12 +8,35 @@
 //! the arena visits every node after all of its consumers.
 
 use crate::tensor::Tensor;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic generation counter handing every [`Tape`] a process-unique id,
+/// so a [`Var`] can prove which tape minted it.
+static NEXT_TAPE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
-/// that produced it.
+/// that produced it — the handle carries its tape's generation id, and
+/// every tape operation asserts the id matches, so feeding a `Var` to a
+/// different tape fails fast instead of silently reading another graph's
+/// node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Var(pub usize);
+pub struct Var {
+    index: usize,
+    tape: u64,
+}
+
+impl Var {
+    /// Arena index of the node on its owning tape.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// Generation id of the tape that minted this handle (see [`Tape::id`]).
+    pub fn tape_id(self) -> u64 {
+        self.tape
+    }
+}
 
 /// The operation that produced a node, with everything backward needs.
 #[derive(Clone, Debug)]
@@ -93,8 +116,10 @@ struct Node {
 
 /// An autograd tape: an append-only arena of [`Op`] nodes.
 pub struct Tape {
+    id: u64,
     nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,
+    backward_runs: Cell<u32>,
 }
 
 impl Default for Tape {
@@ -107,9 +132,24 @@ impl Tape {
     /// Create an empty tape.
     pub fn new() -> Self {
         Tape {
+            id: NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed),
             nodes: RefCell::new(Vec::new()),
             grads: RefCell::new(Vec::new()),
+            backward_runs: Cell::new(0),
         }
+    }
+
+    /// Process-unique generation id of this tape. Every [`Var`] it mints
+    /// carries the same id (see [`Var::tape_id`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// How many times [`Tape::backward`] has run on this tape. Each run
+    /// *replaces* the stored gradients, so more than one run per tape is
+    /// almost always a bug; `dc-check` lints on it.
+    pub fn backward_runs(&self) -> u32 {
+        self.backward_runs.get()
     }
 
     /// Number of nodes recorded so far.
@@ -122,11 +162,56 @@ impl Tape {
         self.len() == 0
     }
 
+    /// Panic unless `v` was minted by this tape.
+    fn assert_owned(&self, v: Var, ctx: &str) {
+        assert!(
+            v.tape == self.id,
+            "{ctx}: Var {{ index: {}, tape: {} }} does not belong to this tape (id {}); \
+             handles are only valid on the tape that created them",
+            v.index,
+            v.tape,
+            self.id
+        );
+    }
+
+    /// Panic if any `Var` embedded in `op` was minted by another tape.
+    fn assert_owned_op(&self, op: &Op) {
+        let mut check = |v: &Var| self.assert_owned(*v, op_name(op));
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::MatMul(a, b) | Op::AddRow(a, b) => {
+                check(a);
+                check(b);
+            }
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Abs(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::RowsSelect(a, _)
+            | Op::RowsMean(a, _)
+            | Op::Dropout(a, _)
+            | Op::MseLoss(a, _) => check(a),
+            Op::Concat(parts) => parts.iter().for_each(&mut check),
+            Op::BceWithLogits { logits, .. } | Op::SoftmaxCe { logits, .. } => check(logits),
+        }
+    }
+
     fn push(&self, value: Tensor, op: Op) -> Var {
+        self.assert_owned_op(&op);
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
         self.grads.borrow_mut().push(None);
-        Var(nodes.len() - 1)
+        Var {
+            index: nodes.len() - 1,
+            tape: self.id,
+        }
     }
 
     /// Register `t` as a leaf (input or parameter).
@@ -136,24 +221,48 @@ impl Tape {
 
     /// Clone the current value of a node.
     pub fn value(&self, v: Var) -> Tensor {
-        self.nodes.borrow()[v.0].value.clone()
+        self.assert_owned(v, "value");
+        self.nodes.borrow()[v.index].value.clone()
     }
 
     /// Shape of a node's value without cloning it.
     pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.assert_owned(v, "shape");
         let n = self.nodes.borrow();
-        (n[v.0].value.rows, n[v.0].value.cols)
+        (n[v.index].value.rows, n[v.index].value.cols)
+    }
+
+    /// Clone the [`Op`] that produced a node. `dc-check` uses this for
+    /// single-node queries; bulk walks should prefer [`Tape::for_each_node`].
+    pub fn op_of(&self, v: Var) -> Op {
+        self.assert_owned(v, "op_of");
+        self.nodes.borrow()[v.index].op.clone()
+    }
+
+    /// Visit every recorded node in arena order as
+    /// `(index, op, value, grad)`, without cloning tensors. The gradient
+    /// is `None` for nodes untouched by the last [`Tape::backward`] call.
+    ///
+    /// The callback must not record new ops or run `backward` — the
+    /// arena is borrowed for the duration of the walk.
+    pub fn for_each_node(&self, mut f: impl FnMut(usize, &Op, &Tensor, Option<&Tensor>)) {
+        let nodes = self.nodes.borrow();
+        let grads = self.grads.borrow();
+        for (i, node) in nodes.iter().enumerate() {
+            f(i, &node.op, &node.value, grads[i].as_ref());
+        }
     }
 
     /// Clone the accumulated gradient of a node (zeros if untouched by
     /// the last [`Tape::backward`] call).
     pub fn grad(&self, v: Var) -> Tensor {
+        self.assert_owned(v, "grad");
         let g = self.grads.borrow();
-        match &g[v.0] {
+        match &g[v.index] {
             Some(t) => t.clone(),
             None => {
                 let n = self.nodes.borrow();
-                Tensor::zeros(n[v.0].value.rows, n[v.0].value.cols)
+                Tensor::zeros(n[v.index].value.rows, n[v.index].value.cols)
             }
         }
     }
@@ -166,99 +275,103 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&self, a: Var, b: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.add(&n[b.0].value));
+        let v = self.with_values(|n| n[a.index].value.add(&n[b.index].value));
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, a: Var, b: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.sub(&n[b.0].value));
+        let v = self.with_values(|n| n[a.index].value.sub(&n[b.index].value));
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&self, a: Var, b: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.mul(&n[b.0].value));
+        let v = self.with_values(|n| n[a.index].value.mul(&n[b.index].value));
         self.push(v, Op::Mul(a, b))
     }
 
     /// Matrix product.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.matmul(&n[b.0].value));
+        let v = self.with_values(|n| n[a.index].value.matmul(&n[b.index].value));
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Multiply by a constant scalar.
     pub fn scale(&self, a: Var, s: f32) -> Var {
-        let v = self.with_values(|n| n[a.0].value.scale(s));
+        let v = self.with_values(|n| n[a.index].value.scale(s));
         self.push(v, Op::Scale(a, s))
     }
 
     /// Add a constant scalar.
     pub fn add_scalar(&self, a: Var, s: f32) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(|x| x + s));
+        let v = self.with_values(|n| n[a.index].value.map(|x| x + s));
         self.push(v, Op::AddScalar(a, s))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp())));
+        let v = self.with_values(|n| n[a.index].value.map(|x| 1.0 / (1.0 + (-x).exp())));
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(f32::tanh));
+        let v = self.with_values(|n| n[a.index].value.map(f32::tanh));
         self.push(v, Op::Tanh(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(|x| x.max(0.0)));
+        let v = self.with_values(|n| n[a.index].value.map(|x| x.max(0.0)));
         self.push(v, Op::Relu(a))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x }));
+        let v = self.with_values(|n| {
+            n[a.index]
+                .value
+                .map(|x| if x > 0.0 { x } else { alpha * x })
+        });
         self.push(v, Op::LeakyRelu(a, alpha))
     }
 
     /// Elementwise exponent.
     pub fn exp(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(f32::exp));
+        let v = self.with_values(|n| n[a.index].value.map(f32::exp));
         self.push(v, Op::Exp(a))
     }
 
     /// Elementwise `ln(max(x, 1e-12))` — clamped to stay finite.
     pub fn ln(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(|x| x.max(1e-12).ln()));
+        let v = self.with_values(|n| n[a.index].value.map(|x| x.max(1e-12).ln()));
         self.push(v, Op::Ln(a))
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self, a: Var) -> Var {
-        let v = self.with_values(|n| n[a.0].value.map(f32::abs));
+        let v = self.with_values(|n| n[a.index].value.map(f32::abs));
         self.push(v, Op::Abs(a))
     }
 
     /// Sum to scalar.
     pub fn sum(&self, a: Var) -> Var {
-        let v = self.with_values(|n| Tensor::scalar(n[a.0].value.sum()));
+        let v = self.with_values(|n| Tensor::scalar(n[a.index].value.sum()));
         self.push(v, Op::Sum(a))
     }
 
     /// Mean to scalar.
     pub fn mean(&self, a: Var) -> Var {
-        let v = self.with_values(|n| Tensor::scalar(n[a.0].value.mean()));
+        let v = self.with_values(|n| Tensor::scalar(n[a.index].value.mean()));
         self.push(v, Op::Mean(a))
     }
 
     /// Broadcast add a `1×m` row vector to every row of an `n×m` tensor.
     pub fn add_row(&self, a: Var, row: Var) -> Var {
         let v = self.with_values(|n| {
-            let x = &n[a.0].value;
-            let r = &n[row.0].value;
+            let x = &n[a.index].value;
+            let r = &n[row.index].value;
             assert_eq!(r.rows, 1, "add_row: rhs must be 1×m");
             assert_eq!(r.cols, x.cols, "add_row: column mismatch");
             let mut out = x.clone();
@@ -275,7 +388,7 @@ impl Tape {
     /// Concatenate along columns.
     pub fn concat(&self, parts: &[Var]) -> Var {
         let v = self.with_values(|n| {
-            let ts: Vec<Tensor> = parts.iter().map(|p| n[p.0].value.clone()).collect();
+            let ts: Vec<Tensor> = parts.iter().map(|p| n[p.index].value.clone()).collect();
             Tensor::hstack(&ts)
         });
         self.push(v, Op::Concat(parts.to_vec()))
@@ -284,7 +397,7 @@ impl Tape {
     /// Gather rows (embedding lookup): output row `i` is `a[indices[i]]`.
     pub fn rows_select(&self, a: Var, indices: Vec<usize>) -> Var {
         let v = self.with_values(|n| {
-            let x = &n[a.0].value;
+            let x = &n[a.index].value;
             let mut out = Tensor::zeros(indices.len(), x.cols);
             for (i, &idx) in indices.iter().enumerate() {
                 out.row_slice_mut(i).copy_from_slice(x.row_slice(idx));
@@ -298,7 +411,7 @@ impl Tape {
     /// `a[groups[g]]`. Empty groups produce a zero row.
     pub fn rows_mean(&self, a: Var, groups: Vec<Vec<usize>>) -> Var {
         let v = self.with_values(|n| {
-            let x = &n[a.0].value;
+            let x = &n[a.index].value;
             let mut out = Tensor::zeros(groups.len(), x.cols);
             for (g, idxs) in groups.iter().enumerate() {
                 if idxs.is_empty() {
@@ -319,18 +432,13 @@ impl Tape {
     /// Inverted dropout with the given 0/1 `mask` (already scaled to the
     /// keep probability by the caller via [`Tape::dropout_mask`]).
     pub fn dropout(&self, a: Var, mask: Tensor) -> Var {
-        let v = self.with_values(|n| n[a.0].value.mul(&mask));
+        let v = self.with_values(|n| n[a.index].value.mul(&mask));
         self.push(v, Op::Dropout(a, mask))
     }
 
     /// Build an inverted-dropout mask: entries are `0` with probability
     /// `p` and `1/(1-p)` otherwise.
-    pub fn dropout_mask(
-        rows: usize,
-        cols: usize,
-        p: f32,
-        rng: &mut rand::rngs::StdRng,
-    ) -> Tensor {
+    pub fn dropout_mask(rows: usize, cols: usize, p: f32, rng: &mut rand::rngs::StdRng) -> Tensor {
         use rand::Rng;
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
         let keep = 1.0 - p;
@@ -348,7 +456,7 @@ impl Tape {
     /// Mean squared error against a constant `target` (scalar node).
     pub fn mse_loss(&self, pred: Var, target: Tensor) -> Var {
         let v = self.with_values(|n| {
-            let p = &n[pred.0].value;
+            let p = &n[pred.index].value;
             assert_eq!((p.rows, p.cols), (target.rows, target.cols), "mse shapes");
             let d = p.sub(&target);
             Tensor::scalar(d.data.iter().map(|x| x * x).sum::<f32>() / d.len() as f32)
@@ -364,9 +472,13 @@ impl Tape {
     /// weights here.
     pub fn bce_with_logits(&self, logits: Var, targets: Tensor, weights: Tensor) -> Var {
         let (probs, loss) = self.with_values(|n| {
-            let z = &n[logits.0].value;
+            let z = &n[logits.index].value;
             assert_eq!((z.rows, z.cols), (targets.rows, targets.cols), "bce shapes");
-            assert_eq!((z.rows, z.cols), (weights.rows, weights.cols), "bce weights");
+            assert_eq!(
+                (z.rows, z.cols),
+                (weights.rows, weights.cols),
+                "bce weights"
+            );
             let probs = z.map(|x| 1.0 / (1.0 + (-x).exp()));
             let mut loss = 0.0;
             for i in 0..z.len() {
@@ -391,7 +503,7 @@ impl Tape {
     /// (scalar node).
     pub fn softmax_ce(&self, logits: Var, labels: Vec<usize>) -> Var {
         let (probs, loss) = self.with_values(|n| {
-            let z = &n[logits.0].value;
+            let z = &n[logits.index].value;
             assert_eq!(z.rows, labels.len(), "softmax_ce label count");
             let probs = z.softmax_rows();
             let mut loss = 0.0;
@@ -421,12 +533,14 @@ impl Tape {
     /// # Panics
     /// Panics if `out` is not a `1×1` scalar.
     pub fn backward(&self, out: Var) {
+        self.assert_owned(out, "backward");
+        self.backward_runs.set(self.backward_runs.get() + 1);
         let nodes = self.nodes.borrow();
-        assert_eq!(nodes[out.0].value.len(), 1, "backward needs a scalar");
+        assert_eq!(nodes[out.index].value.len(), 1, "backward needs a scalar");
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        grads[out.0] = Some(Tensor::scalar(1.0));
+        grads[out.index] = Some(Tensor::scalar(1.0));
 
-        for i in (0..=out.0).rev() {
+        for i in (0..=out.index).rev() {
             let g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
@@ -438,82 +552,82 @@ impl Tape {
                     continue;
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, &g, &nodes);
-                    accumulate(&mut grads, b.0, &g, &nodes);
+                    accumulate(&mut grads, a.index, &g, &nodes);
+                    accumulate(&mut grads, b.index, &g, &nodes);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a.0, &g, &nodes);
+                    accumulate(&mut grads, a.index, &g, &nodes);
                     let neg = g.scale(-1.0);
-                    accumulate(&mut grads, b.0, &neg, &nodes);
+                    accumulate(&mut grads, b.index, &neg, &nodes);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(&nodes[b.0].value);
-                    let gb = g.mul(&nodes[a.0].value);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
-                    accumulate(&mut grads, b.0, &gb, &nodes);
+                    let ga = g.mul(&nodes[b.index].value);
+                    let gb = g.mul(&nodes[a.index].value);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    accumulate(&mut grads, b.index, &gb, &nodes);
                 }
                 Op::MatMul(a, b) => {
                     // dL/dA = G · Bᵀ ; dL/dB = Aᵀ · G
-                    let ga = g.matmul_t(&nodes[b.0].value);
-                    let gb = nodes[a.0].value.t_matmul(&g);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
-                    accumulate(&mut grads, b.0, &gb, &nodes);
+                    let ga = g.matmul_t(&nodes[b.index].value);
+                    let gb = nodes[a.index].value.t_matmul(&g);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    accumulate(&mut grads, b.index, &gb, &nodes);
                 }
                 Op::Scale(a, s) => {
                     let ga = g.scale(*s);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
-                Op::AddScalar(a, _) => accumulate(&mut grads, a.0, &g, &nodes),
+                Op::AddScalar(a, _) => accumulate(&mut grads, a.index, &g, &nodes),
                 Op::Sigmoid(a) => {
                     let y = &node.value;
                     let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Tanh(a) => {
                     let y = &node.value;
                     let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Relu(a) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.index].value;
                     let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.index].value;
                     let al = *alpha;
                     let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { al * gi });
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Exp(a) => {
                     let ga = g.mul(&node.value);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Ln(a) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.index].value;
                     let ga = g.zip(x, |gi, xi| gi / xi.max(1e-12));
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Abs(a) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.index].value;
                     let ga = g.zip(x, |gi, xi| gi * xi.signum());
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Sum(a) => {
                     let s = g.data[0];
-                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
                     let ga = Tensor::full(r, c, s);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Mean(a) => {
-                    let n = nodes[a.0].value.len() as f32;
+                    let n = nodes[a.index].value.len() as f32;
                     let s = g.data[0] / n;
-                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
                     let ga = Tensor::full(r, c, s);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::AddRow(a, row) => {
-                    accumulate(&mut grads, a.0, &g, &nodes);
+                    accumulate(&mut grads, a.index, &g, &nodes);
                     // Row gradient: column sums of g.
                     let mut gr = Tensor::zeros(1, g.cols);
                     for r in 0..g.rows {
@@ -521,33 +635,33 @@ impl Tape {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, row.0, &gr, &nodes);
+                    accumulate(&mut grads, row.index, &gr, &nodes);
                 }
                 Op::Concat(parts) => {
                     let mut offset = 0;
                     for p in parts {
-                        let pc = nodes[p.0].value.cols;
+                        let pc = nodes[p.index].value.cols;
                         let mut gp = Tensor::zeros(g.rows, pc);
                         for r in 0..g.rows {
                             gp.row_slice_mut(r)
                                 .copy_from_slice(&g.row_slice(r)[offset..offset + pc]);
                         }
-                        accumulate(&mut grads, p.0, &gp, &nodes);
+                        accumulate(&mut grads, p.index, &gp, &nodes);
                         offset += pc;
                     }
                 }
                 Op::RowsSelect(a, indices) => {
-                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
                     let mut ga = Tensor::zeros(r, c);
                     for (i, &idx) in indices.iter().enumerate() {
                         for (o, &v) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(i)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::RowsMean(a, groups) => {
-                    let (r, c) = (nodes[a.0].value.rows, nodes[a.0].value.cols);
+                    let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
                     let mut ga = Tensor::zeros(r, c);
                     for (gi, idxs) in groups.iter().enumerate() {
                         if idxs.is_empty() {
@@ -560,17 +674,17 @@ impl Tape {
                             }
                         }
                     }
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::Dropout(a, mask) => {
                     let ga = g.mul(mask);
-                    accumulate(&mut grads, a.0, &ga, &nodes);
+                    accumulate(&mut grads, a.index, &ga, &nodes);
                 }
                 Op::MseLoss(pred, target) => {
-                    let p = &nodes[pred.0].value;
+                    let p = &nodes[pred.index].value;
                     let scale = 2.0 * g.data[0] / p.len() as f32;
                     let gp = p.sub(target).scale(scale);
-                    accumulate(&mut grads, pred.0, &gp, &nodes);
+                    accumulate(&mut grads, pred.index, &gp, &nodes);
                 }
                 Op::BceWithLogits {
                     logits,
@@ -581,11 +695,8 @@ impl Tape {
                     // d/dz of mean_i w_i BCE = w_i (p_i - y_i) / n
                     let n = probs.len() as f32;
                     let s = g.data[0] / n;
-                    let gz = probs
-                        .sub(targets)
-                        .mul(weights)
-                        .scale(s);
-                    accumulate(&mut grads, logits.0, &gz, &nodes);
+                    let gz = probs.sub(targets).mul(weights).scale(s);
+                    accumulate(&mut grads, logits.index, &gz, &nodes);
                 }
                 Op::SoftmaxCe {
                     logits,
@@ -599,12 +710,43 @@ impl Tape {
                         let v = gz.get(r, lbl);
                         gz.set(r, lbl, v - s);
                     }
-                    accumulate(&mut grads, logits.0, &gz, &nodes);
+                    accumulate(&mut grads, logits.index, &gz, &nodes);
                 }
             }
         }
 
         *self.grads.borrow_mut() = grads;
+    }
+}
+
+/// Human-readable name of an [`Op`] variant, used in diagnostics here and
+/// by `dc-check`'s error reports.
+pub fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "leaf",
+        Op::Add(..) => "add",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::MatMul(..) => "matmul",
+        Op::Scale(..) => "scale",
+        Op::AddScalar(..) => "add_scalar",
+        Op::Sigmoid(..) => "sigmoid",
+        Op::Tanh(..) => "tanh",
+        Op::Relu(..) => "relu",
+        Op::LeakyRelu(..) => "leaky_relu",
+        Op::Exp(..) => "exp",
+        Op::Ln(..) => "ln",
+        Op::Abs(..) => "abs",
+        Op::Sum(..) => "sum",
+        Op::Mean(..) => "mean",
+        Op::AddRow(..) => "add_row",
+        Op::Concat(..) => "concat",
+        Op::RowsSelect(..) => "rows_select",
+        Op::RowsMean(..) => "rows_mean",
+        Op::Dropout(..) => "dropout",
+        Op::MseLoss(..) => "mse_loss",
+        Op::BceWithLogits { .. } => "bce_with_logits",
+        Op::SoftmaxCe { .. } => "softmax_ce",
     }
 }
 
@@ -776,5 +918,68 @@ mod tests {
         let t = Tape::new();
         let x = t.var(Tensor::row(vec![1.0, 2.0]));
         t.backward(x);
+    }
+
+    #[test]
+    fn tapes_get_distinct_ids_and_vars_remember_theirs() {
+        let a = Tape::new();
+        let b = Tape::new();
+        assert_ne!(a.id(), b.id());
+        let va = a.var(Tensor::scalar(1.0));
+        assert_eq!(va.tape_id(), a.id());
+        assert_eq!(va.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to this tape")]
+    fn cross_tape_var_in_op_panics() {
+        let a = Tape::new();
+        let b = Tape::new();
+        let va = a.var(Tensor::row(vec![1.0, 2.0]));
+        let vb = b.var(Tensor::row(vec![3.0, 4.0]));
+        let _ = a.add(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to this tape")]
+    fn cross_tape_var_in_accessor_panics() {
+        let a = Tape::new();
+        let b = Tape::new();
+        let _ = a.var(Tensor::scalar(1.0));
+        let vb = b.var(Tensor::scalar(2.0));
+        let _ = a.value(vb);
+    }
+
+    #[test]
+    fn backward_runs_counts_calls() {
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0]));
+        let s = t.sum(x);
+        assert_eq!(t.backward_runs(), 0);
+        t.backward(s);
+        assert_eq!(t.backward_runs(), 1);
+        t.backward(s);
+        assert_eq!(t.backward_runs(), 2);
+    }
+
+    #[test]
+    fn op_of_and_node_walk_expose_the_graph() {
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0]));
+        let s = t.sum(t.sigmoid(x));
+        assert!(matches!(t.op_of(x), Op::Leaf));
+        assert!(matches!(t.op_of(s), Op::Sum(_)));
+        t.backward(s);
+        let mut names = Vec::new();
+        let mut with_grad = 0;
+        t.for_each_node(|_, op, value, grad| {
+            names.push(op_name(op));
+            assert!(!value.is_empty());
+            if grad.is_some() {
+                with_grad += 1;
+            }
+        });
+        assert_eq!(names, vec!["leaf", "sigmoid", "sum"]);
+        assert_eq!(with_grad, 1); // the reverse sweep keeps only leaf grads
     }
 }

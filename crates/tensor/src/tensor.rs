@@ -133,14 +133,24 @@ impl Tensor {
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "get: index ({r}, {c}) out of bounds for {}x{} tensor",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
     /// Mutable element accessor.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "set: index ({r}, {c}) out of bounds for {}x{} tensor",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -188,7 +198,11 @@ impl Tensor {
 
     /// `selfᵀ · other` without materialising the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "t_matmul: row mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul: {}x{}ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Tensor::zeros(self.cols, other.cols);
         for r in 0..self.rows {
             let arow = self.row_slice(r);
@@ -208,7 +222,11 @@ impl Tensor {
 
     /// `self · otherᵀ` without materialising the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_t: col mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Tensor::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row_slice(i);
@@ -252,7 +270,11 @@ impl Tensor {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
-            "zip: shape mismatch"
+            "zip: {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
         Tensor {
             rows: self.rows,
@@ -346,7 +368,11 @@ impl Tensor {
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {
-            assert_eq!(p.cols, cols, "vstack: column mismatch");
+            assert_eq!(
+                p.cols, cols,
+                "vstack: part is {}x{} but the first part has {cols} columns",
+                p.rows, p.cols
+            );
             data.extend_from_slice(&p.data);
         }
         Tensor { rows, cols, data }
@@ -361,7 +387,11 @@ impl Tensor {
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
-                assert_eq!(p.rows, rows, "hstack: row mismatch");
+                assert_eq!(
+                    p.rows, rows,
+                    "hstack: part is {}x{} but the first part has {rows} rows",
+                    p.rows, p.cols
+                );
                 out.data[r * cols + offset..r * cols + offset + p.cols]
                     .copy_from_slice(p.row_slice(r));
                 offset += p.cols;

@@ -162,9 +162,7 @@ mod tests {
         let majority: Vec<bool> = labels
             .answers
             .iter()
-            .map(|votes| {
-                votes.iter().filter(|(_, v)| *v).count() * 2 >= votes.len()
-            })
+            .map(|votes| votes.iter().filter(|(_, v)| *v).count() * 2 >= votes.len())
             .collect();
         let ds = dawid_skene(&labels, 15);
         let ds_acc = accuracy(&ds.hard_labels(), &truth);

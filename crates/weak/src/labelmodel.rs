@@ -85,8 +85,8 @@ impl GenerativeLabelModel {
                 // Laplace smoothing keeps accuracies off the 0/1 walls.
                 acc[j] = ((correct + 1.0) / (total + 2.0)).clamp(0.05, 0.95);
             }
-            prior = (posteriors.iter().sum::<f64>() / posteriors.len().max(1) as f64)
-                .clamp(0.05, 0.95);
+            prior =
+                (posteriors.iter().sum::<f64>() / posteriors.len().max(1) as f64).clamp(0.05, 0.95);
             // E-step: naive-Bayes posterior per item.
             for (votes, post) in matrix.votes.iter().zip(posteriors.iter_mut()) {
                 let mut log_odds = (prior / (1.0 - prior)).ln();
@@ -138,11 +138,7 @@ mod tests {
 
     /// Items are (ground truth, feature noise seeds); LFs see the truth
     /// through per-LF noise.
-    fn noisy_matrix(
-        n: usize,
-        lf_accuracies: &[f64],
-        rng: &mut StdRng,
-    ) -> (LabelMatrix, Vec<bool>) {
+    fn noisy_matrix(n: usize, lf_accuracies: &[f64], rng: &mut StdRng) -> (LabelMatrix, Vec<bool>) {
         let truth: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let votes = truth
             .iter()
@@ -191,7 +187,11 @@ mod tests {
         let model = GenerativeLabelModel::fit(&m, 10);
         assert!(model.accuracies[0] > model.accuracies[1]);
         assert!(model.accuracies[1] >= model.accuracies[2] - 0.05);
-        assert!((model.accuracies[0] - 0.9).abs() < 0.1, "{:?}", model.accuracies);
+        assert!(
+            (model.accuracies[0] - 0.9).abs() < 0.1,
+            "{:?}",
+            model.accuracies
+        );
     }
 
     #[test]

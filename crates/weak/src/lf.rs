@@ -5,11 +5,14 @@
 //! that if two tuples have the same country but different capitals,
 //! they are in error").
 
+/// The boxed voting closure inside a [`LabelingFunction`].
+type Labeler<T> = Box<dyn Fn(&T) -> Option<bool> + Send + Sync>;
+
 /// A named weak labeler over items of type `T`.
 pub struct LabelingFunction<T> {
     /// Human-readable name (shown in diagnostics).
     pub name: String,
-    f: Box<dyn Fn(&T) -> Option<bool> + Send + Sync>,
+    f: Labeler<T>,
 }
 
 impl<T> LabelingFunction<T> {

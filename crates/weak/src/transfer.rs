@@ -32,7 +32,10 @@ impl FineTuner {
         frozen_layers: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let last = pretrained.layers.pop().expect("pretrained model has layers");
+        let last = pretrained
+            .layers
+            .pop()
+            .expect("pretrained model has layers");
         let feature_dim = last.in_dim();
         pretrained.layers.push(dc_nn::linear::Linear::new(
             feature_dim,
@@ -108,7 +111,12 @@ mod tests {
                 .map(|i| ((xs.get(i, 0) + xs.get(i, 1)) > 0.0) as u8 as f32)
                 .collect(),
         );
-        let mut source = Mlp::new(&[4, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut source = Mlp::new(
+            &[4, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut opt = Adam::new(0.02);
         source.fit(&xs, &ys, LossKind::bce(), &mut opt, 60, 32, &mut rng);
 

@@ -20,11 +20,8 @@ fn main() {
     let fds = autodc::datagen::people_fds();
 
     // --- imputation shootout (E8 in miniature) ---------------------------
-    let (dirty, report) = ErrorInjector::only(
-        autodc::datagen::ErrorKind::Null,
-        0.08,
-    )
-    .inject(&clean, &[], &mut rng);
+    let (dirty, report) =
+        ErrorInjector::only(autodc::datagen::ErrorKind::Null, 0.08).inject(&clean, &[], &mut rng);
     println!(
         "table: {} rows, {} cells nulled ({:.1}% of cells)",
         dirty.len(),
@@ -48,11 +45,9 @@ fn main() {
     }
 
     // --- FD repair ----------------------------------------------------------
-    let (mut violated, vreport) = ErrorInjector::only(
-        autodc::datagen::ErrorKind::FdViolation,
-        0.04,
-    )
-    .inject(&clean, &fds, &mut rng);
+    let (mut violated, vreport) =
+        ErrorInjector::only(autodc::datagen::ErrorKind::FdViolation, 0.04)
+            .inject(&clean, &fds, &mut rng);
     let broken = fds.iter().filter(|fd| !fd.holds(&violated)).count();
     let repairs = autodc::clean::repair::repair_fds(&mut violated, &fds, 10);
     let restored = vreport

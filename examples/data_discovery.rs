@@ -39,10 +39,7 @@ fn main() {
     let mut renamed_total = 0;
     for l in lake.semantic_links() {
         let (ta, tb) = (&lake.tables[l.a.0], &lake.tables[l.b.0]);
-        let (na, nb) = (
-            &ta.schema.attrs[l.a.1].name,
-            &tb.schema.attrs[l.b.1].name,
-        );
+        let (na, nb) = (&ta.schema.attrs[l.a.1].name, &tb.schema.attrs[l.b.1].name);
         if na == nb {
             continue; // trivially found by name equality
         }
@@ -61,10 +58,7 @@ fn main() {
     let spurious = lake.spurious_links();
     for l in &spurious {
         let (ta, tb) = (&lake.tables[l.a.0], &lake.tables[l.b.0]);
-        let (na, nb) = (
-            &ta.schema.attrs[l.a.1].name,
-            &tb.schema.attrs[l.b.1].name,
-        );
+        let (na, nb) = (&ta.schema.attrs[l.a.1].name, &tb.schema.attrs[l.b.1].name);
         if syntactic.decide(na, nb).linked {
             accepted_by_syntactic += 1;
         }
@@ -100,6 +94,9 @@ fn main() {
             .map(|(i, _)| i)
             .collect();
         let hits = top.iter().filter(|i| relevant.contains(i)).count();
-        println!("  '{query}' → top-3 {top:?} ({hits} relevant of {})", relevant.len());
+        println!(
+            "  '{query}' → top-3 {top:?} ({hits} relevant of {})",
+            relevant.len()
+        );
     }
 }

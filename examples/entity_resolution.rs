@@ -27,12 +27,7 @@ fn main() {
 
     // Word embeddings from the records plus a domain corpus — the
     // pre-trained-vectors substitution (DESIGN.md §5).
-    let mut docs: Vec<Vec<String>> = bench
-        .table
-        .rows
-        .iter()
-        .map(|r| tokenize_tuple(r))
-        .collect();
+    let mut docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
     docs.extend(autodc::datagen::corpus::domain_corpus(500, &mut rng));
     let emb = Embeddings::train(
         &docs,

@@ -8,9 +8,7 @@
 //! ```
 
 use autodc::prelude::*;
-use autodc::synth::{
-    consolidate_cluster, GuidanceModel, PreferenceModel, SemanticTransformer,
-};
+use autodc::synth::{consolidate_cluster, GuidanceModel, PreferenceModel, SemanticTransformer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -75,16 +73,21 @@ fn main() {
     .expect("examples in vocabulary");
     println!("semantic transformation learned from (france→paris), (germany→berlin):");
     for country in ["italy", "spain", "japan"] {
-        println!(
-            "  {country} → {:?}",
-            transformer.apply_ranked(country, 3)
-        );
+        println!("  {country} → {:?}", transformer.apply_ranked(country, 3));
     }
 
     // --- golden records ----------------------------------------------------------
     let cluster_rows: Vec<Vec<Value>> = vec![
-        vec![Value::text("John Smith"), Value::Null, Value::text("212-555-0199")],
-        vec![Value::text("J Smith"), Value::text("NYC"), Value::text("2125550199")],
+        vec![
+            Value::text("John Smith"),
+            Value::Null,
+            Value::text("212-555-0199"),
+        ],
+        vec![
+            Value::text("J Smith"),
+            Value::text("NYC"),
+            Value::text("2125550199"),
+        ],
         vec![Value::text("John Smith"), Value::text("NYC"), Value::Null],
     ];
     let refs: Vec<&[Value]> = cluster_rows.iter().map(|r| r.as_slice()).collect();

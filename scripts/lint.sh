@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting, clippy (warnings are errors), and the
+# dc-check self-test (static checks + FD audit of every autograd op).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== dc-check selftest =="
+cargo run -q -p dc-check --bin dc-check-selftest
+
+echo "lint: all gates passed"

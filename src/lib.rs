@@ -62,9 +62,7 @@ pub mod prelude {
     pub use dc_embed::{Embeddings, SgnsConfig};
     pub use dc_er::{Composition, DeepEr, DeepErConfig, LshBlocker};
     pub use dc_nn::{Activation, Adam, LossKind, Mlp};
-    pub use dc_relational::{
-        AttrType, FunctionalDependency, Schema, Table, TableGraph, Value,
-    };
+    pub use dc_relational::{AttrType, FunctionalDependency, Schema, Table, TableGraph, Value};
     pub use dc_synth::{synthesize, SynthConfig};
     pub use dc_tensor::{Tape, Tensor};
 }

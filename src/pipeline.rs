@@ -122,7 +122,11 @@ impl Pipeline {
         let mut discovered = vec![base.name.clone()];
         let mut merged = base.clone();
         merged.name = format!("{}_curated", base.name);
-        for &(ti, _) in ranked.iter().skip(1).take(self.config.top_k_tables.saturating_sub(1)) {
+        for &(ti, _) in ranked
+            .iter()
+            .skip(1)
+            .take(self.config.top_k_tables.saturating_sub(1))
+        {
             let t = &tables[ti];
             if t.schema.names() == base.schema.names() {
                 discovered.push(t.name.clone());
@@ -142,18 +146,12 @@ impl Pipeline {
             .collect();
         let tuple_emb = Embeddings::train(&tuple_docs, &self.config.sgns, rng);
         let vectors = tuple_vectors(&tuple_emb, &merged);
-        let blocker = LshBlocker::new(
-            tuple_emb.dim(),
-            self.config.lsh.0,
-            self.config.lsh.1,
-            rng,
-        );
+        let blocker = LshBlocker::new(tuple_emb.dim(), self.config.lsh.0, self.config.lsh.1, rng);
         let candidates = blocker.candidates(&vectors);
         let matcher = RuleMatcher::new(self.config.dedup_threshold);
         let mut uf = UnionFind::new(merged.len());
         for &(a, b) in &candidates {
-            if matcher.score(&merged.rows[a], &merged.rows[b]) >= self.config.dedup_threshold
-            {
+            if matcher.score(&merged.rows[a], &merged.rows[b]) >= self.config.dedup_threshold {
                 uf.union(a, b);
             }
         }
@@ -165,10 +163,8 @@ impl Pipeline {
             if cluster.len() > 1 {
                 clusters_merged += 1;
             }
-            let rows: Vec<&[dc_relational::Value]> = cluster
-                .iter()
-                .map(|&i| merged.rows[i].as_slice())
-                .collect();
+            let rows: Vec<&[dc_relational::Value]> =
+                cluster.iter().map(|&i| merged.rows[i].as_slice()).collect();
             integrated.push(consolidate_cluster(&rows, &preference));
         }
         let fds = select_repair_fds(discover_fds(&integrated, self.config.max_fd_lhs));
@@ -188,13 +184,8 @@ impl Pipeline {
             // values, such as primary keys, should be treated fairly".
             let key_like: Vec<bool> = (0..cleaned.schema.arity())
                 .map(|c| {
-                    let non_null = cleaned
-                        .rows
-                        .iter()
-                        .filter(|r| !r[c].is_null())
-                        .count();
-                    non_null > 0
-                        && cleaned.distinct(c).len() as f64 / non_null as f64 > 0.8
+                    let non_null = cleaned.rows.iter().filter(|r| !r[c].is_null()).count();
+                    non_null > 0 && cleaned.distinct(c).len() as f64 / non_null as f64 > 0.8
                 })
                 .collect();
             let imputer = SimpleImputer::fit(&cleaned, SimpleStrategy::MeanMode);
@@ -208,7 +199,8 @@ impl Pipeline {
                 }
             }
         }
-        let repairs = dc_clean::repair::repair_fds(&mut cleaned, &fds, self.config.repair_rounds).len();
+        let repairs =
+            dc_clean::repair::repair_fds(&mut cleaned, &fds, self.config.repair_rounds).len();
         // Cleaning can turn near-duplicates into exact duplicates
         // (imputed nulls, repaired RHS values); collapse them.
         let mut seen = std::collections::HashSet::new();
@@ -347,7 +339,11 @@ mod tests {
         assert!(report.discovered.iter().any(|n| n == "people_b"));
         assert!(!report.discovered.iter().any(|n| n == "products"));
         // The two shards duplicate every entity: integration must merge.
-        assert!(report.clusters_merged > 20, "merged {}", report.clusters_merged);
+        assert!(
+            report.clusters_merged > 20,
+            "merged {}",
+            report.clusters_merged
+        );
         assert!(curated.len() < report.rows_in);
         // Cleaning improves the quality score.
         assert!(

@@ -69,7 +69,7 @@ proptest! {
         }
         let before = t.clone();
         let fd = FunctionalDependency::new(vec![0], 1);
-        autodc::clean::repair::repair_fds(&mut t, &[fd.clone()], 10);
+        autodc::clean::repair::repair_fds(&mut t, std::slice::from_ref(&fd), 10);
         prop_assert!(fd.holds(&t));
         for (orig, fixed) in before.rows.iter().zip(&t.rows) {
             prop_assert_eq!(&orig[0], &fixed[0], "repair must not edit the LHS");

@@ -10,12 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn embeddings(bench: &ErBenchmark, rng: &mut StdRng) -> Embeddings {
-    let mut docs: Vec<Vec<String>> = bench
-        .table
-        .rows
-        .iter()
-        .map(|r| tokenize_tuple(r))
-        .collect();
+    let mut docs: Vec<Vec<String>> = bench.table.rows.iter().map(|r| tokenize_tuple(r)).collect();
     docs.extend(autodc::datagen::corpus::domain_corpus(300, rng));
     Embeddings::train(
         &docs,

@@ -71,7 +71,7 @@ fn pipeline_on_clean_single_table_is_nearly_identity() {
         top_k_tables: 1,
         ..Default::default()
     })
-    .run(&[clean.clone()], &mut rng);
+    .run(std::slice::from_ref(&clean), &mut rng);
     // Nothing to merge, repair or impute on clean unique data.
     assert_eq!(report.repairs, 0);
     assert_eq!(report.cells_imputed, 0);

@@ -1,0 +1,221 @@
+//! Offline minimal benchmark harness exposing the criterion API
+//! surface AutoDC's benches use (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Timing is a simple mean over `sample_size` samples of adaptively
+//! batched iterations — no statistics, plots, or baselines. Passing
+//! `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs each benchmark body once and exits.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    /// Smoke-test mode: run every body once, skip timing loops.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: &str, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub struct Bencher {
+    /// Iterations per timed sample.
+    batch: u64,
+    /// Accumulated elapsed time across samples.
+    elapsed: Duration,
+    /// Total iterations across samples.
+    iters: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.batch;
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode {
+        let mut b = Bencher {
+            batch: 1,
+            elapsed: Duration::ZERO,
+            iters: 0,
+            test_mode,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Calibrate the batch size so one sample takes ~10ms, then time
+    // `sample_size` samples.
+    let mut b = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+        iters: 0,
+        test_mode,
+    };
+    let cal_start = Instant::now();
+    f(&mut b);
+    let once = cal_start.elapsed().max(Duration::from_nanos(1));
+    let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        batch,
+        elapsed: Duration::ZERO,
+        iters: 0,
+        test_mode,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let per_iter = if b.iters > 0 {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "{id:<50} {:>12} /iter ({} iters)",
+        format_ns(per_iter),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, supporting both the plain
+/// `criterion_group!(benches, f1, f2)` form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` entry point for a `harness = false` bench.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

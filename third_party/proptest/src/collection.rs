@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Length specification: an exact `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy over an element strategy and a size spec.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}

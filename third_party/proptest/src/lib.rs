@@ -1,0 +1,248 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API AutoDC uses: the `proptest!` macro, `prop_assert*`
+//! macros, regex-subset string strategies, integer-range strategies,
+//! tuple strategies, and `collection::vec`.
+//!
+//! Cases are generated deterministically: each test derives its RNG
+//! seed from the test name, so failures reproduce exactly. There is
+//! no shrinking — the failing inputs are printed instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+mod regex;
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+/// A failed property case; bubbles out of the closure wrapped around
+/// each `proptest!` body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test, per-case RNG.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test name, mixed with the case number.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Value generator. Unlike upstream's `ValueTree` machinery, this
+/// samples concrete values directly.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String literals act as regex-subset strategies, like upstream.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex::Pattern::parse(self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i32, i64, u32, u64, usize, isize, f32, f64);
+
+macro_rules! small_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.start as i32..self.end as i32) as $ty
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(*self.start() as i32..=*self.end() as i32) as $ty
+            }
+        }
+    )*};
+}
+
+small_range_strategy!(u8, u16, i8, i16);
+
+/// `Just`-style constant strategy, handy for composed suites.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Run each property body over [`CASES`] deterministic cases; print
+/// the generated inputs on failure (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed on case {case}: {e}\ninputs: {:?}",
+                            stringify!($name),
+                            ($(&$arg,)*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn regex_class_respects_bounds(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_of_tuples_respects_ranges(xs in collection::vec((0u8..4, 0u8..3), 2..30)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 30);
+            for (a, b) in &xs {
+                prop_assert!(*a < 4 && *b < 3);
+            }
+        }
+
+        #[test]
+        fn dot_generates_no_newlines(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let a: Vec<String> = (0..5)
+            .map(|c| "[a-z]{3}".generate(&mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<String> = (0..5)
+            .map(|c| "[a-z]{3}".generate(&mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

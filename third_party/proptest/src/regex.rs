@@ -1,0 +1,147 @@
+//! Regex-subset string generator covering the patterns AutoDC's
+//! property tests use: character classes with ranges (`[a-zA-Z0-9 ,"]`),
+//! the `.` wildcard (anything but `\n`, as in regex), literal
+//! characters, and `{n}` / `{m,n}` repetition counts.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+enum Element {
+    /// Explicit set of candidate characters (classes and literals).
+    Set(Vec<char>),
+    /// `.`: any character except newline.
+    Any,
+}
+
+pub struct Pattern {
+    parts: Vec<(Element, usize, usize)>,
+}
+
+/// Sample pool for `.`: printable ASCII plus a few multi-byte
+/// characters so unicode handling gets exercised.
+const ANY_EXTRAS: &[char] = &['\u{e9}', '\u{4e2d}', '\u{3b1}', '\u{1f600}', '\u{df}'];
+
+impl Pattern {
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut parts = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let element = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    Element::Set(set)
+                }
+                '.' => {
+                    i += 1;
+                    Element::Any
+                }
+                '\\' => {
+                    // Escaped literal (e.g. `\.`, `\\`).
+                    let c = *chars.get(i + 1).unwrap_or_else(|| {
+                        panic!("proptest regex: trailing backslash in {pattern:?}")
+                    });
+                    i += 2;
+                    Element::Set(vec![unescape(c)])
+                }
+                c => {
+                    i += 1;
+                    Element::Set(vec![c])
+                }
+            };
+            let (lo, hi, next) = parse_repeat(&chars, i, pattern);
+            i = next;
+            parts.push((element, lo, hi));
+        }
+        Pattern { parts }
+    }
+
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (element, lo, hi) in &self.parts {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                match element {
+                    Element::Set(set) => out.push(*set.choose(rng).expect("nonempty class")),
+                    Element::Any => {
+                        // Mostly printable ASCII, occasionally unicode.
+                        if rng.gen_range(0..8usize) == 0 {
+                            out.push(*ANY_EXTRAS.choose(rng).unwrap());
+                        } else {
+                            out.push(rng.gen_range(0x20u32..0x7f).try_into().unwrap());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+/// Parse a `[...]` class body starting just past the `[`; returns the
+/// candidate set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        // Range `a-z` unless the `-` is the final class character.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map(|&c| c != ']') == Some(true) {
+            let hi = chars[i + 2];
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "proptest regex: unterminated character class"
+    );
+    (set, i + 1)
+}
+
+/// Parse an optional `{n}` / `{m,n}` suffix at `i`; returns
+/// `(min, max, next_index)`.
+fn parse_repeat(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("proptest regex: unterminated repetition in {pattern:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repetition min"),
+            hi.trim().parse().expect("repetition max"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    (lo, hi, close + 1)
+}

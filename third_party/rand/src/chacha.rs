@@ -1,0 +1,80 @@
+//! ChaCha12 word stream, compatible with `rand_chacha` 0.3's
+//! `ChaCha12Rng` output as consumed through `rand_core`'s `BlockRng`.
+//!
+//! `BlockRng` buffers whole blocks but reads them as one continuous
+//! u32 sequence (`next_u64` takes two consecutive words, low half
+//! first, even across a block boundary), so a plain one-block-at-a-
+//! time generator emits the identical stream.
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[derive(Clone)]
+pub struct ChaCha12 {
+    /// Input state: constants, 8 key words, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    buf: [u32; 16],
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl ChaCha12 {
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12–13: 64-bit block counter (starts at 0).
+        // Words 14–15: stream nonce (0 for seed_from_u64 / from_seed).
+        ChaCha12 {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..6 {
+            // Column round.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (b, (&xi, &si)) in self.buf.iter_mut().zip(x.iter().zip(self.state.iter())) {
+            *b = xi.wrapping_add(si);
+        }
+        // Increment the 64-bit counter spanning words 12 (low) / 13 (high).
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+
+    #[inline]
+    pub fn next_word(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}

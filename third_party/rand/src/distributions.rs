@@ -1,0 +1,235 @@
+//! Sampling distributions, algorithm-for-algorithm with rand 0.8.5 so
+//! seeded streams match upstream bit-for-bit:
+//!
+//! - `Standard` floats use the 24/53-bit "multiply" conversion
+//!   (`(u >> 8) as f32 * 2^-24`).
+//! - Integer ranges use Lemire's widening-multiply rejection with the
+//!   `(range << range.leading_zeros()) - 1` single-sample zone.
+//! - Float ranges draw a mantissa in `[1, 2)`, map through
+//!   `(v - 1) * scale + low`, and shrink `scale` by one ULP on the
+//!   (astronomically rare) rounding overshoot.
+//! - `Bernoulli` compares a full `u64` against `(p * 2^64) as u64`.
+
+use crate::{Rng, RngCore};
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "default" distribution: full-range integers, `[0, 1)` floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<isize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> isize {
+        rng.next_u64() as isize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign bit of a fresh u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit precision "multiply" conversion.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit precision "multiply" conversion.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Bernoulli distribution backed by a 64-bit fixed-point threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    /// `(p * 2^64) as u64`; `u64::MAX` is reserved to mean "always true".
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Bernoulli {
+        if !(0.0..1.0).contains(&p) {
+            assert!(p == 1.0, "Bernoulli::new: p = {p} not in [0, 1]");
+            return Bernoulli { p_int: ALWAYS_TRUE };
+        }
+        Bernoulli {
+            p_int: (p * SCALE) as u64,
+        }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+/// Types usable with `Rng::gen_range`.
+pub trait SampleUniform: Sized {
+    /// Sample from the half-open range `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from the closed range `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = u64::from(a) * u64::from(b);
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $uty:ty, $large:ty, $wmul:ident, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high ({low}..{high})");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high ({low}..={high})");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $uty as $large;
+                if range == 0 {
+                    // The whole domain: every bit pattern is valid.
+                    return rng.$next() as $ty;
+                }
+                // Lemire rejection: accept when the low product half
+                // falls inside the largest `range`-multiple zone.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { i32, u32, u32, wmul32, next_u32 }
+uniform_int_impl! { u32, u32, u32, wmul32, next_u32 }
+uniform_int_impl! { i64, u64, u64, wmul64, next_u64 }
+uniform_int_impl! { u64, u64, u64, wmul64, next_u64 }
+uniform_int_impl! { isize, usize, u64, wmul64, next_u64 }
+uniform_int_impl! { usize, usize, u64, wmul64, next_u64 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_one:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high ({low}..{high})");
+                let mut scale = high - low;
+                loop {
+                    // Mantissa bits glued to exponent 0 give [1, 2).
+                    let value1_2 =
+                        <$ty>::from_bits((rng.gen::<$uty>() >> $bits_to_discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding pushed us to `high`: shrink scale one
+                    // ULP and redraw, as upstream does.
+                    assert!(scale.is_finite(), "gen_range: non-finite range");
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high ({low}..={high})");
+                // Matches upstream: scale so that the largest mantissa
+                // can land exactly on `high`.
+                let scale = (high - low) / (1.0 - <$ty>::EPSILON / 2.0);
+                let value1_2 = <$ty>::from_bits((rng.gen::<$uty>() >> $bits_to_discard) | $exp_one);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f32, u32, 9, 127u32 << 23 }
+uniform_float_impl! { f64, u64, 12, 1023u64 << 52 }

@@ -1,0 +1,190 @@
+//! Offline reimplementation of the `rand` 0.8 API surface AutoDC uses.
+//!
+//! The build container has no registry access, so this crate stands in
+//! for crates.io `rand`. It is **stream-compatible** with rand 0.8's
+//! `StdRng` (ChaCha12 seeded via the PCG32 `seed_from_u64` expansion)
+//! and reproduces the exact sampling algorithms of rand 0.8.5 —
+//! Lemire widening-multiply rejection for integer ranges, 23/52-bit
+//! mantissa floats for `gen_range`, 24/53-bit for `Standard`, and the
+//! `u64`-threshold Bernoulli — so every seed-tuned test in the
+//! workspace sees the same random stream it was written against.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+
+pub use distributions::Distribution;
+
+/// Low-level source of random bits (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with PCG32, exactly as
+    /// rand_core 0.6 does, so seeds reproduce upstream streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        distributions::Bernoulli::new(p).sample(self)
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    // Stream-regression vectors pinning StdRng output. The stream is
+    // validated indirectly against upstream rand 0.8.5 by the
+    // workspace's seed-tuned learning tests (XOR convergence, ER F1
+    // thresholds), which were authored against the crates.io crate;
+    // these vectors freeze it so any refactor that shifts a single
+    // draw fails loudly here first.
+    #[test]
+    fn stdrng_u32_stream_is_frozen() {
+        let mut r = StdRng::seed_from_u64(0);
+        let got: Vec<u32> = (0..4).map(|_| r.next_u32()).collect();
+        assert_eq!(got, vec![3442241407, 3140108210, 2384947579, 3321986196]);
+    }
+
+    #[test]
+    fn stdrng_u64_stream_is_frozen() {
+        let mut r = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                9713269763989775522,
+                10011513049433592189,
+                11740708795755607249
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_f32_stream_is_frozen() {
+        let mut r = StdRng::seed_from_u64(7);
+        let got: Vec<f32> = (0..3).map(|_| r.gen::<f32>()).collect();
+        assert_eq!(got, vec![0.41664094, 0.030317307, 0.14255327]);
+    }
+
+    #[test]
+    fn gen_range_usize_stream_is_frozen() {
+        let mut r = StdRng::seed_from_u64(3);
+        let got: Vec<usize> = (0..6).map(|_| r.gen_range(0..10usize)).collect();
+        assert_eq!(got, vec![3, 4, 2, 4, 3, 6]);
+    }
+
+    #[test]
+    fn shuffle_stream_is_frozen() {
+        use crate::seq::SliceRandom;
+        let mut r = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..8).collect();
+        v.shuffle(&mut r);
+        assert_eq!(v, vec![0, 7, 5, 3, 2, 1, 4, 6]);
+    }
+
+    #[test]
+    fn gen_range_f32_is_in_bounds_and_deterministic() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f32 = r.gen_range(-2.0..3.0f32);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates_are_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2300..2700).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn inclusive_range_covers_endpoints() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

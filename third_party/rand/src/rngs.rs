@@ -1,0 +1,43 @@
+//! Named RNGs. rand 0.8's `StdRng` is `ChaCha12Rng`; ours wraps the
+//! stream-compatible ChaCha12 core.
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha with 12 rounds, identical stream to
+/// rand 0.8's `StdRng` for the same seed.
+#[derive(Clone)]
+pub struct StdRng(ChaCha12);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaCha12::from_seed(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng semantics: two consecutive words, low half first.
+        let lo = u64::from(self.0.next_word());
+        let hi = u64::from(self.0.next_word());
+        hi << 32 | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // BlockRng::fill_bytes consumes ceil(len/4) words, each
+        // serialised little-endian; a trailing partial word is
+        // consumed in full.
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.0.next_word().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Slice helpers (subset of `rand::seq`), stream-compatible with
+//! rand 0.8: Fisher–Yates from the top, indices drawn through the
+//! `u32` fast path whenever the bound fits.
+
+use crate::{Rng, RngCore};
+
+/// Uniformly random index in `[0, ubound)`, using the 32-bit sampler
+/// when possible exactly as rand 0.8's `gen_index` does.
+#[inline]
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Extension trait for random slice operations.
+pub trait SliceRandom {
+    type Item;
+
+    /// Shuffle in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline reimplementation of the `serde` API surface AutoDC uses.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this
+//! facade serializes through an owned JSON-shaped [`Value`] tree:
+//! `Serialize` renders `self` to a `Value`, `Deserialize` rebuilds
+//! `Self` from one. `serde_json` is then just a printer/parser for
+//! `Value`. The derive macros (re-exported from `serde_derive`)
+//! generate externally-tagged representations identical to upstream
+//! serde's defaults, and honour `#[serde(skip)]`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data tree that serialization passes through.
+///
+/// Object fields keep insertion order (`Vec` of pairs), matching
+/// derive-generated field order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integer (anything that fits in `i64`).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// One-word description for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Compatibility alias module mirroring `serde::de`.
+pub mod de {
+    /// Upstream's `DeserializeOwned` marker; our `Deserialize` is
+    /// already owned, so this is a blanket-implemented alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Look up a derive-generated struct field, in any order, ignoring
+/// unknown keys (upstream serde's default behaviour).
+pub fn from_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            #[allow(unused_comparisons)]
+            fn to_value(&self) -> Value {
+                if (*self as i128) <= i64::MAX as i128 && (*self as i128) >= i64::MIN as i128 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::I64(n) => <$ty>::try_from(*n).ok(),
+                    Value::U64(n) => <$ty>::try_from(*n).ok(),
+                    other => return Err(unexpected("integer", other)),
+                };
+                out.ok_or_else(|| {
+                    Error::custom(format!(
+                        "integer out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                // Widening to f64 is exact for f32; non-finite floats
+                // serialize as null, as serde_json does.
+                let wide = *self as f64;
+                if wide.is_finite() {
+                    Value::F64(wide)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(x) => Ok(*x as $ty),
+                    Value::I64(n) => Ok(*n as $ty),
+                    Value::U64(n) => Ok(*n as $ty),
+                    other => Err(unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $( + { let _ = $idx; 1 } )+;
+                let items = v.as_array().ok_or_else(|| unexpected("tuple array", v))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {LEN}, got array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Render map entries: a JSON object when every key serializes to a
+/// string, otherwise an array of `[key, value]` pairs (upstream
+/// serde_json rejects non-string keys at runtime; we pick a
+/// round-trippable encoding instead).
+fn map_to_value<'a>(entries: impl Iterator<Item = (Value, &'a Value)> + Clone) -> Value {
+    if entries.clone().all(|(k, _)| matches!(k, Value::Str(_))) {
+        Value::Object(
+            entries
+                .map(|(k, v)| match k {
+                    Value::Str(s) => (s, v.clone()),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .map(|(k, v)| Value::Array(vec![k, v.clone()]))
+                .collect(),
+        )
+    }
+}
+
+/// Inverse of [`map_to_value`]: accepts both encodings.
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+            .collect(),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| Error::custom("map entry: expected a [key, value] pair"))?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(unexpected("map (object or pair array)", other)),
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let rendered: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        map_to_value(rendered.iter().map(|(k, v)| (k.clone(), v)))
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let rendered: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        map_to_value(rendered.iter().map(|(k, v)| (k.clone(), v)))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,491 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! The container has no `syn`/`quote`, so this parses the derive
+//! input's raw `TokenStream` directly (attributes → visibility →
+//! `struct`/`enum` → fields/variants) and emits impl text built as a
+//! string. Output matches upstream serde's externally-tagged defaults:
+//! named structs → objects, newtype structs → the inner value, tuple
+//! structs → arrays, unit variants → `"Name"`, payload variants →
+//! `{"Name": payload}`. `#[serde(skip)]` omits a named field on
+//! serialize and fills it with `Default::default()` on deserialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// Identifier for named fields, decimal index for tuple fields.
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Token parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume leading `#[...]` attributes; return whether any of them
+    /// was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+                other => panic!("serde derive: malformed attribute, got {other:?}"),
+            }
+        }
+        skip
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consume tokens until a top-level `,`, balancing `<`/`>` so
+    /// commas inside generic arguments don't split the run. The comma
+    /// itself is consumed.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => {
+                        self.next();
+                        return;
+                    }
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return false;
+    };
+    for tok in args.stream() {
+        match tok {
+            TokenTree::Ident(i) if i.to_string() == "skip" => return true,
+            TokenTree::Ident(i) => panic!(
+                "serde derive: unsupported serde attribute `{i}` (only `skip` is implemented)"
+            ),
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde derive: generic type `{name}` is not supported by the offline facade");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: malformed struct `{name}`, got {other:?}"),
+            };
+            Item {
+                name,
+                kind: Kind::Struct(fields),
+            }
+        }
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde derive: malformed enum `{name}`, got {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while c.peek().is_some() {
+        let skip = c.skip_attrs();
+        if skip {
+            panic!("serde derive: #[serde(skip)] on tuple fields is not supported");
+        }
+        c.skip_visibility();
+        c.skip_until_comma();
+        fields.push(Field {
+            name: index.to_string(),
+            skip: false,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.next();
+                Fields::Tuple(parse_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        c.skip_until_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => ser_struct_body(fields, "self.", ""),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&ser_variant_arm(v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialize body for a field list. `access` prefixes each field name
+/// (`self.` for structs, empty for variant bindings); `tag` wraps the
+/// result in an externally-tagged single-pair object when non-empty.
+fn ser_struct_body(fields: &Fields, access: &str, tag: &str) -> String {
+    let inner = match fields {
+        Fields::Unit => {
+            if tag.is_empty() {
+                "::serde::Value::Null".to_string()
+            } else {
+                return format!("::serde::Value::Str(::std::string::String::from(\"{tag}\"))");
+            }
+        }
+        Fields::Tuple(fields) if fields.len() == 1 => {
+            let f = bind_name(access, &fields[0].name);
+            format!("::serde::Serialize::to_value(&{f})")
+        }
+        Fields::Tuple(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "::serde::Serialize::to_value(&{})",
+                        bind_name(access, &f.name)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{}\"), \
+                     ::serde::Serialize::to_value(&{})));",
+                    f.name,
+                    bind_name(access, &f.name)
+                ));
+            }
+            format!(
+                "{{ let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(fields) }}"
+            )
+        }
+    };
+    if tag.is_empty() {
+        inner
+    } else {
+        format!(
+            "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+        )
+    }
+}
+
+/// Field access expression: `self.name` / `self.0` for structs,
+/// `f0`-style bindings for enum variants.
+fn bind_name(access: &str, name: &str) -> String {
+    if access.is_empty() {
+        if name.chars().all(|c| c.is_ascii_digit()) {
+            format!("f{name}")
+        } else {
+            name.to_string()
+        }
+    } else {
+        format!("{access}{name}")
+    }
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let name = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "Self::{name} => \
+             ::serde::Value::Str(::std::string::String::from(\"{name}\")),"
+        ),
+        Fields::Tuple(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("f{i}")).collect();
+            let body = ser_struct_body(&v.fields, "", name);
+            format!("Self::{name}({}) => {body},", binds.join(", "))
+        }
+        Fields::Named(fields) => {
+            let binds: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| f.name.clone())
+                .collect();
+            let pattern = if binds.is_empty() {
+                format!("Self::{name} {{ .. }}")
+            } else {
+                format!("Self::{name} {{ {}, .. }}", binds.join(", "))
+            };
+            let body = ser_struct_body(&v.fields, "", name);
+            format!("{pattern} => {body},")
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => de_fields_body(name, fields, "Self", "v"),
+        Kind::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Deserialize expression rebuilding `ctor` from the value expression
+/// `src` according to the field list.
+fn de_fields_body(type_name: &str, fields: &Fields, ctor: &str, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {src} {{ \
+               ::serde::Value::Null => ::std::result::Result::Ok({ctor}), \
+               other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"{type_name}: expected null, got {{}}\", other.kind()))) }}"
+        ),
+        Fields::Tuple(fields) if fields.len() == 1 => {
+            format!("::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({src})?))")
+        }
+        Fields::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = {src}.as_array().ok_or_else(|| ::serde::Error::custom(\
+                   \"{type_name}: expected array\"))?; \
+                   if items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                       \"{type_name}: expected {n} elements, got {{}}\", items.len()))); }} \
+                   ::std::result::Result::Ok({ctor}({})) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::from_field(obj, \"{0}\")?,", f.name));
+                }
+            }
+            format!(
+                "{{ let obj = {src}.as_object().ok_or_else(|| ::serde::Error::custom(\
+                   \"{type_name}: expected object\"))?; \
+                   ::std::result::Result::Ok({ctor} {{ {inits} }}) }}"
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}),"
+            )),
+            fields => {
+                let body = de_fields_body(
+                    &format!("{name}::{vname}"),
+                    fields,
+                    &format!("Self::{vname}"),
+                    "payload",
+                );
+                payload_arms.push_str(&format!("\"{vname}\" => {body},"));
+            }
+        }
+    }
+    format!(
+        "match v {{ \
+           ::serde::Value::Str(s) => match s.as_str() {{ \
+             {unit_arms} \
+             other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+               \"{name}: unknown variant {{other:?}}\"))) }}, \
+           ::serde::Value::Object(pairs) if pairs.len() == 1 => {{ \
+             let (tag, payload) = &pairs[0]; \
+             match tag.as_str() {{ \
+               {payload_arms} \
+               other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"{name}: unknown variant {{other:?}}\"))) }} }}, \
+           other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+             \"{name}: expected variant string or single-key object, got {{}}\", other.kind()))) }}"
+    )
+}
