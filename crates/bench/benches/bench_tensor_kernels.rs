@@ -2,7 +2,7 @@
 //! full autograd step — the kernels under every model in AutoDC.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dc_tensor::{Tape, Tensor};
+use dc_tensor::{kernel, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -21,6 +21,31 @@ fn bench_matmul(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("a_b_t", n), &n, |bch, _| {
             bch.iter(|| black_box(a.matmul_t(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_sweep(c: &mut Criterion) {
+    // ISSUE 2 acceptance sweep: seed-reference vs blocked-serial vs
+    // pool-forced kernels at {64, 256, 1024}. `scripts/bench_kernels.sh`
+    // records the same comparison into BENCH_kernels.json.
+    let mut group = c.benchmark_group("kernel_sweep");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(n, n, 1.0, &mut rng);
+        let b = Tensor::randn(n, n, 1.0, &mut rng);
+        if n <= 256 {
+            // The naive kernel at 1024 is too slow to sample politely.
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+                bch.iter(|| black_box(kernel::reference::matmul(&a, &b)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bch, _| {
+            bch.iter(|| black_box(kernel::matmul_serial(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| black_box(kernel::matmul_parallel(&a, &b)))
         });
     }
     group.finish();
@@ -56,6 +81,6 @@ fn bench_autograd_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_autograd_step
+    targets = bench_matmul, bench_kernel_sweep, bench_autograd_step
 }
 criterion_main!(benches);

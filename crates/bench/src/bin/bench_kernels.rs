@@ -1,0 +1,107 @@
+//! Record the ISSUE 2 kernel-speedup snapshot into `BENCH_kernels.json`.
+//!
+//! ```sh
+//! cargo run --release -p dc-bench --bin bench_kernels
+//! ```
+//!
+//! Times the seed's naive matmul (`kernel::reference`), the blocked
+//! serial kernel, and the pool-forced kernel at {64, 256, 1024}, plus
+//! the auto-dispatching entry point, and writes a JSON snapshot so
+//! future PRs can track speedup regressions. Wall-clock medians over a
+//! fixed repetition count; matrices are seeded, so reruns time the same
+//! arithmetic.
+
+use dc_tensor::{kernel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SizeRecord {
+    n: usize,
+    reps: usize,
+    reference_ms: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    auto_ms: f64,
+    /// reference / serial — the ≥2× acceptance ratio.
+    serial_speedup: f64,
+    /// reference / parallel.
+    parallel_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    /// What this file records (for humans reading the JSON).
+    description: &'static str,
+    /// Pool size the parallel rows ran with.
+    threads: usize,
+    sizes: Vec<SizeRecord>,
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut sizes = Vec::new();
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(n, n, 1.0, &mut rng);
+        let b = Tensor::randn(n, n, 1.0, &mut rng);
+        // Keep total runtime civil: the naive kernel at 1024 takes
+        // ~fifth of a second per run.
+        let reps = match n {
+            64 => 200,
+            256 => 30,
+            _ => 7,
+        };
+        let reference_ms = time_ms(reps, || {
+            black_box(kernel::reference::matmul(&a, &b));
+        });
+        let serial_ms = time_ms(reps, || {
+            black_box(kernel::matmul_serial(&a, &b));
+        });
+        let parallel_ms = time_ms(reps, || {
+            black_box(kernel::matmul_parallel(&a, &b));
+        });
+        let auto_ms = time_ms(reps, || {
+            black_box(a.matmul(&b));
+        });
+        let rec = SizeRecord {
+            n,
+            reps,
+            reference_ms,
+            serial_ms,
+            parallel_ms,
+            auto_ms,
+            serial_speedup: reference_ms / serial_ms,
+            parallel_speedup: reference_ms / parallel_ms,
+        };
+        eprintln!(
+            "n={:4}: reference {:.3}ms  serial {:.3}ms ({:.2}x)  parallel {:.3}ms ({:.2}x)  auto {:.3}ms",
+            n, reference_ms, serial_ms, rec.serial_speedup, parallel_ms, rec.parallel_speedup, auto_ms
+        );
+        sizes.push(rec);
+    }
+
+    let snapshot = Snapshot {
+        description: "1024/256/64 square matmul: seed naive kernel vs blocked serial vs pool-forced (median ms)",
+        threads: kernel::pool().threads(),
+        sizes,
+    };
+    let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    std::fs::write("BENCH_kernels.json", json + "\n").expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json");
+}

@@ -242,34 +242,36 @@ impl DeepEr {
                 encoder,
                 max_tokens,
             } => {
-                let encode = |row: &[dc_relational::Value]| {
-                    let toks: Vec<Vec<f32>> = tokenize_tuple(row)
-                        .iter()
-                        .filter_map(|t| self.emb.get(t).map(|v| v.to_vec()))
-                        .take(*max_tokens)
-                        .collect();
-                    if toks.is_empty() {
-                        Tensor::zeros(1, encoder.hidden_dim)
-                    } else {
-                        let seq = Tensor::from_vec(toks.len(), self.emb.dim(), toks.concat());
-                        encoder.encode(&seq)
-                    }
-                };
-                // Cache one encoding per distinct row index.
-                let mut cache: std::collections::HashMap<usize, Tensor> =
-                    std::collections::HashMap::new();
+                // One encoding per distinct row index. The token
+                // sequences are assembled serially (hash lookups), then
+                // the independent LSTM lanes run as one batch across
+                // the shared worker pool.
+                let mut idx: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+                idx.sort_unstable();
+                idx.dedup();
+                let seqs: Vec<Tensor> = idx
+                    .iter()
+                    .map(|&r| {
+                        let toks: Vec<Vec<f32>> = tokenize_tuple(&table.rows[r])
+                            .iter()
+                            .filter_map(|t| self.emb.get(t).map(|v| v.to_vec()))
+                            .take(*max_tokens)
+                            .collect();
+                        // A 0×d sequence encodes to the zero hidden
+                        // state, matching the empty-tuple convention.
+                        Tensor::from_vec(toks.len(), self.emb.dim(), toks.concat())
+                    })
+                    .collect();
+                let cache: std::collections::HashMap<usize, Tensor> = idx
+                    .iter()
+                    .copied()
+                    .zip(encoder.encode_batch(&seqs))
+                    .collect();
                 let mut feats = Vec::with_capacity(pairs.len());
                 for &(a, b) in pairs {
-                    let ha = cache
-                        .entry(a)
-                        .or_insert_with(|| encode(&table.rows[a]))
-                        .clone();
-                    let hb = cache
-                        .entry(b)
-                        .or_insert_with(|| encode(&table.rows[b]))
-                        .clone();
-                    let diff = ha.sub(&hb).map(f32::abs);
-                    let had = ha.mul(&hb);
+                    let (ha, hb) = (&cache[&a], &cache[&b]);
+                    let diff = ha.sub(hb).map(f32::abs);
+                    let had = ha.mul(hb);
                     feats.push(Tensor::hstack(&[diff, had]));
                 }
                 let x = Tensor::vstack(&feats);

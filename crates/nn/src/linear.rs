@@ -100,11 +100,7 @@ impl Linear {
     /// Tape-free forward (inference).
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let mut out = x.matmul(&self.w);
-        for r in 0..out.rows {
-            for (o, &bv) in out.row_slice_mut(r).iter_mut().zip(self.b.data.iter()) {
-                *o += bv;
-            }
-        }
+        out.add_row_inplace(&self.b);
         self.activation.apply(&out)
     }
 

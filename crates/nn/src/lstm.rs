@@ -137,6 +137,16 @@ impl LstmEncoder {
         h
     }
 
+    /// Tape-free encode of a batch of sequences (inference). Time steps
+    /// inside each sequence stay sequential — the recurrence demands
+    /// it — but the independent batch lanes run across the shared
+    /// worker pool ([`dc_tensor::kernel::parallel_fill`]).
+    pub fn encode_batch(&self, seqs: &[Tensor]) -> Vec<Tensor> {
+        let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
+        dc_tensor::kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
+        out
+    }
+
     /// Apply optimiser updates; uses 3·GATES slots starting at
     /// `slot_base`.
     pub fn apply_grads(
@@ -238,6 +248,15 @@ impl BiLstmEncoder {
         }
         let hb = self.bwd.encode(&rev);
         Tensor::hstack(&[hf, hb])
+    }
+
+    /// Tape-free encode of a batch of sequences (inference); batch
+    /// lanes run across the shared worker pool, mirroring
+    /// [`LstmEncoder::encode_batch`].
+    pub fn encode_batch(&self, seqs: &[Tensor]) -> Vec<Tensor> {
+        let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
+        dc_tensor::kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
+        out
     }
 
     /// Apply optimiser updates; consumes `2 × fwd.slot_count()` slots.

@@ -7,11 +7,14 @@
 //! The paper's models — fully-connected networks, LSTMs, the autoencoder
 //! family, GANs (its Figure 2) — all run at modest scale ("trained in
 //! minutes even on a CPU", §6.1), so the substrate favours clarity and
-//! determinism over BLAS heroics:
+//! determinism, but its hot loops are still cache-blocked and multicore:
 //!
 //! * [`Tensor`] — a row-major 2-D matrix. Vectors are `1×d` tensors.
 //! * [`Tape`] — an arena-based autograd tape. Operations record an
 //!   [`Op`] node; [`Tape::backward`] replays the arena in reverse.
+//! * [`kernel`] — blocked, register-tiled matmul/elementwise kernels
+//!   plus the lazily-spawned shared worker pool (`DC_THREADS` sets the
+//!   size; results are bitwise identical for every thread count).
 //! * [`grad_check`] — finite-difference gradient checking used by the
 //!   test-suites of every downstream model.
 //!
@@ -19,6 +22,7 @@
 //! handles so every experiment in the repository is reproducible from a
 //! seed.
 
+pub mod kernel;
 pub mod tape;
 pub mod tensor;
 

@@ -291,7 +291,9 @@ impl Tape {
         self.push(v, Op::Mul(a, b))
     }
 
-    /// Matrix product.
+    /// Matrix product. Forward (and the `matmul_t`/`t_matmul` pair in
+    /// backward) runs on the blocked [`crate::kernel`] kernels, which
+    /// split large products over the shared worker pool.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let v = self.with_values(|n| n[a.index].value.matmul(&n[b.index].value));
         self.push(v, Op::MatMul(a, b))
@@ -375,11 +377,7 @@ impl Tape {
             assert_eq!(r.rows, 1, "add_row: rhs must be 1×m");
             assert_eq!(r.cols, x.cols, "add_row: column mismatch");
             let mut out = x.clone();
-            for i in 0..out.rows {
-                for (o, &b) in out.row_slice_mut(i).iter_mut().zip(r.data.iter()) {
-                    *o += b;
-                }
-            }
+            out.add_row_inplace(r);
             out
         });
         self.push(v, Op::AddRow(a, row))

@@ -168,105 +168,45 @@ impl Tensor {
 
     /// Matrix product `self · other`.
     ///
-    /// Plain ikj-ordered triple loop: cache-friendly on row-major data and
-    /// fast enough for the paper-scale models this repository trains.
+    /// Routed through the cache-blocked kernels in [`crate::kernel`]:
+    /// serial below [`crate::kernel::MATMUL_PAR_THRESHOLD`]
+    /// multiply-adds, split over the shared worker pool above it. The
+    /// result is bitwise identical for every `DC_THREADS` setting.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: {}x{} · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = self.row_slice(i);
-            let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernel::matmul(self, other)
     }
 
-    /// `selfᵀ · other` without materialising the transpose.
+    /// `selfᵀ · other` without materialising the transpose (blocked and
+    /// pool-parallel like [`Tensor::matmul`]).
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.rows, other.rows,
-            "t_matmul: {}x{}ᵀ · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row_slice(r);
-            let brow = other.row_slice(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernel::t_matmul(self, other)
     }
 
-    /// `self · otherᵀ` without materialising the transpose.
+    /// `self · otherᵀ` without materialising the transpose (blocked and
+    /// pool-parallel like [`Tensor::matmul`]).
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_t: {}x{} · {}x{}ᵀ",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row_slice(i);
-            for j in 0..other.rows {
-                let brow = other.row_slice(j);
-                let mut acc = 0.0;
-                for (a, b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
-        out
+        crate::kernel::matmul_t(self, other)
     }
 
-    /// Transposed copy.
+    /// Transposed copy (cache-blocked 32×32 tiles).
     pub fn transpose(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
-        out
+        crate::kernel::transpose(self)
     }
 
-    /// Elementwise map into a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+    /// Elementwise map into a new tensor (pool-parallel on big buffers).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        crate::kernel::map(self, f)
     }
 
-    /// Elementwise binary zip into a new tensor.
+    /// Elementwise binary zip into a new tensor (pool-parallel on big
+    /// buffers).
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
@@ -276,16 +216,21 @@ impl Tensor {
             other.rows,
             other.cols
         );
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        crate::kernel::zip(self, other, f)
+    }
+
+    /// In-place broadcast add of a `1×m` row vector to every row.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `1×m` for an `n×m` self.
+    pub fn add_row_inplace(&mut self, row: &Tensor) {
+        assert_eq!(row.rows, 1, "add_row_inplace: rhs must be 1×m");
+        assert_eq!(
+            row.cols, self.cols,
+            "add_row_inplace: {}x{} += 1x{}",
+            self.rows, self.cols, row.cols
+        );
+        crate::kernel::add_row_inplace(self, &row.data);
     }
 
     /// Elementwise sum.

@@ -1,0 +1,148 @@
+//! Kernel equivalence suite (ISSUE 2).
+//!
+//! Two properties, over random shapes including the degenerate
+//! `1×N` / `N×1` cases:
+//!
+//! 1. **Blocked vs reference, 1e-5 relative.** The blocked kernels may
+//!    associate sums differently from the seed's naive loops (panel
+//!    blocking, the 8-lane dot, hardware FMA on hosts that have it), so
+//!    they are held to a 1e-5 *relative* tolerance against the
+//!    [`dc_tensor::kernel::reference`] kernels, which preserve the seed
+//!    loops verbatim.
+//! 2. **Parallel vs serial, bitwise.** Pool runs partition work by
+//!    output row with a partition-independent accumulation order, so
+//!    forcing the pool must reproduce the serial blocked kernel
+//!    bit-for-bit — a stronger guarantee than the 1e-5 the acceptance
+//!    criteria ask for. This holds for every `DC_THREADS` value;
+//!    `scripts/lint.sh` runs this suite under 1, 2, and the default.
+
+use dc_tensor::{kernel, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random tensor: a tiny LCG keyed by `seed`.
+fn fill(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map to roughly [-2, 2).
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Elementwise `|x - y| <= tol * max(1, |x|, |y|)`.
+fn assert_rel_close(x: &Tensor, y: &Tensor, tol: f32, what: &str) {
+    assert_eq!((x.rows, x.cols), (y.rows, y.cols), "{what}: shape");
+    for (i, (a, b)) in x.data.iter().zip(&y.data).enumerate() {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= tol * scale,
+            "{what}: element {i}: {a} vs {b} (tol {tol})"
+        );
+    }
+}
+
+/// Collapse random dims into degenerate 1×N / N×1 / 1×1 triples for
+/// half the flavors, so the register-tile remainder paths are always
+/// exercised alongside the general case.
+fn shape(m: usize, k: usize, n: usize, flavor: u32) -> (usize, usize, usize) {
+    match flavor {
+        0 => (1, k, n),
+        1 => (m, 1, n),
+        2 => (m, k, 1),
+        3 => (1, 1, n),
+        _ => (m, k, n),
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_blocked_vs_reference_and_parallel_bitwise(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        flavor in 0u32..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (m, k, n) = shape(m, k, n, flavor);
+        let a = fill(m, k, seed);
+        let b = fill(k, n, seed ^ 0x9e3779b97f4a7c15);
+        let naive = kernel::reference::matmul(&a, &b);
+        let serial = kernel::matmul_serial(&a, &b);
+        assert_rel_close(&serial, &naive, 1e-5, "matmul");
+        let parallel = kernel::matmul_parallel(&a, &b);
+        prop_assert_eq!(&serial.data, &parallel.data);
+    }
+
+    #[test]
+    fn t_matmul_blocked_vs_reference_and_parallel_bitwise(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        flavor in 0u32..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Aᵀ·B with A: k×m, B: k×n (shared leading dim k).
+        let (m, k, n) = shape(m, k, n, flavor);
+        let a = fill(k, m, seed);
+        let b = fill(k, n, seed ^ 0x517cc1b727220a95);
+        let naive = kernel::reference::t_matmul(&a, &b);
+        let serial = kernel::t_matmul_serial(&a, &b);
+        assert_rel_close(&serial, &naive, 1e-5, "t_matmul");
+        let parallel = kernel::t_matmul_parallel(&a, &b);
+        prop_assert_eq!(&serial.data, &parallel.data);
+    }
+
+    #[test]
+    fn matmul_t_blocked_vs_reference_and_parallel_bitwise(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        flavor in 0u32..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // A·Bᵀ with A: m×k, B: n×k (shared trailing dim k).
+        let (m, k, n) = shape(m, k, n, flavor);
+        let a = fill(m, k, seed);
+        let b = fill(n, k, seed ^ 0x2545f4914f6cdd1d);
+        let naive = kernel::reference::matmul_t(&a, &b);
+        let serial = kernel::matmul_t_serial(&a, &b);
+        assert_rel_close(&serial, &naive, 1e-5, "matmul_t");
+        let parallel = kernel::matmul_t_parallel(&a, &b);
+        prop_assert_eq!(&serial.data, &parallel.data);
+    }
+
+    #[test]
+    fn transpose_blocked_vs_reference(
+        rows in 1usize..80,
+        cols in 1usize..80,
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = fill(rows, cols, seed);
+        prop_assert_eq!(
+            kernel::transpose(&t).data,
+            kernel::reference::transpose(&t).data
+        );
+    }
+}
+
+/// One shape big enough to cross [`kernel::MATMUL_PAR_THRESHOLD`], so
+/// the auto-dispatch path itself (not just the forced entry points) is
+/// exercised against the serial kernel.
+#[test]
+fn auto_dispatch_above_threshold_is_bitwise_serial() {
+    let n = 128; // 128³ madds = 2²¹ > MATMUL_PAR_THRESHOLD (2²⁰)
+    assert!(n * n * n > kernel::MATMUL_PAR_THRESHOLD);
+    let a = fill(n, n, 7);
+    let b = fill(n, n, 11);
+    assert_eq!(
+        kernel::matmul(&a, &b).data,
+        kernel::matmul_serial(&a, &b).data
+    );
+}

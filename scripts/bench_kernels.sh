@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_kernels.json: seed naive matmul vs blocked serial vs
+# pool-forced kernels at {64, 256, 1024} (see ISSUE 2 acceptance
+# criteria). Honors DC_THREADS for the pool rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dc-bench --bin bench_kernels

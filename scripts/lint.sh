@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== dc-check selftest =="
 cargo run -q -p dc-check --bin dc-check-selftest
 
+echo "== kernel equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-tensor --test kernel_equiv
+DC_THREADS=2 cargo test -q -p dc-tensor --test kernel_equiv
+cargo test -q -p dc-tensor --test kernel_equiv
+
 echo "lint: all gates passed"
