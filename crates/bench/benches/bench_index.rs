@@ -1,0 +1,73 @@
+//! Criterion sweep for the ISSUE 3 retrieval layer: seed brute-force
+//! paths vs dc-index, alongside the kernel benches.
+//! `scripts/bench_index.sh` records the same comparison (plus the 10k
+//! blocking row) into BENCH_index.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_er::blocking::{reference, LshBlocker};
+use dc_index::CosineIndex;
+use dc_tensor::tensor::cosine;
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_candidates");
+    let (bands, rows_per_band, dim) = (8usize, 16usize, 32usize);
+    for &n in &[250usize, 1000, 4000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|_| Tensor::randn(1, dim, 1.0, &mut rng).data)
+            .collect();
+        let planes: Vec<Vec<f32>> = (0..bands * rows_per_band)
+            .map(|_| Tensor::randn(1, dim, 1.0, &mut rng).data)
+            .collect();
+        let seed_blocker = reference::LshBlocker::from_planes(planes.clone(), bands, rows_per_band);
+        let new_blocker = LshBlocker::from_planes(planes, bands, rows_per_band);
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+                b.iter(|| black_box(seed_blocker.candidates(&vectors)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(new_blocker.candidates(&vectors)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosine_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_topk");
+    let (dim, k) = (64usize, 10usize);
+    for &n in &[1000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items = Tensor::randn(n, dim, 1.0, &mut rng);
+        let labels: Vec<String> = (0..n).map(|i| format!("item-{i}")).collect();
+        let query = Tensor::randn(1, dim, 1.0, &mut rng).data;
+        let index = CosineIndex::build(&items);
+        group.bench_with_input(BenchmarkId::new("seed_scan", n), &n, |b, _| {
+            b.iter(|| {
+                // The seed knn::nearest shape: String per item, scalar
+                // cosine, full sort.
+                let mut scored: Vec<(String, f32)> = (0..items.rows)
+                    .map(|i| (labels[i].to_string(), cosine(&query, items.row_slice(i))))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                scored.truncate(k);
+                black_box(scored)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cosine_index", n), &n, |b, _| {
+            b.iter(|| black_box(index.nearest(&query, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blocking, bench_cosine_topk
+}
+criterion_main!(benches);

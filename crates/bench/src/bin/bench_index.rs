@@ -1,0 +1,215 @@
+//! Record the ISSUE 3 retrieval-speedup snapshot into `BENCH_index.json`.
+//!
+//! ```sh
+//! cargo run --release -p dc-bench --bin bench_index
+//! ```
+//!
+//! Two comparisons, seeded so reruns time the same work:
+//!
+//! * **LSH blocking** at n ∈ {1k, 10k}: the seed bucketer
+//!   (`dc_er::blocking::reference` — `Vec<bool>` signatures through a
+//!   `HashMap` per band, every pair into a `HashSet`) vs the
+//!   `dc_index`-backed `LshBlocker`, built from identical hyperplanes.
+//!   Pair-set equality is asserted at n=1k before timing.
+//! * **Cosine top-k** (k=10) at 10k items: the seed `knn::nearest`
+//!   shape (a `String` allocation per item, scalar `cosine` per item, a
+//!   full sort for a 10-item answer) vs a prebuilt
+//!   `dc_index::CosineIndex` query (one blocked mat-vec + bounded
+//!   heap). The one-off index build is recorded separately.
+
+use dc_er::blocking::{reference, LshBlocker};
+use dc_index::CosineIndex;
+use dc_tensor::tensor::cosine;
+use dc_tensor::{kernel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BlockingRecord {
+    n: usize,
+    dim: usize,
+    bands: usize,
+    rows_per_band: usize,
+    reps: usize,
+    reference_ms: f64,
+    indexed_ms: f64,
+    /// reference / indexed — the ≥5× acceptance ratio at n=10k.
+    speedup: f64,
+    candidate_pairs: usize,
+}
+
+#[derive(Serialize)]
+struct TopkRecord {
+    n: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    reps: usize,
+    brute_ms: f64,
+    indexed_query_ms: f64,
+    /// One-off cost of normalizing the item matrix.
+    index_build_ms: f64,
+    /// brute / indexed query — the ≥3× acceptance ratio.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    description: &'static str,
+    threads: usize,
+    blocking: Vec<BlockingRecord>,
+    topk: TopkRecord,
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn random_vectors(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| Tensor::randn(1, dim, 1.0, rng).data)
+        .collect()
+}
+
+/// The seed `knn::nearest` shape, verbatim: label allocation per item,
+/// scalar cosine, full descending sort, truncate to k.
+fn brute_topk(query: &[f32], labels: &[String], items: &Tensor, k: usize) -> Vec<(String, f32)> {
+    let mut scored: Vec<(String, f32)> = (0..items.rows)
+        .map(|i| (labels[i].to_string(), cosine(query, items.row_slice(i))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored.truncate(k);
+    scored
+}
+
+fn main() {
+    // dim=64 is the low end of real tuple-embedding widths (DeepER
+    // composes d=300 GloVe vectors); bands × rows follow the repo's E4
+    // blocking experiments.
+    let (bands, rows_per_band, dim) = (8usize, 16usize, 64usize);
+    let mut blocking = Vec::new();
+    for &n in &[1000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let vectors = random_vectors(n, dim, &mut rng);
+        let planes: Vec<Vec<f32>> = (0..bands * rows_per_band)
+            .map(|_| Tensor::randn(1, dim, 1.0, &mut rng).data)
+            .collect();
+        let seed_blocker = reference::LshBlocker::from_planes(planes.clone(), bands, rows_per_band);
+        let new_blocker = LshBlocker::from_planes(planes, bands, rows_per_band);
+        if n == 1000 {
+            assert_eq!(
+                new_blocker.candidates(&vectors),
+                seed_blocker.candidates(&vectors),
+                "indexed blocker must reproduce the seed pair set"
+            );
+        }
+        let pairs = new_blocker.candidates(&vectors).len();
+        let reps = if n <= 1000 { 9 } else { 5 };
+        let reference_ms = time_ms(reps, || {
+            black_box(seed_blocker.candidates(&vectors));
+        });
+        let indexed_ms = time_ms(reps, || {
+            black_box(new_blocker.candidates(&vectors));
+        });
+        let rec = BlockingRecord {
+            n,
+            dim,
+            bands,
+            rows_per_band,
+            reps,
+            reference_ms,
+            indexed_ms,
+            speedup: reference_ms / indexed_ms,
+            candidate_pairs: pairs,
+        };
+        eprintln!(
+            "blocking n={n:5}: reference {reference_ms:.2}ms  indexed {indexed_ms:.2}ms ({:.2}x, {pairs} pairs)",
+            rec.speedup
+        );
+        blocking.push(rec);
+    }
+
+    let (n, dim, k, queries) = (10_000usize, 64usize, 10usize, 16usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let items = Tensor::randn(n, dim, 1.0, &mut rng);
+    let labels: Vec<String> = (0..n).map(|i| format!("item-{i}")).collect();
+    let query_vecs: Vec<Vec<f32>> = (0..queries)
+        .map(|_| Tensor::randn(1, dim, 1.0, &mut rng).data)
+        .collect();
+
+    let t0 = Instant::now();
+    let index = CosineIndex::build(&items);
+    let index_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Same winners before timing (brute keeps NaN-unsafe seed sort; the
+    // data is finite, so orders agree up to cosine rounding — compare
+    // the index sets).
+    for q in &query_vecs {
+        let brute: Vec<String> = brute_topk(q, &labels, &items, k)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        let indexed: Vec<&str> = index
+            .nearest(q, k)
+            .iter()
+            .map(|h| labels[h.index].as_str())
+            .collect();
+        let same = brute
+            .iter()
+            .filter(|l| indexed.contains(&l.as_str()))
+            .count();
+        assert!(
+            same + 1 >= k,
+            "top-{k} sets diverged beyond rounding: {brute:?} vs {indexed:?}"
+        );
+    }
+
+    let reps = 9;
+    let brute_ms = time_ms(reps, || {
+        for q in &query_vecs {
+            black_box(brute_topk(q, &labels, &items, k));
+        }
+    });
+    let indexed_query_ms = time_ms(reps, || {
+        for q in &query_vecs {
+            black_box(index.nearest(q, k));
+        }
+    });
+    let topk = TopkRecord {
+        n,
+        dim,
+        k,
+        queries,
+        reps,
+        brute_ms,
+        indexed_query_ms,
+        index_build_ms,
+        speedup: brute_ms / indexed_query_ms,
+    };
+    eprintln!(
+        "topk n={n} k={k}: brute {brute_ms:.2}ms  indexed {indexed_query_ms:.2}ms ({:.2}x; build {index_build_ms:.2}ms)",
+        topk.speedup
+    );
+
+    let snapshot = Snapshot {
+        description: "LSH blocking candidates (seed bucketer vs dc-index) at 1k/10k and cosine top-10 at 10k items (seed scan vs CosineIndex); median ms",
+        threads: kernel::pool().threads(),
+        blocking,
+        topk,
+    };
+    let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    std::fs::write("BENCH_index.json", json + "\n").expect("write BENCH_index.json");
+    eprintln!("wrote BENCH_index.json");
+}

@@ -102,35 +102,35 @@ impl KnnImputer {
                 if !out.rows[i][c].is_null() {
                     continue;
                 }
-                // Rank candidate rows by distance over shared slots.
-                let mut scored: Vec<(usize, f32)> = (0..table.len())
-                    .filter(|&j| j != i && observed[j][c])
-                    .map(|j| {
-                        let mut d = 0.0;
-                        let mut shared = 0usize;
-                        for (cc, (&oi, &oj)) in
-                            observed[i].iter().zip(observed[j].iter()).enumerate()
-                        {
-                            if cc == c || !oi || !oj {
-                                continue;
-                            }
-                            for s in encoder.column_range(cc) {
-                                let diff = x.get(i, s) - x.get(j, s);
-                                d += diff * diff;
-                            }
-                            shared += 1;
+                // Keep the k nearest rows by distance over shared
+                // slots: a bounded heap (dc_index::TopK) instead of
+                // scoring into a Vec and fully sorting per cell. Ties
+                // break toward the lower row id, like the seed's
+                // stable ascending sort.
+                let mut top = dc_index::TopK::smallest(self.k);
+                for j in (0..table.len()).filter(|&j| j != i && observed[j][c]) {
+                    let mut d = 0.0;
+                    let mut shared = 0usize;
+                    for (cc, (&oi, &oj)) in observed[i].iter().zip(observed[j].iter()).enumerate() {
+                        if cc == c || !oi || !oj {
+                            continue;
                         }
-                        // No shared evidence → very far.
-                        let dist = if shared == 0 {
-                            f32::MAX
-                        } else {
-                            d / shared as f32
-                        };
-                        (j, dist)
-                    })
-                    .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-                let neighbours: Vec<usize> = scored.iter().take(self.k).map(|&(j, _)| j).collect();
+                        for s in encoder.column_range(cc) {
+                            let diff = x.get(i, s) - x.get(j, s);
+                            d += diff * diff;
+                        }
+                        shared += 1;
+                    }
+                    // No shared evidence → very far.
+                    let dist = if shared == 0 {
+                        f32::MAX
+                    } else {
+                        d / shared as f32
+                    };
+                    top.push(j, dist);
+                }
+                let neighbours: Vec<usize> =
+                    top.into_sorted().into_iter().map(|h| h.index).collect();
                 if neighbours.is_empty() {
                     continue;
                 }

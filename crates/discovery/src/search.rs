@@ -9,10 +9,22 @@
 
 use crate::ekg::Ekg;
 use dc_embed::Embeddings;
+use dc_index::{desc_nan_last, topk_scores, Order, SignatureSet, TopK};
 use dc_relational::tokenize::tokenize;
 use dc_relational::Table;
 use dc_tensor::tensor::cosine;
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Sign bits per table-centroid signature in the [`NeuralSearch`]
+/// prefilter — one `u64` word.
+const PREFILTER_BITS: usize = 64;
+
+/// Fixed seed for the prefilter hyperplanes: the shortlist must not
+/// depend on ambient RNG state, only on the indexed tables.
+const PREFILTER_SEED: u64 = 0xd15c_05e6;
 
 /// Embedding-based table search.
 ///
@@ -22,20 +34,35 @@ use std::collections::HashMap;
 /// over query tokens. This is robust where single mean-pooled table
 /// vectors are not — averaging hundreds of one-off value tokens drowns
 /// the few informative ones, while per-token max pooling keeps them.
+///
+/// [`NeuralSearch::search`] rescopes every table; at lake scale use
+/// [`NeuralSearch::search_topk`], which prefilters to a Hamming-nearest
+/// shortlist over bit-packed table-centroid signatures (built once at
+/// index time through [`dc_index`]) and pays the full interaction score
+/// only for the shortlist.
 pub struct NeuralSearch {
     emb: Embeddings,
     table_token_ids: Vec<Vec<usize>>,
+    /// Hyperplanes behind the centroid signatures (`PREFILTER_BITS×dim`).
+    sig_planes: Tensor,
+    /// Mean table centroid; signatures are of centered centroids
+    /// (centroids cluster in one orthant, where raw signs carry no
+    /// information — same trick as `dc_er::blocking`).
+    centroid_mean: Vec<f32>,
+    /// Bit-packed signature per table.
+    table_sigs: SignatureSet,
 }
 
 impl NeuralSearch {
     /// Index tables under the given (word-level) embeddings, keeping
     /// per-table deduplicated token sets (name, column names, sampled
-    /// values).
+    /// values) plus a bit-packed centroid signature for the
+    /// [`NeuralSearch::search_topk`] prefilter.
     pub fn index(emb: Embeddings, tables: &[&Table], values_per_column: usize) -> Self {
         // All-but-the-top: strip the common direction so token cosines
         // discriminate (see dc_embed::Embeddings::postprocessed).
         let emb = emb.postprocessed(1);
-        let table_token_ids = tables
+        let table_token_ids: Vec<Vec<usize>> = tables
             .iter()
             .map(|t| {
                 let mut ids: Vec<usize> = table_tokens(t, values_per_column)
@@ -47,48 +74,133 @@ impl NeuralSearch {
                 ids
             })
             .collect();
+
+        let dim = emb.dim();
+        let n = table_token_ids.len();
+        let mut centroids = vec![0.0f32; n * dim];
+        for (i, tids) in table_token_ids.iter().enumerate() {
+            centroid_into(&emb, tids, &mut centroids[i * dim..(i + 1) * dim]);
+        }
+        let mut centroid_mean = vec![0.0f32; dim];
+        if n > 0 {
+            for row in centroids.chunks_exact(dim) {
+                for (m, &x) in centroid_mean.iter_mut().zip(row) {
+                    *m += x;
+                }
+            }
+            let inv = 1.0 / n as f32;
+            centroid_mean.iter_mut().for_each(|m| *m *= inv);
+        }
+        for row in centroids.chunks_exact_mut(dim) {
+            for (x, &m) in row.iter_mut().zip(&centroid_mean) {
+                *x -= m;
+            }
+        }
+        let sig_planes = Tensor::randn(
+            PREFILTER_BITS,
+            dim,
+            1.0,
+            &mut StdRng::seed_from_u64(PREFILTER_SEED),
+        );
+        let table_sigs = SignatureSet::compute(&Tensor::from_vec(n, dim, centroids), &sig_planes);
         NeuralSearch {
             emb,
             table_token_ids,
+            sig_planes,
+            centroid_mean,
+            table_sigs,
         }
+    }
+
+    /// Query tokens resolved to vocabulary ids.
+    fn query_ids(&self, query: &str) -> Vec<usize> {
+        tokenize(query)
+            .iter()
+            .filter_map(|t| self.emb.vocab.id(t))
+            .collect()
+    }
+
+    /// The DRMM-style interaction score of table `i` for resolved query
+    /// tokens `qids`: mean over query tokens of the best-matching table
+    /// token cosine. Tables (or queries) with no representable content
+    /// score −1.
+    fn interaction_score(&self, i: usize, qids: &[usize]) -> f32 {
+        let tids = &self.table_token_ids[i];
+        if qids.is_empty() || tids.is_empty() {
+            return -1.0;
+        }
+        let mut total = 0.0;
+        for &q in qids {
+            let qv = self.emb.vectors.row_slice(q);
+            let best = tids
+                .iter()
+                .map(|&t| {
+                    if t == q {
+                        1.0 // exact keyword hit
+                    } else {
+                        cosine(qv, self.emb.vectors.row_slice(t))
+                    }
+                })
+                .fold(f32::NEG_INFINITY, f32::max);
+            total += best;
+        }
+        total / qids.len() as f32
     }
 
     /// Rank all tables for a natural-language query; returns
     /// `(table index, score)` sorted descending. Tables with no
     /// representable content sink to the bottom with score −1.
     pub fn search(&self, query: &str) -> Vec<(usize, f32)> {
-        let qids: Vec<usize> = tokenize(query)
-            .iter()
-            .filter_map(|t| self.emb.vocab.id(t))
+        let qids = self.query_ids(query);
+        let mut scored: Vec<(usize, f32)> = (0..self.table_token_ids.len())
+            .map(|i| (i, self.interaction_score(i, &qids)))
             .collect();
-        let mut scored: Vec<(usize, f32)> = self
-            .table_token_ids
-            .iter()
-            .enumerate()
-            .map(|(i, tids)| {
-                if qids.is_empty() || tids.is_empty() {
-                    return (i, -1.0);
-                }
-                let mut total = 0.0;
-                for &q in &qids {
-                    let qv = self.emb.vectors.row_slice(q);
-                    let best = tids
-                        .iter()
-                        .map(|&t| {
-                            if t == q {
-                                1.0 // exact keyword hit
-                            } else {
-                                cosine(qv, self.emb.vectors.row_slice(t))
-                            }
-                        })
-                        .fold(f32::NEG_INFINITY, f32::max);
-                    total += best;
-                }
-                (i, total / qids.len() as f32)
-            })
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scored.sort_by(|a, b| desc_nan_last(a.1, b.1));
         scored
+    }
+
+    /// The top `k` tables for a query, rescoring only a `shortlist` of
+    /// candidates whose centroid signatures are Hamming-nearest to the
+    /// query's — the index-backed prefilter + rescore path. With
+    /// `shortlist >= table count` (or an out-of-vocabulary query) this
+    /// is exact: identical tables, scores and order to
+    /// [`NeuralSearch::search`] truncated to `k`.
+    pub fn search_topk(&self, query: &str, k: usize, shortlist: usize) -> Vec<(usize, f32)> {
+        let qids = self.query_ids(query);
+        let n = self.table_token_ids.len();
+        if qids.is_empty() || shortlist >= n {
+            return topk_scores(n, k, Order::Largest, |i| self.interaction_score(i, &qids))
+                .into_iter()
+                .map(|h| (h.index, h.score))
+                .collect();
+        }
+        let qsig = self.query_signature(&qids);
+        let mut pre = TopK::smallest(shortlist.max(k));
+        for i in 0..n {
+            // Hamming ≤ PREFILTER_BITS, exactly representable in f32.
+            pre.push(i, self.table_sigs.hamming_to(i, &qsig) as f32);
+        }
+        let mut top = TopK::largest(k);
+        for hit in pre.into_sorted() {
+            top.push(hit.index, self.interaction_score(hit.index, &qids));
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|h| (h.index, h.score))
+            .collect()
+    }
+
+    /// Bit-packed signature of the query: sign pattern of its mean
+    /// token vector, centered like the table centroids.
+    fn query_signature(&self, qids: &[usize]) -> Vec<u64> {
+        let dim = self.emb.dim();
+        let mut centroid = vec![0.0f32; dim];
+        centroid_into(&self.emb, qids, &mut centroid);
+        for (x, &m) in centroid.iter_mut().zip(&self.centroid_mean) {
+            *x -= m;
+        }
+        let sig = SignatureSet::compute(&Tensor::from_vec(1, dim, centroid), &self.sig_planes);
+        sig.sig(0).to_vec()
     }
 
     /// Search, then expand each of the top `k` results with tables the
@@ -131,6 +243,22 @@ pub fn search_documents(tables: &[&Table], values_per_column: usize) -> Vec<Vec<
     docs
 }
 
+/// Mean of the embedding vectors of `ids`, written into `out`
+/// (all-zero when `ids` is empty).
+fn centroid_into(emb: &Embeddings, ids: &[usize], out: &mut [f32]) {
+    out.fill(0.0);
+    if ids.is_empty() {
+        return;
+    }
+    for &id in ids {
+        for (o, &x) in out.iter_mut().zip(emb.vectors.row_slice(id)) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / ids.len() as f32;
+    out.iter_mut().for_each(|o| *o *= inv);
+}
+
 fn table_tokens(t: &Table, values_per_column: usize) -> Vec<String> {
     let mut tokens = tokenize(&t.name);
     for a in &t.schema.attrs {
@@ -146,11 +274,19 @@ fn table_tokens(t: &Table, values_per_column: usize) -> Vec<String> {
 
 /// A small BM25 keyword ranker over table token bags — the syntactic
 /// baseline E7 compares against.
+///
+/// [`Bm25Lite::index`] also builds an inverted postings list
+/// (token → sorted doc ids), so [`Bm25Lite::search_topk`] scores only
+/// the documents that contain at least one query token instead of the
+/// whole lake; every other document scores exactly 0, so the prefilter
+/// loses nothing.
 pub struct Bm25Lite {
     docs: Vec<HashMap<String, f64>>,
     doc_len: Vec<f64>,
     avg_len: f64,
     df: HashMap<String, usize>,
+    /// Token → ascending ids of the docs containing it.
+    postings: HashMap<String, Vec<u32>>,
     n: usize,
 }
 
@@ -158,17 +294,19 @@ impl Bm25Lite {
     const K1: f64 = 1.2;
     const B: f64 = 0.75;
 
-    /// Index tables as token bags.
+    /// Index tables as token bags plus an inverted postings list.
     pub fn index(tables: &[&Table], values_per_column: usize) -> Self {
         let mut docs = Vec::new();
         let mut df: HashMap<String, usize> = HashMap::new();
-        for t in tables {
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, t) in tables.iter().enumerate() {
             let mut tf: HashMap<String, f64> = HashMap::new();
             for tok in table_tokens(t, values_per_column) {
                 *tf.entry(tok).or_insert(0.0) += 1.0;
             }
             for tok in tf.keys() {
                 *df.entry(tok.clone()).or_insert(0) += 1;
+                postings.entry(tok.clone()).or_default().push(i as u32);
             }
             docs.push(tf);
         }
@@ -184,29 +322,71 @@ impl Bm25Lite {
             doc_len,
             avg_len,
             df,
+            postings,
         }
+    }
+
+    /// BM25 score of document `i` for pre-tokenized query tokens.
+    fn score(&self, i: usize, qtokens: &[String]) -> f64 {
+        let mut s = 0.0;
+        for q in qtokens {
+            let Some(&tf) = self.docs[i].get(q) else {
+                continue;
+            };
+            let df = *self.df.get(q).unwrap_or(&0) as f64;
+            let idf = (((self.n as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln();
+            let denom = tf + Self::K1 * (1.0 - Self::B + Self::B * self.doc_len[i] / self.avg_len);
+            s += idf * tf * (Self::K1 + 1.0) / denom;
+        }
+        s
     }
 
     /// Rank all tables for a query.
     pub fn search(&self, query: &str) -> Vec<(usize, f64)> {
         let qtokens = tokenize(query);
-        let mut scored: Vec<(usize, f64)> = (0..self.n)
-            .map(|i| {
-                let mut s = 0.0;
-                for q in &qtokens {
-                    let Some(&tf) = self.docs[i].get(q) else {
-                        continue;
-                    };
-                    let df = *self.df.get(q).unwrap_or(&0) as f64;
-                    let idf = (((self.n as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln();
-                    let denom =
-                        tf + Self::K1 * (1.0 - Self::B + Self::B * self.doc_len[i] / self.avg_len);
-                    s += idf * tf * (Self::K1 + 1.0) / denom;
-                }
-                (i, s)
-            })
+        let mut scored: Vec<(usize, f64)> =
+            (0..self.n).map(|i| (i, self.score(i, &qtokens))).collect();
+        scored.sort_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => b.1.partial_cmp(&a.1).expect("both finite"),
+        });
+        scored
+    }
+
+    /// The top `k` tables for a query via the postings prefilter:
+    /// score only docs containing at least one query token, then pad
+    /// with zero-scoring docs (ascending id) if fewer than `k` match —
+    /// exactly the head of [`Bm25Lite::search`], since BM25 scores of
+    /// matching docs are strictly positive and all others are 0.
+    pub fn search_topk(&self, query: &str, k: usize) -> Vec<(usize, f64)> {
+        let qtokens = tokenize(query);
+        let mut candidates: Vec<u32> = qtokens
+            .iter()
+            .filter_map(|q| self.postings.get(q))
+            .flatten()
+            .copied()
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&i| (i as usize, self.score(i as usize, &qtokens)))
+            .collect();
+        // Stable: equal scores keep ascending doc id, like `search`.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("BM25 scores are finite"));
+        scored.truncate(k);
+        if scored.len() < k.min(self.n) {
+            let matched: std::collections::HashSet<usize> =
+                candidates.iter().map(|&i| i as usize).collect();
+            scored.extend(
+                (0..self.n)
+                    .filter(|i| !matched.contains(i))
+                    .take(k - scored.len())
+                    .map(|i| (i, 0.0)),
+            );
+        }
         scored
     }
 }
@@ -345,6 +525,60 @@ mod tests {
         }
         if plain[0] == 1 {
             assert!(expanded.contains(&0));
+        }
+    }
+
+    #[test]
+    fn neural_search_topk_exact_path_matches_full_search() {
+        let (lake, neural, _) = lake_and_search();
+        let n = lake.tables.len();
+        for (q, _) in lake.search_queries().iter().take(4) {
+            let full = neural.search(q);
+            // shortlist >= n → exact: same tables, scores and order.
+            let top = neural.search_topk(q, 5, n);
+            assert_eq!(top.len(), 5.min(n));
+            for (got, want) in top.iter().zip(&full) {
+                assert_eq!(got.0, want.0, "query {q}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn neural_prefilter_shortlist_is_deterministic_and_bounded() {
+        let (lake, neural, _) = lake_and_search();
+        let n = lake.tables.len();
+        let (q, _) = &lake.search_queries()[0];
+        let a = neural.search_topk(q, 3, n / 2);
+        let b = neural.search_topk(q, 3, n / 2);
+        assert_eq!(a, b, "prefiltered search must be deterministic");
+        assert_eq!(a.len(), 3);
+        let valid: Vec<bool> = a.iter().map(|&(i, _)| i < n).collect();
+        assert!(valid.iter().all(|&v| v));
+        // Scores come from the same interaction scorer as full search.
+        let full: std::collections::HashMap<usize, u32> = neural
+            .search(q)
+            .into_iter()
+            .map(|(i, s)| (i, s.to_bits()))
+            .collect();
+        for (i, s) in &a {
+            assert_eq!(full[i], s.to_bits());
+        }
+    }
+
+    #[test]
+    fn bm25_topk_matches_full_ranking_head() {
+        let (lake, _, bm25) = lake_and_search();
+        for (q, _) in lake.search_queries().iter().take(4) {
+            let full = bm25.search(q);
+            for k in [1, 3, 8, lake.tables.len()] {
+                let top = bm25.search_topk(q, k);
+                assert_eq!(top.len(), k.min(lake.tables.len()));
+                for (got, want) in top.iter().zip(&full) {
+                    assert_eq!(got.0, want.0, "query {q}, k {k}");
+                    assert!((got.1 - want.1).abs() < 1e-12, "query {q}, k {k}");
+                }
+            }
         }
     }
 

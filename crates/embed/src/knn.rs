@@ -1,22 +1,32 @@
 //! Brute-force nearest-neighbour and analogy search over labelled
 //! vector sets — the query layer the discovery engine and experiment
 //! harnesses share.
+//!
+//! Selection goes through [`dc_index::topk_scores`] (ISSUE 3): an
+//! `O(n log k)` bounded-heap scan instead of collecting and fully
+//! sorting every item, scoring by index so labels are only allocated
+//! for the k survivors, and under a total order that sinks NaN scores
+//! (non-finite item or query vectors make `cosine` return NaN) below
+//! every real score instead of panicking in
+//! `partial_cmp(..).expect(..)`.
 
+use dc_index::{topk_scores, Order};
 use dc_tensor::tensor::cosine;
 
 /// The `k` labels most cosine-similar to `query` among `items`.
+/// NaN-scored items (non-finite vectors) rank below every real score.
 pub fn nearest<'a>(
     query: &[f32],
     items: impl IntoIterator<Item = (&'a str, &'a [f32])>,
     k: usize,
 ) -> Vec<(String, f32)> {
-    let mut scored: Vec<(String, f32)> = items
-        .into_iter()
-        .map(|(label, v)| (label.to_string(), cosine(query, v)))
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-    scored.truncate(k);
-    scored
+    let items: Vec<(&str, &[f32])> = items.into_iter().collect();
+    topk_scores(items.len(), k, Order::Largest, |i| {
+        cosine(query, items[i].1)
+    })
+    .into_iter()
+    .map(|hit| (items[hit.index].0.to_string(), hit.score))
+    .collect()
 }
 
 /// 3CosAdd analogy over an arbitrary labelled vector set:
@@ -57,6 +67,27 @@ mod tests {
     fn nearest_truncates_and_handles_empty() {
         let out = nearest(&[1.0], Vec::<(&str, &[f32])>::new(), 3);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        // Seed regression: a non-finite item vector makes `cosine`
+        // return NaN, and the old `partial_cmp(..).expect("finite
+        // scores")` sort killed the caller. NaN now sinks below every
+        // real score — including the 0.0 that zero vectors score.
+        let items: Vec<(&str, &[f32])> = vec![
+            ("poisoned", &[f32::NAN, 0.0][..]),
+            ("east", &[1.0, 0.0][..]),
+            ("zero", &[0.0, 0.0][..]),
+            ("north", &[0.0, 1.0][..]),
+        ];
+        let out = nearest(&[1.0, 0.2], items, 4);
+        assert_eq!(out[0].0, "east");
+        assert_eq!(out[1].0, "north");
+        assert_eq!(out[2].0, "zero");
+        assert_eq!(out[2].1, 0.0);
+        assert_eq!(out[3].0, "poisoned");
+        assert!(out[3].1.is_nan());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! for speed — the tape-backed models live in `dc-nn`.
 
 use crate::vocab::Vocabulary;
+use dc_index::{topk_scores, Order};
 use dc_tensor::tensor::cosine;
 use dc_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -153,18 +154,7 @@ impl Embeddings {
             return Vec::new();
         };
         let target = target.to_vec();
-        let mut scored: Vec<(String, f32)> = (0..self.vocab.len())
-            .filter(|&i| self.vocab.token(i) != token)
-            .map(|i| {
-                (
-                    self.vocab.token(i).to_string(),
-                    cosine(&target, self.vectors.row_slice(i)),
-                )
-            })
-            .collect();
-        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
-        scored.truncate(k);
-        scored
+        self.topk_excluding(&target, k, &[token])
     }
 
     /// 3CosAdd analogy: `a : b :: c : ?` — the "king − man + woman ≈
@@ -180,21 +170,27 @@ impl Embeddings {
             .zip(vc)
             .map(|((b, a), c)| b - a + c)
             .collect();
-        let mut scored: Vec<(String, f32)> = (0..self.vocab.len())
-            .filter(|&i| {
-                let t = self.vocab.token(i);
-                t != a && t != b && t != c
-            })
-            .map(|i| {
-                (
-                    self.vocab.token(i).to_string(),
-                    cosine(&query, self.vectors.row_slice(i)),
-                )
-            })
-            .collect();
-        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
-        scored.truncate(k);
-        scored
+        self.topk_excluding(&query, k, &[a, b, c])
+    }
+
+    /// The `k` vocabulary tokens most cosine-similar to `query`, minus
+    /// `exclude`: a bounded [`topk_scores`] heap scan over token ids
+    /// (`O(V log k)`, labels allocated only for survivors) asking for
+    /// `k + exclude.len()` so the winners survive the exclusion filter.
+    /// Ties break toward the lower token id, matching the seed's stable
+    /// sort; NaN scores sink last instead of panicking.
+    fn topk_excluding(&self, query: &[f32], k: usize, exclude: &[&str]) -> Vec<(String, f32)> {
+        let hits = topk_scores(
+            self.vocab.len(),
+            k.saturating_add(exclude.len()),
+            Order::Largest,
+            |i| cosine(query, self.vectors.row_slice(i)),
+        );
+        hits.into_iter()
+            .filter(|hit| !exclude.contains(&self.vocab.token(hit.index)))
+            .take(k)
+            .map(|hit| (self.vocab.token(hit.index).to_string(), hit.score))
+            .collect()
     }
 
     /// "All-but-the-top" post-processing (Mu & Viswanath): subtract the

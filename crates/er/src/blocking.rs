@@ -8,6 +8,8 @@
 //! trade-off: reduction ratio vs pair completeness, LSH over embeddings
 //! against token blocking and single-attribute key blocking.
 
+use dc_index::{LshConfig, LshIndex};
+use dc_tensor::Tensor;
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet};
 
@@ -17,7 +19,17 @@ pub type Candidates = HashSet<(usize, usize)>;
 /// Random-hyperplane LSH over tuple embedding vectors, with banding.
 ///
 /// Each vector gets `bands × rows_per_band` sign bits; two tuples are
-/// candidates when *any* band of bits matches exactly.
+/// candidates when *any* band of bits matches exactly, plus — when
+/// [`LshBlocker::with_probes`] is used — when a band matches after
+/// flipping one of a tuple's lowest-margin bits (multi-probe, which
+/// buys back pair completeness at fewer bands).
+///
+/// Since ISSUE 3 this is a thin wrapper over [`dc_index`]: signatures
+/// are computed as one blocked kernel matmul and bit-packed into `u64`
+/// words, and candidates come from sorted band tables instead of a
+/// `HashMap<Vec<bool>, _>` per band. The seed implementation survives
+/// verbatim as [`reference::LshBlocker`]; `tests/blocking_equiv.rs`
+/// proves pair-set equality between the two on random inputs.
 #[derive(Clone, Debug)]
 pub struct LshBlocker {
     planes: Vec<Vec<f32>>,
@@ -25,6 +37,8 @@ pub struct LshBlocker {
     pub bands: usize,
     /// Hyperplanes (bits) per band.
     pub rows_per_band: usize,
+    /// Near-boundary bits probed per tuple per band (0 = exact banding).
+    pub probes: usize,
 }
 
 impl LshBlocker {
@@ -32,13 +46,30 @@ impl LshBlocker {
     /// dimensions.
     pub fn new(dim: usize, bands: usize, rows_per_band: usize, rng: &mut StdRng) -> Self {
         let planes = (0..bands * rows_per_band)
-            .map(|_| dc_tensor::Tensor::randn(1, dim, 1.0, rng).data)
+            .map(|_| Tensor::randn(1, dim, 1.0, rng).data)
             .collect();
+        Self::from_planes(planes, bands, rows_per_band)
+    }
+
+    /// Build from explicit hyperplanes (row `p` is plane `p`); used by
+    /// the equivalence tests to drive the new and [`reference`] paths
+    /// from identical planes.
+    pub fn from_planes(planes: Vec<Vec<f32>>, bands: usize, rows_per_band: usize) -> Self {
+        assert_eq!(planes.len(), bands * rows_per_band, "plane count");
         LshBlocker {
             planes,
             bands,
             rows_per_band,
+            probes: 0,
         }
+    }
+
+    /// Enable multi-probe: additionally look up, per band, the buckets
+    /// reached by flipping each of a tuple's `probes` lowest-|margin|
+    /// sign bits. Candidates become a superset of the exact-band set.
+    pub fn with_probes(mut self, probes: usize) -> Self {
+        self.probes = probes;
+        self
     }
 
     /// The signature (one bit per hyperplane) of a vector.
@@ -55,29 +86,113 @@ impl LshBlocker {
     /// single domain cluster in one orthant, where raw sign bits carry
     /// no information.
     pub fn candidates(&self, vectors: &[Vec<f32>]) -> Candidates {
-        let centered = center(vectors);
-        let sigs: Vec<Vec<bool>> = centered.iter().map(|v| self.signature(v)).collect();
-        let mut out = Candidates::new();
-        for band in 0..self.bands {
-            let lo = band * self.rows_per_band;
-            let hi = lo + self.rows_per_band;
-            let mut buckets: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
-            for (i, sig) in sigs.iter().enumerate() {
-                buckets.entry(sig[lo..hi].to_vec()).or_default().push(i);
-            }
-            for members in buckets.values() {
-                for (x, &i) in members.iter().enumerate() {
-                    for &j in &members[x + 1..] {
-                        out.insert((i.min(j), i.max(j)));
-                    }
-                }
+        if vectors.is_empty() {
+            return Candidates::new();
+        }
+        let dim = vectors[0].len();
+        let mut mean = vec![0.0f32; dim];
+        for v in vectors {
+            for (m, &x) in mean.iter_mut().zip(v) {
+                *m += x;
             }
         }
-        out
+        let inv = 1.0 / vectors.len() as f32;
+        mean.iter_mut().for_each(|m| *m *= inv);
+        // Centre straight into the flat tensor buffer — element for
+        // element the same arithmetic as [`center`], without its
+        // per-row Vec allocations.
+        let mut flat = Vec::with_capacity(vectors.len() * dim);
+        for v in vectors {
+            flat.extend(v.iter().zip(&mean).map(|(x, m)| x - m));
+        }
+        let items = Tensor::from_vec(vectors.len(), dim, flat);
+        // Plane rows are truncated/zero-padded to the vector dim,
+        // matching the seed signature's `zip` semantics when lengths
+        // disagree (extra plane components never meet a vector entry).
+        let mut plane_data = Vec::with_capacity(self.planes.len() * dim);
+        for (r, p) in self.planes.iter().enumerate() {
+            plane_data.extend(p.iter().copied().take(dim));
+            plane_data.resize((r + 1) * dim, 0.0);
+        }
+        let planes = Tensor::from_vec(self.planes.len(), dim, plane_data);
+        let index = LshIndex::build(
+            &items,
+            &planes,
+            LshConfig {
+                bands: self.bands,
+                rows_per_band: self.rows_per_band,
+                probes: self.probes,
+            },
+        );
+        index.candidate_pairs().into_iter().collect()
     }
 }
 
-fn center(vectors: &[Vec<f32>]) -> Vec<Vec<f32>> {
+/// The seed (pre-ISSUE 3) LSH blocker, kept verbatim — like
+/// [`dc_tensor::kernel::reference`] — as the ground truth that
+/// `tests/blocking_equiv.rs` holds the [`dc_index`]-backed
+/// [`LshBlocker`](super::LshBlocker) to.
+pub mod reference {
+    use super::{center, Candidates};
+    use std::collections::HashMap;
+
+    /// Seed implementation: `Vec<bool>` signatures from one sequential
+    /// dot per plane, bucketed through a `HashMap` per band.
+    #[derive(Clone, Debug)]
+    pub struct LshBlocker {
+        /// Hyperplanes, one per signature bit.
+        pub planes: Vec<Vec<f32>>,
+        /// Number of bands.
+        pub bands: usize,
+        /// Hyperplanes (bits) per band.
+        pub rows_per_band: usize,
+    }
+
+    impl LshBlocker {
+        /// Build from explicit hyperplanes.
+        pub fn from_planes(planes: Vec<Vec<f32>>, bands: usize, rows_per_band: usize) -> Self {
+            assert_eq!(planes.len(), bands * rows_per_band, "plane count");
+            LshBlocker {
+                planes,
+                bands,
+                rows_per_band,
+            }
+        }
+
+        /// The signature (one bit per hyperplane) of a vector.
+        pub fn signature(&self, v: &[f32]) -> Vec<bool> {
+            self.planes
+                .iter()
+                .map(|p| p.iter().zip(v).map(|(a, b)| a * b).sum::<f32>() >= 0.0)
+                .collect()
+        }
+
+        /// Candidate pairs among `vectors` (seed bucketer).
+        pub fn candidates(&self, vectors: &[Vec<f32>]) -> Candidates {
+            let centered = center(vectors);
+            let sigs: Vec<Vec<bool>> = centered.iter().map(|v| self.signature(v)).collect();
+            let mut out = Candidates::new();
+            for band in 0..self.bands {
+                let lo = band * self.rows_per_band;
+                let hi = lo + self.rows_per_band;
+                let mut buckets: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+                for (i, sig) in sigs.iter().enumerate() {
+                    buckets.entry(sig[lo..hi].to_vec()).or_default().push(i);
+                }
+                for members in buckets.values() {
+                    for (x, &i) in members.iter().enumerate() {
+                        for &j in &members[x + 1..] {
+                            out.insert((i.min(j), i.max(j)));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub(crate) fn center(vectors: &[Vec<f32>]) -> Vec<Vec<f32>> {
     if vectors.is_empty() {
         return Vec::new();
     }
@@ -288,6 +403,35 @@ mod tests {
         }
         .candidates(&bench.table);
         assert!(coarse.len() >= fine.len());
+    }
+
+    #[test]
+    fn multi_probe_widens_candidates_and_completeness() {
+        let (bench, vectors, mut rng) = setup();
+        let exact = LshBlocker::new(16, 4, 8, &mut rng);
+        let probed = exact.clone().with_probes(2);
+        let exact_cands = exact.candidates(&vectors);
+        let probed_cands = probed.candidates(&vectors);
+        assert!(
+            exact_cands.is_subset(&probed_cands),
+            "probing must only add pairs"
+        );
+        let truth = bench.duplicate_pairs();
+        let n = bench.table.len();
+        let q_exact = blocking_quality(&exact_cands, &truth, n);
+        let q_probed = blocking_quality(&probed_cands, &truth, n);
+        assert!(
+            q_probed.pair_completeness >= q_exact.pair_completeness,
+            "{q_exact:?} vs {q_probed:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_yield_no_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let blocker = LshBlocker::new(4, 2, 2, &mut rng);
+        assert!(blocker.candidates(&[]).is_empty());
+        assert!(blocker.candidates(&[vec![1.0, 0.0, 0.0, 0.0]]).is_empty());
     }
 
     #[test]

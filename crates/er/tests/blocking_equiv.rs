@@ -1,0 +1,120 @@
+//! Blocking equivalence suite (ISSUE 3): the `dc_index`-backed
+//! [`dc_er::blocking::LshBlocker`] must return *exactly* the seed
+//! pair set, reproduced verbatim as [`dc_er::blocking::reference`].
+//!
+//! Both paths center the vectors with the same shared code, but the
+//! new path computes hyperplane scores through the blocked kernel,
+//! whose sum association differs from the seed's sequential dots — on
+//! a near-zero margin that could flip a sign bit. Inputs are therefore
+//! quantized to a dyadic grid (every dot exact in f32) and an
+//! f64-margin guard skips any case that still lands near a boundary.
+//! `scripts/lint.sh` runs this suite under `DC_THREADS=1`, `=2`, and
+//! the default.
+
+use dc_er::blocking::{reference, LshBlocker};
+use proptest::prelude::*;
+
+/// Quantized vectors on the grid `k/8`, |k| ≤ 32.
+fn quantized(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        | 1;
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let k = ((state >> 33) % 65) as i64 - 32;
+                    k as f32 / 8.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// True when any f64 margin of a *centered* vector against a plane is
+/// suspiciously close to zero (sign could depend on association).
+/// Centering divides by `n`, so centered components are generally not
+/// dyadic; the guard is what keeps the property sound anyway.
+fn near_boundary(vectors: &[Vec<f32>], planes: &[Vec<f32>]) -> bool {
+    if vectors.is_empty() {
+        return false;
+    }
+    let d = vectors[0].len();
+    let mut mean = vec![0.0f64; d];
+    for v in vectors {
+        for (m, &x) in mean.iter_mut().zip(v) {
+            *m += f64::from(x);
+        }
+    }
+    let inv = 1.0 / vectors.len() as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    vectors.iter().any(|v| {
+        planes.iter().any(|p| {
+            let dot: f64 = v
+                .iter()
+                .zip(&mean)
+                .zip(p)
+                .map(|((&x, &m), &w)| (f64::from(x) - m) * f64::from(w))
+                .sum();
+            dot.abs() < 1e-4 && dot != 0.0
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn indexed_blocker_matches_seed_pair_set(
+        n in 0usize..90,
+        dim in 1usize..8,
+        bands in 1usize..5,
+        rows in 1usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        let vectors = quantized(n, dim, seed);
+        let planes = quantized(bands * rows, dim, seed ^ 0x9e3779b97f4a7c15);
+        if near_boundary(&vectors, &planes) {
+            return Ok(());
+        }
+        let new = LshBlocker::from_planes(planes.clone(), bands, rows);
+        let old = reference::LshBlocker::from_planes(planes, bands, rows);
+        prop_assert_eq!(new.candidates(&vectors), old.candidates(&vectors));
+    }
+
+    #[test]
+    fn signatures_match_reference_bit_for_bit(
+        dim in 1usize..10,
+        nbits in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let planes = quantized(nbits, dim, seed);
+        let v = &quantized(1, dim, seed ^ 0x517cc1b727220a95)[0];
+        let new = LshBlocker::from_planes(planes.clone(), 1, nbits);
+        let old = reference::LshBlocker::from_planes(planes, 1, nbits);
+        prop_assert_eq!(new.signature(v), old.signature(v));
+    }
+
+    #[test]
+    fn probing_never_loses_seed_pairs(
+        n in 0usize..60,
+        probes in 1usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (bands, rows, dim) = (3, 5, 6);
+        let vectors = quantized(n, dim, seed);
+        let planes = quantized(bands * rows, dim, seed ^ 0x2545f4914f6cdd1d);
+        if near_boundary(&vectors, &planes) {
+            return Ok(());
+        }
+        let old = reference::LshBlocker::from_planes(planes.clone(), bands, rows);
+        let probed = LshBlocker::from_planes(planes, bands, rows).with_probes(probes);
+        let seed_pairs = old.candidates(&vectors);
+        let probed_pairs = probed.candidates(&vectors);
+        prop_assert!(seed_pairs.is_subset(&probed_pairs));
+    }
+}

@@ -1,0 +1,177 @@
+//! dc-index self-test: checks the packed-signature, banded-candidate
+//! and top-k paths against naive in-file references and prints a
+//! one-line verdict per check. Exits non-zero on any failure, so
+//! `scripts/lint.sh` can gate on it under every `DC_THREADS` setting.
+
+use dc_index::{dedup_pairs, topk_scores, CosineIndex, LshConfig, LshIndex, Order, SignatureSet};
+use dc_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+
+/// Deterministic quantized values on the grid k/8, |k| ≤ 32: small
+/// dims keep every dot product exact in f32, so sign bits cannot
+/// differ between the blocked kernel and a sequential reference.
+fn quantized(n: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    let data = (0..n * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = ((state >> 33) % 65) as i64 - 32;
+            k as f32 / 8.0
+        })
+        .collect();
+    Tensor::from_vec(n, cols, data)
+}
+
+/// The seed's signature path: one sequential dot per plane, `>= 0.0`.
+fn naive_signature(v: &[f32], planes: &Tensor) -> Vec<bool> {
+    (0..planes.rows)
+        .map(|p| {
+            let row = planes.row_slice(p);
+            let dot: f32 = v.iter().zip(row).map(|(a, b)| a * b).sum();
+            dot >= 0.0
+        })
+        .collect()
+}
+
+/// The seed's banded bucketer over `Vec<bool>` signatures.
+fn naive_pairs(sigs: &[Vec<bool>], bands: usize, rows_per_band: usize) -> HashSet<(usize, usize)> {
+    let mut out = HashSet::new();
+    for b in 0..bands {
+        let mut buckets: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+        for (i, sig) in sigs.iter().enumerate() {
+            let key = sig[b * rows_per_band..(b + 1) * rows_per_band].to_vec();
+            buckets.entry(key).or_default().push(i);
+        }
+        for members in buckets.values() {
+            for x in 0..members.len() {
+                for y in x + 1..members.len() {
+                    out.insert((members[x], members[y]));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        println!("{} {name}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let cfg = LshConfig {
+        bands: 6,
+        rows_per_band: 5,
+        probes: 0,
+    };
+    let nbits = cfg.bands * cfg.rows_per_band;
+    let vectors = quantized(300, 6, 0x5eed);
+    let planes = quantized(nbits, 6, 0x71a_e5ab);
+    let naive_sigs: Vec<Vec<bool>> = (0..vectors.rows)
+        .map(|i| naive_signature(vectors.row_slice(i), &planes))
+        .collect();
+
+    // 1. Packed signatures agree bit-for-bit with the seed path.
+    let sigs = SignatureSet::compute(&vectors, &planes);
+    let pack_ok = (0..vectors.rows).all(|i| sigs.to_bools(i) == naive_sigs[i]);
+    check("packed signatures match seed Vec<bool> path", pack_ok);
+
+    // 2. Hamming via count_ones agrees with bit-by-bit counting.
+    let ham_ok = (0..20).all(|i| {
+        let j = vectors.rows - 1 - i;
+        let naive: u32 = naive_sigs[i]
+            .iter()
+            .zip(&naive_sigs[j])
+            .map(|(a, b)| u32::from(a != b))
+            .sum();
+        sigs.hamming(i, j) == naive
+    });
+    check("packed hamming matches naive count", ham_ok);
+
+    // 3. Banded candidates equal the seed HashMap/HashSet bucketer.
+    let index = LshIndex::build(&vectors, &planes, cfg);
+    let expect = naive_pairs(&naive_sigs, cfg.bands, cfg.rows_per_band);
+    let got: HashSet<(usize, usize)> = index.candidate_pairs().into_iter().collect();
+    check(
+        &format!(
+            "candidate pairs match seed bucketer ({} pairs)",
+            expect.len()
+        ),
+        got == expect && !expect.is_empty(),
+    );
+
+    // 4. The dedup adapter agrees with streaming into a HashSet.
+    let streamed: HashSet<(usize, usize)> = index.candidate_stream().collect();
+    let deduped: HashSet<(usize, usize)> =
+        dedup_pairs(index.candidate_stream()).into_iter().collect();
+    check("dedup_pairs equals streamed set", streamed == deduped);
+
+    // 5. Multi-probe only ever adds pairs.
+    let probed = LshIndex::build(&vectors, &planes, LshConfig { probes: 2, ..cfg });
+    let probed_set: HashSet<(usize, usize)> = probed.candidate_pairs().into_iter().collect();
+    check(
+        "multi-probe candidates are a superset",
+        got.is_subset(&probed_set),
+    );
+
+    // 6. topk_scores equals a full stable sort, ties and NaN included.
+    let n = 5000;
+    let score = |i: usize| {
+        if i.is_multiple_of(997) {
+            f32::NAN
+        } else {
+            ((i % 37) as f32 - 18.0) * 0.25
+        }
+    };
+    for (k, order) in [(10, Order::Largest), (25, Order::Smallest)] {
+        let got: Vec<usize> = topk_scores(n, k, order, score)
+            .iter()
+            .map(|h| h.index)
+            .collect();
+        let mut all: Vec<usize> = (0..n).collect();
+        all.sort_by(|&a, &b| {
+            let (sa, sb) = (score(a), score(b));
+            let ord = match (sa.is_nan(), sb.is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => match order {
+                    Order::Largest => sb.partial_cmp(&sa).unwrap(),
+                    Order::Smallest => sa.partial_cmp(&sb).unwrap(),
+                },
+            };
+            ord.then(a.cmp(&b))
+        });
+        check(
+            &format!("topk_scores({k}, {order:?}) matches full sort"),
+            got == all[..k],
+        );
+    }
+
+    // 7. CosineIndex top-k equals the naive cosine scan.
+    let items = quantized(2000, 16, 0x00c0_517e);
+    let cos_index = CosineIndex::build(&items);
+    let query = quantized(1, 16, 0x9_1e57).data;
+    let hits: Vec<usize> = cos_index
+        .nearest(&query, 12)
+        .iter()
+        .map(|h| h.index)
+        .collect();
+    let mut all: Vec<(usize, f32)> = (0..items.rows)
+        .map(|i| (i, dc_tensor::tensor::cosine(&query, items.row_slice(i))))
+        .collect();
+    all.sort_by(|a, b| dc_index::desc_nan_last(a.1, b.1).then(a.0.cmp(&b.0)));
+    let brute: Vec<usize> = all[..12].iter().map(|&(i, _)| i).collect();
+    check("CosineIndex top-k matches naive cosine scan", hits == brute);
+
+    if failures > 0 {
+        eprintln!("{failures} dc-index self-test(s) failed");
+        std::process::exit(1);
+    }
+    println!("all dc-index self-tests passed");
+}

@@ -1,0 +1,40 @@
+//! # dc-index
+//!
+//! The shared retrieval layer of AutoDC (DESIGN.md §9): every consumer
+//! that needs "which items are close to this one" — LSH blocking for
+//! entity resolution (§5.2 of the paper), nearest-neighbour queries
+//! over embeddings, and data-lake discovery search (§5.1) — routes
+//! through the three pieces of this crate instead of growing its own
+//! naive scan:
+//!
+//! * [`sig`] — bit-packed random-hyperplane sign signatures: `u64`
+//!   words instead of `Vec<bool>`, computed as one blocked matrix
+//!   product through [`dc_tensor::kernel`] and compared by
+//!   `XOR`/`count_ones` Hamming distance.
+//! * [`lsh`] — banded inverted buckets over those signatures, keyed by
+//!   `u64` band words, with an iterator-based candidate stream (no
+//!   materialized pair set for the common consumer), a dedup adapter
+//!   for callers that need exact pair sets, and optional multi-probe on
+//!   near-boundary bits to recover pair completeness at fewer bands.
+//! * [`topk`] — a binary-heap [`topk::TopK`] selector under a *total*
+//!   score order (NaN sinks last, ties break toward the lower index)
+//!   plus a chunked parallel scan over the shared worker pool and a
+//!   pre-normalized [`topk::CosineIndex`] for exact cosine top-k.
+//!
+//! # Determinism
+//!
+//! Every path is deterministic for every `DC_THREADS` setting:
+//! signature bits come from kernel matmuls that are bitwise identical
+//! across thread counts, bucket membership is a pure function of those
+//! bits, and top-k selection under the total `(score, index)` order has
+//! a unique answer regardless of how the scan was chunked.
+//! `scripts/lint.sh` runs the equivalence suites under `DC_THREADS=1`,
+//! `=2`, and the default to enforce this.
+
+pub mod lsh;
+pub mod sig;
+pub mod topk;
+
+pub use lsh::{dedup_pairs, CandidateStream, LshConfig, LshIndex};
+pub use sig::{sign_scores, SignatureSet};
+pub use topk::{desc_nan_last, topk_scores, CosineIndex, Hit, Order, TopK};

@@ -1,0 +1,564 @@
+//! Banded LSH candidate retrieval over bit-packed signatures.
+//!
+//! The classic banding scheme (and the seed's): split each signature
+//! into `bands` bands of `rows_per_band` bits; two items are candidates
+//! when *any* band matches exactly. The seed materialized a
+//! `HashMap<Vec<bool>, Vec<usize>>` per band and a `HashSet` of every
+//! pair; here each band is a sorted `(key, item)` table of `u64` band
+//! words, candidates come out of an iterator-based [`CandidateStream`]
+//! (nothing materialized for the common consumer), and callers that
+//! need an exact pair set run the stream through [`dedup_pairs`] — a
+//! sort/dedup over packed `u64` pair codes, far cheaper than hashing
+//! every occurrence.
+//!
+//! **Multi-probe**: with [`LshConfig::probes`] > 0, each item
+//! additionally looks up, per band, the band keys obtained by flipping
+//! its lowest-margin bits (the hyperplane scores closest to zero — the
+//! bits most likely to disagree across near-duplicates). This recovers
+//! pair completeness at fewer bands, trading a little probe work for a
+//! smaller index.
+
+use crate::sig::{sign_scores, SignatureSet};
+use dc_tensor::Tensor;
+use std::ops::Range;
+
+/// Banding/probing parameters for an [`LshIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Number of bands.
+    pub bands: usize,
+    /// Bits per band.
+    pub rows_per_band: usize,
+    /// Near-boundary bits probed per item per band (0 = exact banding).
+    pub probes: usize,
+}
+
+/// One band's inverted buckets: items sorted by band key, equal keys
+/// adjacent. Multi-word keys (bands wider than 64 bits) compare
+/// lexicographically word-by-word.
+struct BandTable {
+    /// `u64` words per key.
+    stride: usize,
+    /// Keys in sorted order, `stride` words each.
+    keys: Vec<u64>,
+    /// Item ids in key-sorted order; ties sort by item id, so bucket
+    /// members are ascending and in-bucket pairs come out `(min, max)`.
+    items: Vec<u32>,
+}
+
+impl BandTable {
+    fn build(sigs: &SignatureSet, lo: usize, width: usize) -> BandTable {
+        let n = sigs.len();
+        let stride = width.div_ceil(64).max(1);
+        if width <= 16 && n >= 64 {
+            // Byte-wise LSB radix sort for narrow bands (the common
+            // blocking regime): two stable passes over `(key << 32) |
+            // item` with L1-resident 256-entry counters. Stability on
+            // the initial ascending-item order means equal keys keep
+            // ascending item order — identical to the sort paths below.
+            let mut packed: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut k = [0u64; 1];
+                    sigs.band_key_into(i, lo, width, &mut k);
+                    (k[0] << 32) | i as u64
+                })
+                .collect();
+            let mut tmp = vec![0u64; n];
+            for pass in 0..2 {
+                let shift = 32 + pass * 8;
+                let mut counts = [0u32; 257];
+                for &p in &packed {
+                    counts[(p >> shift & 0xff) as usize + 1] += 1;
+                }
+                for c in 1..257 {
+                    counts[c] += counts[c - 1];
+                }
+                for &p in &packed {
+                    let b = (p >> shift & 0xff) as usize;
+                    tmp[counts[b] as usize] = p;
+                    counts[b] += 1;
+                }
+                std::mem::swap(&mut packed, &mut tmp);
+            }
+            let mut keys = Vec::with_capacity(n);
+            let mut items = Vec::with_capacity(n);
+            for p in packed {
+                keys.push(p >> 32);
+                items.push(p as u32);
+            }
+            return BandTable {
+                stride: 1,
+                keys,
+                items,
+            };
+        }
+        if stride == 1 && width <= 32 {
+            // Fast path for bands of ≤ 32 bits: pack `(key << 32) | item`
+            // into one u64 and sort comparator-free — same order as the
+            // general path (key ascending, item ascending within key).
+            let mut packed: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut k = [0u64; 1];
+                    sigs.band_key_into(i, lo, width, &mut k);
+                    (k[0] << 32) | i as u64
+                })
+                .collect();
+            packed.sort_unstable();
+            let mut keys = Vec::with_capacity(n);
+            let mut items = Vec::with_capacity(n);
+            for p in packed {
+                keys.push(p >> 32);
+                items.push(p as u32);
+            }
+            return BandTable {
+                stride: 1,
+                keys,
+                items,
+            };
+        }
+        let mut raw = vec![0u64; n * stride];
+        for i in 0..n {
+            sigs.band_key_into(i, lo, width, &mut raw[i * stride..(i + 1) * stride]);
+        }
+        let mut items: Vec<u32> = (0..n as u32).collect();
+        items.sort_unstable_by(|&a, &b| {
+            let ka = &raw[a as usize * stride..][..stride];
+            let kb = &raw[b as usize * stride..][..stride];
+            ka.cmp(kb).then(a.cmp(&b))
+        });
+        let mut keys = vec![0u64; n * stride];
+        for (r, &it) in items.iter().enumerate() {
+            keys[r * stride..(r + 1) * stride]
+                .copy_from_slice(&raw[it as usize * stride..][..stride]);
+        }
+        BandTable {
+            stride,
+            keys,
+            items,
+        }
+    }
+
+    #[inline]
+    fn key(&self, r: usize) -> &[u64] {
+        &self.keys[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// Rows whose key equals `probe` (binary search on the sorted keys).
+    fn equal_run(&self, probe: &[u64]) -> Range<usize> {
+        let n = self.items.len();
+        let lower = partition(n, |r| self.key(r) < probe);
+        let upper = partition(n, |r| self.key(r) <= probe);
+        lower..upper
+    }
+}
+
+/// First `r` in `0..n` where `pred(r)` turns false (`pred` monotone).
+fn partition(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A banded LSH index over one set of vectors (self-join retrieval).
+pub struct LshIndex {
+    cfg: LshConfig,
+    sigs: SignatureSet,
+    tables: Vec<BandTable>,
+    /// Per `(item, band, probe)`: the band-relative bit to flip,
+    /// ordered by ascending score margin. Present iff `cfg.probes > 0`.
+    flips: Option<Vec<u16>>,
+    /// Effective probes per band (`cfg.probes` clamped to the band width).
+    probes_per_band: usize,
+}
+
+impl LshIndex {
+    /// Build from `n×d` item vectors and `(bands·rows_per_band)×d`
+    /// hyperplanes. Signature bits are the signs of one blocked kernel
+    /// matmul, so they are identical for every `DC_THREADS` setting.
+    pub fn build(vectors: &Tensor, planes: &Tensor, cfg: LshConfig) -> Self {
+        assert_eq!(
+            planes.rows,
+            cfg.bands * cfg.rows_per_band,
+            "LshIndex::build: {} planes for {} bands × {} rows",
+            planes.rows,
+            cfg.bands,
+            cfg.rows_per_band
+        );
+        Self::from_scores(&sign_scores(vectors, planes), cfg)
+    }
+
+    /// Build from a precomputed `n×nbits` score matrix (the margins of
+    /// `vectors · planesᵀ`).
+    pub fn from_scores(scores: &Tensor, cfg: LshConfig) -> Self {
+        assert!(cfg.bands >= 1, "LshIndex: at least one band");
+        assert!(
+            cfg.rows_per_band >= 1,
+            "LshIndex: at least one row per band"
+        );
+        assert_eq!(
+            scores.cols,
+            cfg.bands * cfg.rows_per_band,
+            "LshIndex: {} score columns for {} bands × {} rows",
+            scores.cols,
+            cfg.bands,
+            cfg.rows_per_band
+        );
+        assert!(
+            scores.rows <= u32::MAX as usize,
+            "LshIndex: item count exceeds u32 range"
+        );
+        let sigs = SignatureSet::from_scores(scores);
+        let tables: Vec<BandTable> = (0..cfg.bands)
+            .map(|b| BandTable::build(&sigs, b * cfg.rows_per_band, cfg.rows_per_band))
+            .collect();
+        let probes_per_band = cfg.probes.min(cfg.rows_per_band);
+        let flips = (probes_per_band > 0).then(|| {
+            let n = scores.rows;
+            let width = cfg.rows_per_band;
+            let mut flips = Vec::with_capacity(n * cfg.bands * probes_per_band);
+            let mut order: Vec<u16> = Vec::with_capacity(width);
+            for i in 0..n {
+                let row = scores.row_slice(i);
+                for b in 0..cfg.bands {
+                    let band = &row[b * width..(b + 1) * width];
+                    order.clear();
+                    order.extend(0..width as u16);
+                    // Smallest |margin| first; ties by bit index, so
+                    // probe order is fully deterministic.
+                    order.sort_unstable_by(|&x, &y| {
+                        band[x as usize]
+                            .abs()
+                            .total_cmp(&band[y as usize].abs())
+                            .then(x.cmp(&y))
+                    });
+                    flips.extend_from_slice(&order[..probes_per_band]);
+                }
+            }
+            flips
+        });
+        LshIndex {
+            cfg,
+            sigs,
+            tables,
+            flips,
+            probes_per_band,
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The banding configuration.
+    pub fn config(&self) -> LshConfig {
+        self.cfg
+    }
+
+    /// The packed signatures backing the index.
+    pub fn signatures(&self) -> &SignatureSet {
+        &self.sigs
+    }
+
+    /// Stream of exact-band candidate pairs, ordered `(min, max)`.
+    ///
+    /// The common-consumer path: nothing is materialized, but a pair
+    /// sharing several bands appears once per shared band. Run it
+    /// through [`dedup_pairs`] (or use [`LshIndex::candidate_pairs`])
+    /// when an exact set is needed. Multi-probe pairs are *not* in the
+    /// stream; they come from [`LshIndex::probe_pairs`].
+    pub fn candidate_stream(&self) -> CandidateStream<'_> {
+        CandidateStream {
+            tables: &self.tables,
+            band: 0,
+            run_end: 0,
+            x: 0,
+            y: 0,
+        }
+    }
+
+    /// Multi-probe candidate pairs: for each item and band, the buckets
+    /// reached by flipping its lowest-margin bits. Empty when
+    /// [`LshConfig::probes`] is 0. May repeat pairs; dedup downstream.
+    pub fn probe_pairs(&self) -> Vec<(usize, usize)> {
+        let Some(flips) = &self.flips else {
+            return Vec::new();
+        };
+        let width = self.cfg.rows_per_band;
+        let ppb = self.probes_per_band;
+        let mut out = Vec::new();
+        let mut key = vec![0u64; width.div_ceil(64).max(1)];
+        for i in 0..self.len() {
+            for (b, table) in self.tables.iter().enumerate() {
+                let lo = b * width;
+                for p in 0..ppb {
+                    let rel = flips[(i * self.cfg.bands + b) * ppb + p] as usize;
+                    self.sigs.band_key_into(i, lo, width, &mut key);
+                    key[rel / 64] ^= 1u64 << (rel % 64);
+                    for r in table.equal_run(&key) {
+                        let j = table.items[r] as usize;
+                        out.push((i.min(j), i.max(j)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The exact deduplicated candidate pair set (banding plus
+    /// multi-probe), sorted ascending.
+    ///
+    /// Equivalent to `dedup_pairs(candidate_stream().chain(
+    /// probe_pairs()))` but walks the band tables directly: in-bucket
+    /// items are already ascending, so pair codes are emitted in one
+    /// tight loop without the stream's per-pair state machine.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut codes: Vec<u64> = Vec::new();
+        for t in &self.tables {
+            let n = t.items.len();
+            let mut start = 0;
+            while start < n {
+                let mut end = start + 1;
+                while end < n && t.key(end) == t.key(start) {
+                    end += 1;
+                }
+                for x in start..end {
+                    let i = (t.items[x] as u64) << 32;
+                    for y in x + 1..end {
+                        codes.push(i | t.items[y] as u64);
+                    }
+                }
+                start = end;
+            }
+        }
+        codes.extend(
+            self.probe_pairs()
+                .into_iter()
+                .map(|(i, j)| ((i as u64) << 32) | j as u64),
+        );
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+            .into_iter()
+            .map(|c| ((c >> 32) as usize, (c & 0xffff_ffff) as usize))
+            .collect()
+    }
+}
+
+/// Iterator over in-bucket pairs of every band (see
+/// [`LshIndex::candidate_stream`]).
+pub struct CandidateStream<'a> {
+    tables: &'a [BandTable],
+    band: usize,
+    /// End row of the current equal-key run (0 = no run loaded).
+    run_end: usize,
+    /// Next pair to emit: rows `x < y` within the current run.
+    x: usize,
+    y: usize,
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.band < self.tables.len() {
+            let t = &self.tables[self.band];
+            if self.y < self.run_end {
+                let pair = (t.items[self.x] as usize, t.items[self.y] as usize);
+                self.y += 1;
+                if self.y == self.run_end {
+                    self.x += 1;
+                    self.y = self.x + 1;
+                }
+                return Some(pair);
+            }
+            // Scan forward for the next run of >= 2 equal keys.
+            let n = t.items.len();
+            let mut start = self.run_end.max(self.x);
+            let mut found = false;
+            while start < n {
+                let mut end = start + 1;
+                while end < n && t.key(end) == t.key(start) {
+                    end += 1;
+                }
+                if end - start >= 2 {
+                    self.run_end = end;
+                    self.x = start;
+                    self.y = start + 1;
+                    found = true;
+                    break;
+                }
+                start = end;
+            }
+            if !found {
+                self.band += 1;
+                self.run_end = 0;
+                self.x = 0;
+                self.y = 0;
+            }
+        }
+        None
+    }
+}
+
+/// Deduplicate a pair stream into a sorted `(min, max)` pair list —
+/// packed `u64` codes, sort, dedup: one allocation, no hashing.
+pub fn dedup_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Vec<(usize, usize)> {
+    let mut codes: Vec<u64> = pairs
+        .into_iter()
+        .map(|(i, j)| {
+            debug_assert!(i < j && j <= u32::MAX as usize, "pair ({i}, {j})");
+            ((i as u64) << 32) | j as u64
+        })
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+        .into_iter()
+        .map(|c| ((c >> 32) as usize, (c & 0xffff_ffff) as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Score matrix whose signs are given directly (±1), so bucket
+    /// membership is transparent.
+    fn scores_from_bits(rows: &[&[u8]]) -> Tensor {
+        let n = rows.len();
+        let nbits = rows[0].len();
+        let data = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }))
+            .collect();
+        Tensor::from_vec(n, nbits, data)
+    }
+
+    #[test]
+    fn exact_band_collisions_stream_once_per_band() {
+        // Items 0 and 1 share band 0; items 0, 1, 2 share band 1.
+        let scores = scores_from_bits(&[&[1, 1, 0, 0], &[1, 1, 0, 0], &[0, 0, 0, 0]]);
+        let idx = LshIndex::from_scores(
+            &scores,
+            LshConfig {
+                bands: 2,
+                rows_per_band: 2,
+                probes: 0,
+            },
+        );
+        let streamed: Vec<_> = idx.candidate_stream().collect();
+        // Band 0: (0,1). Band 1: (0,1), (0,2), (1,2).
+        assert_eq!(streamed, vec![(0, 1), (0, 1), (0, 2), (1, 2)]);
+        assert_eq!(idx.candidate_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn dedup_pairs_sorts_and_dedups() {
+        let pairs = vec![(3, 9), (0, 1), (3, 9), (0, 2)];
+        assert_eq!(dedup_pairs(pairs), vec![(0, 1), (0, 2), (3, 9)]);
+        assert!(dedup_pairs(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn empty_index_streams_nothing() {
+        let idx = LshIndex::from_scores(
+            &Tensor::zeros(0, 4),
+            LshConfig {
+                bands: 2,
+                rows_per_band: 2,
+                probes: 1,
+            },
+        );
+        assert!(idx.is_empty());
+        assert_eq!(idx.candidate_stream().count(), 0);
+        assert!(idx.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn multi_probe_recovers_near_boundary_neighbours() {
+        // Items 0/1 differ only on bit 1, where item 0's margin is
+        // tiny: one band of 2 bits never collides exactly, but one
+        // probe flips exactly that bit.
+        let scores = Tensor::from_vec(2, 2, vec![1.0, 0.001, 1.0, -1.0]);
+        let cfg = |probes| LshConfig {
+            bands: 1,
+            rows_per_band: 2,
+            probes,
+        };
+        let exact = LshIndex::from_scores(&scores, cfg(0));
+        assert!(exact.candidate_pairs().is_empty());
+        let probed = LshIndex::from_scores(&scores, cfg(1));
+        assert_eq!(probed.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn probe_pairs_are_a_superset_preserving_exact_pairs() {
+        // Random-ish deterministic scores; probing may only add pairs.
+        let n = 40;
+        let nbits = 12;
+        let data: Vec<f32> = (0..n * nbits)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        let scores = Tensor::from_vec(n, nbits, data);
+        let cfg = |probes| LshConfig {
+            bands: 3,
+            rows_per_band: 4,
+            probes,
+        };
+        let exact: HashSet<_> = LshIndex::from_scores(&scores, cfg(0))
+            .candidate_pairs()
+            .into_iter()
+            .collect();
+        let probed: HashSet<_> = LshIndex::from_scores(&scores, cfg(2))
+            .candidate_pairs()
+            .into_iter()
+            .collect();
+        assert!(exact.is_subset(&probed));
+        assert!(probed.len() > exact.len(), "probing added nothing");
+    }
+
+    #[test]
+    fn wide_bands_use_multi_word_keys() {
+        // 2 bands × 70 bits: keys straddle u64 words.
+        let n = 6;
+        let nbits = 140;
+        let mut rows: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..nbits)
+                    .map(|j| ((i * 31 + j * 7) % 3 == 0) as u8)
+                    .collect()
+            })
+            .collect();
+        rows[4] = rows[1].clone(); // plant an exact duplicate
+        let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let idx = LshIndex::from_scores(
+            &scores_from_bits(&refs),
+            LshConfig {
+                bands: 2,
+                rows_per_band: 70,
+                probes: 0,
+            },
+        );
+        let pairs = idx.candidate_pairs();
+        assert!(pairs.contains(&(1, 4)), "{pairs:?}");
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_index.json: seed brute-force retrieval (HashMap LSH
+# bucketer, String-allocating cosine scan) vs the dc-index paths at
+# n ∈ {1k, 10k} blocking / 10k-item top-10 (see ISSUE 3 acceptance
+# criteria). Honors DC_THREADS for the pool-backed paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dc-bench --bin bench_index

@@ -18,4 +18,15 @@ DC_THREADS=1 cargo test -q -p dc-tensor --test kernel_equiv
 DC_THREADS=2 cargo test -q -p dc-tensor --test kernel_equiv
 cargo test -q -p dc-tensor --test kernel_equiv
 
+echo "== dc-index selftest =="
+cargo run -q -p dc-index --bin dc-index-selftest
+
+echo "== retrieval equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-index --test index_equiv
+DC_THREADS=2 cargo test -q -p dc-index --test index_equiv
+cargo test -q -p dc-index --test index_equiv
+DC_THREADS=1 cargo test -q -p dc-er --test blocking_equiv
+DC_THREADS=2 cargo test -q -p dc-er --test blocking_equiv
+cargo test -q -p dc-er --test blocking_equiv
+
 echo "lint: all gates passed"

@@ -42,6 +42,7 @@ pub use dc_datagen as datagen;
 pub use dc_discovery as discovery;
 pub use dc_embed as embed;
 pub use dc_er as er;
+pub use dc_index as index;
 pub use dc_nn as nn;
 pub use dc_relational as relational;
 pub use dc_synth as synth;
