@@ -1,0 +1,39 @@
+//! Microbenchmark of the dc-obs gate: the disabled path must cost a
+//! single relaxed load + branch per site (the ISSUE 4 ≤2ns/site
+//! budget), and the enabled counter path one more atomic add.
+//! `scripts/bench_obs.sh` records the same comparison into
+//! `BENCH_obs.json` via the `bench_obs` bin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+static COUNTER: dc_obs::Counter = dc_obs::Counter::new("bench.counter");
+static HIST: dc_obs::Hist = dc_obs::Hist::new("bench.hist");
+
+fn bench_disabled(c: &mut Criterion) {
+    dc_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| COUNTER.add(black_box(1)));
+    });
+    group.bench_function("timer", |b| {
+        b.iter(|| black_box(HIST.start()));
+    });
+    group.bench_function("span", |b| {
+        b.iter(|| black_box(dc_obs::span("bench.span")));
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    dc_obs::set_enabled(true);
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| COUNTER.add(black_box(1)));
+    });
+    group.finish();
+    dc_obs::set_enabled(false);
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

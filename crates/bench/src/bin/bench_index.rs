@@ -62,6 +62,9 @@ struct Snapshot {
     threads: usize,
     blocking: Vec<BlockingRecord>,
     topk: TopkRecord,
+    /// The full dc-obs report (tape per-op timings, pool occupancy,
+    /// LSH candidate counters) when `DC_OBS` is set; `null` otherwise.
+    obs: Option<serde::Value>,
 }
 
 /// Median wall-clock milliseconds of `f` over `reps` runs.
@@ -203,11 +206,35 @@ fn main() {
         topk.speedup
     );
 
+    // With DC_OBS set, run a short MLP fit so the report carries tape
+    // fwd/bwd timings next to the pool and index counters, then embed
+    // the report in the snapshot and echo it to stdout.
+    if dc_obs::enabled() {
+        use dc_nn::{Activation, Adam, LossKind, Mlp};
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(128, 16, 1.0, &mut rng);
+        let y = Tensor::from_vec(128, 1, (0..128).map(|i| (i % 2) as f32).collect());
+        let mut mlp = Mlp::new(
+            &[16, 32, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let mut opt = Adam::new(0.01);
+        mlp.fit(&x, &y, LossKind::bce(), &mut opt, 5, 32, &mut rng);
+    }
+    let obs = dc_obs::enabled().then(|| {
+        let report = dc_obs::report().to_json();
+        println!("{report}");
+        serde_json::from_str::<serde::Value>(&report).expect("dc-obs report is valid JSON")
+    });
+
     let snapshot = Snapshot {
         description: "LSH blocking candidates (seed bucketer vs dc-index) at 1k/10k and cosine top-10 at 10k items (seed scan vs CosineIndex); median ms",
         threads: kernel::pool().threads(),
         blocking,
         topk,
+        obs,
     };
     let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
     std::fs::write("BENCH_index.json", json + "\n").expect("write BENCH_index.json");

@@ -32,6 +32,13 @@ fn main() {
     for table in &selected {
         println!("{}", table.to_markdown());
     }
+    if dc_obs::enabled() {
+        // With DC_OBS set, append the full observability report the
+        // experiments accumulated: tape per-op timings, worker-pool
+        // occupancy, LSH candidate counters, per-model loss series.
+        println!("## Observability (dc-obs)\n");
+        println!("```json\n{}\n```", dc_obs::report().to_json());
+    }
     eprintln!("({} experiment tables)", selected.len());
 }
 

@@ -1,6 +1,9 @@
 //! dc-check self-test: exercises every pass against known-good and
-//! known-bad graphs and prints a one-line verdict per check. Exits
-//! non-zero on any failure, so `scripts/lint.sh` can gate on it.
+//! known-bad graphs. Silent on success (per-check tallies go to dc-obs
+//! counters; set `DC_OBS` to dump the final `ObsReport`, which also
+//! shows the tape-layer timers the checks exercised); exits non-zero
+//! with the failed check names on stderr otherwise, so
+//! `scripts/lint.sh` can gate on it.
 
 use dc_check::{
     audit_all_ops, check_plan, check_root, check_tape, lint_graph, sanitize, Defect, SymNode, SymOp,
@@ -12,11 +15,15 @@ fn leaf(rows: usize, cols: usize) -> SymNode {
 }
 
 fn main() {
-    let mut failures = 0usize;
+    // Always tally checks, whatever the DC_OBS environment says; the
+    // env only controls whether the report is dumped at the end.
+    dc_obs::set_enabled(true);
+    let mut failures: Vec<String> = Vec::new();
     let mut check = |name: &str, ok: bool| {
-        println!("{} {name}", if ok { "ok  " } else { "FAIL" });
+        dc_obs::counter_add("selftest", "checks", 1);
         if !ok {
-            failures += 1;
+            dc_obs::counter_add("selftest", "failures", 1);
+            failures.push(name.to_string());
         }
     };
 
@@ -106,9 +113,14 @@ fn main() {
             .any(|e| e.defect == Defect::NonFiniteValue),
     );
 
-    if failures > 0 {
-        eprintln!("dc-check selftest: {failures} check(s) FAILED");
+    if !failures.is_empty() {
+        for name in &failures {
+            eprintln!("FAIL {name}");
+        }
+        eprintln!("dc-check selftest: {} check(s) FAILED", failures.len());
         std::process::exit(1);
     }
-    println!("dc-check selftest: all checks passed");
+    if std::env::var_os("DC_OBS").is_some() {
+        println!("{}", dc_obs::report().to_json());
+    }
 }

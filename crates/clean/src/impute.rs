@@ -10,6 +10,7 @@
 use crate::encode::TableEncoder;
 use dc_nn::ae::{DenoisingAutoencoder, Noise};
 use dc_nn::optim::Adam;
+use dc_nn::train::{run_epochs, DaeTrainer, TrainOpts};
 use dc_relational::{Table, Value};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -204,8 +205,16 @@ impl DaeImputer {
             Noise::Masking { p: 0.2 },
             rng,
         );
-        let mut opt = Adam::new(0.005);
-        dae.fit(&x, &mut opt, epochs, 32, rng);
+        let opts = TrainOpts::default()
+            .with_epochs(epochs)
+            .with_lr(0.005)
+            .with_batch_size(32);
+        let mut opt = Adam::new(opts.lr);
+        let mut trainer = DaeTrainer {
+            model: &mut dae,
+            opt: &mut opt,
+        };
+        run_epochs("clean.impute", &mut trainer, &x, None, &opts, rng);
         DaeImputer { encoder, dae }
     }
 

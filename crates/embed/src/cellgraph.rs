@@ -48,6 +48,33 @@ impl Default for GraphEmbedConfig {
     }
 }
 
+impl GraphEmbedConfig {
+    /// Set the walks started per node (builder convention,
+    /// DESIGN.md §10).
+    pub fn with_walks_per_node(mut self, walks_per_node: usize) -> Self {
+        self.walks_per_node = walks_per_node;
+        self
+    }
+
+    /// Set the nodes per walk.
+    pub fn with_walk_length(mut self, walk_length: usize) -> Self {
+        self.walk_length = walk_length;
+        self
+    }
+
+    /// Set the FD-edge transition bias.
+    pub fn with_fd_bias(mut self, fd_bias: f32) -> Self {
+        self.fd_bias = fd_bias;
+        self
+    }
+
+    /// Replace the SGNS hyper-parameters for the walk corpus.
+    pub fn with_sgns(mut self, sgns: SgnsConfig) -> Self {
+        self.sgns = sgns;
+        self
+    }
+}
+
 /// Trainer for heterogeneous-graph cell embeddings.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GraphEmbedder {

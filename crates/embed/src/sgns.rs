@@ -49,6 +49,51 @@ impl Default for SgnsConfig {
     }
 }
 
+impl SgnsConfig {
+    /// Set the embedding dimensionality (builder convention,
+    /// DESIGN.md §10).
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Set the context window radius.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Set the negative samples per positive pair.
+    pub fn with_negative(mut self, negative: usize) -> Self {
+        self.negative = negative;
+        self
+    }
+
+    /// Set the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Set the initial learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Set the minimum token frequency.
+    pub fn with_min_count(mut self, min_count: u64) -> Self {
+        self.min_count = min_count;
+        self
+    }
+
+    /// Set (or clear) the frequent-word subsampling threshold.
+    pub fn with_subsample(mut self, subsample: Option<f64>) -> Self {
+        self.subsample = subsample;
+        self
+    }
+}
+
 /// Trained distributed representations: one input vector per token.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Embeddings {
@@ -74,6 +119,13 @@ impl Embeddings {
 
         let mut grad_in = vec![0.0f32; d];
         for _epoch in 0..config.epochs {
+            let _epoch_span = dc_obs::span("embed.sgns");
+            // BCE over the epoch's (center, target) terms, accumulated
+            // only when observability is on — the extra arithmetic
+            // never touches the rng, so embeddings are bit-identical
+            // with DC_OBS on or off.
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_terms = 0u64;
             for doc in &encoded {
                 // Optional frequent-word subsampling, re-drawn each epoch.
                 let kept: Vec<usize> = match config.subsample {
@@ -109,7 +161,13 @@ impl Embeddings {
                             let vin = input.row_slice(center);
                             let uout = output.row_slice(target);
                             let score: f32 = vin.iter().zip(uout).map(|(a, b)| a * b).sum();
-                            let g = (sigmoid(score) - label) * lr;
+                            let p = sigmoid(score);
+                            if dc_obs::enabled() {
+                                let t = if label == 1.0 { p } else { 1.0 - p };
+                                epoch_loss -= f64::from(t.max(1e-7)).ln();
+                                epoch_terms += 1;
+                            }
+                            let g = (p - label) * lr;
                             for (i, gi) in grad_in.iter_mut().enumerate() {
                                 *gi += g * output.get(target, i);
                             }
@@ -125,6 +183,9 @@ impl Embeddings {
                         }
                     }
                 }
+            }
+            if epoch_terms > 0 {
+                dc_obs::series_push("embed.sgns", "loss", epoch_loss / epoch_terms as f64);
             }
         }
         Embeddings {

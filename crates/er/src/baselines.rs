@@ -9,6 +9,7 @@ use dc_nn::linear::Activation;
 use dc_nn::loss::{class_weights, LossKind};
 use dc_nn::mlp::Mlp;
 use dc_nn::optim::Adam;
+use dc_nn::train::{run_epochs, MlpTrainer, TrainOpts};
 use dc_relational::{Table, Value};
 use dc_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -104,16 +105,17 @@ impl FeatureLogReg {
             rng,
         );
         let (w_neg, w_pos) = class_weights(labels);
-        let mut opt = Adam::new(0.05);
-        model.fit(
-            &x,
-            &y,
-            LossKind::Bce { w_neg, w_pos },
-            &mut opt,
-            epochs,
-            32,
-            rng,
-        );
+        let opts = TrainOpts::default()
+            .with_epochs(epochs)
+            .with_lr(0.05)
+            .with_batch_size(32);
+        let mut opt = Adam::new(opts.lr);
+        let mut trainer = MlpTrainer {
+            model: &mut model,
+            loss: LossKind::Bce { w_neg, w_pos },
+            opt: &mut opt,
+        };
+        run_epochs("er.logreg", &mut trainer, &x, Some(&y), &opts, rng);
         FeatureLogReg { model }
     }
 

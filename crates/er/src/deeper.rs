@@ -21,6 +21,7 @@ use dc_nn::loss::{class_weights, LossKind};
 use dc_nn::lstm::LstmEncoder;
 use dc_nn::mlp::Mlp;
 use dc_nn::optim::{Adam, Optimizer};
+use dc_nn::train::{run_epochs, Batch, MlpTrainer, StepStats, TrainCtx, TrainOpts, Trainer};
 use dc_relational::{tokenize_tuple, Table};
 use dc_tensor::{Tape, Tensor, Var};
 use rand::rngs::StdRng;
@@ -65,6 +66,39 @@ impl Default for DeepErConfig {
             batch: 32,
             class_weighting: true,
         }
+    }
+}
+
+impl DeepErConfig {
+    /// Set the classifier's hidden-layer widths (builder convention,
+    /// DESIGN.md §10).
+    pub fn with_hidden(mut self, hidden: &[usize]) -> Self {
+        self.hidden = hidden.to_vec();
+        self
+    }
+
+    /// Set the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Set the Adam learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Set the minibatch size (average composition).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Toggle inverse-frequency class weighting.
+    pub fn with_class_weighting(mut self, on: bool) -> Self {
+        self.class_weighting = on;
+        self
     }
 }
 
@@ -133,7 +167,16 @@ impl DeepEr {
         } else {
             LossKind::bce()
         };
-        classifier.fit(&x, &y, loss, &mut opt, config.epochs, config.batch, rng);
+        let opts = TrainOpts::default()
+            .with_epochs(config.epochs)
+            .with_lr(config.lr)
+            .with_batch_size(config.batch);
+        let mut trainer = MlpTrainer {
+            model: &mut classifier,
+            loss,
+            opt: &mut opt,
+        };
+        run_epochs("er.deeper", &mut trainer, &x, Some(&y), &opts, rng);
         DeepEr {
             emb,
             composition: CompositionState::Average,
@@ -178,37 +221,26 @@ impl DeepEr {
             })
             .collect();
 
-        use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        for _epoch in 0..config.epochs {
-            order.shuffle(rng);
-            for &idx in &order {
-                let (a, b) = pairs[idx];
-                let label = labels[idx];
-                let tape = Tape::new();
-                let lvars = encoder.bind(&tape);
-                let cvars = classifier.bind(&tape);
-                let steps_a = Self::steps(&tape, &sequences[a], emb.dim());
-                let steps_b = Self::steps(&tape, &sequences[b], emb.dim());
-                let ha = encoder.forward_tape(&tape, &steps_a, &lvars);
-                let hb = encoder.forward_tape(&tape, &steps_b, &lvars);
-                let diff = tape.abs(tape.sub(ha, hb));
-                let had = tape.mul(ha, hb);
-                let feat = tape.concat(&[diff, had]);
-                let logit = classifier.forward_tape(&tape, feat, &cvars, None);
-                let target = Tensor::scalar(if label { 1.0 } else { 0.0 });
-                let weight = Tensor::scalar(if label { w_pos } else { w_neg });
-                let loss = tape.bce_with_logits(logit, target, weight);
-                dc_check::debug_validate("DeepEr::train_lstm", &tape, loss);
-                tape.backward(loss);
-                opt.begin_step();
-                encoder.apply_grads(&mut opt, 0, &tape, &lvars);
-                let base = encoder.slot_count();
-                for (slot, (layer, lv)) in classifier.layers.iter_mut().zip(&cvars).enumerate() {
-                    layer.apply_grads(&mut opt, base + slot, &tape.grad(lv.w), &tape.grad(lv.b));
-                }
-            }
-        }
+        // The LSTM path trains pair-by-pair; run_epochs drives it over
+        // a column of pair indices with batch_size 1, which shuffles in
+        // exactly the order the seed's hand-rolled loop did.
+        let index = Tensor::from_vec(pairs.len(), 1, (0..pairs.len()).map(|i| i as f32).collect());
+        let opts = TrainOpts::default()
+            .with_epochs(config.epochs)
+            .with_lr(config.lr)
+            .with_batch_size(1);
+        let mut trainer = LstmPairTrainer {
+            encoder: &mut encoder,
+            classifier: &mut classifier,
+            opt: &mut opt,
+            sequences: &sequences,
+            pairs,
+            labels,
+            w_neg,
+            w_pos,
+            dim: emb.dim(),
+        };
+        run_epochs("er.deeper_lstm", &mut trainer, &index, None, &opts, rng);
         DeepEr {
             emb,
             composition: CompositionState::Lstm {
@@ -296,6 +328,57 @@ impl DeepEr {
     /// The training configuration used.
     pub fn config(&self) -> &DeepErConfig {
         &self.config
+    }
+}
+
+/// Pair-by-pair [`Trainer`] for the LSTM composition: each "batch" is
+/// a single row of the pair-index column, decoded back to the labelled
+/// pair it names.
+struct LstmPairTrainer<'a> {
+    encoder: &'a mut LstmEncoder,
+    classifier: &'a mut Mlp,
+    opt: &'a mut Adam,
+    sequences: &'a [Vec<Vec<f32>>],
+    pairs: &'a [(usize, usize)],
+    labels: &'a [bool],
+    w_neg: f32,
+    w_pos: f32,
+    dim: usize,
+}
+
+impl Trainer for LstmPairTrainer<'_> {
+    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
+        debug_assert_eq!(batch.x.rows, 1, "LSTM path trains pair-by-pair");
+        let idx = batch.x.data[0] as usize;
+        let (a, b) = self.pairs[idx];
+        let label = self.labels[idx];
+        let tape = Tape::new();
+        let lvars = self.encoder.bind(&tape);
+        let cvars = self.classifier.bind(&tape);
+        let steps_a = DeepEr::steps(&tape, &self.sequences[a], self.dim);
+        let steps_b = DeepEr::steps(&tape, &self.sequences[b], self.dim);
+        let ha = self.encoder.forward_tape(&tape, &steps_a, &lvars);
+        let hb = self.encoder.forward_tape(&tape, &steps_b, &lvars);
+        let diff = tape.abs(tape.sub(ha, hb));
+        let had = tape.mul(ha, hb);
+        let feat = tape.concat(&[diff, had]);
+        let logit = self.classifier.forward_tape(&tape, feat, &cvars, None);
+        let target = Tensor::scalar(if label { 1.0 } else { 0.0 });
+        let weight = Tensor::scalar(if label { self.w_pos } else { self.w_neg });
+        let loss = tape.bce_with_logits(logit, target, weight);
+        let loss_value = tape.value(loss).data[0];
+        dc_check::debug_validate("DeepEr::train_lstm", &tape, loss);
+        tape.backward(loss);
+        self.opt.begin_step();
+        self.encoder.apply_grads(self.opt, 0, &tape, &lvars);
+        let base = self.encoder.slot_count();
+        for (slot, (layer, lv)) in self.classifier.layers.iter_mut().zip(&cvars).enumerate() {
+            layer.apply_grads(self.opt, base + slot, &tape.grad(lv.w), &tape.grad(lv.b));
+        }
+        StepStats {
+            loss: loss_value,
+            aux: 0.0,
+        }
     }
 }
 

@@ -1,7 +1,10 @@
 //! dc-index self-test: checks the packed-signature, banded-candidate
-//! and top-k paths against naive in-file references and prints a
-//! one-line verdict per check. Exits non-zero on any failure, so
-//! `scripts/lint.sh` can gate on it under every `DC_THREADS` setting.
+//! and top-k paths against naive in-file references. Silent on success
+//! (per-check tallies go to dc-obs counters; set `DC_OBS` to dump the
+//! final `ObsReport`, which also carries the index-layer candidate
+//! counters the checks exercised); exits non-zero with the failed
+//! check names on stderr otherwise, so `scripts/lint.sh` can gate on
+//! it under every `DC_THREADS` setting.
 
 use dc_index::{dedup_pairs, topk_scores, CosineIndex, LshConfig, LshIndex, Order, SignatureSet};
 use dc_tensor::Tensor;
@@ -56,11 +59,15 @@ fn naive_pairs(sigs: &[Vec<bool>], bands: usize, rows_per_band: usize) -> HashSe
 }
 
 fn main() {
-    let mut failures = 0usize;
+    // Always tally checks, whatever the DC_OBS environment says; the
+    // env only controls whether the report is dumped at the end.
+    dc_obs::set_enabled(true);
+    let mut failures: Vec<String> = Vec::new();
     let mut check = |name: &str, ok: bool| {
-        println!("{} {name}", if ok { "ok  " } else { "FAIL" });
+        dc_obs::counter_add("selftest", "checks", 1);
         if !ok {
-            failures += 1;
+            dc_obs::counter_add("selftest", "failures", 1);
+            failures.push(name.to_string());
         }
     };
 
@@ -169,9 +176,14 @@ fn main() {
     let brute: Vec<usize> = all[..12].iter().map(|&(i, _)| i).collect();
     check("CosineIndex top-k matches naive cosine scan", hits == brute);
 
-    if failures > 0 {
-        eprintln!("{failures} dc-index self-test(s) failed");
+    if !failures.is_empty() {
+        for name in &failures {
+            eprintln!("FAIL {name}");
+        }
+        eprintln!("{} dc-index self-test(s) failed", failures.len());
         std::process::exit(1);
     }
-    println!("all dc-index self-tests passed");
+    if std::env::var_os("DC_OBS").is_some() {
+        println!("{}", dc_obs::report().to_json());
+    }
 }

@@ -22,6 +22,18 @@ use crate::sig::{sign_scores, SignatureSet};
 use dc_tensor::Tensor;
 use std::ops::Range;
 
+// Retrieval telemetry (dc-obs): candidate generation vs survival and
+// multi-probe effectiveness. Single load+branch each when DC_OBS is off.
+static IDX_SIGNATURES: dc_obs::Counter = dc_obs::Counter::new("index.signatures");
+static IDX_STREAM_PAIRS: dc_obs::Counter = dc_obs::Counter::new("index.stream_pairs");
+static IDX_PROBE_LOOKUPS: dc_obs::Counter = dc_obs::Counter::new("index.probe_lookups");
+static IDX_PROBE_CANDIDATES: dc_obs::Counter = dc_obs::Counter::new("index.probe_candidates");
+static IDX_CANDIDATES_RAW: dc_obs::Counter = dc_obs::Counter::new("index.candidates_raw");
+static IDX_CANDIDATES_UNIQUE: dc_obs::Counter = dc_obs::Counter::new("index.candidates_unique");
+static IDX_DEDUP_IN: dc_obs::Counter = dc_obs::Counter::new("index.dedup_in");
+static IDX_DEDUP_OUT: dc_obs::Counter = dc_obs::Counter::new("index.dedup_out");
+static IDX_BUILD: dc_obs::Hist = dc_obs::Hist::new("index.build");
+
 /// Banding/probing parameters for an [`LshIndex`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LshConfig {
@@ -31,6 +43,27 @@ pub struct LshConfig {
     pub rows_per_band: usize,
     /// Near-boundary bits probed per item per band (0 = exact banding).
     pub probes: usize,
+}
+
+impl LshConfig {
+    /// Replace the band count (chainable builder; see DESIGN.md §10 for
+    /// the `with_*` convention).
+    pub fn with_bands(mut self, bands: usize) -> Self {
+        self.bands = bands;
+        self
+    }
+
+    /// Replace the bits-per-band width (chainable builder).
+    pub fn with_rows_per_band(mut self, rows_per_band: usize) -> Self {
+        self.rows_per_band = rows_per_band;
+        self
+    }
+
+    /// Replace the multi-probe depth (chainable builder).
+    pub fn with_probes(mut self, probes: usize) -> Self {
+        self.probes = probes;
+        self
+    }
 }
 
 /// One band's inverted buckets: items sorted by band key, equal keys
@@ -197,6 +230,8 @@ impl LshIndex {
     /// Build from a precomputed `n×nbits` score matrix (the margins of
     /// `vectors · planesᵀ`).
     pub fn from_scores(scores: &Tensor, cfg: LshConfig) -> Self {
+        let _build = IDX_BUILD.start();
+        IDX_SIGNATURES.add(scores.rows as u64);
         assert!(cfg.bands >= 1, "LshIndex: at least one band");
         assert!(
             cfg.rows_per_band >= 1,
@@ -307,6 +342,7 @@ impl LshIndex {
                     let rel = flips[(i * self.cfg.bands + b) * ppb + p] as usize;
                     self.sigs.band_key_into(i, lo, width, &mut key);
                     key[rel / 64] ^= 1u64 << (rel % 64);
+                    IDX_PROBE_LOOKUPS.incr();
                     for r in table.equal_run(&key) {
                         let j = table.items[r] as usize;
                         out.push((i.min(j), i.max(j)));
@@ -314,6 +350,7 @@ impl LshIndex {
                 }
             }
         }
+        IDX_PROBE_CANDIDATES.add(out.len() as u64);
         out
     }
 
@@ -348,8 +385,10 @@ impl LshIndex {
                 .into_iter()
                 .map(|(i, j)| ((i as u64) << 32) | j as u64),
         );
+        IDX_CANDIDATES_RAW.add(codes.len() as u64);
         codes.sort_unstable();
         codes.dedup();
+        IDX_CANDIDATES_UNIQUE.add(codes.len() as u64);
         codes
             .into_iter()
             .map(|c| ((c >> 32) as usize, (c & 0xffff_ffff) as usize))
@@ -377,6 +416,7 @@ impl Iterator for CandidateStream<'_> {
             let t = &self.tables[self.band];
             if self.y < self.run_end {
                 let pair = (t.items[self.x] as usize, t.items[self.y] as usize);
+                IDX_STREAM_PAIRS.incr();
                 self.y += 1;
                 if self.y == self.run_end {
                     self.x += 1;
@@ -423,8 +463,10 @@ pub fn dedup_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Vec<(usiz
             ((i as u64) << 32) | j as u64
         })
         .collect();
+    IDX_DEDUP_IN.add(codes.len() as u64);
     codes.sort_unstable();
     codes.dedup();
+    IDX_DEDUP_OUT.add(codes.len() as u64);
     codes
         .into_iter()
         .map(|c| ((c >> 32) as usize, (c & 0xffff_ffff) as usize))

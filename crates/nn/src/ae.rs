@@ -6,7 +6,7 @@
 //! VAE/GAN-based synthetic data generation (§6.2.3).
 
 use crate::linear::Activation;
-use crate::mlp::{gather_rows, Mlp};
+use crate::mlp::Mlp;
 use crate::optim::Optimizer;
 use dc_tensor::{Tape, Tensor};
 use rand::rngs::StdRng;
@@ -159,6 +159,9 @@ impl Autoencoder {
 
     /// Train to reconstruct `x` for `epochs` minibatch passes; returns
     /// the per-epoch mean loss.
+    ///
+    /// Thin wrapper over [`crate::train::run_epochs`] with an
+    /// [`crate::train::AeTrainer`]; new code should prefer that API.
     pub fn fit(
         &mut self,
         x: &Tensor,
@@ -167,21 +170,14 @@ impl Autoencoder {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> Vec<f32> {
-        use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..x.rows).collect();
-        let mut trace = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            order.shuffle(rng);
-            let mut total = 0.0;
-            let mut batches = 0;
-            for chunk in order.chunks(batch_size.max(1)) {
-                let bx = gather_rows(x, chunk);
-                total += self.train_step(&bx, &bx, opt);
-                batches += 1;
-            }
-            trace.push(total / batches.max(1) as f32);
-        }
-        trace
+        let opts = crate::train::TrainOpts::default()
+            .with_epochs(epochs)
+            .with_batch_size(batch_size);
+        let mut trainer = crate::train::AeTrainer { model: self, opt };
+        crate::train::run_epochs("nn.ae", &mut trainer, x, None, &opts, rng)
+            .iter()
+            .map(|e| e.loss)
+            .collect()
     }
 }
 
@@ -304,6 +300,9 @@ impl DenoisingAutoencoder {
 
     /// Train on clean data `x`, corrupting inputs each step. Returns the
     /// per-epoch mean loss against the *clean* targets.
+    ///
+    /// Thin wrapper over [`crate::train::run_epochs`] with a
+    /// [`crate::train::DaeTrainer`]; new code should prefer that API.
     pub fn fit(
         &mut self,
         x: &Tensor,
@@ -312,22 +311,14 @@ impl DenoisingAutoencoder {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> Vec<f32> {
-        use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..x.rows).collect();
-        let mut trace = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            order.shuffle(rng);
-            let mut total = 0.0;
-            let mut batches = 0;
-            for chunk in order.chunks(batch_size.max(1)) {
-                let clean = gather_rows(x, chunk);
-                let corrupted = self.noise.corrupt(&clean, rng);
-                total += self.ae.train_step(&corrupted, &clean, opt);
-                batches += 1;
-            }
-            trace.push(total / batches.max(1) as f32);
-        }
-        trace
+        let opts = crate::train::TrainOpts::default()
+            .with_epochs(epochs)
+            .with_batch_size(batch_size);
+        let mut trainer = crate::train::DaeTrainer { model: self, opt };
+        crate::train::run_epochs("nn.dae", &mut trainer, x, None, &opts, rng)
+            .iter()
+            .map(|e| e.loss)
+            .collect()
     }
 }
 
@@ -470,6 +461,9 @@ impl Vae {
     }
 
     /// Train for `epochs` passes; returns per-epoch `(recon, kl)` means.
+    ///
+    /// Thin wrapper over [`crate::train::run_epochs`] with a
+    /// [`crate::train::VaeTrainer`]; new code should prefer that API.
     pub fn fit(
         &mut self,
         x: &Tensor,
@@ -478,22 +472,14 @@ impl Vae {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> Vec<(f32, f32)> {
-        use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..x.rows).collect();
-        let mut trace = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            order.shuffle(rng);
-            let (mut tr, mut tk, mut b) = (0.0, 0.0, 0);
-            for chunk in order.chunks(batch_size.max(1)) {
-                let bx = gather_rows(x, chunk);
-                let (r, k) = self.train_step(&bx, opt, rng);
-                tr += r;
-                tk += k;
-                b += 1;
-            }
-            trace.push((tr / b.max(1) as f32, tk / b.max(1) as f32));
-        }
-        trace
+        let opts = crate::train::TrainOpts::default()
+            .with_epochs(epochs)
+            .with_batch_size(batch_size);
+        let mut trainer = crate::train::VaeTrainer { model: self, opt };
+        crate::train::run_epochs("nn.vae", &mut trainer, x, None, &opts, rng)
+            .iter()
+            .map(|e| (e.loss, e.aux))
+            .collect()
     }
 }
 

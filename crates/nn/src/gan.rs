@@ -8,6 +8,7 @@
 use crate::linear::Activation;
 use crate::mlp::Mlp;
 use crate::optim::{Adam, Optimizer};
+use crate::train::{Batch, StepStats, TrainCtx, Trainer};
 use dc_tensor::{Tape, Tensor};
 use rand::rngs::StdRng;
 
@@ -137,14 +138,43 @@ impl Gan {
     }
 
     /// Train for `rounds` minibatch rounds over `data`.
+    ///
+    /// Each round samples one fresh minibatch (rather than sweeping
+    /// full epochs), so the loop stays local instead of delegating to
+    /// [`crate::train::run_epochs`]; the per-round step itself goes
+    /// through the unified [`Trainer`] impl.
     pub fn fit(&mut self, data: &Tensor, rounds: usize, batch: usize, rng: &mut StdRng) {
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..data.rows).collect();
-        for _ in 0..rounds {
+        for round in 0..rounds {
+            let _round = dc_obs::span("nn.gan");
             order.shuffle(rng);
             let take: Vec<usize> = order.iter().copied().take(batch.min(data.rows)).collect();
             let real = crate::mlp::gather_rows(data, &take);
-            self.train_round(&real, rng);
+            let b = Batch {
+                x: real,
+                y: Tensor::zeros(0, 0),
+            };
+            let mut ctx = TrainCtx {
+                rng,
+                epoch: round,
+                step: round,
+            };
+            let s = Trainer::fit(self, &b, &mut ctx);
+            dc_obs::series_push("nn.gan", "disc_loss", s.loss as f64);
+            dc_obs::series_push("nn.gan", "gen_loss", s.aux as f64);
+        }
+    }
+}
+
+impl Trainer for Gan {
+    /// One adversarial round; `loss` is the discriminator loss, `aux`
+    /// the generator loss.
+    fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
+        let (disc, gen) = self.train_round(&batch.x, ctx.rng);
+        StepStats {
+            loss: disc,
+            aux: gen,
         }
     }
 }

@@ -14,6 +14,9 @@
 //!   synthetic-data generation (§6.2.3).
 //! * [`gan::Gan`] — generator/discriminator adversarial training
 //!   (Fig 2 i).
+//! * [`train`] — the unified [`train::Trainer`] step trait and the
+//!   shared [`train::run_epochs`] minibatch loop every model trains
+//!   through (with per-epoch dc-obs spans and loss series).
 //! * [`optim`] — SGD, momentum, AdaGrad, RMSProp and Adam.
 //! * [`loss`] — cost-sensitive class weighting for the skewed label
 //!   distributions the paper warns about (§6.1).
@@ -30,6 +33,7 @@ pub mod lstm;
 pub mod metrics;
 pub mod mlp;
 pub mod optim;
+pub mod train;
 
 pub use ae::{Autoencoder, DenoisingAutoencoder, KSparseAutoencoder, Vae};
 pub use gan::Gan;
@@ -39,3 +43,7 @@ pub use lstm::{BiLstmEncoder, LstmEncoder};
 pub use metrics::{accuracy, confusion, f1_score, precision_recall_f1, roc_auc, BinaryConfusion};
 pub use mlp::Mlp;
 pub use optim::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};
+pub use train::{
+    run_epochs, AeTrainer, Batch, DaeTrainer, EpochStats, KSparseTrainer, MlpTrainer, StepStats,
+    TrainCtx, TrainOpts, Trainer, VaeTrainer,
+};

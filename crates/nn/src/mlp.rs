@@ -167,6 +167,11 @@ impl Mlp {
     /// Train for `epochs` full passes over `(x, y)` in minibatches.
     /// Returns the loss trace (one entry per epoch, averaged over
     /// batches).
+    ///
+    /// Thin wrapper over [`crate::train::run_epochs`] with an
+    /// [`crate::train::MlpTrainer`]; new code should prefer that API
+    /// (it takes a [`crate::train::TrainOpts`] instead of loose
+    /// arguments).
     #[allow(clippy::too_many_arguments)]
     pub fn fit(
         &mut self,
@@ -178,24 +183,18 @@ impl Mlp {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> Vec<f32> {
-        use rand::seq::SliceRandom;
-        assert_eq!(x.rows, y.rows, "fit: x/y row mismatch");
-        let n = x.rows;
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut trace = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            order.shuffle(rng);
-            let mut epoch_loss = 0.0;
-            let mut batches = 0;
-            for chunk in order.chunks(batch_size.max(1)) {
-                let bx = gather_rows(x, chunk);
-                let by = gather_rows(y, chunk);
-                epoch_loss += self.train_batch(&bx, &by, loss, opt, rng);
-                batches += 1;
-            }
-            trace.push(epoch_loss / batches.max(1) as f32);
-        }
-        trace
+        let opts = crate::train::TrainOpts::default()
+            .with_epochs(epochs)
+            .with_batch_size(batch_size);
+        let mut trainer = crate::train::MlpTrainer {
+            model: self,
+            loss,
+            opt,
+        };
+        crate::train::run_epochs("nn.mlp", &mut trainer, x, Some(y), &opts, rng)
+            .iter()
+            .map(|e| e.loss)
+            .collect()
     }
 
     /// Sigmoid probabilities for a single-logit binary head.

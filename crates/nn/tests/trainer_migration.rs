@@ -1,0 +1,200 @@
+//! Migration guard for the unified `Trainer` API: every legacy `fit`
+//! entry point now routes through `train::run_epochs`, and these tests
+//! pin that the rewiring changed nothing — identical seeds must give
+//! bitwise-identical loss trajectories and weights versus the seed-era
+//! hand-rolled epoch loops (written out longhand here).
+
+use dc_nn::ae::{Autoencoder, DenoisingAutoencoder, Noise, Vae};
+use dc_nn::linear::Activation;
+use dc_nn::loss::LossKind;
+use dc_nn::mlp::{gather_rows, Mlp};
+use dc_nn::optim::Adam;
+use dc_nn::train::{run_epochs, Batch, StepStats, TrainCtx, TrainOpts, Trainer, VaeTrainer};
+use dc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn data(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    Tensor::randn(rows, cols, 1.0, rng)
+}
+
+/// The seed's epoch-loop skeleton, reproduced verbatim so each test
+/// can drive a model's single-step method the way the old `fit` did.
+fn legacy_loop<F: FnMut(&[usize], &mut StdRng) -> f32>(
+    n: usize,
+    epochs: usize,
+    batch_size: usize,
+    rng: &mut StdRng,
+    mut step: F,
+) -> Vec<f32> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut trace = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        let (mut total, mut batches) = (0.0, 0);
+        for chunk in order.chunks(batch_size.max(1)) {
+            total += step(chunk, rng);
+            batches += 1;
+        }
+        trace.push(total / batches.max(1) as f32);
+    }
+    trace
+}
+
+#[test]
+fn mlp_fit_matches_legacy_loop() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = data(&mut rng, 24, 4);
+    let y = Tensor::from_vec(24, 1, (0..24).map(|i| (i % 2) as f32).collect());
+
+    let mut rng_a = StdRng::seed_from_u64(2);
+    let mut m_a = Mlp::new(
+        &[4, 6, 1],
+        Activation::Tanh,
+        Activation::Identity,
+        &mut rng_a,
+    );
+    let mut opt_a = Adam::new(0.02);
+    let trace_a = legacy_loop(24, 6, 8, &mut rng_a, |chunk, r| {
+        let bx = gather_rows(&x, chunk);
+        let by = gather_rows(&y, chunk);
+        m_a.train_batch(&bx, &by, LossKind::bce(), &mut opt_a, r)
+    });
+
+    let mut rng_b = StdRng::seed_from_u64(2);
+    let mut m_b = Mlp::new(
+        &[4, 6, 1],
+        Activation::Tanh,
+        Activation::Identity,
+        &mut rng_b,
+    );
+    let mut opt_b = Adam::new(0.02);
+    let trace_b = m_b.fit(&x, &y, LossKind::bce(), &mut opt_b, 6, 8, &mut rng_b);
+
+    assert_eq!(trace_a, trace_b);
+    for (la, lb) in m_a.layers.iter().zip(&m_b.layers) {
+        assert_eq!(la.w, lb.w);
+        assert_eq!(la.b, lb.b);
+    }
+}
+
+#[test]
+fn autoencoder_fit_matches_legacy_loop() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = data(&mut rng, 20, 5);
+
+    let mut rng_a = StdRng::seed_from_u64(4);
+    let mut ae_a = Autoencoder::new(5, &[4], 2, &mut rng_a);
+    let mut opt_a = Adam::new(0.01);
+    let trace_a = legacy_loop(20, 5, 8, &mut rng_a, |chunk, _| {
+        let bx = gather_rows(&x, chunk);
+        ae_a.train_step(&bx, &bx, &mut opt_a)
+    });
+
+    let mut rng_b = StdRng::seed_from_u64(4);
+    let mut ae_b = Autoencoder::new(5, &[4], 2, &mut rng_b);
+    let mut opt_b = Adam::new(0.01);
+    let trace_b = ae_b.fit(&x, &mut opt_b, 5, 8, &mut rng_b);
+
+    assert_eq!(trace_a, trace_b);
+    for (la, lb) in ae_a
+        .encoder
+        .layers
+        .iter()
+        .chain(&ae_a.decoder.layers)
+        .zip(ae_b.encoder.layers.iter().chain(&ae_b.decoder.layers))
+    {
+        assert_eq!(la.w, lb.w);
+    }
+}
+
+#[test]
+fn dae_fit_matches_legacy_loop() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = data(&mut rng, 20, 4);
+    let noise = Noise::Masking { p: 0.2 };
+
+    let mut rng_a = StdRng::seed_from_u64(6);
+    let mut dae_a = DenoisingAutoencoder::new(4, &[5], 2, noise, &mut rng_a);
+    let mut opt_a = Adam::new(0.01);
+    let trace_a = legacy_loop(20, 4, 8, &mut rng_a, |chunk, r| {
+        let clean = gather_rows(&x, chunk);
+        let corrupted = dae_a.noise.corrupt(&clean, r);
+        dae_a.ae.train_step(&corrupted, &clean, &mut opt_a)
+    });
+
+    let mut rng_b = StdRng::seed_from_u64(6);
+    let mut dae_b = DenoisingAutoencoder::new(4, &[5], 2, noise, &mut rng_b);
+    let mut opt_b = Adam::new(0.01);
+    let trace_b = dae_b.fit(&x, &mut opt_b, 4, 8, &mut rng_b);
+
+    assert_eq!(trace_a, trace_b);
+}
+
+#[test]
+fn vae_fit_matches_legacy_loop() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = data(&mut rng, 18, 4);
+
+    let mut rng_a = StdRng::seed_from_u64(8);
+    let mut vae_a = Vae::new(4, 6, 2, &mut rng_a);
+    let mut opt_a = Adam::new(0.01);
+    let mut kl_a = Vec::new();
+    let trace_a = legacy_loop(18, 4, 6, &mut rng_a, |chunk, r| {
+        let bx = gather_rows(&x, chunk);
+        let (recon, kl) = vae_a.train_step(&bx, &mut opt_a, r);
+        kl_a.push(kl);
+        recon
+    });
+
+    let mut rng_b = StdRng::seed_from_u64(8);
+    let mut vae_b = Vae::new(4, 6, 2, &mut rng_b);
+    let mut opt_b = Adam::new(0.01);
+    let trace_b = vae_b.fit(&x, &mut opt_b, 4, 6, &mut rng_b);
+
+    let recon_b: Vec<f32> = trace_b.iter().map(|&(r, _)| r).collect();
+    assert_eq!(trace_a, recon_b);
+    assert!(trace_b.iter().all(|&(_, kl)| kl.is_finite()));
+}
+
+#[test]
+fn vae_trainer_reports_kl_in_aux() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = data(&mut rng, 12, 3);
+    let mut vae = Vae::new(3, 5, 2, &mut rng);
+    let mut opt = Adam::new(0.01);
+    let opts = TrainOpts::default().with_epochs(3).with_batch_size(6);
+    let mut trainer = VaeTrainer {
+        model: &mut vae,
+        opt: &mut opt,
+    };
+    let trace = run_epochs("nn.vae", &mut trainer, &x, None, &opts, &mut rng);
+    assert_eq!(trace.len(), 3);
+    assert!(trace
+        .iter()
+        .all(|e| e.loss.is_finite() && e.aux.is_finite()));
+}
+
+#[test]
+fn ctx_counts_epochs_and_global_steps() {
+    struct Recorder {
+        seen: Vec<(usize, usize)>,
+    }
+    impl Trainer for Recorder {
+        fn fit(&mut self, _batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
+            self.seen.push((ctx.epoch, ctx.step));
+            StepStats::default()
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(10);
+    let x = data(&mut rng, 8, 2);
+    let mut rec = Recorder { seen: Vec::new() };
+    let opts = TrainOpts::default().with_epochs(2).with_batch_size(4);
+    run_epochs("nn.rec", &mut rec, &x, None, &opts, &mut rng);
+    assert_eq!(
+        rec.seen,
+        vec![(0, 0), (0, 1), (1, 2), (1, 3)],
+        "epoch/step counters"
+    );
+}

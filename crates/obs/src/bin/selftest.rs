@@ -1,0 +1,122 @@
+//! dc-obs self-test: exercises the gate, the recording primitives,
+//! span nesting, and the JSON exporter in one process. Silent on
+//! success (set `DC_OBS` to dump the final `ObsReport`); exits
+//! non-zero with the failed check names on stderr otherwise.
+
+use dc_obs::{
+    bucket_index, counter_add, record_ns, report, reset, series_push, set_enabled, span, Counter,
+    Hist, HistSnapshot, HIST_BUCKETS,
+};
+
+fn main() {
+    let mut failures: Vec<&'static str> = Vec::new();
+    let mut check = |name: &'static str, ok: bool| {
+        counter_add("selftest", "checks", 1);
+        if !ok {
+            counter_add("selftest", "failures", 1);
+            failures.push(name);
+        }
+    };
+    // The selftest always tallies its own checks, whatever DC_OBS says.
+    set_enabled(true);
+
+    // 1. Gate flips both ways and recording respects it.
+    static GATED: Counter = Counter::new("selftest.gated");
+    set_enabled(false);
+    GATED.add(7);
+    set_enabled(true);
+    GATED.add(2);
+    let gated = report()
+        .counters
+        .iter()
+        .find(|(n, _)| n == "selftest.gated")
+        .map(|(_, v)| *v);
+    check(
+        "disabled add is dropped, enabled add lands",
+        gated == Some(2),
+    );
+
+    // 2. Counters, dynamic histograms, and series round-trip a report.
+    reset();
+    counter_add("selftest", "checks", 2); // replay the two checks reset wiped
+    static H: Hist = Hist::new("selftest.hist");
+    H.record_ns(512);
+    drop(H.start());
+    record_ns("selftest", "dyn_hist", 2048);
+    series_push("selftest", "series", 1.5);
+    let rep = report();
+    let h = rep.timers.iter().find(|t| t.name == "selftest.hist");
+    check(
+        "static hist records count and bounds",
+        h.is_some_and(|t| t.hist.count == 2 && t.hist.min_ns <= 512 && t.hist.max_ns >= 512),
+    );
+    check(
+        "dynamic hist and series land in the report",
+        rep.timers
+            .iter()
+            .any(|t| t.name == "selftest.dyn_hist" && t.hist.count == 1)
+            && rep
+                .series
+                .iter()
+                .any(|(n, v)| n == "selftest.series" && v == &[1.5]),
+    );
+
+    // 3. Span nesting attributes the right parent.
+    {
+        let _outer = span("selftest.outer");
+        let _inner = span("selftest.inner");
+    }
+    let rep = report();
+    let parent_of = |name: &str| {
+        rep.spans
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.parent.clone())
+    };
+    check(
+        "span parent/child nesting recorded",
+        parent_of("selftest.inner").as_deref() == Some("selftest.outer")
+            && parent_of("selftest.outer").as_deref() == Some(""),
+    );
+
+    // 4. Bucket layout: every sample lands in its bit-width bucket.
+    let layout_ok = (0..HIST_BUCKETS - 1).all(|i| {
+        let ns = if i == 0 { 0 } else { 1u64 << (i - 1) };
+        bucket_index(ns) == i
+    }) && bucket_index(u64::MAX) == HIST_BUCKETS - 1;
+    check("log2 bucket layout", layout_ok);
+
+    // 5. Snapshot merge is commutative on a concrete pair.
+    let mut a = HistSnapshot::default();
+    let mut b = HistSnapshot::default();
+    for ns in [3, 900, 70_000] {
+        a.record(ns);
+    }
+    b.record(u64::MAX / 2);
+    let (mut ab, mut ba) = (a.clone(), b.clone());
+    ab.merge(&b);
+    ba.merge(&a);
+    check("snapshot merge commutes", ab == ba && ab.count == 4);
+
+    // 6. JSON export parses structurally (balanced, all four maps).
+    let json = report().to_json();
+    check(
+        "report JSON has the four sections",
+        json.starts_with("{\"counters\":{")
+            && json.contains("\"timers\":{")
+            && json.contains("\"spans\":{")
+            && json.contains("\"series\":{")
+            && json.ends_with("}}"),
+    );
+
+    if !failures.is_empty() {
+        for name in &failures {
+            eprintln!("FAIL {name}");
+        }
+        eprintln!("{} dc-obs self-test(s) failed", failures.len());
+        std::process::exit(1);
+    }
+    if std::env::var_os("DC_OBS").is_some() {
+        println!("{}", report().to_json());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property test: merging histogram snapshots is order-independent —
+//! any parenthesization/permutation of per-shard snapshots folds to
+//! the same totals as recording every sample into one histogram.
+
+use dc_obs::HistSnapshot;
+use proptest::prelude::*;
+
+fn fold(snaps: &[HistSnapshot]) -> HistSnapshot {
+    let mut acc = HistSnapshot::default();
+    for s in snaps {
+        acc.merge(s);
+    }
+    acc
+}
+
+proptest! {
+    #[test]
+    fn merge_is_order_independent(
+        // Samples capped at 2^56 so count/sum_ns cannot overflow u64
+        // across 8 shards × 20 samples.
+        shards in collection::vec(
+            collection::vec(0u64..(1u64 << 56), 0usize..20), 1usize..8),
+        seed in 0u64..u64::MAX,
+    ) {
+        let snaps: Vec<HistSnapshot> = shards
+            .iter()
+            .map(|samples| {
+                let mut h = HistSnapshot::default();
+                for &ns in samples {
+                    h.record(ns);
+                }
+                h
+            })
+            .collect();
+
+        // A deterministic permutation derived from the seed.
+        let mut perm: Vec<usize> = (0..snaps.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..perm.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let permuted: Vec<HistSnapshot> = perm.iter().map(|&i| snaps[i].clone()).collect();
+        prop_assert_eq!(fold(&snaps), fold(&permuted));
+
+        // Folding shards equals recording everything into one snapshot.
+        let mut direct = HistSnapshot::default();
+        for s in &shards {
+            for &ns in s {
+                direct.record(ns);
+            }
+        }
+        prop_assert_eq!(fold(&snaps), direct);
+
+        // Merging an empty snapshot is the identity.
+        let mut with_empty = fold(&snaps);
+        with_empty.merge(&HistSnapshot::default());
+        prop_assert_eq!(with_empty, fold(&snaps));
+    }
+}

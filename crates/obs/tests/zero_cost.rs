@@ -1,0 +1,81 @@
+//! Pin the disabled-path contract: with the gate off, instrumentation
+//! sites record nothing and perform zero heap allocations. Lives in
+//! its own integration-test binary so the counting global allocator
+//! and the process-wide gate don't interfere with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_path_records_and_allocates_nothing() {
+    dc_obs::set_enabled(false);
+    static C: dc_obs::Counter = dc_obs::Counter::new("zc.counter");
+    static H: dc_obs::Hist = dc_obs::Hist::new("zc.hist");
+
+    // Warm every call shape once so lazy init (thread-local headers
+    // etc.) cannot be charged to the steady state under test.
+    C.add(1);
+    drop(H.start());
+    dc_obs::counter_add("zc", "dyn", 1);
+    dc_obs::record_ns("zc", "dyn_hist", 1);
+    dc_obs::series_push("zc", "series", 0.0);
+    drop(dc_obs::span("zc.span"));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        C.add(i);
+        H.record_ns(i);
+        drop(H.start());
+        dc_obs::counter_add("zc", "dyn", i);
+        dc_obs::record_ns("zc", "dyn_hist", i);
+        dc_obs::series_push("zc", "series", i as f64);
+        drop(dc_obs::span("zc.span"));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled instrumentation must not allocate"
+    );
+
+    // And none of it was recorded: flip the gate on and snapshot.
+    dc_obs::set_enabled(true);
+    let rep = dc_obs::report();
+    dc_obs::set_enabled(false);
+    assert!(
+        rep.counters
+            .iter()
+            .all(|(n, v)| !n.starts_with("zc") || *v == 0),
+        "disabled counters must stay zero: {:?}",
+        rep.counters
+    );
+    assert!(
+        rep.timers
+            .iter()
+            .all(|t| !t.name.starts_with("zc") || t.hist.count == 0),
+        "disabled timers must stay empty"
+    );
+    assert!(rep.spans.iter().all(|s| s.name != "zc.span"));
+    assert!(rep.series.iter().all(|(n, _)| n != "zc.series"));
+}

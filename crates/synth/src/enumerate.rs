@@ -31,6 +31,27 @@ impl Default for SynthConfig {
     }
 }
 
+impl SynthConfig {
+    /// Set the maximum atoms per program (builder convention,
+    /// DESIGN.md §10).
+    pub fn with_max_atoms(mut self, max_atoms: usize) -> Self {
+        self.max_atoms = max_atoms;
+        self
+    }
+
+    /// Set the exploration budget.
+    pub fn with_max_explored(mut self, max_explored: usize) -> Self {
+        self.max_explored = max_explored;
+        self
+    }
+
+    /// Toggle raw substring atoms.
+    pub fn with_allow_substr(mut self, allow_substr: bool) -> Self {
+        self.allow_substr = allow_substr;
+        self
+    }
+}
+
 /// Outcome of a synthesis run.
 #[derive(Clone, Debug)]
 pub struct SynthResult {

@@ -88,6 +88,9 @@ struct Job {
     next_chunk: *const AtomicUsize,
     completed: *const AtomicUsize,
     panicked: *const AtomicBool,
+    /// Threads that picked this job up (occupancy telemetry; the
+    /// submitting caller counts itself at creation).
+    joined: *const AtomicUsize,
     n_items: usize,
     grain: usize,
     n_chunks: usize,
@@ -193,6 +196,9 @@ fn worker_loop(shared: &'static PoolShared) {
                     seen_epoch = st.epoch;
                     if let Some(job) = st.job {
                         st.active += 1;
+                        // SAFETY: the caller keeps `joined` alive until
+                        // the job drains (see `Job`).
+                        unsafe { &*job.joined }.fetch_add(1, Ordering::Relaxed);
                         break job;
                     }
                     // Job already drained before this worker woke; wait
@@ -201,7 +207,7 @@ fn worker_loop(shared: &'static PoolShared) {
                 st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        run_chunks(job);
+        run_chunks(job, &POOL_CHUNKS_STOLEN);
         let mut st = lock(&shared.state);
         st.active -= 1;
         if st.active == 0 {
@@ -210,8 +216,19 @@ fn worker_loop(shared: &'static PoolShared) {
     }
 }
 
-/// Steal and execute chunks of `job` until the shared counter drains.
-fn run_chunks(job: Job) {
+// Pool telemetry (dc-obs): all sites are single load+branch when
+// observability is off, so the hot path is unaffected in normal runs.
+static POOL_JOBS: dc_obs::Counter = dc_obs::Counter::new("pool.jobs");
+static POOL_CHUNKS_CALLER: dc_obs::Counter = dc_obs::Counter::new("pool.chunks_caller");
+static POOL_CHUNKS_STOLEN: dc_obs::Counter = dc_obs::Counter::new("pool.chunks_stolen");
+static POOL_SERIAL_INLINE: dc_obs::Counter = dc_obs::Counter::new("pool.serial_inline");
+static POOL_SERIAL_BUSY: dc_obs::Counter = dc_obs::Counter::new("pool.serial_busy");
+static POOL_JOB_TIME: dc_obs::Hist = dc_obs::Hist::new("pool.job");
+static POOL_WORKERS_PER_JOB: dc_obs::Hist = dc_obs::Hist::new("pool.workers_per_job");
+
+/// Steal and execute chunks of `job` until the shared counter drains,
+/// tallying each executed chunk into `chunk_counter` (caller vs stolen).
+fn run_chunks(job: Job, chunk_counter: &dc_obs::Counter) {
     // SAFETY: see `Job` — the caller keeps the pointees alive while any
     // thread is between the surrounding `active` increment/decrement.
     let task = unsafe { &*job.task };
@@ -224,6 +241,7 @@ fn run_chunks(job: Job) {
         if c >= job.n_chunks {
             break;
         }
+        chunk_counter.incr();
         let start = c * job.grain;
         let end = ((c + 1) * job.grain).min(job.n_items);
         // A panicking kernel must not wedge the pool: swallow the
@@ -247,10 +265,13 @@ impl WorkerPool {
     /// every chunk has completed. Chunks are disjoint, so `f` may write
     /// to disjoint output regions without synchronization.
     fn run(&self, n_items: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        POOL_JOBS.incr();
+        let _job_time = POOL_JOB_TIME.start();
         let n_chunks = n_items.div_ceil(grain);
         let next_chunk = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
+        let joined = AtomicUsize::new(1);
         // SAFETY: lifetime erasure only — the reference is dropped (all
         // threads quiesced) before this frame returns.
         let task: &'static (dyn Fn(Range<usize>) + Sync) = unsafe {
@@ -264,6 +285,7 @@ impl WorkerPool {
             next_chunk: &next_chunk,
             completed: &completed,
             panicked: &panicked,
+            joined: &joined,
             n_items,
             grain,
             n_chunks,
@@ -275,7 +297,7 @@ impl WorkerPool {
             self.shared.work_cv.notify_all();
         }
         // The caller is a full participant in its own job.
-        run_chunks(job);
+        run_chunks(job, &POOL_CHUNKS_CALLER);
         let mut st = lock(&self.shared.state);
         while completed.load(Ordering::Acquire) < n_chunks || st.active > 0 {
             st = self
@@ -286,6 +308,7 @@ impl WorkerPool {
         }
         st.job = None;
         drop(st);
+        POOL_WORKERS_PER_JOB.record_ns(joined.load(Ordering::Relaxed) as u64);
         if panicked.load(Ordering::Acquire) {
             panic!("dc-tensor: a kernel task panicked on the worker pool");
         }
@@ -304,6 +327,7 @@ pub fn parallel_for(n_items: usize, grain: usize, f: impl Fn(Range<usize>) + Syn
     let grain = grain.max(1);
     let p = pool();
     if p.threads <= 1 || n_items <= grain || IN_POOL_TASK.with(|fl| fl.get()) {
+        POOL_SERIAL_INLINE.incr();
         f(0..n_items);
         return;
     }
@@ -311,7 +335,10 @@ pub fn parallel_for(n_items: usize, grain: usize, f: impl Fn(Range<usize>) + Syn
         Ok(_guard) => p.run(n_items, grain, &f),
         // Pool busy with another caller's job: doing the work here beats
         // queueing behind it (and can never deadlock).
-        Err(_) => f(0..n_items),
+        Err(_) => {
+            POOL_SERIAL_BUSY.incr();
+            f(0..n_items)
+        }
     }
 }
 

@@ -204,6 +204,8 @@ impl Tape {
     }
 
     fn push(&self, value: Tensor, op: Op) -> Var {
+        static TAPE_NODES: dc_obs::Counter = dc_obs::Counter::new("tape.nodes");
+        TAPE_NODES.incr();
         self.assert_owned_op(&op);
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
@@ -275,18 +277,21 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&self, a: Var, b: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "add");
         let v = self.with_values(|n| n[a.index].value.add(&n[b.index].value));
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, a: Var, b: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "sub");
         let v = self.with_values(|n| n[a.index].value.sub(&n[b.index].value));
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&self, a: Var, b: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "mul");
         let v = self.with_values(|n| n[a.index].value.mul(&n[b.index].value));
         self.push(v, Op::Mul(a, b))
     }
@@ -295,42 +300,49 @@ impl Tape {
     /// backward) runs on the blocked [`crate::kernel`] kernels, which
     /// split large products over the shared worker pool.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "matmul");
         let v = self.with_values(|n| n[a.index].value.matmul(&n[b.index].value));
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Multiply by a constant scalar.
     pub fn scale(&self, a: Var, s: f32) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "scale");
         let v = self.with_values(|n| n[a.index].value.scale(s));
         self.push(v, Op::Scale(a, s))
     }
 
     /// Add a constant scalar.
     pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "add_scalar");
         let v = self.with_values(|n| n[a.index].value.map(|x| x + s));
         self.push(v, Op::AddScalar(a, s))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "sigmoid");
         let v = self.with_values(|n| n[a.index].value.map(|x| 1.0 / (1.0 + (-x).exp())));
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "tanh");
         let v = self.with_values(|n| n[a.index].value.map(f32::tanh));
         self.push(v, Op::Tanh(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "relu");
         let v = self.with_values(|n| n[a.index].value.map(|x| x.max(0.0)));
         self.push(v, Op::Relu(a))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "leaky_relu");
         let v = self.with_values(|n| {
             n[a.index]
                 .value
@@ -341,36 +353,42 @@ impl Tape {
 
     /// Elementwise exponent.
     pub fn exp(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "exp");
         let v = self.with_values(|n| n[a.index].value.map(f32::exp));
         self.push(v, Op::Exp(a))
     }
 
     /// Elementwise `ln(max(x, 1e-12))` — clamped to stay finite.
     pub fn ln(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "ln");
         let v = self.with_values(|n| n[a.index].value.map(|x| x.max(1e-12).ln()));
         self.push(v, Op::Ln(a))
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "abs");
         let v = self.with_values(|n| n[a.index].value.map(f32::abs));
         self.push(v, Op::Abs(a))
     }
 
     /// Sum to scalar.
     pub fn sum(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "sum");
         let v = self.with_values(|n| Tensor::scalar(n[a.index].value.sum()));
         self.push(v, Op::Sum(a))
     }
 
     /// Mean to scalar.
     pub fn mean(&self, a: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "mean");
         let v = self.with_values(|n| Tensor::scalar(n[a.index].value.mean()));
         self.push(v, Op::Mean(a))
     }
 
     /// Broadcast add a `1×m` row vector to every row of an `n×m` tensor.
     pub fn add_row(&self, a: Var, row: Var) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "add_row");
         let v = self.with_values(|n| {
             let x = &n[a.index].value;
             let r = &n[row.index].value;
@@ -385,6 +403,7 @@ impl Tape {
 
     /// Concatenate along columns.
     pub fn concat(&self, parts: &[Var]) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "concat");
         let v = self.with_values(|n| {
             let ts: Vec<Tensor> = parts.iter().map(|p| n[p.index].value.clone()).collect();
             Tensor::hstack(&ts)
@@ -394,6 +413,7 @@ impl Tape {
 
     /// Gather rows (embedding lookup): output row `i` is `a[indices[i]]`.
     pub fn rows_select(&self, a: Var, indices: Vec<usize>) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "rows_select");
         let v = self.with_values(|n| {
             let x = &n[a.index].value;
             let mut out = Tensor::zeros(indices.len(), x.cols);
@@ -408,6 +428,7 @@ impl Tape {
     /// Mean-pool groups of rows: output row `g` is the mean of
     /// `a[groups[g]]`. Empty groups produce a zero row.
     pub fn rows_mean(&self, a: Var, groups: Vec<Vec<usize>>) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "rows_mean");
         let v = self.with_values(|n| {
             let x = &n[a.index].value;
             let mut out = Tensor::zeros(groups.len(), x.cols);
@@ -430,6 +451,7 @@ impl Tape {
     /// Inverted dropout with the given 0/1 `mask` (already scaled to the
     /// keep probability by the caller via [`Tape::dropout_mask`]).
     pub fn dropout(&self, a: Var, mask: Tensor) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "dropout");
         let v = self.with_values(|n| n[a.index].value.mul(&mask));
         self.push(v, Op::Dropout(a, mask))
     }
@@ -453,6 +475,7 @@ impl Tape {
 
     /// Mean squared error against a constant `target` (scalar node).
     pub fn mse_loss(&self, pred: Var, target: Tensor) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "mse_loss");
         let v = self.with_values(|n| {
             let p = &n[pred.index].value;
             assert_eq!((p.rows, p.cols), (target.rows, target.cols), "mse shapes");
@@ -469,6 +492,7 @@ impl Tape {
     /// (paper §6.1, skewed label distributions) passes class-dependent
     /// weights here.
     pub fn bce_with_logits(&self, logits: Var, targets: Tensor, weights: Tensor) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "bce_with_logits");
         let (probs, loss) = self.with_values(|n| {
             let z = &n[logits.index].value;
             assert_eq!((z.rows, z.cols), (targets.rows, targets.cols), "bce shapes");
@@ -500,6 +524,7 @@ impl Tape {
     /// Softmax cross entropy over row logits against integer labels
     /// (scalar node).
     pub fn softmax_ce(&self, logits: Var, labels: Vec<usize>) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "softmax_ce");
         let (probs, loss) = self.with_values(|n| {
             let z = &n[logits.index].value;
             assert_eq!(z.rows, labels.len(), "softmax_ce label count");
@@ -531,6 +556,8 @@ impl Tape {
     /// # Panics
     /// Panics if `out` is not a `1×1` scalar.
     pub fn backward(&self, out: Var) {
+        static BACKWARD: dc_obs::Hist = dc_obs::Hist::new("tape.backward");
+        let _sweep = BACKWARD.start();
         self.assert_owned(out, "backward");
         self.backward_runs.set(self.backward_runs.get() + 1);
         let nodes = self.nodes.borrow();
@@ -544,6 +571,7 @@ impl Tape {
                 None => continue,
             };
             let node = &nodes[i];
+            let _bwd = dc_obs::timer("tape.bwd", op_name(&node.op));
             match &node.op {
                 Op::Leaf => {
                     grads[i] = Some(g);

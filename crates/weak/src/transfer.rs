@@ -7,6 +7,7 @@ use dc_nn::linear::Activation;
 use dc_nn::loss::LossKind;
 use dc_nn::mlp::Mlp;
 use dc_nn::optim::Optimizer;
+use dc_nn::train::{run_epochs, Batch, EpochStats, StepStats, TrainCtx, TrainOpts, Trainer};
 use dc_tensor::{Tape, Tensor};
 use rand::rngs::StdRng;
 
@@ -89,6 +90,44 @@ impl FineTuner {
         }
         lv
     }
+
+    /// Fine-tune for `opts.epochs` shuffled minibatch passes through
+    /// the unified [`run_epochs`] loop; returns per-epoch mean losses.
+    pub fn fit(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        loss: LossKind,
+        opt: &mut dyn Optimizer,
+        opts: &TrainOpts,
+        rng: &mut StdRng,
+    ) -> Vec<EpochStats> {
+        let mut trainer = FineTuneTrainer {
+            tuner: self,
+            loss,
+            opt,
+        };
+        run_epochs("weak.finetune", &mut trainer, x, Some(y), opts, rng)
+    }
+}
+
+/// [`Trainer`] over a [`FineTuner`] with a fixed loss and optimiser.
+pub struct FineTuneTrainer<'a> {
+    /// The fine-tuner being trained.
+    pub tuner: &'a mut FineTuner,
+    /// Loss applied to each batch.
+    pub loss: LossKind,
+    /// Optimiser shared across steps.
+    pub opt: &'a mut dyn Optimizer,
+}
+
+impl Trainer for FineTuneTrainer<'_> {
+    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
+        let loss = self
+            .tuner
+            .train_batch(&batch.x, &batch.y, self.loss, self.opt);
+        StepStats { loss, aux: 0.0 }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +201,24 @@ mod tests {
         assert_eq!(tuner.model.layers[0].w, before, "frozen trunk moved");
         // The head must have moved.
         assert!(tuner.model.layers[1].w.data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn fit_through_unified_loop_learns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let source = Mlp::new(&[3, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut tuner = FineTuner::new(source, 1, 1, &mut rng);
+        let x = Tensor::randn(32, 3, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            32,
+            1,
+            (0..32).map(|i| (x.get(i, 0) > 0.0) as u8 as f32).collect(),
+        );
+        let mut opt = Adam::new(0.05);
+        let opts = TrainOpts::default().with_epochs(30).with_batch_size(8);
+        let trace = tuner.fit(&x, &y, LossKind::bce(), &mut opt, &opts, &mut rng);
+        assert_eq!(trace.len(), 30);
+        assert!(trace.last().expect("trace").loss < trace.first().expect("trace").loss);
     }
 
     #[test]

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_obs.json: per-site cost of the dc-obs primitives with
+# the gate off (the ISSUE 4 ≤2ns zero-cost budget — one relaxed atomic
+# load + branch) and the enabled counter path for contrast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dc-bench --bin bench_obs

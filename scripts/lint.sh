@@ -10,6 +10,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== dc-obs selftest + unit/property tests =="
+cargo run -q -p dc-obs --bin dc-obs-selftest
+cargo test -q -p dc-obs
+
 echo "== dc-check selftest =="
 cargo run -q -p dc-check --bin dc-check-selftest
 
@@ -28,5 +32,12 @@ cargo test -q -p dc-index --test index_equiv
 DC_THREADS=1 cargo test -q -p dc-er --test blocking_equiv
 DC_THREADS=2 cargo test -q -p dc-er --test blocking_equiv
 cargo test -q -p dc-er --test blocking_equiv
+
+echo "== Trainer migration (unified run_epochs loop) =="
+cargo test -q -p dc-nn --test trainer_migration
+
+echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2 =="
+DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv
+DC_THREADS=2 cargo test -q -p dc-er --test obs_equiv
 
 echo "lint: all gates passed"
