@@ -35,6 +35,12 @@ fn operands(op: &Op, out: &mut Vec<usize>) {
         | Op::MseLoss(a, _) => out.push(a.index()),
         Op::Concat(parts) => out.extend(parts.iter().map(|p| p.index())),
         Op::BceWithLogits { logits, .. } | Op::SoftmaxCe { logits, .. } => out.push(logits.index()),
+        Op::FusedEltwise {
+            root, interiors, ..
+        } => {
+            out.push(root.index());
+            out.extend(interiors.iter().map(|p| p.index()));
+        }
     }
 }
 

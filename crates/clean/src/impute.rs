@@ -10,7 +10,7 @@
 use crate::encode::TableEncoder;
 use dc_nn::ae::{DenoisingAutoencoder, Noise};
 use dc_nn::optim::Adam;
-use dc_nn::train::{run_epochs, DaeTrainer, TrainOpts};
+use dc_nn::train::{run_epochs_with_tape, DaeTrainer, TrainOpts};
 use dc_relational::{Table, Value};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -186,17 +186,21 @@ impl DaeImputer {
         rng: &mut StdRng,
     ) -> Self {
         let (x, _) = encoder.encode(table);
+        // The step tape: the dc-check probe below and every training
+        // step record on it, so the probe's buffer is recycled into the
+        // pool instead of being a throwaway allocation.
+        let tape = dc_tensor::Tape::new();
         if dc_check::enabled() {
             // The DAE hot path validates its own graphs; here we vet the
             // *input* — a non-finite encoding would poison every epoch.
-            let probe = dc_tensor::Tape::new();
-            let _ = probe.var(x.clone());
-            let poisoned = dc_check::sanitize(&probe);
+            let _ = tape.var_from(&x);
+            let poisoned = dc_check::sanitize(&tape);
             assert!(
                 poisoned.is_empty(),
                 "dc-check [DaeImputer::train]: encoded table is not finite\n{}",
                 dc_check::render(&poisoned)
             );
+            tape.recycle();
         }
         let mut dae = DenoisingAutoencoder::new(
             encoder.width(),
@@ -214,7 +218,7 @@ impl DaeImputer {
             model: &mut dae,
             opt: &mut opt,
         };
-        run_epochs("clean.impute", &mut trainer, &x, None, &opts, rng);
+        run_epochs_with_tape("clean.impute", &mut trainer, &x, None, &opts, rng, &tape);
         DaeImputer { encoder, dae }
     }
 

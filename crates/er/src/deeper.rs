@@ -257,9 +257,7 @@ impl DeepEr {
             // Guarantee at least one step so empty tuples still encode.
             return vec![tape.var(Tensor::zeros(1, dim))];
         }
-        seq.iter()
-            .map(|v| tape.var(Tensor::row(v.clone())))
-            .collect()
+        seq.iter().map(|v| tape.var_slice(1, v.len(), v)).collect()
     }
 
     /// Match probabilities for candidate pairs over `table`.
@@ -347,33 +345,35 @@ struct LstmPairTrainer<'a> {
 }
 
 impl Trainer for LstmPairTrainer<'_> {
-    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
+    fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
         debug_assert_eq!(batch.x.rows, 1, "LSTM path trains pair-by-pair");
         let idx = batch.x.data[0] as usize;
         let (a, b) = self.pairs[idx];
         let label = self.labels[idx];
-        let tape = Tape::new();
-        let lvars = self.encoder.bind(&tape);
-        let cvars = self.classifier.bind(&tape);
-        let steps_a = DeepEr::steps(&tape, &self.sequences[a], self.dim);
-        let steps_b = DeepEr::steps(&tape, &self.sequences[b], self.dim);
-        let ha = self.encoder.forward_tape(&tape, &steps_a, &lvars);
-        let hb = self.encoder.forward_tape(&tape, &steps_b, &lvars);
+        let tape = ctx.tape;
+        let lvars = self.encoder.bind(tape);
+        let cvars = self.classifier.bind(tape);
+        let steps_a = DeepEr::steps(tape, &self.sequences[a], self.dim);
+        let steps_b = DeepEr::steps(tape, &self.sequences[b], self.dim);
+        let ha = self.encoder.forward_tape(tape, &steps_a, &lvars);
+        let hb = self.encoder.forward_tape(tape, &steps_b, &lvars);
         let diff = tape.abs(tape.sub(ha, hb));
         let had = tape.mul(ha, hb);
         let feat = tape.concat(&[diff, had]);
-        let logit = self.classifier.forward_tape(&tape, feat, &cvars, None);
+        let logit = self.classifier.forward_tape(tape, feat, &cvars, None);
         let target = Tensor::scalar(if label { 1.0 } else { 0.0 });
         let weight = Tensor::scalar(if label { self.w_pos } else { self.w_neg });
         let loss = tape.bce_with_logits(logit, target, weight);
-        let loss_value = tape.value(loss).data[0];
-        dc_check::debug_validate("DeepEr::train_lstm", &tape, loss);
+        let loss_value = tape.item(loss);
+        dc_check::debug_validate("DeepEr::train_lstm", tape, loss);
         tape.backward(loss);
         self.opt.begin_step();
-        self.encoder.apply_grads(self.opt, 0, &tape, &lvars);
+        self.encoder.apply_grads(self.opt, 0, tape, &lvars);
         let base = self.encoder.slot_count();
         for (slot, (layer, lv)) in self.classifier.layers.iter_mut().zip(&cvars).enumerate() {
-            layer.apply_grads(self.opt, base + slot, &tape.grad(lv.w), &tape.grad(lv.b));
+            tape.with_grad(lv.w, |gw| {
+                tape.with_grad(lv.b, |gb| layer.apply_grads(self.opt, base + slot, gw, gb))
+            });
         }
         StepStats {
             loss: loss_value,

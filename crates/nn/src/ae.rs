@@ -132,16 +132,31 @@ impl Autoencoder {
 
     /// One gradient step reconstructing `target` from `input` (they
     /// differ for denoising training). Returns the MSE loss.
+    ///
+    /// Records on a throwaway tape; the pooled hot path used by
+    /// [`crate::train::run_epochs`] is [`Autoencoder::train_step_on`].
     pub fn train_step(&mut self, input: &Tensor, target: &Tensor, opt: &mut dyn Optimizer) -> f32 {
         let tape = Tape::new();
-        let vx = tape.var(input.clone());
-        let evars = self.encoder.bind(&tape);
-        let dvars = self.decoder.bind(&tape);
-        let z = self.encoder.forward_tape(&tape, vx, &evars, None);
-        let xhat = self.decoder.forward_tape(&tape, z, &dvars, None);
+        self.train_step_on(&tape, input, target, opt)
+    }
+
+    /// [`Autoencoder::train_step`] recording on a caller-owned
+    /// (typically recycled) tape.
+    pub fn train_step_on(
+        &mut self,
+        tape: &Tape,
+        input: &Tensor,
+        target: &Tensor,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let vx = tape.var_from(input);
+        let evars = self.encoder.bind(tape);
+        let dvars = self.decoder.bind(tape);
+        let z = self.encoder.forward_tape(tape, vx, &evars, None);
+        let xhat = self.decoder.forward_tape(tape, z, &dvars, None);
         let loss = tape.mse_loss(xhat, target.clone());
-        let loss_value = tape.value(loss).data[0];
-        dc_check::debug_validate("Autoencoder::train_step", &tape, loss);
+        let loss_value = tape.item(loss);
+        dc_check::debug_validate("Autoencoder::train_step", tape, loss);
         tape.backward(loss);
         opt.begin_step();
         for (slot, (layer, lv)) in self
@@ -152,7 +167,9 @@ impl Autoencoder {
             .zip(evars.iter().chain(dvars.iter()))
             .enumerate()
         {
-            layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
+            tape.with_grad(lv.w, |gw| {
+                tape.with_grad(lv.b, |gb| layer.apply_grads(opt, slot, gw, gb))
+            });
         }
         loss_value
     }
@@ -237,18 +254,28 @@ impl KSparseAutoencoder {
     /// One training step; the top-k mask is treated as constant for the
     /// backward pass (the standard straight-through choice for k-sparse
     /// autoencoders).
+    ///
+    /// Records on a throwaway tape; the pooled hot path used by
+    /// [`crate::train::run_epochs`] is
+    /// [`KSparseAutoencoder::train_step_on`].
     pub fn train_step(&mut self, x: &Tensor, opt: &mut dyn Optimizer) -> f32 {
         let tape = Tape::new();
-        let vx = tape.var(x.clone());
-        let evars = self.ae.encoder.bind(&tape);
-        let dvars = self.ae.decoder.bind(&tape);
-        let z = self.ae.encoder.forward_tape(&tape, vx, &evars, None);
+        self.train_step_on(&tape, x, opt)
+    }
+
+    /// [`KSparseAutoencoder::train_step`] recording on a caller-owned
+    /// (typically recycled) tape.
+    pub fn train_step_on(&mut self, tape: &Tape, x: &Tensor, opt: &mut dyn Optimizer) -> f32 {
+        let vx = tape.var_from(x);
+        let evars = self.ae.encoder.bind(tape);
+        let dvars = self.ae.decoder.bind(tape);
+        let z = self.ae.encoder.forward_tape(tape, vx, &evars, None);
         let mask = Self::topk_mask(&tape.value(z), self.k);
         let zs = tape.dropout(z, mask); // reuse masking op: grads pass through kept units
-        let xhat = self.ae.decoder.forward_tape(&tape, zs, &dvars, None);
+        let xhat = self.ae.decoder.forward_tape(tape, zs, &dvars, None);
         let loss = tape.mse_loss(xhat, x.clone());
-        let loss_value = tape.value(loss).data[0];
-        dc_check::debug_validate("KSparseAutoencoder::train_step", &tape, loss);
+        let loss_value = tape.item(loss);
+        dc_check::debug_validate("KSparseAutoencoder::train_step", tape, loss);
         tape.backward(loss);
         opt.begin_step();
         for (slot, (layer, lv)) in self
@@ -260,7 +287,9 @@ impl KSparseAutoencoder {
             .zip(evars.iter().chain(dvars.iter()))
             .enumerate()
         {
-            layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
+            tape.with_grad(lv.w, |gw| {
+                tape.with_grad(lv.b, |gb| layer.apply_grads(opt, slot, gw, gb))
+            });
         }
         loss_value
     }
@@ -403,6 +432,9 @@ impl Vae {
     }
 
     /// One training step; returns `(reconstruction_mse, kl)`.
+    ///
+    /// Records on a throwaway tape; the pooled hot path used by
+    /// [`crate::train::run_epochs`] is [`Vae::train_step_on`].
     pub fn train_step(
         &mut self,
         x: &Tensor,
@@ -410,22 +442,34 @@ impl Vae {
         rng: &mut StdRng,
     ) -> (f32, f32) {
         let tape = Tape::new();
-        let vx = tape.var(x.clone());
-        let tvars = self.trunk.bind(&tape);
-        let muv = self.mu_head.bind(&tape);
-        let lvv = self.logvar_head.bind(&tape);
-        let dvars = self.decoder.bind(&tape);
+        self.train_step_on(&tape, x, opt, rng)
+    }
 
-        let h = self.trunk.forward_tape(&tape, vx, &tvars, None);
-        let mu = self.mu_head.forward_tape(&tape, h, muv);
-        let logvar = self.logvar_head.forward_tape(&tape, h, lvv);
+    /// [`Vae::train_step`] recording on a caller-owned (typically
+    /// recycled) tape.
+    pub fn train_step_on(
+        &mut self,
+        tape: &Tape,
+        x: &Tensor,
+        opt: &mut dyn Optimizer,
+        rng: &mut StdRng,
+    ) -> (f32, f32) {
+        let vx = tape.var_from(x);
+        let tvars = self.trunk.bind(tape);
+        let muv = self.mu_head.bind(tape);
+        let lvv = self.logvar_head.bind(tape);
+        let dvars = self.decoder.bind(tape);
+
+        let h = self.trunk.forward_tape(tape, vx, &tvars, None);
+        let mu = self.mu_head.forward_tape(tape, h, muv);
+        let logvar = self.logvar_head.forward_tape(tape, h, lvv);
 
         // Reparameterise: z = mu + eps ⊙ exp(logvar / 2)
         let eps = tape.var(Tensor::randn(x.rows, self.latent_dim(), 1.0, rng));
         let std = tape.exp(tape.scale(logvar, 0.5));
         let z = tape.add(mu, tape.mul(eps, std));
 
-        let xhat = self.decoder.forward_tape(&tape, z, &dvars, None);
+        let xhat = self.decoder.forward_tape(tape, z, &dvars, None);
         let recon = tape.mse_loss(xhat, x.clone());
 
         // KL(q || N(0,I)) = -0.5 · mean(1 + logvar − mu² − exp(logvar))
@@ -436,26 +480,26 @@ impl Vae {
         let kl = tape.scale(tape.mean(inner), -0.5);
         let loss = tape.add(recon, tape.scale(kl, self.beta));
 
-        let recon_v = tape.value(recon).data[0];
-        let kl_v = tape.value(kl).data[0];
-        dc_check::debug_validate("Vae::train_step", &tape, loss);
+        let recon_v = tape.item(recon);
+        let kl_v = tape.item(kl);
+        dc_check::debug_validate("Vae::train_step", tape, loss);
         tape.backward(loss);
 
         opt.begin_step();
         let mut slot = 0;
+        let mut apply = |layer: &mut crate::linear::Linear, lv: &crate::linear::LinearVars| {
+            tape.with_grad(lv.w, |gw| {
+                tape.with_grad(lv.b, |gb| layer.apply_grads(opt, slot, gw, gb))
+            });
+            slot += 1;
+        };
         for (layer, lv) in self.trunk.layers.iter_mut().zip(&tvars) {
-            layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
-            slot += 1;
+            apply(layer, lv);
         }
-        self.mu_head
-            .apply_grads(opt, slot, &tape.grad(muv.w), &tape.grad(muv.b));
-        slot += 1;
-        self.logvar_head
-            .apply_grads(opt, slot, &tape.grad(lvv.w), &tape.grad(lvv.b));
-        slot += 1;
+        apply(&mut self.mu_head, &muv);
+        apply(&mut self.logvar_head, &lvv);
         for (layer, lv) in self.decoder.layers.iter_mut().zip(&dvars) {
-            layer.apply_grads(opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
-            slot += 1;
+            apply(layer, lv);
         }
         (recon_v, kl_v)
     }

@@ -78,6 +78,14 @@ impl Gan {
     /// the discriminator's "real" verdict ("increase the number of
     /// mistakes made by the discriminator").
     pub fn train_round(&mut self, real: &Tensor, rng: &mut StdRng) -> (f32, f32) {
+        let tape = Tape::new();
+        self.train_round_on(&tape, real, rng)
+    }
+
+    /// [`Gan::train_round`] recording on a caller-owned (typically
+    /// recycled) tape. The tape is recycled between the discriminator
+    /// and generator sub-steps, so both record from a warm pool.
+    pub fn train_round_on(&mut self, tape: &Tape, real: &Tensor, rng: &mut StdRng) -> (f32, f32) {
         let n = real.rows;
 
         // --- discriminator step (generator frozen) ---
@@ -87,49 +95,46 @@ impl Gan {
         labels.extend(vec![0.0; n]);
         let y = Tensor::from_vec(2 * n, 1, labels);
         let disc_loss = {
-            let tape = Tape::new();
-            let vx = tape.var(batch);
-            let dvars = self.discriminator.bind(&tape);
-            let logits = self.discriminator.forward_tape(&tape, vx, &dvars, None);
+            let vx = tape.var_from(&batch);
+            let dvars = self.discriminator.bind(tape);
+            let logits = self.discriminator.forward_tape(tape, vx, &dvars, None);
             let loss = tape.bce_with_logits(logits, y, Tensor::ones(2 * n, 1));
-            let lv = tape.value(loss).data[0];
-            dc_check::debug_validate("Gan::train_round[disc]", &tape, loss);
+            let lv = tape.item(loss);
+            dc_check::debug_validate("Gan::train_round[disc]", tape, loss);
             tape.backward(loss);
             self.disc_opt.begin_step();
             for (slot, (layer, lvars)) in
                 self.discriminator.layers.iter_mut().zip(&dvars).enumerate()
             {
-                layer.apply_grads(
-                    &mut self.disc_opt,
-                    slot,
-                    &tape.grad(lvars.w),
-                    &tape.grad(lvars.b),
-                );
+                tape.with_grad(lvars.w, |gw| {
+                    tape.with_grad(lvars.b, |gb| {
+                        layer.apply_grads(&mut self.disc_opt, slot, gw, gb)
+                    })
+                });
             }
             lv
         };
+        tape.recycle();
 
         // --- generator step (discriminator frozen) ---
         let gen_loss = {
-            let tape = Tape::new();
             let z = tape.var(Tensor::randn(n, self.latent_dim, 1.0, rng));
-            let gvars = self.generator.bind(&tape);
-            let dvars = self.discriminator.bind(&tape); // participates but is not updated
-            let fake = self.generator.forward_tape(&tape, z, &gvars, None);
-            let logits = self.discriminator.forward_tape(&tape, fake, &dvars, None);
+            let gvars = self.generator.bind(tape);
+            let dvars = self.discriminator.bind(tape); // participates but is not updated
+            let fake = self.generator.forward_tape(tape, z, &gvars, None);
+            let logits = self.discriminator.forward_tape(tape, fake, &dvars, None);
             // Non-saturating loss: label fakes as real.
             let loss = tape.bce_with_logits(logits, Tensor::ones(n, 1), Tensor::ones(n, 1));
-            let lv = tape.value(loss).data[0];
-            dc_check::debug_validate("Gan::train_round[gen]", &tape, loss);
+            let lv = tape.item(loss);
+            dc_check::debug_validate("Gan::train_round[gen]", tape, loss);
             tape.backward(loss);
             self.gen_opt.begin_step();
             for (slot, (layer, lvars)) in self.generator.layers.iter_mut().zip(&gvars).enumerate() {
-                layer.apply_grads(
-                    &mut self.gen_opt,
-                    slot,
-                    &tape.grad(lvars.w),
-                    &tape.grad(lvars.b),
-                );
+                tape.with_grad(lvars.w, |gw| {
+                    tape.with_grad(lvars.b, |gb| {
+                        layer.apply_grads(&mut self.gen_opt, slot, gw, gb)
+                    })
+                });
             }
             lv
         };
@@ -146,6 +151,7 @@ impl Gan {
     pub fn fit(&mut self, data: &Tensor, rounds: usize, batch: usize, rng: &mut StdRng) {
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..data.rows).collect();
+        let tape = Tape::new();
         for round in 0..rounds {
             let _round = dc_obs::span("nn.gan");
             order.shuffle(rng);
@@ -157,10 +163,12 @@ impl Gan {
             };
             let mut ctx = TrainCtx {
                 rng,
+                tape: &tape,
                 epoch: round,
                 step: round,
             };
             let s = Trainer::fit(self, &b, &mut ctx);
+            tape.recycle();
             dc_obs::series_push("nn.gan", "disc_loss", s.loss as f64);
             dc_obs::series_push("nn.gan", "gen_loss", s.aux as f64);
         }
@@ -171,7 +179,7 @@ impl Trainer for Gan {
     /// One adversarial round; `loss` is the discriminator loss, `aux`
     /// the generator loss.
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
-        let (disc, gen) = self.train_round(&batch.x, ctx.rng);
+        let (disc, gen) = self.train_round_on(ctx.tape, &batch.x, ctx.rng);
         StepStats {
             loss: disc,
             aux: gen,

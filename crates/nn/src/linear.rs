@@ -83,11 +83,13 @@ impl Linear {
         self.w.cols
     }
 
-    /// Register parameters on a tape for a training step.
+    /// Register parameters on a tape for a training step. The copies
+    /// live in pool-backed buffers, so on a recycled tape a step's
+    /// binds reuse the previous step's memory.
     pub fn bind(&self, tape: &Tape) -> LinearVars {
         LinearVars {
-            w: tape.var(self.w.clone()),
-            b: tape.var(self.b.clone()),
+            w: tape.var_from(&self.w),
+            b: tape.var_from(&self.b),
         }
     }
 

@@ -83,12 +83,14 @@ impl LstmEncoder {
                 + self.hidden_dim)
     }
 
-    /// Register parameters on a tape.
+    /// Register parameters on a tape. The copies live in pool-backed
+    /// buffers, so on a recycled tape a step's binds reuse the previous
+    /// step's memory.
     pub fn bind(&self, tape: &Tape) -> LstmVars {
         LstmVars {
-            wx: self.wx.iter().map(|t| tape.var(t.clone())).collect(),
-            wh: self.wh.iter().map(|t| tape.var(t.clone())).collect(),
-            b: self.b.iter().map(|t| tape.var(t.clone())).collect(),
+            wx: self.wx.iter().map(|t| tape.var_from(t)).collect(),
+            wh: self.wh.iter().map(|t| tape.var_from(t)).collect(),
+            b: self.b.iter().map(|t| tape.var_from(t)).collect(),
         }
     }
 
@@ -157,13 +159,15 @@ impl LstmEncoder {
         vars: &LstmVars,
     ) {
         for g in 0..GATES {
-            opt.update(slot_base + g * 3, &mut self.wx[g], &tape.grad(vars.wx[g]));
-            opt.update(
-                slot_base + g * 3 + 1,
-                &mut self.wh[g],
-                &tape.grad(vars.wh[g]),
-            );
-            opt.update(slot_base + g * 3 + 2, &mut self.b[g], &tape.grad(vars.b[g]));
+            tape.with_grad(vars.wx[g], |gw| {
+                opt.update(slot_base + g * 3, &mut self.wx[g], gw)
+            });
+            tape.with_grad(vars.wh[g], |gh| {
+                opt.update(slot_base + g * 3 + 1, &mut self.wh[g], gh)
+            });
+            tape.with_grad(vars.b[g], |gb| {
+                opt.update(slot_base + g * 3 + 2, &mut self.b[g], gb)
+            });
         }
     }
 

@@ -120,6 +120,9 @@ impl Mlp {
     /// For [`LossKind::Bce`] the output layer must emit a single logit
     /// per row and `y` must be `n×1` with 0/1 entries; for
     /// [`LossKind::SoftmaxCe`], `y` holds the class index in column 0.
+    ///
+    /// Records on a throwaway tape; the pooled hot path used by
+    /// [`crate::train::run_epochs`] is [`Mlp::train_batch_on`].
     pub fn train_batch(
         &mut self,
         x: &Tensor,
@@ -129,13 +132,28 @@ impl Mlp {
         rng: &mut StdRng,
     ) -> f32 {
         let tape = Tape::new();
-        let vx = tape.var(x.clone());
-        let vars = self.bind(&tape);
+        self.train_batch_on(&tape, x, y, loss, opt, rng)
+    }
+
+    /// [`Mlp::train_batch`] recording on a caller-owned (typically
+    /// recycled) tape, reading inputs and gradients through the tape's
+    /// buffer pool instead of allocating per step.
+    pub fn train_batch_on(
+        &mut self,
+        tape: &Tape,
+        x: &Tensor,
+        y: &Tensor,
+        loss: LossKind,
+        opt: &mut dyn Optimizer,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let vx = tape.var_from(x);
+        let vars = self.bind(tape);
         let use_dropout = self.dropout > 0.0;
         let out = if use_dropout {
-            self.forward_tape(&tape, vx, &vars, Some(rng))
+            self.forward_tape(tape, vx, &vars, Some(rng))
         } else {
-            self.forward_tape(&tape, vx, &vars, None)
+            self.forward_tape(tape, vx, &vars, None)
         };
         let loss_var = match loss {
             LossKind::Mse => tape.mse_loss(out, y.clone()),
@@ -152,14 +170,14 @@ impl Mlp {
                 tape.softmax_ce(out, labels)
             }
         };
-        let loss_value = tape.value(loss_var).data[0];
-        dc_check::debug_validate("Mlp::train_batch", &tape, loss_var);
+        let loss_value = tape.item(loss_var);
+        dc_check::debug_validate("Mlp::train_batch", tape, loss_var);
         tape.backward(loss_var);
         opt.begin_step();
         for (slot, (layer, lv)) in self.layers.iter_mut().zip(&vars).enumerate() {
-            let gw = tape.grad(lv.w);
-            let gb = tape.grad(lv.b);
-            layer.apply_grads(opt, slot, &gw, &gb);
+            tape.with_grad(lv.w, |gw| {
+                tape.with_grad(lv.b, |gb| layer.apply_grads(opt, slot, gw, gb))
+            });
         }
         loss_value
     }

@@ -6,7 +6,26 @@
 //! use, sized to the parameter it serves.
 
 use dc_tensor::Tensor;
-use std::collections::HashMap;
+
+/// Lazily-grown per-slot optimiser state. Slots are small dense
+/// integers by convention (`0..k` for a model with `k` parameter
+/// tensors), so a flat index beats hashing — optimiser updates run once
+/// per parameter per step, squarely on the training hot path.
+#[derive(Clone, Debug, Default)]
+struct SlotState {
+    slots: Vec<Option<Tensor>>,
+}
+
+impl SlotState {
+    /// The state tensor for `slot`, created zeroed at `rows x cols` on
+    /// first use.
+    fn get_or_insert(&mut self, slot: usize, rows: usize, cols: usize) -> &mut Tensor {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, None);
+        }
+        self.slots[slot].get_or_insert_with(|| Tensor::zeros(rows, cols))
+    }
+}
 
 /// A stateful first-order update rule.
 pub trait Optimizer {
@@ -60,7 +79,7 @@ pub struct Momentum {
     pub lr: f32,
     /// Momentum coefficient (typically 0.9).
     pub beta: f32,
-    velocity: HashMap<usize, Tensor>,
+    velocity: SlotState,
 }
 
 impl Momentum {
@@ -69,17 +88,14 @@ impl Momentum {
         Momentum {
             lr,
             beta,
-            velocity: HashMap::new(),
+            velocity: SlotState::default(),
         }
     }
 }
 
 impl Optimizer for Momentum {
     fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
-        let v = self
-            .velocity
-            .entry(slot)
-            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        let v = self.velocity.get_or_insert(slot, param.rows, param.cols);
         for (vi, gi) in v.data.iter_mut().zip(grad.data.iter()) {
             *vi = self.beta * *vi + gi;
         }
@@ -102,7 +118,7 @@ pub struct AdaGrad {
     pub lr: f32,
     /// Numerical-stability constant.
     pub eps: f32,
-    accum: HashMap<usize, Tensor>,
+    accum: SlotState,
 }
 
 impl AdaGrad {
@@ -111,17 +127,14 @@ impl AdaGrad {
         AdaGrad {
             lr,
             eps: 1e-8,
-            accum: HashMap::new(),
+            accum: SlotState::default(),
         }
     }
 }
 
 impl Optimizer for AdaGrad {
     fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
-        let a = self
-            .accum
-            .entry(slot)
-            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        let a = self.accum.get_or_insert(slot, param.rows, param.cols);
         for ((ai, gi), pi) in a
             .data
             .iter_mut()
@@ -151,7 +164,7 @@ pub struct RmsProp {
     pub rho: f32,
     /// Numerical-stability constant.
     pub eps: f32,
-    accum: HashMap<usize, Tensor>,
+    accum: SlotState,
 }
 
 impl RmsProp {
@@ -161,17 +174,14 @@ impl RmsProp {
             lr,
             rho: 0.9,
             eps: 1e-8,
-            accum: HashMap::new(),
+            accum: SlotState::default(),
         }
     }
 }
 
 impl Optimizer for RmsProp {
     fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
-        let a = self
-            .accum
-            .entry(slot)
-            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
+        let a = self.accum.get_or_insert(slot, param.rows, param.cols);
         for ((ai, gi), pi) in a
             .data
             .iter_mut()
@@ -205,8 +215,13 @@ pub struct Adam {
     /// Numerical-stability constant.
     pub eps: f32,
     t: u32,
-    m: HashMap<usize, Tensor>,
-    v: HashMap<usize, Tensor>,
+    /// Step the cached bias corrections were computed for (0 = none).
+    bc_t: u32,
+    /// Reciprocal bias corrections 1/(1-beta^t) for the cached step.
+    bc1: f32,
+    bc2: f32,
+    m: SlotState,
+    v: SlotState,
 }
 
 impl Adam {
@@ -218,8 +233,11 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            bc_t: 0,
+            bc1: 0.0,
+            bc2: 0.0,
+            m: SlotState::default(),
+            v: SlotState::default(),
         }
     }
 }
@@ -233,16 +251,18 @@ impl Optimizer for Adam {
         if self.t == 0 {
             self.t = 1; // tolerate callers that skip begin_step
         }
-        let m = self
-            .m
-            .entry(slot)
-            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
-        let v = self
-            .v
-            .entry(slot)
-            .or_insert_with(|| Tensor::zeros(param.rows, param.cols));
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // Bias corrections depend only on `t`; compute them once per
+        // step, not once per parameter tensor.
+        if self.bc_t != self.t {
+            self.bc_t = self.t;
+            // Stored as reciprocals: the per-element loop multiplies
+            // instead of dividing (divides don't pipeline).
+            self.bc1 = (1.0 - self.beta1.powi(self.t as i32)).recip();
+            self.bc2 = (1.0 - self.beta2.powi(self.t as i32)).recip();
+        }
+        let (inv_bc1, inv_bc2) = (self.bc1, self.bc2);
+        let m = self.m.get_or_insert(slot, param.rows, param.cols);
+        let v = self.v.get_or_insert(slot, param.rows, param.cols);
         for (((mi, vi), gi), pi) in m
             .data
             .iter_mut()
@@ -252,8 +272,8 @@ impl Optimizer for Adam {
         {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-            let mhat = *mi / bc1;
-            let vhat = *vi / bc2;
+            let mhat = *mi * inv_bc1;
+            let vhat = *vi * inv_bc2;
             *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
         }
     }

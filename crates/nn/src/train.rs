@@ -14,9 +14,15 @@
 //! [`run_epochs`] is also where training observability hooks in: one
 //! `dc_obs` span per epoch, one timer per batch, and a per-epoch loss
 //! series — all zero-cost when `DC_OBS` is off.
+//!
+//! The loop is also where the tape [`BufferPool`](dc_tensor::BufferPool)
+//! earns its keep: one pooled [`Tape`] serves every step, recycled
+//! ([`Tape::recycle`]) after each `Trainer::fit`, so steady-state steps
+//! reuse the previous step's buffers instead of allocating fresh ones.
+//! `DC_POOL=0` falls back to plain allocation, bitwise identically.
 
 use crate::mlp::gather_rows;
-use dc_tensor::Tensor;
+use dc_tensor::{Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -95,6 +101,9 @@ impl Batch {
 pub struct TrainCtx<'r> {
     /// The training rng; draws here continue the caller's stream.
     pub rng: &'r mut StdRng,
+    /// The step tape. Recorded graphs are recycled by the driving loop
+    /// after each step, so trainers must not hold `Var`s across calls.
+    pub tape: &'r Tape,
     /// Zero-based epoch index.
     pub epoch: usize,
     /// Zero-based global step (batch) index.
@@ -143,6 +152,24 @@ pub fn run_epochs<T: Trainer + ?Sized>(
     opts: &TrainOpts,
     rng: &mut StdRng,
 ) -> Vec<EpochStats> {
+    let tape = Tape::new();
+    run_epochs_with_tape(name, trainer, x, y, opts, rng, &tape)
+}
+
+/// [`run_epochs`] against a caller-owned [`Tape`]. The tape is recycled
+/// after every step, so its buffer pool carries over between steps (and
+/// between separate `run_epochs_with_tape` calls — useful when a probe
+/// graph or a previous training phase already warmed the pool).
+#[allow(clippy::too_many_arguments)]
+pub fn run_epochs_with_tape<T: Trainer + ?Sized>(
+    name: &'static str,
+    trainer: &mut T,
+    x: &Tensor,
+    y: Option<&Tensor>,
+    opts: &TrainOpts,
+    rng: &mut StdRng,
+    tape: &Tape,
+) -> Vec<EpochStats> {
     if let Some(y) = y {
         assert_eq!(x.rows, y.rows, "run_epochs: x/y row mismatch");
     }
@@ -161,8 +188,14 @@ pub fn run_epochs<T: Trainer + ?Sized>(
                 y: y.map(|t| gather_rows(t, chunk))
                     .unwrap_or_else(|| Tensor::zeros(0, 0)),
             };
-            let mut ctx = TrainCtx { rng, epoch, step };
+            let mut ctx = TrainCtx {
+                rng,
+                tape,
+                epoch,
+                step,
+            };
             let s = trainer.fit(&batch, &mut ctx);
+            tape.recycle();
             loss += s.loss;
             aux += s.aux;
             batches += 1;
@@ -194,7 +227,7 @@ impl Trainer for MlpTrainer<'_> {
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
         let loss = self
             .model
-            .train_batch(&batch.x, &batch.y, self.loss, self.opt, ctx.rng);
+            .train_batch_on(ctx.tape, &batch.x, &batch.y, self.loss, self.opt, ctx.rng);
         StepStats { loss, aux: 0.0 }
     }
 }
@@ -209,8 +242,10 @@ pub struct AeTrainer<'a> {
 }
 
 impl Trainer for AeTrainer<'_> {
-    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
-        let loss = self.model.train_step(&batch.x, &batch.x, self.opt);
+    fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
+        let loss = self
+            .model
+            .train_step_on(ctx.tape, &batch.x, &batch.x, self.opt);
         StepStats { loss, aux: 0.0 }
     }
 }
@@ -228,7 +263,10 @@ pub struct DaeTrainer<'a> {
 impl Trainer for DaeTrainer<'_> {
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
         let corrupted = self.model.noise.corrupt(&batch.x, ctx.rng);
-        let loss = self.model.ae.train_step(&corrupted, &batch.x, self.opt);
+        let loss = self
+            .model
+            .ae
+            .train_step_on(ctx.tape, &corrupted, &batch.x, self.opt);
         StepStats { loss, aux: 0.0 }
     }
 }
@@ -243,8 +281,8 @@ pub struct KSparseTrainer<'a> {
 }
 
 impl Trainer for KSparseTrainer<'_> {
-    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
-        let loss = self.model.train_step(&batch.x, self.opt);
+    fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
+        let loss = self.model.train_step_on(ctx.tape, &batch.x, self.opt);
         StepStats { loss, aux: 0.0 }
     }
 }
@@ -260,7 +298,9 @@ pub struct VaeTrainer<'a> {
 
 impl Trainer for VaeTrainer<'_> {
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
-        let (recon, kl) = self.model.train_step(&batch.x, self.opt, ctx.rng);
+        let (recon, kl) = self
+            .model
+            .train_step_on(ctx.tape, &batch.x, self.opt, ctx.rng);
         StepStats {
             loss: recon,
             aux: kl,

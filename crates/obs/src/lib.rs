@@ -83,6 +83,11 @@ struct CounterCell {
     value: AtomicU64,
 }
 
+struct GaugeCell {
+    name: String,
+    value: AtomicU64,
+}
+
 struct HistCell {
     name: String,
     count: AtomicU64,
@@ -153,6 +158,7 @@ struct Registry {
     /// recording holds no lock and no allocation happens after the
     /// first touch of a site.
     counters: Mutex<HashMap<Key, &'static CounterCell>>,
+    gauges: Mutex<HashMap<Key, &'static GaugeCell>>,
     hists: Mutex<HashMap<Key, &'static HistCell>>,
     /// Value series (loss curves etc.): append-only vectors, low rate,
     /// so a mutex per push is fine.
@@ -165,6 +171,7 @@ fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
         hists: Mutex::new(HashMap::new()),
         series: Mutex::new(BTreeMap::new()),
         span_parents: Mutex::new(BTreeMap::new()),
@@ -184,6 +191,16 @@ impl Registry {
         let mut map = self.counters.lock().expect("obs counter registry");
         map.entry((group, name)).or_insert_with(|| {
             Box::leak(Box::new(CounterCell {
+                name: full_name(group, name),
+                value: AtomicU64::new(0),
+            }))
+        })
+    }
+
+    fn gauge(&self, group: &'static str, name: &'static str) -> &'static GaugeCell {
+        let mut map = self.gauges.lock().expect("obs gauge registry");
+        map.entry((group, name)).or_insert_with(|| {
+            Box::leak(Box::new(GaugeCell {
                 name: full_name(group, name),
                 value: AtomicU64::new(0),
             }))
@@ -240,6 +257,47 @@ impl Counter {
     #[inline(always)]
     pub fn incr(&self) {
         self.add(1);
+    }
+}
+
+/// A statically-declared gauge: a last-write-wins level (bytes held,
+/// queue depth, high-water marks) rather than a monotonic count.
+/// Same cost model as [`Counter`]: one relaxed load + branch when off,
+/// one atomic store when on.
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<&'static GaugeCell>,
+}
+
+impl Gauge {
+    /// Declare a gauge with a fully-qualified dotted name.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Set the gauge to `v` (no-op when observability is off).
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.cell
+                .get_or_init(|| registry().gauge("", self.name))
+                .value
+                .store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water tracking).
+    #[inline(always)]
+    pub fn raise(&self, v: u64) {
+        if enabled() {
+            self.cell
+                .get_or_init(|| registry().gauge("", self.name))
+                .value
+                .fetch_max(v, Ordering::Relaxed);
+        }
     }
 }
 
@@ -506,6 +564,8 @@ pub struct ObsReport {
     /// Counter name → value, sorted by name. Zero-valued counters are
     /// kept: a registered-but-never-hit site is itself a signal.
     pub counters: Vec<(String, u64)>,
+    /// Gauge name → last-set value, sorted by name.
+    pub gauges: Vec<(String, u64)>,
     /// Plain timers, sorted by name.
     pub timers: Vec<TimerReport>,
     /// Spans (timers with nesting), sorted by name.
@@ -526,6 +586,15 @@ pub fn report() -> ObsReport {
         .map(|c| (c.name.clone(), c.value.load(Ordering::Relaxed)))
         .collect();
     counters.sort();
+
+    let mut gauges: Vec<(String, u64)> = reg
+        .gauges
+        .lock()
+        .expect("obs gauge registry")
+        .values()
+        .map(|c| (c.name.clone(), c.value.load(Ordering::Relaxed)))
+        .collect();
+    gauges.sort();
 
     let parents = reg.span_parents.lock().expect("obs span registry").clone();
     let mut timers = Vec::new();
@@ -558,6 +627,7 @@ pub fn report() -> ObsReport {
 
     ObsReport {
         counters,
+        gauges,
         timers,
         spans,
         series,
@@ -570,6 +640,9 @@ pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().expect("obs counter registry").values() {
         c.value.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.lock().expect("obs gauge registry").values() {
+        g.value.store(0, Ordering::Relaxed);
     }
     for h in reg.hists.lock().expect("obs hist registry").values() {
         h.reset();
@@ -614,6 +687,13 @@ impl ObsReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -724,6 +804,10 @@ mod tests {
         C.add(2);
         C.incr();
         counter_add("test", "on_dyn", 4);
+        static G: Gauge = Gauge::new("test.on_gauge");
+        G.set(7);
+        G.raise(3);
+        G.raise(11);
         record_ns("test", "on_hist", 1000);
         record_ns("test", "on_hist", 3000);
         series_push("test", "on_series", 0.5);
@@ -737,6 +821,8 @@ mod tests {
         let get = |n: &str| rep.counters.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
         assert_eq!(get("test.on_counter"), Some(3));
         assert_eq!(get("test.on_dyn"), Some(4));
+        let gauge = rep.gauges.iter().find(|(k, _)| k == "test.on_gauge");
+        assert_eq!(gauge.map(|(_, v)| *v), Some(11));
         let h = rep
             .timers
             .iter()
@@ -759,6 +845,7 @@ mod tests {
         assert_eq!(series.1, vec![0.5, 0.25]);
         let json = rep.to_json();
         assert!(json.contains("\"test.on_counter\":3"));
+        assert!(json.contains("\"test.on_gauge\":11"));
         assert!(json.contains("\"test.inner\":{\"parent\":\"test.outer\""));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

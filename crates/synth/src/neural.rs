@@ -125,9 +125,11 @@ impl GuidanceModel {
         // Multi-label training: per-op sigmoid + MSE on probabilities is
         // a simple, stable choice at this scale.
         let mut opt = Adam::new(0.01);
+        // One pooled tape for the whole run; each epoch's full-batch
+        // step records on recycled buffers.
+        let tape = Tape::new();
         for _ in 0..epochs {
-            let tape = Tape::new();
-            let vx = tape.var(x.clone());
+            let vx = tape.var_from(&x);
             let vars = net.bind(&tape);
             let logits = net.forward_tape(&tape, vx, &vars, None);
             let probs = tape.sigmoid(logits);
@@ -135,8 +137,11 @@ impl GuidanceModel {
             tape.backward(loss);
             opt.begin_step();
             for (slot, (layer, lv)) in net.layers.iter_mut().zip(&vars).enumerate() {
-                layer.apply_grads(&mut opt, slot, &tape.grad(lv.w), &tape.grad(lv.b));
+                tape.with_grad(lv.w, |gw| {
+                    tape.with_grad(lv.b, |gb| layer.apply_grads(&mut opt, slot, gw, gb))
+                });
             }
+            tape.recycle();
         }
         GuidanceModel { net }
     }

@@ -442,12 +442,17 @@ dispatch_panel!(matmul_t_panel, matmul_t_panel_avx2, matmul_t_panel_body);
 fn matmul_panel_body<const FMA: bool>(a: &Tensor, b: &Tensor, rows: Range<usize>, out: &mut [f32]) {
     // Scratch for the packed B panel, sized for the largest (jb, kb)
     // panel this call will see — a few KiB for paper-scale matmuls,
-    // capped at KC×NC floats (512 KiB) for large ones. Kept out of a
-    // thread-local closure on purpose: the hot loop must stay on the
-    // `#[inline(always)]` path into the `#[target_feature]` wrappers,
-    // and a closure would sever that chain.
-    let mut bpack = vec![0.0f32; a.cols.min(KC) * (b.cols.min(NC) / NR) * NR];
+    // capped at KC×NC floats (512 KiB) for large ones. Reused through a
+    // per-thread slot in `crate::pool` (each worker packs its own
+    // panel); packing fully overwrites every region it later reads, so
+    // stale contents are harmless. The buffer is moved out of the slot
+    // rather than borrowed in a closure on purpose: the hot loop must
+    // stay on the `#[inline(always)]` path into the `#[target_feature]`
+    // wrappers, and a closure would sever that chain.
+    let need = a.cols.min(KC) * (b.cols.min(NC) / NR) * NR;
+    let mut bpack = crate::pool::take_pack_scratch(need);
     matmul_panel_packed::<FMA>(a, b, rows, out, &mut bpack);
+    crate::pool::put_pack_scratch(bpack);
 }
 
 #[inline(always)]
@@ -694,8 +699,13 @@ fn matmul_t_panel_body<const FMA: bool>(
 // Public matmul entry points
 // ---------------------------------------------------------------------------
 
-/// Dispatch one of the matmul panels serially or across the pool.
-fn run_matmul(
+/// Dispatch one of the matmul panels serially or across the pool,
+/// accumulating into `out`, which the caller must supply **zeroed**
+/// (panels add into it) and sized `out_rows * out_cols`. The
+/// serial/parallel split is identical to the allocating path, so
+/// results are bitwise the same.
+#[allow(clippy::too_many_arguments)]
+fn run_matmul_into(
     a: &Tensor,
     b: &Tensor,
     out_rows: usize,
@@ -703,14 +713,15 @@ fn run_matmul(
     madds: usize,
     force_parallel: bool,
     panel: fn(&Tensor, &Tensor, Range<usize>, &mut [f32]),
-) -> Tensor {
-    let mut out = Tensor::zeros(out_rows, out_cols);
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), out_rows * out_cols);
     let threads = pool().threads();
     if threads <= 1 || (!force_parallel && madds < MATMUL_PAR_THRESHOLD) {
-        panel(a, b, 0..out_rows, &mut out.data);
-        return out;
+        panel(a, b, 0..out_rows, out);
+        return;
     }
-    let ptr = SendPtr(out.data.as_mut_ptr());
+    let ptr = SendPtr(out.as_mut_ptr());
     parallel_for(out_rows, row_grain(out_rows, threads), move |rows| {
         // SAFETY: chunks are disjoint row ranges of `out`, which
         // outlives the `parallel_for` call.
@@ -722,6 +733,29 @@ fn run_matmul(
         };
         panel(a, b, rows, sub);
     });
+}
+
+/// Dispatch one of the matmul panels serially or across the pool.
+fn run_matmul(
+    a: &Tensor,
+    b: &Tensor,
+    out_rows: usize,
+    out_cols: usize,
+    madds: usize,
+    force_parallel: bool,
+    panel: fn(&Tensor, &Tensor, Range<usize>, &mut [f32]),
+) -> Tensor {
+    let mut out = Tensor::zeros(out_rows, out_cols);
+    run_matmul_into(
+        a,
+        b,
+        out_rows,
+        out_cols,
+        madds,
+        force_parallel,
+        panel,
+        &mut out.data,
+    );
     out
 }
 
@@ -734,6 +768,18 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let madds = a.rows * a.cols * b.cols;
     run_matmul(a, b, a.rows, b.cols, madds, false, matmul_panel)
+}
+
+/// Blocked `A·B` accumulated into a caller-supplied **zeroed** buffer
+/// of `a.rows * b.cols` elements; bitwise identical to [`matmul`].
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul: {}x{} · {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let madds = a.rows * a.cols * b.cols;
+    run_matmul_into(a, b, a.rows, b.cols, madds, false, matmul_panel, out);
 }
 
 /// Blocked `A·B` that always runs on the caller thread.
@@ -761,6 +807,18 @@ pub fn t_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     run_matmul(a, b, a.cols, b.cols, madds, false, t_matmul_panel)
 }
 
+/// Blocked `Aᵀ·B` accumulated into a caller-supplied **zeroed** buffer
+/// of `a.cols * b.cols` elements; bitwise identical to [`t_matmul`].
+pub fn t_matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    assert_eq!(
+        a.rows, b.rows,
+        "t_matmul: {}x{}ᵀ · {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let madds = a.cols * a.rows * b.cols;
+    run_matmul_into(a, b, a.cols, b.cols, madds, false, t_matmul_panel, out);
+}
+
 /// Blocked `Aᵀ·B` that always runs on the caller thread.
 pub fn t_matmul_serial(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rows, b.rows, "t_matmul_serial: row mismatch");
@@ -784,6 +842,18 @@ pub fn matmul_t(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let madds = a.rows * a.cols * b.rows;
     run_matmul(a, b, a.rows, b.rows, madds, false, matmul_t_panel)
+}
+
+/// Blocked `A·Bᵀ` accumulated into a caller-supplied **zeroed** buffer
+/// of `a.rows * b.rows` elements; bitwise identical to [`matmul_t`].
+pub fn matmul_t_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_t: {}x{} · {}x{}ᵀ",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let madds = a.rows * a.cols * b.rows;
+    run_matmul_into(a, b, a.rows, b.rows, madds, false, matmul_t_panel, out);
 }
 
 /// Blocked `A·Bᵀ` that always runs on the caller thread.
@@ -825,10 +895,12 @@ pub fn transpose(t: &Tensor) -> Tensor {
     out
 }
 
-/// Elementwise map, parallel above [`ELEMWISE_PAR_THRESHOLD`].
-pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+/// Elementwise map into a caller-supplied buffer (fully overwritten,
+/// so recycled buffers with stale contents are fine), parallel above
+/// [`ELEMWISE_PAR_THRESHOLD`] with the same split as [`map`].
+pub fn map_into(t: &Tensor, out: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
     let n = t.len();
-    let mut out = vec![0.0f32; n];
+    debug_assert_eq!(out.len(), n);
     if n < ELEMWISE_PAR_THRESHOLD || pool().threads() <= 1 {
         for (o, &v) in out.iter_mut().zip(t.data.iter()) {
             *o = f(v);
@@ -843,6 +915,12 @@ pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
             }
         });
     }
+}
+
+/// Elementwise map, parallel above [`ELEMWISE_PAR_THRESHOLD`].
+pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = vec![0.0f32; t.len()];
+    map_into(t, &mut out, f);
     Tensor {
         rows: t.rows,
         cols: t.cols,
@@ -850,11 +928,13 @@ pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     }
 }
 
-/// Elementwise zip, parallel above [`ELEMWISE_PAR_THRESHOLD`].
-pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+/// Elementwise zip into a caller-supplied buffer (fully overwritten),
+/// parallel above [`ELEMWISE_PAR_THRESHOLD`] with the same split as
+/// [`zip`].
+pub fn zip_into(a: &Tensor, b: &Tensor, out: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
     debug_assert_eq!((a.rows, a.cols), (b.rows, b.cols));
     let n = a.len();
-    let mut out = vec![0.0f32; n];
+    debug_assert_eq!(out.len(), n);
     if n < ELEMWISE_PAR_THRESHOLD || pool().threads() <= 1 {
         for ((o, &x), &y) in out.iter_mut().zip(a.data.iter()).zip(b.data.iter()) {
             *o = f(x, y);
@@ -873,6 +953,12 @@ pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor
             }
         });
     }
+}
+
+/// Elementwise zip, parallel above [`ELEMWISE_PAR_THRESHOLD`].
+pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let mut out = vec![0.0f32; a.len()];
+    zip_into(a, b, &mut out, f);
     Tensor {
         rows: a.rows,
         cols: a.cols,

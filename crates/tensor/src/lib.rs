@@ -15,6 +15,10 @@
 //! * [`kernel`] — blocked, register-tiled matmul/elementwise kernels
 //!   plus the lazily-spawned shared worker pool (`DC_THREADS` sets the
 //!   size; results are bitwise identical for every thread count).
+//! * [`pool`] — the step-scoped [`BufferPool`] behind every tape
+//!   allocation; [`Tape::recycle`] makes steady-state training steps
+//!   (near-)allocation-free. `DC_POOL=0` / `DC_FUSE=0` fall back to
+//!   fresh allocations / unfused ops, bitwise identically.
 //! * [`grad_check`] — finite-difference gradient checking used by the
 //!   test-suites of every downstream model.
 //!
@@ -23,10 +27,14 @@
 //! seed.
 
 pub mod kernel;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 
-pub use tape::{op_name, Op, Tape, Var};
+pub use pool::{
+    fuse_enabled, pool_enabled, set_fuse_enabled, set_pool_enabled, BufferPool, PoolStats,
+};
+pub use tape::{op_name, EltStage, Op, Tape, Var};
 pub use tensor::Tensor;
 
 /// Numerically check the gradient of `f` at `x` against finite differences.

@@ -1,0 +1,373 @@
+//! Step-scoped buffer pool backing tape node values, gradient
+//! buffers, and kernel pack scratch.
+//!
+//! Training steps rebuild the define-by-run tape every batch; without
+//! recycling, every node value and every gradient is a fresh heap
+//! allocation and the allocator — not the GEMM kernels — dominates the
+//! small/medium shapes DeepER and the autoencoders actually run. The
+//! [`BufferPool`] keeps freelists of `Vec<f32>` keyed on *exact*
+//! element count (training shapes repeat exactly step over step, so
+//! size classes never need rounding); [`crate::tape::Tape::recycle`]
+//! returns every pooled buffer at step end and steady-state steps hit
+//! the freelists for every allocation.
+//!
+//! Recycled buffers are handed back with stale contents. That is safe
+//! only because every consumer either fully overwrites the buffer
+//! (elementwise maps/zips, row copies) or asks for [`BufferPool::take_zeroed`]
+//! (matmul panels accumulate with `+=`; scatter-style backward ops).
+//!
+//! Gates: `DC_POOL=0` disables pooling (every take is a fresh
+//! allocation, every put a drop) and `DC_FUSE=0` disables elementwise
+//! fusion; both default on and can be flipped at runtime with
+//! [`set_pool_enabled`]/[`set_fuse_enabled`] for in-process A/B runs —
+//! a [`BufferPool`] samples the pool gate at construction and at each
+//! [`crate::tape::Tape::recycle`], never mid-step.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// ---------------------------------------------------------------------------
+// Gates
+// ---------------------------------------------------------------------------
+
+/// 0 = uninitialized, 1 = off, 2 = on (same scheme as dc-obs's gate).
+static POOL_STATE: AtomicU8 = AtomicU8::new(0);
+static FUSE_STATE: AtomicU8 = AtomicU8::new(0);
+
+#[inline(always)]
+fn gate(state: &'static AtomicU8, env: &'static str) -> bool {
+    match state.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => gate_init(state, env),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn gate_init(state: &'static AtomicU8, env: &'static str) -> bool {
+    let on = std::env::var(env).map(|v| v != "0").unwrap_or(true);
+    state.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// True unless `DC_POOL=0` (or [`set_pool_enabled`]`(false)`). Sampled
+/// by tapes at construction/recycle time, and by the kernel pack
+/// scratch cache on every matmul panel.
+#[inline(always)]
+pub fn pool_enabled() -> bool {
+    gate(&POOL_STATE, "DC_POOL")
+}
+
+/// True unless `DC_FUSE=0` (or [`set_fuse_enabled`]`(false)`):
+/// adjacent unary elementwise tape ops collapse into one
+/// `FusedEltwise` node.
+#[inline(always)]
+pub fn fuse_enabled() -> bool {
+    gate(&FUSE_STATE, "DC_FUSE")
+}
+
+/// Force the pool gate, overriding `DC_POOL`. Existing tapes keep the
+/// setting they sampled until their next `recycle()`.
+pub fn set_pool_enabled(on: bool) {
+    POOL_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Force the fusion gate, overriding `DC_FUSE`. Takes effect for ops
+/// recorded after the call.
+pub fn set_fuse_enabled(on: bool) {
+    FUSE_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+static POOL_HIT: dc_obs::Counter = dc_obs::Counter::new("tape.pool.hit");
+static POOL_MISS: dc_obs::Counter = dc_obs::Counter::new("tape.pool.miss");
+static POOL_BYTES: dc_obs::Gauge = dc_obs::Gauge::new("tape.pool.bytes");
+
+/// Point-in-time pool accounting, exposed via
+/// [`crate::tape::Tape::pool_stats`] and embedded in `BENCH_train.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from a freelist.
+    pub hits: u64,
+    /// Takes that fell back to a fresh allocation (pool off, or no
+    /// buffer of that size class available).
+    pub misses: u64,
+    /// Bytes currently handed out to live tensors.
+    pub outstanding_bytes: usize,
+    /// Bytes currently parked on the freelists.
+    pub held_bytes: usize,
+    /// Peak of `outstanding + held`: total f32 storage this pool has
+    /// ever been responsible for at once. A leak (buffers allocated
+    /// but never recycled) shows up as this growing step over step.
+    pub high_water_bytes: usize,
+}
+
+/// One freelist of recycled buffers, all of exactly `len` elements.
+struct SizeClass {
+    len: usize,
+    free: Vec<Vec<f32>>,
+}
+
+/// Size-class freelists of `Vec<f32>`, one pool per [`crate::tape::Tape`].
+/// Single-threaded by design (tapes are `!Sync`); all interior
+/// mutability is `Cell`/`RefCell`.
+///
+/// Classes live in a linear-scanned `Vec` rather than a `HashMap`: a
+/// training step sees only a handful of distinct shapes, and at
+/// hundreds of take/put calls per step the SipHash of a `HashMap`
+/// lookup costs more than the scan.
+pub struct BufferPool {
+    enabled: Cell<bool>,
+    classes: RefCell<Vec<SizeClass>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    /// Counts already forwarded to the dc-obs counters; the take/put
+    /// hot path only touches `Cell`s, and [`BufferPool::publish_counters`]
+    /// forwards the deltas at recycle/drop boundaries.
+    published_hits: Cell<u64>,
+    published_misses: Cell<u64>,
+    outstanding: Cell<usize>,
+    held: Cell<usize>,
+    high_water: Cell<usize>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// A fresh pool; samples the global pool gate.
+    pub fn new() -> Self {
+        BufferPool {
+            enabled: Cell::new(pool_enabled()),
+            classes: RefCell::new(Vec::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            published_hits: Cell::new(0),
+            published_misses: Cell::new(0),
+            outstanding: Cell::new(0),
+            held: Cell::new(0),
+            high_water: Cell::new(0),
+        }
+    }
+
+    /// Whether this pool recycles (sampled from the global gate at
+    /// construction / last [`BufferPool::refresh_enabled`]).
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Re-sample the global gate. Called from `Tape::recycle()` so
+    /// in-process A/B benchmarks can flip pooling between steps
+    /// without constructing new tapes.
+    pub fn refresh_enabled(&self) {
+        self.enabled.set(pool_enabled());
+    }
+
+    /// A freelist buffer of exactly `n` elements, or `None` on a miss.
+    /// Hits move bytes held → outstanding (total unchanged, so neither
+    /// the high-water mark nor the gauge needs refreshing); misses grow
+    /// the total and publish.
+    fn take_recycled(&self, n: usize) -> Option<Vec<f32>> {
+        let bytes = n * std::mem::size_of::<f32>();
+        if self.enabled.get() {
+            if let Some(buf) = self
+                .classes
+                .borrow_mut()
+                .iter_mut()
+                .find(|c| c.len == n)
+                .and_then(|c| c.free.pop())
+            {
+                self.hits.set(self.hits.get() + 1);
+                self.held.set(self.held.get() - bytes);
+                self.outstanding.set(self.outstanding.get() + bytes);
+                return Some(buf);
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        self.outstanding.set(self.outstanding.get() + bytes);
+        self.publish();
+        None
+    }
+
+    /// A buffer of exactly `n` elements with **unspecified contents**
+    /// (recycled buffers keep their previous values). Callers must
+    /// fully overwrite it or use [`BufferPool::take_zeroed`].
+    pub fn take(&self, n: usize) -> Vec<f32> {
+        self.take_recycled(n).unwrap_or_else(|| vec![0.0; n])
+    }
+
+    /// A buffer of exactly `n` elements, zero-filled. For consumers
+    /// that accumulate (`+=`) instead of overwriting: matmul outputs,
+    /// scatter-style gradient buffers. Only recycled buffers pay the
+    /// clear; fresh allocations are already zero.
+    pub fn take_zeroed(&self, n: usize) -> Vec<f32> {
+        match self.take_recycled(n) {
+            Some(mut buf) => {
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                buf
+            }
+            None => vec![0.0; n],
+        }
+    }
+
+    /// Return a buffer to its freelist (dropped when pooling is off).
+    pub fn put(&self, buf: Vec<f32>) {
+        let bytes = buf.len() * std::mem::size_of::<f32>();
+        self.outstanding
+            .set(self.outstanding.get().saturating_sub(bytes));
+        if self.enabled.get() {
+            // Total bytes unchanged (outstanding → held): skip publish.
+            self.held.set(self.held.get() + bytes);
+            let mut classes = self.classes.borrow_mut();
+            match classes.iter_mut().find(|c| c.len == buf.len()) {
+                Some(class) => class.free.push(buf),
+                None => classes.push(SizeClass {
+                    len: buf.len(),
+                    free: vec![buf],
+                }),
+            }
+        } else {
+            self.publish();
+        }
+    }
+
+    /// Forward hit/miss counts accumulated since the last call to the
+    /// `tape.pool.hit`/`tape.pool.miss` dc-obs counters. Called from
+    /// `Tape::recycle()` and `Tape::drop` so the per-take hot path
+    /// never touches an atomic.
+    pub fn publish_counters(&self) {
+        let dh = self.hits.get() - self.published_hits.get();
+        if dh > 0 {
+            POOL_HIT.add(dh);
+            self.published_hits.set(self.hits.get());
+        }
+        let dm = self.misses.get() - self.published_misses.get();
+        if dm > 0 {
+            POOL_MISS.add(dm);
+            self.published_misses.set(self.misses.get());
+        }
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            outstanding_bytes: self.outstanding.get(),
+            held_bytes: self.held.get(),
+            high_water_bytes: self.high_water.get(),
+        }
+    }
+
+    fn publish(&self) {
+        let total = self.outstanding.get() + self.held.get();
+        if total > self.high_water.get() {
+            self.high_water.set(total);
+        }
+        POOL_BYTES.set(total as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pack scratch
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread reusable B-panel pack scratch for the blocked matmul
+    /// (each worker packs its own panel). `Cell<Vec<f32>>` so taking
+    /// and restoring the buffer never risks a re-entrant borrow.
+    static PACK_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Borrow this thread's pack scratch, grown to at least `n` elements
+/// (stale contents — matmul packing fully overwrites the region it
+/// reads). Falls back to a fresh zeroed allocation when pooling is
+/// off. Pair with [`put_pack_scratch`].
+pub fn take_pack_scratch(n: usize) -> Vec<f32> {
+    if pool_enabled() {
+        let mut buf = PACK_SCRATCH.with(|c| c.take());
+        if buf.len() < n {
+            buf.resize(n, 0.0);
+        }
+        buf
+    } else {
+        vec![0.0; n]
+    }
+}
+
+/// Park the pack scratch back in this thread's slot (dropped when
+/// pooling is off).
+pub fn put_pack_scratch(buf: Vec<f32>) {
+    if pool_enabled() {
+        PACK_SCRATCH.with(|c| c.set(buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_by_size_class() {
+        let pool = BufferPool::new();
+        pool.enabled.set(true);
+        let a = pool.take(16);
+        assert_eq!(a.len(), 16);
+        pool.put(a);
+        let b = pool.take(16);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1, "second take of the same class is a hit");
+        assert_eq!(s.misses, 1);
+        let c = pool.take(8);
+        assert_eq!(pool.stats().misses, 2, "different class misses");
+        pool.put(b);
+        pool.put(c);
+        let s = pool.stats();
+        assert_eq!(s.outstanding_bytes, 0);
+        assert_eq!(s.held_bytes, (16 + 8) * 4);
+        assert_eq!(s.high_water_bytes, (16 + 8) * 4);
+    }
+
+    #[test]
+    fn take_zeroed_clears_recycled_contents() {
+        let pool = BufferPool::new();
+        pool.enabled.set(true);
+        let mut a = pool.take(4);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.put(a);
+        let b = pool.take_zeroed(4);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disabled_pool_never_holds_buffers() {
+        let pool = BufferPool::new();
+        pool.enabled.set(false);
+        let a = pool.take(32);
+        pool.put(a);
+        let s = pool.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.held_bytes, 0);
+        assert_eq!(pool.take(32).len(), 32);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn pack_scratch_grows_and_is_reused() {
+        // Serialize against other tests that flip the global gates.
+        set_pool_enabled(true);
+        let buf = take_pack_scratch(64);
+        assert!(buf.len() >= 64);
+        put_pack_scratch(buf);
+        let again = take_pack_scratch(32);
+        assert!(again.len() >= 64, "scratch kept its high-water size");
+        put_pack_scratch(again);
+    }
+}

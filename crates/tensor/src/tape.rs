@@ -6,20 +6,40 @@
 //! the scalar loss, then read gradients back out for the optimiser. Node
 //! indices are monotonically increasing, so a single reverse sweep over
 //! the arena visits every node after all of its consumers.
+//!
+//! Two step-scoped optimisations keep the steady state (near-)free of
+//! heap allocations, both bitwise-transparent (same float op order as
+//! the naive path — pinned by `tests/pool_equiv.rs`):
+//!
+//! * **Buffer pooling** — every node value and gradient buffer comes
+//!   from the tape's [`BufferPool`]; [`Tape::recycle`] returns them all
+//!   at step end and re-mints the tape's generation id, so one tape
+//!   serves a whole training run without growing. `DC_POOL=0` disables.
+//! * **Elementwise fusion** — chains of unary elementwise ops
+//!   (`scale`/`add_scalar`/`sigmoid`/`tanh`/`relu`/`leaky_relu`/`exp`/
+//!   `ln`/`abs`) collapse into one [`Op::FusedEltwise`] node whose
+//!   backward replays the whole chain in a single per-element pass when
+//!   no intermediate is consumed elsewhere. `DC_FUSE=0` disables.
 
+use crate::pool::BufferPool;
 use crate::tensor::Tensor;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic generation counter handing every [`Tape`] a process-unique id,
-/// so a [`Var`] can prove which tape minted it.
+/// so a [`Var`] can prove which tape minted it. [`Tape::recycle`] mints a
+/// fresh id too, invalidating handles from the previous step.
 static NEXT_TAPE_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Longest unary elementwise chain collapsed into one [`Op::FusedEltwise`]
+/// node; longer chains simply start a new fused node.
+const MAX_FUSED_STAGES: usize = 16;
+
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
-/// that produced it — the handle carries its tape's generation id, and
-/// every tape operation asserts the id matches, so feeding a `Var` to a
-/// different tape fails fast instead of silently reading another graph's
-/// node.
+/// *generation* that produced it — the handle carries its tape's generation
+/// id, and every tape operation asserts the id matches, so feeding a `Var`
+/// to a different (or recycled) tape fails fast instead of silently reading
+/// another graph's node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var {
     index: usize,
@@ -35,6 +55,95 @@ impl Var {
     /// Generation id of the tape that minted this handle (see [`Tape::id`]).
     pub fn tape_id(self) -> u64 {
         self.tape
+    }
+}
+
+/// One unary elementwise stage of a fused chain. The forward/backward
+/// formulas are byte-for-byte those of the corresponding standalone
+/// [`Op`] variant — fusion must not change a single float operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EltStage {
+    /// `x * s`.
+    Scale(f32),
+    /// `x + s`.
+    AddScalar(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Natural exponent.
+    Exp,
+    /// `ln(max(x, 1e-12))`.
+    Ln,
+    /// Absolute value.
+    Abs,
+}
+
+impl EltStage {
+    /// The op label this stage carries in timers and diagnostics —
+    /// identical to the standalone op's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EltStage::Scale(_) => "scale",
+            EltStage::AddScalar(_) => "add_scalar",
+            EltStage::Sigmoid => "sigmoid",
+            EltStage::Tanh => "tanh",
+            EltStage::Relu => "relu",
+            EltStage::LeakyRelu(_) => "leaky_relu",
+            EltStage::Exp => "exp",
+            EltStage::Ln => "ln",
+            EltStage::Abs => "abs",
+        }
+    }
+
+    /// Backward: incoming gradient `acc` times this stage's local
+    /// derivative, written with exactly the float expressions of the
+    /// standalone op's backward arm (`x` is the stage input, `y` its
+    /// output — whichever the formula needs).
+    #[inline(always)]
+    fn dgrad(self, acc: f32, x: f32, y: f32) -> f32 {
+        match self {
+            EltStage::Scale(s) => acc * s,
+            EltStage::AddScalar(_) => acc,
+            EltStage::Sigmoid => acc * y * (1.0 - y),
+            EltStage::Tanh => acc * (1.0 - y * y),
+            EltStage::Relu => {
+                if x > 0.0 {
+                    acc
+                } else {
+                    0.0
+                }
+            }
+            EltStage::LeakyRelu(al) => {
+                if x > 0.0 {
+                    acc
+                } else {
+                    al * acc
+                }
+            }
+            EltStage::Exp => acc * y,
+            EltStage::Ln => acc / x.max(1e-12),
+            EltStage::Abs => acc * x.signum(),
+        }
+    }
+
+    /// The standalone [`Op`] recorded when this stage does not fuse.
+    fn plain_op(self, a: Var) -> Op {
+        match self {
+            EltStage::Scale(s) => Op::Scale(a, s),
+            EltStage::AddScalar(s) => Op::AddScalar(a, s),
+            EltStage::Sigmoid => Op::Sigmoid(a),
+            EltStage::Tanh => Op::Tanh(a),
+            EltStage::Relu => Op::Relu(a),
+            EltStage::LeakyRelu(al) => Op::LeakyRelu(a, al),
+            EltStage::Exp => Op::Exp(a),
+            EltStage::Ln => Op::Ln(a),
+            EltStage::Abs => Op::Abs(a),
+        }
     }
 }
 
@@ -107,19 +216,50 @@ pub enum Op {
         /// Cached row-softmax from the forward pass.
         probs: Tensor,
     },
+    /// A chain of unary elementwise stages collapsed into one node.
+    ///
+    /// `interiors[j]` is the (still recorded, never stolen) node holding
+    /// the output of `stages[j]`; this node's own value is the output of
+    /// the final stage. Backward takes a single per-element pass over
+    /// the whole chain when no interior is consumed outside the chain,
+    /// otherwise it peels one stage and lets the sweep continue — both
+    /// paths are bitwise identical to the unfused graph.
+    FusedEltwise {
+        /// Input of the first stage.
+        root: Var,
+        /// The stages, in application order (`stages.len() >= 2`).
+        stages: Vec<EltStage>,
+        /// Intermediate output nodes, one per stage except the last
+        /// (`interiors.len() == stages.len() - 1`).
+        interiors: Vec<Var>,
+    },
 }
 
 struct Node {
     value: Tensor,
     op: Op,
+    /// Value buffer came from the tape's pool (recycled at step end).
+    /// False for caller-moved leaves, which the caller may hold clones
+    /// of and whose sizes would otherwise grow the pool unboundedly.
+    pooled: bool,
+    /// The op embeds a pool-allocated auxiliary tensor (the cached
+    /// `probs` of the loss ops) that `recycle` must also return.
+    aux_pooled: bool,
 }
 
-/// An autograd tape: an append-only arena of [`Op`] nodes.
+/// An autograd tape: an append-only arena of [`Op`] nodes backed by a
+/// step-scoped [`BufferPool`].
 pub struct Tape {
-    id: u64,
+    id: Cell<u64>,
     nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,
     backward_runs: Cell<u32>,
+    pool: BufferPool,
+    has_fused: Cell<bool>,
+    /// Reusable backward scratch (consumer counts / deferred fused-root
+    /// credits) so steady-state sweeps allocate nothing.
+    scratch_counts: RefCell<Vec<u32>>,
+    scratch_pending: RefCell<Vec<Option<(usize, Tensor)>>>,
 }
 
 impl Default for Tape {
@@ -132,22 +272,27 @@ impl Tape {
     /// Create an empty tape.
     pub fn new() -> Self {
         Tape {
-            id: NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed),
+            id: Cell::new(NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed)),
             nodes: RefCell::new(Vec::new()),
             grads: RefCell::new(Vec::new()),
             backward_runs: Cell::new(0),
+            pool: BufferPool::new(),
+            has_fused: Cell::new(false),
+            scratch_counts: RefCell::new(Vec::new()),
+            scratch_pending: RefCell::new(Vec::new()),
         }
     }
 
     /// Process-unique generation id of this tape. Every [`Var`] it mints
-    /// carries the same id (see [`Var::tape_id`]).
+    /// carries the same id (see [`Var::tape_id`]); [`Tape::recycle`]
+    /// replaces it.
     pub fn id(&self) -> u64 {
-        self.id
+        self.id.get()
     }
 
-    /// How many times [`Tape::backward`] has run on this tape. Each run
-    /// *replaces* the stored gradients, so more than one run per tape is
-    /// almost always a bug; `dc-check` lints on it.
+    /// How many times [`Tape::backward`] has run on this tape generation.
+    /// Each run *replaces* the stored gradients, so more than one run per
+    /// generation is almost always a bug; `dc-check` lints on it.
     pub fn backward_runs(&self) -> u32 {
         self.backward_runs.get()
     }
@@ -162,15 +307,59 @@ impl Tape {
         self.len() == 0
     }
 
+    /// End-of-step reset: return every pooled buffer (node values,
+    /// cached loss probabilities, gradients) to the tape's pool, clear
+    /// the arena keeping its capacity, and mint a fresh generation id so
+    /// stale [`Var`]s from the finished step fail fast. The next step
+    /// records onto the same tape and its allocations hit the pool's
+    /// freelists instead of the allocator.
+    pub fn recycle(&self) {
+        let mut nodes = self.nodes.borrow_mut();
+        for node in nodes.drain(..) {
+            if node.pooled {
+                self.pool.put(node.value.data);
+            }
+            if node.aux_pooled {
+                match node.op {
+                    Op::BceWithLogits { probs, .. } | Op::SoftmaxCe { probs, .. } => {
+                        self.pool.put(probs.data)
+                    }
+                    _ => debug_assert!(false, "aux_pooled on an op without an aux tensor"),
+                }
+            }
+        }
+        drop(nodes);
+        let mut grads = self.grads.borrow_mut();
+        for t in grads.drain(..).flatten() {
+            self.pool.put(t.data);
+        }
+        drop(grads);
+        // Backward drains `scratch_pending` itself; sweep past it anyway
+        // in case a panic unwound mid-backward.
+        for (_, t) in self.scratch_pending.borrow_mut().drain(..).flatten() {
+            self.pool.put(t.data);
+        }
+        self.backward_runs.set(0);
+        self.has_fused.set(false);
+        self.pool.publish_counters();
+        self.pool.refresh_enabled();
+        self.id.set(NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed));
+    }
+
+    /// Snapshot of the tape's pool accounting (hits/misses/bytes).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
     /// Panic unless `v` was minted by this tape.
     fn assert_owned(&self, v: Var, ctx: &str) {
         assert!(
-            v.tape == self.id,
+            v.tape == self.id.get(),
             "{ctx}: Var {{ index: {}, tape: {} }} does not belong to this tape (id {}); \
              handles are only valid on the tape that created them",
             v.index,
             v.tape,
-            self.id
+            self.id.get()
         );
     }
 
@@ -200,31 +389,87 @@ impl Tape {
             | Op::MseLoss(a, _) => check(a),
             Op::Concat(parts) => parts.iter().for_each(&mut check),
             Op::BceWithLogits { logits, .. } | Op::SoftmaxCe { logits, .. } => check(logits),
+            Op::FusedEltwise {
+                root, interiors, ..
+            } => {
+                check(root);
+                interiors.iter().for_each(&mut check);
+            }
         }
     }
 
-    fn push(&self, value: Tensor, op: Op) -> Var {
+    fn push(&self, value: Tensor, pooled: bool, op: Op) -> Var {
+        self.push_full(value, pooled, false, op)
+    }
+
+    fn push_full(&self, value: Tensor, pooled: bool, aux_pooled: bool, op: Op) -> Var {
         static TAPE_NODES: dc_obs::Counter = dc_obs::Counter::new("tape.nodes");
         TAPE_NODES.incr();
         self.assert_owned_op(&op);
+        if matches!(op, Op::FusedEltwise { .. }) {
+            self.has_fused.set(true);
+        }
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, op });
+        nodes.push(Node {
+            value,
+            op,
+            pooled,
+            aux_pooled,
+        });
         self.grads.borrow_mut().push(None);
         Var {
             index: nodes.len() - 1,
-            tape: self.id,
+            tape: self.id.get(),
         }
     }
 
-    /// Register `t` as a leaf (input or parameter).
+    /// Register `t` as a leaf (input or parameter), taking ownership of
+    /// its buffer. The buffer is *not* pooled — prefer [`Tape::var_from`]
+    /// / [`Tape::var_slice`] on recycled hot paths so leaf storage also
+    /// comes from the pool.
     pub fn var(&self, t: Tensor) -> Var {
-        self.push(t, Op::Leaf)
+        self.push(t, false, Op::Leaf)
+    }
+
+    /// Register a leaf by copying `t` into a pool-backed buffer.
+    pub fn var_from(&self, t: &Tensor) -> Var {
+        self.var_slice(t.rows, t.cols, &t.data)
+    }
+
+    /// Register a `rows×cols` leaf by copying `data` into a pool-backed
+    /// buffer — the pooled counterpart of
+    /// `var(Tensor::from_vec(rows, cols, data.to_vec()))`.
+    pub fn var_slice(&self, rows: usize, cols: usize, data: &[f32]) -> Var {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "var_slice: {} values do not fill {rows}x{cols}",
+            data.len()
+        );
+        let mut v = self.alloc(rows, cols);
+        v.data.copy_from_slice(data);
+        self.push(v, true, Op::Leaf)
     }
 
     /// Clone the current value of a node.
     pub fn value(&self, v: Var) -> Tensor {
         self.assert_owned(v, "value");
         self.nodes.borrow()[v.index].value.clone()
+    }
+
+    /// Read a scalar (`1×1`) node's value without cloning.
+    pub fn item(&self, v: Var) -> f32 {
+        self.assert_owned(v, "item");
+        let n = self.nodes.borrow();
+        let t = &n[v.index].value;
+        assert_eq!(
+            t.len(),
+            1,
+            "item: node is {}x{}, not a scalar",
+            t.rows,
+            t.cols
+        );
+        t.data[0]
     }
 
     /// Shape of a node's value without cloning it.
@@ -269,8 +514,83 @@ impl Tape {
         }
     }
 
+    /// Run `f` against a node's accumulated gradient without cloning it
+    /// (a zero tensor of the node's shape if untouched by the last
+    /// [`Tape::backward`] call). The optimiser hot path: reads the
+    /// gradient in place instead of materialising a copy per parameter.
+    pub fn with_grad<R>(&self, v: Var, f: impl FnOnce(&Tensor) -> R) -> R {
+        self.assert_owned(v, "with_grad");
+        let g = self.grads.borrow();
+        match &g[v.index] {
+            Some(t) => f(t),
+            None => {
+                let n = self.nodes.borrow();
+                f(&Tensor::zeros(n[v.index].value.rows, n[v.index].value.cols))
+            }
+        }
+    }
+
     fn with_values<R>(&self, f: impl FnOnce(&[Node]) -> R) -> R {
         f(&self.nodes.borrow())
+    }
+
+    // ----- pooled construction helpers --------------------------------
+
+    /// A `rows×cols` tensor on a pool buffer with **stale contents**;
+    /// callers must fully overwrite it.
+    fn alloc(&self, rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: self.pool.take(rows * cols),
+        }
+    }
+
+    /// A zero-filled `rows×cols` tensor on a pool buffer, for consumers
+    /// that accumulate (`+=`) instead of overwriting.
+    fn alloc_zeroed(&self, rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: self.pool.take_zeroed(rows * cols),
+        }
+    }
+
+    /// A pooled `1×1` scalar.
+    fn alloc_scalar(&self, v: f32) -> Tensor {
+        let mut t = self.alloc(1, 1);
+        t.data[0] = v;
+        t
+    }
+
+    /// A pooled copy of `src`.
+    fn pcopy(&self, src: &Tensor) -> Tensor {
+        let mut out = self.alloc(src.rows, src.cols);
+        out.data.copy_from_slice(&src.data);
+        out
+    }
+
+    /// Pooled counterpart of [`Tensor::map`].
+    fn pmap(&self, src: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = self.alloc(src.rows, src.cols);
+        crate::kernel::map_into(src, &mut out.data, f);
+        out
+    }
+
+    /// Pooled counterpart of [`Tensor::zip`] (same shape assert).
+    fn pzip(&self, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(
+            (a.rows, a.cols),
+            (b.rows, b.cols),
+            "zip: {}x{} vs {}x{}",
+            a.rows,
+            a.cols,
+            b.rows,
+            b.cols
+        );
+        let mut out = self.alloc(a.rows, a.cols);
+        crate::kernel::zip_into(a, b, &mut out.data, f);
+        out
     }
 
     // ----- elementwise / structural ops -------------------------------
@@ -278,22 +598,22 @@ impl Tape {
     /// Elementwise sum.
     pub fn add(&self, a: Var, b: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "add");
-        let v = self.with_values(|n| n[a.index].value.add(&n[b.index].value));
-        self.push(v, Op::Add(a, b))
+        let v = self.with_values(|n| self.pzip(&n[a.index].value, &n[b.index].value, |x, y| x + y));
+        self.push(v, true, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "sub");
-        let v = self.with_values(|n| n[a.index].value.sub(&n[b.index].value));
-        self.push(v, Op::Sub(a, b))
+        let v = self.with_values(|n| self.pzip(&n[a.index].value, &n[b.index].value, |x, y| x - y));
+        self.push(v, true, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "mul");
-        let v = self.with_values(|n| n[a.index].value.mul(&n[b.index].value));
-        self.push(v, Op::Mul(a, b))
+        let v = self.with_values(|n| self.pzip(&n[a.index].value, &n[b.index].value, |x, y| x * y));
+        self.push(v, true, Op::Mul(a, b))
     }
 
     /// Matrix product. Forward (and the `matmul_t`/`t_matmul` pair in
@@ -301,89 +621,143 @@ impl Tape {
     /// split large products over the shared worker pool.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "matmul");
-        let v = self.with_values(|n| n[a.index].value.matmul(&n[b.index].value));
-        self.push(v, Op::MatMul(a, b))
+        let v = self.with_values(|n| {
+            let (x, y) = (&n[a.index].value, &n[b.index].value);
+            let mut out = self.alloc_zeroed(x.rows, y.cols);
+            crate::kernel::matmul_into(x, y, &mut out.data);
+            out
+        });
+        self.push(v, true, Op::MatMul(a, b))
     }
 
     /// Multiply by a constant scalar.
     pub fn scale(&self, a: Var, s: f32) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "scale");
-        let v = self.with_values(|n| n[a.index].value.scale(s));
-        self.push(v, Op::Scale(a, s))
+        self.eltwise(a, EltStage::Scale(s))
     }
 
     /// Add a constant scalar.
     pub fn add_scalar(&self, a: Var, s: f32) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "add_scalar");
-        let v = self.with_values(|n| n[a.index].value.map(|x| x + s));
-        self.push(v, Op::AddScalar(a, s))
+        self.eltwise(a, EltStage::AddScalar(s))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "sigmoid");
-        let v = self.with_values(|n| n[a.index].value.map(|x| 1.0 / (1.0 + (-x).exp())));
-        self.push(v, Op::Sigmoid(a))
+        self.eltwise(a, EltStage::Sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "tanh");
-        let v = self.with_values(|n| n[a.index].value.map(f32::tanh));
-        self.push(v, Op::Tanh(a))
+        self.eltwise(a, EltStage::Tanh)
     }
 
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "relu");
-        let v = self.with_values(|n| n[a.index].value.map(|x| x.max(0.0)));
-        self.push(v, Op::Relu(a))
+        self.eltwise(a, EltStage::Relu)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "leaky_relu");
-        let v = self.with_values(|n| {
-            n[a.index]
-                .value
-                .map(|x| if x > 0.0 { x } else { alpha * x })
-        });
-        self.push(v, Op::LeakyRelu(a, alpha))
+        self.eltwise(a, EltStage::LeakyRelu(alpha))
     }
 
     /// Elementwise exponent.
     pub fn exp(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "exp");
-        let v = self.with_values(|n| n[a.index].value.map(f32::exp));
-        self.push(v, Op::Exp(a))
+        self.eltwise(a, EltStage::Exp)
     }
 
     /// Elementwise `ln(max(x, 1e-12))` — clamped to stay finite.
     pub fn ln(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "ln");
-        let v = self.with_values(|n| n[a.index].value.map(|x| x.max(1e-12).ln()));
-        self.push(v, Op::Ln(a))
+        self.eltwise(a, EltStage::Ln)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self, a: Var) -> Var {
-        let _fwd = dc_obs::timer("tape.fwd", "abs");
-        let v = self.with_values(|n| n[a.index].value.map(f32::abs));
-        self.push(v, Op::Abs(a))
+        self.eltwise(a, EltStage::Abs)
+    }
+
+    /// Record one unary elementwise stage, fusing it onto `a`'s chain
+    /// when fusion is on and `a` is itself a unary elementwise node.
+    /// The forward value is always a single map over `a`'s value —
+    /// identical floats whether or not the op fuses.
+    fn eltwise(&self, a: Var, st: EltStage) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", st.name());
+        let v = self.with_values(|n| self.map_stage(&n[a.index].value, st));
+        let op = self.fuse_with(a, st).unwrap_or_else(|| st.plain_op(a));
+        self.push(v, true, op)
+    }
+
+    /// Apply one stage's forward formula over `src` into a pooled
+    /// buffer. Each arm passes the *same closure* the standalone op
+    /// used, so the kernels monomorphise identically.
+    fn map_stage(&self, src: &Tensor, st: EltStage) -> Tensor {
+        match st {
+            EltStage::Scale(s) => self.pmap(src, move |x| x * s),
+            EltStage::AddScalar(s) => self.pmap(src, move |x| x + s),
+            EltStage::Sigmoid => self.pmap(src, |x| 1.0 / (1.0 + (-x).exp())),
+            EltStage::Tanh => self.pmap(src, f32::tanh),
+            EltStage::Relu => self.pmap(src, |x| x.max(0.0)),
+            EltStage::LeakyRelu(al) => self.pmap(src, move |x| if x > 0.0 { x } else { al * x }),
+            EltStage::Exp => self.pmap(src, f32::exp),
+            EltStage::Ln => self.pmap(src, |x| x.max(1e-12).ln()),
+            EltStage::Abs => self.pmap(src, f32::abs),
+        }
+    }
+
+    /// If `a` is a unary elementwise node (or an existing fused chain
+    /// with room), the [`Op::FusedEltwise`] extending it by `st`.
+    fn fuse_with(&self, a: Var, st: EltStage) -> Option<Op> {
+        if !crate::pool::fuse_enabled() || a.tape != self.id.get() {
+            return None;
+        }
+        let nodes = self.nodes.borrow();
+        let start = |root: Var, first: EltStage| Op::FusedEltwise {
+            root,
+            stages: vec![first, st],
+            interiors: vec![a],
+        };
+        match &nodes[a.index].op {
+            Op::Scale(u, s) => Some(start(*u, EltStage::Scale(*s))),
+            Op::AddScalar(u, s) => Some(start(*u, EltStage::AddScalar(*s))),
+            Op::Sigmoid(u) => Some(start(*u, EltStage::Sigmoid)),
+            Op::Tanh(u) => Some(start(*u, EltStage::Tanh)),
+            Op::Relu(u) => Some(start(*u, EltStage::Relu)),
+            Op::LeakyRelu(u, al) => Some(start(*u, EltStage::LeakyRelu(*al))),
+            Op::Exp(u) => Some(start(*u, EltStage::Exp)),
+            Op::Ln(u) => Some(start(*u, EltStage::Ln)),
+            Op::Abs(u) => Some(start(*u, EltStage::Abs)),
+            Op::FusedEltwise {
+                root,
+                stages,
+                interiors,
+            } if stages.len() < MAX_FUSED_STAGES => {
+                let mut stages2 = Vec::with_capacity(stages.len() + 1);
+                stages2.extend_from_slice(stages);
+                stages2.push(st);
+                let mut interiors2 = Vec::with_capacity(interiors.len() + 1);
+                interiors2.extend_from_slice(interiors);
+                interiors2.push(a);
+                Some(Op::FusedEltwise {
+                    root: *root,
+                    stages: stages2,
+                    interiors: interiors2,
+                })
+            }
+            _ => None,
+        }
     }
 
     /// Sum to scalar.
     pub fn sum(&self, a: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "sum");
-        let v = self.with_values(|n| Tensor::scalar(n[a.index].value.sum()));
-        self.push(v, Op::Sum(a))
+        let v = self.with_values(|n| self.alloc_scalar(n[a.index].value.sum()));
+        self.push(v, true, Op::Sum(a))
     }
 
     /// Mean to scalar.
     pub fn mean(&self, a: Var) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "mean");
-        let v = self.with_values(|n| Tensor::scalar(n[a.index].value.mean()));
-        self.push(v, Op::Mean(a))
+        let v = self.with_values(|n| self.alloc_scalar(n[a.index].value.mean()));
+        self.push(v, true, Op::Mean(a))
     }
 
     /// Broadcast add a `1×m` row vector to every row of an `n×m` tensor.
@@ -394,21 +768,38 @@ impl Tape {
             let r = &n[row.index].value;
             assert_eq!(r.rows, 1, "add_row: rhs must be 1×m");
             assert_eq!(r.cols, x.cols, "add_row: column mismatch");
-            let mut out = x.clone();
+            let mut out = self.pcopy(x);
             out.add_row_inplace(r);
             out
         });
-        self.push(v, Op::AddRow(a, row))
+        self.push(v, true, Op::AddRow(a, row))
     }
 
     /// Concatenate along columns.
     pub fn concat(&self, parts: &[Var]) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "concat");
         let v = self.with_values(|n| {
-            let ts: Vec<Tensor> = parts.iter().map(|p| n[p.index].value.clone()).collect();
-            Tensor::hstack(&ts)
+            assert!(!parts.is_empty(), "hstack of nothing");
+            let rows = n[parts[0].index].value.rows;
+            let cols: usize = parts.iter().map(|p| n[p.index].value.cols).sum();
+            let mut out = self.alloc(rows, cols);
+            for r in 0..rows {
+                let mut offset = 0;
+                for p in parts {
+                    let t = &n[p.index].value;
+                    assert_eq!(
+                        t.rows, rows,
+                        "hstack: part is {}x{} but the first part has {} rows",
+                        t.rows, t.cols, rows
+                    );
+                    out.data[r * cols + offset..r * cols + offset + t.cols]
+                        .copy_from_slice(t.row_slice(r));
+                    offset += t.cols;
+                }
+            }
+            out
         });
-        self.push(v, Op::Concat(parts.to_vec()))
+        self.push(v, true, Op::Concat(parts.to_vec()))
     }
 
     /// Gather rows (embedding lookup): output row `i` is `a[indices[i]]`.
@@ -416,13 +807,13 @@ impl Tape {
         let _fwd = dc_obs::timer("tape.fwd", "rows_select");
         let v = self.with_values(|n| {
             let x = &n[a.index].value;
-            let mut out = Tensor::zeros(indices.len(), x.cols);
+            let mut out = self.alloc(indices.len(), x.cols);
             for (i, &idx) in indices.iter().enumerate() {
                 out.row_slice_mut(i).copy_from_slice(x.row_slice(idx));
             }
             out
         });
-        self.push(v, Op::RowsSelect(a, indices))
+        self.push(v, true, Op::RowsSelect(a, indices))
     }
 
     /// Mean-pool groups of rows: output row `g` is the mean of
@@ -431,7 +822,7 @@ impl Tape {
         let _fwd = dc_obs::timer("tape.fwd", "rows_mean");
         let v = self.with_values(|n| {
             let x = &n[a.index].value;
-            let mut out = Tensor::zeros(groups.len(), x.cols);
+            let mut out = self.alloc_zeroed(groups.len(), x.cols);
             for (g, idxs) in groups.iter().enumerate() {
                 if idxs.is_empty() {
                     continue;
@@ -445,15 +836,15 @@ impl Tape {
             }
             out
         });
-        self.push(v, Op::RowsMean(a, groups))
+        self.push(v, true, Op::RowsMean(a, groups))
     }
 
     /// Inverted dropout with the given 0/1 `mask` (already scaled to the
     /// keep probability by the caller via [`Tape::dropout_mask`]).
     pub fn dropout(&self, a: Var, mask: Tensor) -> Var {
         let _fwd = dc_obs::timer("tape.fwd", "dropout");
-        let v = self.with_values(|n| n[a.index].value.mul(&mask));
-        self.push(v, Op::Dropout(a, mask))
+        let v = self.with_values(|n| self.pzip(&n[a.index].value, &mask, |x, y| x * y));
+        self.push(v, true, Op::Dropout(a, mask))
     }
 
     /// Build an inverted-dropout mask: entries are `0` with probability
@@ -479,10 +870,16 @@ impl Tape {
         let v = self.with_values(|n| {
             let p = &n[pred.index].value;
             assert_eq!((p.rows, p.cols), (target.rows, target.cols), "mse shapes");
-            let d = p.sub(&target);
-            Tensor::scalar(d.data.iter().map(|x| x * x).sum::<f32>() / d.len() as f32)
+            // Same float sequence as materialising `d = p - target` and
+            // summing d*d: each difference rounds to f32 before squaring.
+            let mut s = 0.0f32;
+            for (&pv, &tv) in p.data.iter().zip(target.data.iter()) {
+                let x = pv - tv;
+                s += x * x;
+            }
+            self.alloc_scalar(s / p.len() as f32)
         });
-        self.push(v, Op::MseLoss(pred, target))
+        self.push(v, true, Op::MseLoss(pred, target))
     }
 
     /// Weighted binary cross entropy with logits (scalar node).
@@ -501,17 +898,19 @@ impl Tape {
                 (weights.rows, weights.cols),
                 "bce weights"
             );
-            let probs = z.map(|x| 1.0 / (1.0 + (-x).exp()));
+            let probs = self.pmap(z, |x| 1.0 / (1.0 + (-x).exp()));
             let mut loss = 0.0;
             for i in 0..z.len() {
                 let p = probs.data[i].clamp(1e-7, 1.0 - 1e-7);
                 let y = targets.data[i];
                 loss -= weights.data[i] * (y * p.ln() + (1.0 - y) * (1.0 - p).ln());
             }
-            (probs, Tensor::scalar(loss / z.len() as f32))
+            (probs, self.alloc_scalar(loss / z.len() as f32))
         });
-        self.push(
+        self.push_full(
             loss,
+            true,
+            true,
             Op::BceWithLogits {
                 logits,
                 targets,
@@ -528,16 +927,32 @@ impl Tape {
         let (probs, loss) = self.with_values(|n| {
             let z = &n[logits.index].value;
             assert_eq!(z.rows, labels.len(), "softmax_ce label count");
-            let probs = z.softmax_rows();
+            // Pooled replica of Tensor::softmax_rows (copy, then the
+            // identical per-row max/exp/normalise passes).
+            let mut probs = self.pcopy(z);
+            for r in 0..probs.rows {
+                let row = probs.row_slice_mut(r);
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
             let mut loss = 0.0;
             for (r, &lbl) in labels.iter().enumerate() {
                 assert!(lbl < z.cols, "label out of range");
                 loss -= probs.get(r, lbl).max(1e-12).ln();
             }
-            (probs.clone(), Tensor::scalar(loss / labels.len() as f32))
+            (probs, self.alloc_scalar(loss / labels.len() as f32))
         });
-        self.push(
+        self.push_full(
             loss,
+            true,
+            true,
             Op::SoftmaxCe {
                 logits,
                 labels,
@@ -548,10 +963,48 @@ impl Tape {
 
     // ----- backward ----------------------------------------------------
 
+    /// Accumulate an owned (pool-backed) contribution into a slot:
+    /// in-place axpy when the slot is live (the spent buffer returns to
+    /// the pool), otherwise the buffer *becomes* the slot — no clone.
+    fn acc_owned(&self, grads: &mut [Option<Tensor>], nodes: &[Node], idx: usize, g: Tensor) {
+        match &mut grads[idx] {
+            Some(existing) => {
+                existing.axpy(1.0, &g);
+                self.pool.put(g.data);
+            }
+            slot @ None => {
+                debug_assert_eq!(
+                    (nodes[idx].value.rows, nodes[idx].value.cols),
+                    (g.rows, g.cols),
+                    "gradient shape mismatch at node {idx}"
+                );
+                *slot = Some(g);
+            }
+        }
+    }
+
+    /// Accumulate a borrowed contribution: in-place axpy, or a pooled
+    /// copy when the slot is empty.
+    fn acc_ref(&self, grads: &mut [Option<Tensor>], nodes: &[Node], idx: usize, g: &Tensor) {
+        match &mut grads[idx] {
+            Some(existing) => existing.axpy(1.0, g),
+            slot @ None => {
+                debug_assert_eq!(
+                    (nodes[idx].value.rows, nodes[idx].value.cols),
+                    (g.rows, g.cols),
+                    "gradient shape mismatch at node {idx}"
+                );
+                *slot = Some(self.pcopy(g));
+            }
+        }
+    }
+
     /// Run reverse-mode differentiation from the scalar node `out`.
     ///
-    /// Gradients accumulate; call once per tape. Reading them back is via
-    /// [`Tape::grad`].
+    /// Gradients accumulate; call once per tape generation. Reading them
+    /// back is via [`Tape::grad`] / [`Tape::with_grad`]. All gradient
+    /// buffers come from the tape's pool and accumulation is in-place
+    /// (`axpy`), so a steady-state sweep performs no heap allocation.
     ///
     /// # Panics
     /// Panics if `out` is not a `1×1` scalar.
@@ -562,10 +1015,41 @@ impl Tape {
         self.backward_runs.set(self.backward_runs.get() + 1);
         let nodes = self.nodes.borrow();
         assert_eq!(nodes[out.index].value.len(), 1, "backward needs a scalar");
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        grads[out.index] = Some(Tensor::scalar(1.0));
+
+        // Reuse the grads storage (its slots were pushed alongside the
+        // nodes); recycle anything left over from a previous run on
+        // this generation.
+        let mut grads: Vec<Option<Tensor>> = std::mem::take(&mut *self.grads.borrow_mut());
+        debug_assert_eq!(grads.len(), nodes.len());
+        for slot in grads.iter_mut() {
+            if let Some(t) = slot.take() {
+                self.pool.put(t.data);
+            }
+        }
+        grads[out.index] = Some(self.alloc_scalar(1.0));
+
+        // Fused chains skip their interior nodes only when nothing else
+        // consumes them — decided from a consumer count over the swept
+        // prefix. A fast-path chain credits its root at the sweep
+        // position of its *first* interior (where the unfused graph
+        // would have), via the `pending` side table: f32 addition is not
+        // associative, so accumulation order is part of the bitwise
+        // contract. Both tables live in reusable scratch.
+        let fused = self.has_fused.get();
+        let mut counts = std::mem::take(&mut *self.scratch_counts.borrow_mut());
+        let mut pending = std::mem::take(&mut *self.scratch_pending.borrow_mut());
+        if fused {
+            consumer_counts(&nodes, &mut counts, out.index);
+            pending.clear();
+            pending.resize_with(nodes.len(), || None);
+        }
 
         for i in (0..=out.index).rev() {
+            if fused {
+                if let Some((tgt, t)) = pending[i].take() {
+                    self.acc_owned(&mut grads, &nodes, tgt, t);
+                }
+            }
             let g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
@@ -578,117 +1062,140 @@ impl Tape {
                     continue;
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.index, &g, &nodes);
-                    accumulate(&mut grads, b.index, &g, &nodes);
+                    self.acc_ref(&mut grads, &nodes, a.index, &g);
+                    self.acc_owned(&mut grads, &nodes, b.index, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a.index, &g, &nodes);
-                    let neg = g.scale(-1.0);
-                    accumulate(&mut grads, b.index, &neg, &nodes);
+                    self.acc_ref(&mut grads, &nodes, a.index, &g);
+                    let neg = self.pmap(&g, |v| -v);
+                    self.acc_owned(&mut grads, &nodes, b.index, neg);
+                    self.pool.put(g.data);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(&nodes[b.index].value);
-                    let gb = g.mul(&nodes[a.index].value);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
-                    accumulate(&mut grads, b.index, &gb, &nodes);
+                    let ga = self.pzip(&g, &nodes[b.index].value, |x, y| x * y);
+                    let gb = self.pzip(&g, &nodes[a.index].value, |x, y| x * y);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.acc_owned(&mut grads, &nodes, b.index, gb);
+                    self.pool.put(g.data);
                 }
                 Op::MatMul(a, b) => {
                     // dL/dA = G · Bᵀ ; dL/dB = Aᵀ · G
-                    let ga = g.matmul_t(&nodes[b.index].value);
-                    let gb = nodes[a.index].value.t_matmul(&g);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
-                    accumulate(&mut grads, b.index, &gb, &nodes);
+                    let (av, bv) = (&nodes[a.index].value, &nodes[b.index].value);
+                    let mut ga = self.alloc_zeroed(g.rows, bv.rows);
+                    crate::kernel::matmul_t_into(&g, bv, &mut ga.data);
+                    let mut gb = self.alloc_zeroed(av.cols, g.cols);
+                    crate::kernel::t_matmul_into(av, &g, &mut gb.data);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.acc_owned(&mut grads, &nodes, b.index, gb);
+                    self.pool.put(g.data);
                 }
                 Op::Scale(a, s) => {
-                    let ga = g.scale(*s);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let s = *s;
+                    let ga = self.pmap(&g, move |v| v * s);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
-                Op::AddScalar(a, _) => accumulate(&mut grads, a.index, &g, &nodes),
+                Op::AddScalar(a, _) => self.acc_owned(&mut grads, &nodes, a.index, g),
                 Op::Sigmoid(a) => {
                     let y = &node.value;
-                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, y, |gi, yi| gi * yi * (1.0 - yi));
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Tanh(a) => {
                     let y = &node.value;
-                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, y, |gi, yi| gi * (1.0 - yi * yi));
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Relu(a) => {
                     let x = &nodes[a.index].value;
-                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::LeakyRelu(a, alpha) => {
                     let x = &nodes[a.index].value;
                     let al = *alpha;
-                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { al * gi });
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, x, |gi, xi| if xi > 0.0 { gi } else { al * gi });
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Exp(a) => {
-                    let ga = g.mul(&node.value);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, &node.value, |x, y| x * y);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Ln(a) => {
                     let x = &nodes[a.index].value;
-                    let ga = g.zip(x, |gi, xi| gi / xi.max(1e-12));
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, x, |gi, xi| gi / xi.max(1e-12));
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Abs(a) => {
                     let x = &nodes[a.index].value;
-                    let ga = g.zip(x, |gi, xi| gi * xi.signum());
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, x, |gi, xi| gi * xi.signum());
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Sum(a) => {
                     let s = g.data[0];
                     let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
-                    let ga = Tensor::full(r, c, s);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let mut ga = self.alloc(r, c);
+                    ga.data.fill(s);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Mean(a) => {
                     let n = nodes[a.index].value.len() as f32;
                     let s = g.data[0] / n;
                     let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
-                    let ga = Tensor::full(r, c, s);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let mut ga = self.alloc(r, c);
+                    ga.data.fill(s);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::AddRow(a, row) => {
-                    accumulate(&mut grads, a.index, &g, &nodes);
-                    // Row gradient: column sums of g.
-                    let mut gr = Tensor::zeros(1, g.cols);
+                    // Row gradient: column sums of g (computed before g
+                    // moves into a's slot).
+                    let mut gr = self.alloc_zeroed(1, g.cols);
                     for r in 0..g.rows {
                         for (o, &v) in gr.data.iter_mut().zip(g.row_slice(r)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, row.index, &gr, &nodes);
+                    let row = *row;
+                    self.acc_owned(&mut grads, &nodes, a.index, g);
+                    self.acc_owned(&mut grads, &nodes, row.index, gr);
                 }
                 Op::Concat(parts) => {
                     let mut offset = 0;
                     for p in parts {
                         let pc = nodes[p.index].value.cols;
-                        let mut gp = Tensor::zeros(g.rows, pc);
+                        let mut gp = self.alloc(g.rows, pc);
                         for r in 0..g.rows {
                             gp.row_slice_mut(r)
                                 .copy_from_slice(&g.row_slice(r)[offset..offset + pc]);
                         }
-                        accumulate(&mut grads, p.index, &gp, &nodes);
+                        self.acc_owned(&mut grads, &nodes, p.index, gp);
                         offset += pc;
                     }
+                    self.pool.put(g.data);
                 }
                 Op::RowsSelect(a, indices) => {
                     let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
-                    let mut ga = Tensor::zeros(r, c);
+                    let mut ga = self.alloc_zeroed(r, c);
                     for (i, &idx) in indices.iter().enumerate() {
                         for (o, &v) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(i)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::RowsMean(a, groups) => {
                     let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
-                    let mut ga = Tensor::zeros(r, c);
+                    let mut ga = self.alloc_zeroed(r, c);
                     for (gi, idxs) in groups.iter().enumerate() {
                         if idxs.is_empty() {
                             continue;
@@ -700,17 +1207,22 @@ impl Tape {
                             }
                         }
                     }
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::Dropout(a, mask) => {
-                    let ga = g.mul(mask);
-                    accumulate(&mut grads, a.index, &ga, &nodes);
+                    let ga = self.pzip(&g, mask, |x, y| x * y);
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
                 }
                 Op::MseLoss(pred, target) => {
                     let p = &nodes[pred.index].value;
                     let scale = 2.0 * g.data[0] / p.len() as f32;
-                    let gp = p.sub(target).scale(scale);
-                    accumulate(&mut grads, pred.index, &gp, &nodes);
+                    // (p - t) rounds to f32 before the scale, exactly as
+                    // the materialised sub().scale() pair did.
+                    let gp = self.pzip(p, target, move |pv, tv| (pv - tv) * scale);
+                    self.acc_owned(&mut grads, &nodes, pred.index, gp);
+                    self.pool.put(g.data);
                 }
                 Op::BceWithLogits {
                     logits,
@@ -718,11 +1230,25 @@ impl Tape {
                     weights,
                     probs,
                 } => {
-                    // d/dz of mean_i w_i BCE = w_i (p_i - y_i) / n
+                    // d/dz of mean_i w_i BCE = w_i (p_i - y_i) / n, with
+                    // the same per-step f32 rounding as the former
+                    // sub().mul().scale() chain.
                     let n = probs.len() as f32;
                     let s = g.data[0] / n;
-                    let gz = probs.sub(targets).mul(weights).scale(s);
-                    accumulate(&mut grads, logits.index, &gz, &nodes);
+                    let mut gz = self.alloc(probs.rows, probs.cols);
+                    for (o, ((&pv, &yv), &wv)) in gz.data.iter_mut().zip(
+                        probs
+                            .data
+                            .iter()
+                            .zip(targets.data.iter())
+                            .zip(weights.data.iter()),
+                    ) {
+                        let d = pv - yv;
+                        let dw = d * wv;
+                        *o = dw * s;
+                    }
+                    self.acc_owned(&mut grads, &nodes, logits.index, gz);
+                    self.pool.put(g.data);
                 }
                 Op::SoftmaxCe {
                     logits,
@@ -731,17 +1257,157 @@ impl Tape {
                 } => {
                     let n = labels.len() as f32;
                     let s = g.data[0] / n;
-                    let mut gz = probs.scale(s);
+                    let mut gz = self.pmap(probs, move |v| v * s);
                     for (r, &lbl) in labels.iter().enumerate() {
                         let v = gz.get(r, lbl);
                         gz.set(r, lbl, v - s);
                     }
-                    accumulate(&mut grads, logits.index, &gz, &nodes);
+                    self.acc_owned(&mut grads, &nodes, logits.index, gz);
+                    self.pool.put(g.data);
+                }
+                Op::FusedEltwise {
+                    root,
+                    stages,
+                    interiors,
+                } => {
+                    let k = interiors.len();
+                    // Fast path iff every interior's only consumers are
+                    // the later links of this same chain (interior j is
+                    // referenced by the k-j fused nodes above it).
+                    let fast = interiors
+                        .iter()
+                        .enumerate()
+                        .all(|(j, iv)| counts[iv.index] as usize == k - j);
+                    if fast {
+                        // One pass per element through the whole chain,
+                        // replaying the unfused per-stage expressions
+                        // (each acc rounds to f32 between stages, like
+                        // the materialised gradient buffers did).
+                        let rv = &nodes[root.index].value;
+                        let mut xs: [&[f32]; MAX_FUSED_STAGES] = [&[]; MAX_FUSED_STAGES];
+                        let mut ys: [&[f32]; MAX_FUSED_STAGES] = [&[]; MAX_FUSED_STAGES];
+                        for j in 0..stages.len() {
+                            xs[j] = if j == 0 {
+                                &rv.data
+                            } else {
+                                &nodes[interiors[j - 1].index].value.data
+                            };
+                            ys[j] = if j + 1 == stages.len() {
+                                &node.value.data
+                            } else {
+                                &nodes[interiors[j].index].value.data
+                            };
+                        }
+                        let mut ga = self.alloc(rv.rows, rv.cols);
+                        for e in 0..ga.data.len() {
+                            let mut acc = g.data[e];
+                            for j in (0..stages.len()).rev() {
+                                acc = stages[j].dgrad(acc, xs[j][e], ys[j][e]);
+                            }
+                            ga.data[e] = acc;
+                        }
+                        // Defer the root credit to the first interior's
+                        // sweep position — where the unfused graph's
+                        // first-stage node would have produced it.
+                        let slot = &mut pending[interiors[0].index];
+                        match slot {
+                            Some((tgt, t)) => {
+                                debug_assert_eq!(*tgt, root.index);
+                                t.axpy(1.0, &ga);
+                                self.pool.put(ga.data);
+                            }
+                            None => *slot = Some((root.index, ga)),
+                        }
+                        self.pool.put(g.data);
+                    } else {
+                        // An interior is consumed elsewhere: peel only
+                        // the final stage — bitwise the standalone op's
+                        // arm — and let the sweep handle the rest.
+                        let prev = *interiors.last().unwrap_or(root);
+                        let last = *stages.last().expect("fused chain has stages");
+                        let x = &nodes[prev.index].value;
+                        let y = &node.value;
+                        let ga = match last {
+                            EltStage::Scale(s) => self.pmap(&g, move |v| v * s),
+                            EltStage::AddScalar(_) => self.pcopy(&g),
+                            EltStage::Sigmoid => self.pzip(&g, y, |gi, yi| gi * yi * (1.0 - yi)),
+                            EltStage::Tanh => self.pzip(&g, y, |gi, yi| gi * (1.0 - yi * yi)),
+                            EltStage::Relu => {
+                                self.pzip(&g, x, |gi, xi| if xi > 0.0 { gi } else { 0.0 })
+                            }
+                            EltStage::LeakyRelu(al) => {
+                                self.pzip(&g, x, move |gi, xi| if xi > 0.0 { gi } else { al * gi })
+                            }
+                            EltStage::Exp => self.pzip(&g, y, |gi, yi| gi * yi),
+                            EltStage::Ln => self.pzip(&g, x, |gi, xi| gi / xi.max(1e-12)),
+                            EltStage::Abs => self.pzip(&g, x, |gi, xi| gi * xi.signum()),
+                        };
+                        self.acc_owned(&mut grads, &nodes, prev.index, ga);
+                        self.pool.put(g.data);
+                    }
                 }
             }
         }
 
+        debug_assert!(
+            pending.iter().all(|p| p.is_none()),
+            "all deferred fused-root credits must drain during the sweep"
+        );
+        *self.scratch_counts.borrow_mut() = counts;
+        *self.scratch_pending.borrow_mut() = pending;
         *self.grads.borrow_mut() = grads;
+    }
+}
+
+/// How many times each node in `nodes[..=upto]` is referenced as an
+/// input by another node in that prefix. A fused node references its
+/// root and every interior (mirroring [`Tape::assert_owned_op`]'s
+/// enumeration), so an interior consumed *only* by its chain has count
+/// `chain links above it`.
+fn consumer_counts(nodes: &[Node], counts: &mut Vec<u32>, upto: usize) {
+    counts.clear();
+    counts.resize(nodes.len(), 0);
+    for node in &nodes[..=upto] {
+        let mut bump = |v: &Var| counts[v.index] += 1;
+        match &node.op {
+            Op::Leaf => {}
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::MatMul(a, b) | Op::AddRow(a, b) => {
+                bump(a);
+                bump(b);
+            }
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Abs(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::RowsSelect(a, _)
+            | Op::RowsMean(a, _)
+            | Op::Dropout(a, _)
+            | Op::MseLoss(a, _) => bump(a),
+            Op::Concat(parts) => parts.iter().for_each(&mut bump),
+            Op::BceWithLogits { logits, .. } | Op::SoftmaxCe { logits, .. } => bump(logits),
+            Op::FusedEltwise {
+                root, interiors, ..
+            } => {
+                bump(root);
+                interiors.iter().for_each(&mut bump);
+            }
+        }
+    }
+}
+
+impl Drop for Tape {
+    /// Flush pool hit/miss counts to the dc-obs counters so tapes that
+    /// are dropped without ever recycling (e.g. the `DC_POOL=0`
+    /// fresh-tape-per-step baseline) still show up in `ObsReport`.
+    fn drop(&mut self) {
+        self.pool.publish_counters();
     }
 }
 
@@ -773,20 +1439,7 @@ pub fn op_name(op: &Op) -> &'static str {
         Op::MseLoss(..) => "mse_loss",
         Op::BceWithLogits { .. } => "bce_with_logits",
         Op::SoftmaxCe { .. } => "softmax_ce",
-    }
-}
-
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, nodes: &[Node]) {
-    match &mut grads[idx] {
-        Some(existing) => existing.axpy(1.0, g),
-        slot @ None => {
-            debug_assert_eq!(
-                (nodes[idx].value.rows, nodes[idx].value.cols),
-                (g.rows, g.cols),
-                "gradient shape mismatch at node {idx}"
-            );
-            *slot = Some(g.clone());
-        }
+        Op::FusedEltwise { .. } => "fused_eltwise",
     }
 }
 
@@ -918,6 +1571,89 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_long_fused_chain() {
+        // Four unary stages in a row — under the default DC_FUSE this
+        // records plain(scale) + three growing FusedEltwise nodes, and
+        // backward takes the single-pass fast path.
+        let x = Tensor::from_vec(1, 5, vec![0.3, -0.7, 1.5, -2.0, 0.9]);
+        let err = grad_check(
+            &x,
+            |t, v| t.sum(t.tanh(t.sigmoid(t.add_scalar(t.scale(v, 2.0), -0.5)))),
+            1e-3,
+        );
+        assert!(err < 2e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_fused_chain_with_shared_interior() {
+        // The sigmoid's input is also consumed by a mul outside the
+        // chain, forcing the peel-one-stage slow path.
+        let x = Tensor::from_vec(1, 4, vec![0.4, -0.2, 1.1, -0.8]);
+        let err = grad_check(
+            &x,
+            |t, v| {
+                let s = t.scale(v, 2.0);
+                let y = t.sigmoid(s);
+                t.sum(t.mul(y, s))
+            },
+            1e-3,
+        );
+        assert!(err < 2e-2, "err {err}");
+    }
+
+    #[test]
+    fn fusion_collapses_unary_chains_without_stealing_interiors() {
+        if !crate::pool::fuse_enabled() {
+            return; // DC_FUSE=0 run: nothing to inspect
+        }
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![0.5, -1.0]));
+        let a = t.scale(x, 3.0);
+        let b = t.sigmoid(a);
+        let c = t.tanh(b);
+        // Chain head holds the full stage list...
+        match t.op_of(c) {
+            Op::FusedEltwise {
+                stages, interiors, ..
+            } => {
+                assert_eq!(stages.len(), 3);
+                assert_eq!(interiors.len(), 2);
+            }
+            other => panic!("expected fused chain, got {}", op_name(&other)),
+        }
+        // ...and the interiors' values are still individually readable.
+        assert_eq!(t.value(a).data[0], 1.5);
+        assert!((t.value(b).data[0] - 1.0 / (1.0 + (-1.5f32).exp())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recycle_remints_id_and_reuses_buffers() {
+        let t = Tape::new();
+        let run = |t: &Tape| {
+            let x = t.var_slice(1, 3, &[1.0, -2.0, 3.0]);
+            let y = t.sum(t.mul(x, x));
+            t.backward(y);
+            (t.item(y), t.grad(x))
+        };
+        let id0 = t.id();
+        let (v0, g0) = run(&t);
+        let miss0 = t.pool_stats().misses;
+        t.recycle();
+        assert_ne!(t.id(), id0, "recycle mints a fresh generation id");
+        assert!(t.is_empty());
+        assert_eq!(t.backward_runs(), 0);
+        let (v1, g1) = run(&t);
+        assert_eq!(v0, v1);
+        assert_eq!(g0.data, g1.data);
+        let s = t.pool_stats();
+        if t.pool_stats().held_bytes > 0 || s.hits > 0 {
+            // Pool on: the second step allocated nothing new.
+            assert_eq!(s.misses, miss0, "recycled step must not miss");
+            assert!(s.hits > 0);
+        }
+    }
+
+    #[test]
     fn dropout_mask_scales_kept_units() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let m = Tape::dropout_mask(10, 10, 0.5, &mut rng);
@@ -977,6 +1713,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "does not belong to this tape")]
+    fn recycled_generation_invalidates_old_vars() {
+        let t = Tape::new();
+        let x = t.var(Tensor::scalar(1.0));
+        t.recycle();
+        let _ = t.value(x);
+    }
+
+    #[test]
     fn backward_runs_counts_calls() {
         let t = Tape::new();
         let x = t.var(Tensor::row(vec![1.0, 2.0]));
@@ -1007,5 +1752,16 @@ mod tests {
         });
         assert_eq!(names, vec!["leaf", "sigmoid", "sum"]);
         assert_eq!(with_grad, 1); // the reverse sweep keeps only leaf grads
+    }
+
+    #[test]
+    fn with_grad_and_item_read_in_place() {
+        let t = Tape::new();
+        let x = t.var(Tensor::row(vec![1.0, 2.0]));
+        let y = t.sum(t.scale(x, 2.0));
+        assert_eq!(t.item(y), 6.0);
+        t.with_grad(x, |g| assert_eq!(g.data, vec![0.0, 0.0]));
+        t.backward(y);
+        t.with_grad(x, |g| assert_eq!(g.data, vec![2.0, 2.0]));
     }
 }

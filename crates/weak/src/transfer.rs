@@ -53,6 +53,9 @@ impl FineTuner {
 
     /// One fine-tuning step; only unfrozen layers receive updates.
     /// Returns the loss.
+    ///
+    /// Records on a throwaway tape; the pooled hot path used by
+    /// [`run_epochs`] is [`FineTuner::train_batch_on`].
     pub fn train_batch(
         &mut self,
         x: &Tensor,
@@ -61,9 +64,22 @@ impl FineTuner {
         opt: &mut dyn Optimizer,
     ) -> f32 {
         let tape = Tape::new();
-        let vx = tape.var(x.clone());
-        let vars = self.model.bind(&tape);
-        let out = self.model.forward_tape(&tape, vx, &vars, None);
+        self.train_batch_on(&tape, x, y, loss, opt)
+    }
+
+    /// [`FineTuner::train_batch`] recording on a caller-owned
+    /// (typically recycled) tape.
+    pub fn train_batch_on(
+        &mut self,
+        tape: &Tape,
+        x: &Tensor,
+        y: &Tensor,
+        loss: LossKind,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let vx = tape.var_from(x);
+        let vars = self.model.bind(tape);
+        let out = self.model.forward_tape(tape, vx, &vars, None);
         let loss_var = match loss {
             LossKind::Mse => tape.mse_loss(out, y.clone()),
             LossKind::Bce { w_neg, w_pos } => {
@@ -79,14 +95,16 @@ impl FineTuner {
                 tape.softmax_ce(out, labels)
             }
         };
-        let lv = tape.value(loss_var).data[0];
+        let lv = tape.item(loss_var);
         tape.backward(loss_var);
         opt.begin_step();
         for (slot, (layer, vars)) in self.model.layers.iter_mut().zip(&vars).enumerate() {
             if slot < self.frozen_layers {
                 continue;
             }
-            layer.apply_grads(opt, slot, &tape.grad(vars.w), &tape.grad(vars.b));
+            tape.with_grad(vars.w, |gw| {
+                tape.with_grad(vars.b, |gb| layer.apply_grads(opt, slot, gw, gb))
+            });
         }
         lv
     }
@@ -122,10 +140,10 @@ pub struct FineTuneTrainer<'a> {
 }
 
 impl Trainer for FineTuneTrainer<'_> {
-    fn fit(&mut self, batch: &Batch, _ctx: &mut TrainCtx<'_>) -> StepStats {
+    fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
         let loss = self
             .tuner
-            .train_batch(&batch.x, &batch.y, self.loss, self.opt);
+            .train_batch_on(ctx.tape, &batch.x, &batch.y, self.loss, self.opt);
         StepStats { loss, aux: 0.0 }
     }
 }

@@ -36,6 +36,17 @@ cargo test -q -p dc-er --test blocking_equiv
 echo "== Trainer migration (unified run_epochs loop) =="
 cargo test -q -p dc-nn --test trainer_migration
 
+echo "== pool/fusion bitwise equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-tensor --test pool_equiv
+DC_THREADS=2 cargo test -q -p dc-tensor --test pool_equiv
+cargo test -q -p dc-tensor --test pool_equiv
+
+echo "== pool leak guard (high-water stable after epoch 1) =="
+cargo test -q -p dc-nn --test pool_leak
+
+echo "== training benchmark smoke (equivalence + pool warmup, no wall-clock gate) =="
+cargo run -q --release -p dc-bench --bin bench_train -- --smoke
+
 echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2 =="
 DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv
 DC_THREADS=2 cargo test -q -p dc-er --test obs_equiv
