@@ -113,6 +113,71 @@ fn main() {
             .any(|e| e.defect == Defect::NonFiniteValue),
     );
 
+    // 4. Safety analyses (ISSUE 6): liveness verification, pool
+    // forecast parity, poison detection, and premature-release
+    // rejection on a real recorded-and-swept step.
+    {
+        dc_tensor::set_pool_enabled(true);
+        dc_tensor::set_fuse_enabled(true);
+        let t = Tape::new();
+        let x = t.var_from(&Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]));
+        let w = t.var(Tensor::from_vec(3, 2, vec![0.5; 6]));
+        let b = t.var(Tensor::row(vec![0.1, -0.1]));
+        let h = t.sigmoid(t.add_row(t.matmul(x, w), b));
+        let loss = t.mse_loss(h, Tensor::zeros(2, 2));
+        t.backward(loss);
+        let root = loss.index();
+        check(
+            "liveness: healthy step verifies",
+            dc_check::liveness::verify(&t, root).is_empty(),
+        );
+        check(
+            "liveness: forecast matches pool actuals",
+            dc_check::forecast_pool(&t, root).is_ok_and(|predicted| predicted == t.pool_stats()),
+        );
+        check(
+            "memsafe: swept step is clean",
+            dc_check::check_memsafe(&t).is_empty(),
+        );
+        let live = dc_check::liveness::analyze(&t, root).expect("healthy step");
+        let mut bad = live.release.clone();
+        check(
+            "liveness: premature release of a read buffer is rejected",
+            live.release.iter().enumerate().any(|(j, p)| {
+                if !matches!(p, dc_check::ReleasePoint::AfterSweep(_)) {
+                    return false;
+                }
+                bad[j] = dc_check::ReleasePoint::AfterForward;
+                let caught = dc_check::liveness::verify_plan(&t, root, &bad)
+                    .iter()
+                    .any(|e| e.defect == Defect::UseAfterRecycle);
+                bad[j] = *p;
+                caught
+            }),
+        );
+    }
+
+    // 5. Poison scan flags a deliberately stale buffer.
+    {
+        dc_tensor::set_check_enabled(true);
+        let pool = dc_tensor::BufferPool::new();
+        pool.put(pool.take(4));
+        let stale = pool.take(4); // still poison-filled
+        let t = Tape::new();
+        let _leaf = t.var(Tensor {
+            rows: 2,
+            cols: 2,
+            data: stale,
+        });
+        check(
+            "memsafe: poison scan flags a recycled read",
+            dc_check::scan_poison(&t)
+                .iter()
+                .any(|e| e.defect == Defect::UseAfterRecycle),
+        );
+        dc_tensor::set_check_enabled(false);
+    }
+
     if !failures.is_empty() {
         for name in &failures {
             eprintln!("FAIL {name}");

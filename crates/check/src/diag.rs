@@ -34,6 +34,19 @@ pub enum Defect {
     NonFiniteValue,
     /// A NaN or ±Inf in a node's gradient.
     NonFiniteGrad,
+    /// A buffer is read after its last use: either the liveness
+    /// verifier found a plan that touches a released buffer, or the
+    /// `DC_CHECK=1` poison pattern (a recycled buffer's fill) was
+    /// observed in live data.
+    UseAfterRecycle,
+    /// A buffer returned to the pool twice (or a foreign buffer
+    /// recycled), detected by the pool's generation-tagged handles.
+    DoubleRecycle,
+    /// A `FusedEltwise` node whose static structure contradicts the
+    /// backward fast-path contract (interiors out of order, or a
+    /// consumer-count verdict that disagrees with the explicit
+    /// external-consumer scan).
+    IllegalFusion,
 }
 
 impl Defect {
@@ -79,6 +92,9 @@ impl fmt::Display for GraphError {
                 Defect::DoubleBackward => "double backward",
                 Defect::NonFiniteValue => "non-finite value",
                 Defect::NonFiniteGrad => "non-finite gradient",
+                Defect::UseAfterRecycle => "use after recycle",
+                Defect::DoubleRecycle => "double recycle",
+                Defect::IllegalFusion => "illegal fusion",
             },
             self.node,
             self.op,

@@ -19,6 +19,14 @@
 //! * [`audit_all_ops`] — central finite-difference verification of the
 //!   backward rule of every [`dc_tensor::Op`] variant, with coverage
 //!   enforced by an exhaustive match.
+//! * [`liveness`] — static last-use analysis over the recorded graph:
+//!   fusion-legality verdicts, an early-recycle plan (rejected by
+//!   [`liveness::verify_plan`] if it reads past a release), and an
+//!   exact [`liveness::forecast_pool`] prediction of the step's
+//!   `PoolStats` high-water mark.
+//! * [`memsafe`] — use-after-recycle / double-recycle detection from
+//!   the pool's `DC_CHECK=1` generation-tagged handles and the
+//!   `0xFFC0_DEAD` recycle poison.
 //!
 //! Model code hooks in through [`debug_validate`], a no-op unless the
 //! `DC_CHECK` environment variable is set, so the passes cost nothing in
@@ -40,12 +48,16 @@
 pub mod audit;
 pub mod diag;
 pub mod lint;
+pub mod liveness;
+pub mod memsafe;
 pub mod plan;
 pub mod sanitize;
 
 pub use audit::{audit_all_ops, audit_op, OpAudit, OpKind};
 pub use diag::{render, Defect, GraphError};
 pub use lint::lint_graph;
+pub use liveness::{forecast_pool, FusionVerdict, Liveness, ReleasePoint};
+pub use memsafe::{check_memsafe, scan_poison};
 pub use plan::{check_plan, check_root, check_tape, lower, GraphPlan, SymNode, SymOp};
 pub use sanitize::sanitize;
 
@@ -75,6 +87,12 @@ pub fn debug_validate(context: &str, tape: &Tape, root: Var) {
     }
     errors.extend(check_root(tape, root));
     errors.extend(sanitize(tape));
+    errors.extend(memsafe::check_memsafe(tape));
+    if errors.is_empty() {
+        // Liveness verification assumes a structurally sound arena;
+        // only run it once the passes above found nothing.
+        errors.extend(liveness::verify(tape, root.index()));
+    }
 
     let warnings = if errors.iter().any(|e| e.defect == Defect::CrossTapeVar) {
         Vec::new() // lint indices would be meaningless across tapes

@@ -195,7 +195,32 @@ pub fn run_epochs_with_tape<T: Trainer + ?Sized>(
                 step,
             };
             let s = trainer.fit(&batch, &mut ctx);
+            if dc_check::enabled() {
+                // Memory-safety net for the recycled hot path: no live
+                // buffer may carry the recycle poison, the pool must
+                // have recorded no double recycles, and the step's
+                // liveness plan must verify against the sweep.
+                dc_check::memsafe::assert_clean(name, tape);
+                if let Some(root) = tape.last_backward_root() {
+                    let errors = dc_check::liveness::verify(tape, root);
+                    assert!(
+                        errors.is_empty(),
+                        "dc-check [{name}]: liveness verification failed\n{}",
+                        dc_check::render(&errors)
+                    );
+                }
+            }
             tape.recycle();
+            if dc_check::enabled() {
+                // Every pooled buffer must be back on a freelist now —
+                // outstanding bytes after recycle are a leak.
+                let stats = tape.pool_stats();
+                assert_eq!(
+                    stats.outstanding_bytes, 0,
+                    "dc-check [{name}]: {} bytes still outstanding after recycle",
+                    stats.outstanding_bytes
+                );
+            }
             loss += s.loss;
             aux += s.aux;
             batches += 1;

@@ -229,11 +229,14 @@ static POOL_WORKERS_PER_JOB: dc_obs::Hist = dc_obs::Hist::new("pool.workers_per_
 /// Steal and execute chunks of `job` until the shared counter drains,
 /// tallying each executed chunk into `chunk_counter` (caller vs stolen).
 fn run_chunks(job: Job, chunk_counter: &dc_obs::Counter) {
-    // SAFETY: see `Job` — the caller keeps the pointees alive while any
-    // thread is between the surrounding `active` increment/decrement.
+    // SAFETY: see `Job` — the caller keeps the pointee alive until the
+    // job drains (`completed == n_chunks && active == 0`).
     let task = unsafe { &*job.task };
+    // SAFETY: as above.
     let next_chunk = unsafe { &*job.next_chunk };
+    // SAFETY: as above.
     let completed = unsafe { &*job.completed };
+    // SAFETY: as above.
     let panicked = unsafe { &*job.panicked };
     IN_POOL_TASK.with(|f| f.set(true));
     loop {
@@ -352,7 +355,13 @@ fn row_grain(rows: usize, threads: usize) -> usize {
 /// Raw mutable base pointer that may cross into pool tasks. Each task
 /// only touches the rows of its own disjoint chunk.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced inside pool tasks, each of
+// which writes a disjoint region of the pointee (see every use site's
+// own SAFETY comment), and the pointee outlives the `parallel_for` call
+// that moves the wrapper across threads.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access is the same disjoint-regions argument as `Send`;
+// the wrapper itself carries no state beyond the address.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 // Manual impls: the pointer is always copyable, whatever `T` is (the
@@ -410,14 +419,18 @@ fn four_rows(buf: &mut [f32], width: usize) -> [&mut [f32]; 4] {
 /// contraction), so every variant produces bitwise-identical output.
 macro_rules! dispatch_panel {
     ($dispatch:ident, $wide:ident, $body:ident) => {
-        #[cfg(target_arch = "x86_64")]
+        // Miri never takes the `#[target_feature]` path (it interprets
+        // MIR with the host's baseline feature set), so sanitizer runs
+        // exercise exactly the `$body::<false>` scalar build — the AVX2
+        // wrappers are the one lane Miri cannot cover (DESIGN.md §13).
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         #[target_feature(enable = "avx2,fma")]
         unsafe fn $wide(a: &Tensor, b: &Tensor, rows: Range<usize>, out: &mut [f32]) {
             $body::<true>(a, b, rows, out)
         }
 
         fn $dispatch(a: &Tensor, b: &Tensor, rows: Range<usize>, out: &mut [f32]) {
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
             if std::arch::is_x86_feature_detected!("avx2")
                 && std::arch::is_x86_feature_detected!("fma")
             {

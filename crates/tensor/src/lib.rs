@@ -32,7 +32,8 @@ pub mod tape;
 pub mod tensor;
 
 pub use pool::{
-    fuse_enabled, pool_enabled, set_fuse_enabled, set_pool_enabled, BufferPool, PoolStats,
+    check_enabled, fuse_enabled, pool_enabled, set_check_enabled, set_fuse_enabled,
+    set_pool_enabled, BufferPool, PoolStats, PoolViolation, PoolViolationKind, POISON_PATTERN,
 };
 pub use tape::{op_name, EltStage, Op, Tape, Var};
 pub use tensor::Tensor;

@@ -33,6 +33,11 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// 0 = uninitialized, 1 = off, 2 = on (same scheme as dc-obs's gate).
 static POOL_STATE: AtomicU8 = AtomicU8::new(0);
 static FUSE_STATE: AtomicU8 = AtomicU8::new(0);
+/// Memory-safety instrumentation gate. Unlike the pool/fuse gates this
+/// defaults *off*: it is keyed on `DC_CHECK` (the same opt-in switch
+/// dc-check's `debug_validate` uses), so production steps never pay for
+/// handle tracking or poison fills.
+static CHECK_STATE: AtomicU8 = AtomicU8::new(0);
 
 #[inline(always)]
 fn gate(state: &'static AtomicU8, env: &'static str) -> bool {
@@ -79,6 +84,48 @@ pub fn set_fuse_enabled(on: bool) {
     FUSE_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
+/// True when `DC_CHECK` is set to anything but `0` (or after
+/// [`set_check_enabled`]`(true)`): pools poison-fill recycled buffers
+/// and track generation-tagged debug handles. Sampled by each
+/// [`BufferPool`] at construction — flipping it mid-life of a pool has
+/// no effect on that pool.
+#[inline(always)]
+pub fn check_enabled() -> bool {
+    match CHECK_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => check_init(),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn check_init() -> bool {
+    let on = std::env::var_os("DC_CHECK").is_some_and(|v| v != "0");
+    CHECK_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force the memory-safety instrumentation gate, overriding `DC_CHECK`.
+/// Only pools constructed after the call see the new setting.
+pub fn set_check_enabled(on: bool) {
+    CHECK_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The NaN bit pattern [`BufferPool::put`] fills recycled buffers with
+/// under `DC_CHECK=1`. Sign bit + all-ones exponent + non-zero mantissa,
+/// so it is a quiet NaN that survives loads/stores but never arises from
+/// ordinary arithmetic — a read of a recycled buffer that was not fully
+/// overwritten surfaces as this exact pattern, which
+/// `dc_check::memsafe::scan_poison` distinguishes from organic NaNs.
+pub const POISON_PATTERN: u32 = 0xFFC0_DEAD;
+
+/// `f32` view of [`POISON_PATTERN`].
+#[inline(always)]
+pub fn poison_value() -> f32 {
+    f32::from_bits(POISON_PATTERN)
+}
+
 // ---------------------------------------------------------------------------
 // Pool
 // ---------------------------------------------------------------------------
@@ -104,6 +151,43 @@ pub struct PoolStats {
     /// ever been responsible for at once. A leak (buffers allocated
     /// but never recycled) shows up as this growing step over step.
     pub high_water_bytes: usize,
+}
+
+/// The class of pool misuse a [`PoolViolation`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolViolationKind {
+    /// A buffer was recycled that the pool does not currently count as
+    /// outstanding — either it was already recycled (double recycle) or
+    /// it never came from this pool (foreign buffer).
+    DoubleRecycle,
+}
+
+/// One recorded misuse of the pool, detected by the `DC_CHECK=1`
+/// generation-tagged handle tracking. `dc_check::memsafe` converts
+/// these into structured `GraphError`-style diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolViolation {
+    /// What went wrong.
+    pub kind: PoolViolationKind,
+    /// Element count of the offending buffer.
+    pub len: usize,
+    /// Pool generation (see [`BufferPool::generation`]) at detection
+    /// time — which training step the misuse happened in.
+    pub generation: u64,
+}
+
+/// `DC_CHECK=1` side table: generation-tagged debug handles for every
+/// buffer the pool has handed out, plus the violations detected so far.
+/// Handles are keyed on the buffer's data pointer — stable while the
+/// buffer is outstanding because pool buffers are never resized.
+struct PoolDebug {
+    /// Current generation, bumped by [`BufferPool::bump_generation`]
+    /// (wired to `Tape::recycle`).
+    generation: u64,
+    /// `(data pointer, element count, generation at take)` of every
+    /// outstanding buffer.
+    outstanding: Vec<(usize, usize, u64)>,
+    violations: Vec<PoolViolation>,
 }
 
 /// One freelist of recycled buffers, all of exactly `len` elements.
@@ -133,6 +217,8 @@ pub struct BufferPool {
     outstanding: Cell<usize>,
     held: Cell<usize>,
     high_water: Cell<usize>,
+    /// `Some` iff [`check_enabled`] was true at construction.
+    debug: Option<RefCell<PoolDebug>>,
 }
 
 impl Default for BufferPool {
@@ -154,6 +240,13 @@ impl BufferPool {
             outstanding: Cell::new(0),
             held: Cell::new(0),
             high_water: Cell::new(0),
+            debug: check_enabled().then(|| {
+                RefCell::new(PoolDebug {
+                    generation: 0,
+                    outstanding: Vec::new(),
+                    violations: Vec::new(),
+                })
+            }),
         }
     }
 
@@ -166,8 +259,24 @@ impl BufferPool {
     /// Re-sample the global gate. Called from `Tape::recycle()` so
     /// in-process A/B benchmarks can flip pooling between steps
     /// without constructing new tapes.
+    ///
+    /// Transitioning to (or staying) disabled also drops the freelists
+    /// and resets the byte gauges: with pooling off the pool owns no
+    /// storage, so `tape.pool.bytes` and the high-water mark must read
+    /// zero/identity rather than whatever the last enabled period left
+    /// behind (hit/miss *counters* are history and are kept).
     pub fn refresh_enabled(&self) {
-        self.enabled.set(pool_enabled());
+        self.apply_enabled(pool_enabled());
+    }
+
+    fn apply_enabled(&self, on: bool) {
+        self.enabled.set(on);
+        if !on {
+            self.classes.borrow_mut().clear();
+            self.held.set(0);
+            self.high_water.set(self.outstanding.get());
+            self.publish();
+        }
     }
 
     /// A freelist buffer of exactly `n` elements, or `None` on a miss.
@@ -197,10 +306,13 @@ impl BufferPool {
     }
 
     /// A buffer of exactly `n` elements with **unspecified contents**
-    /// (recycled buffers keep their previous values). Callers must
-    /// fully overwrite it or use [`BufferPool::take_zeroed`].
+    /// (recycled buffers keep their previous values — under `DC_CHECK=1`
+    /// that means [`POISON_PATTERN`] NaNs). Callers must fully overwrite
+    /// it or use [`BufferPool::take_zeroed`].
     pub fn take(&self, n: usize) -> Vec<f32> {
-        self.take_recycled(n).unwrap_or_else(|| vec![0.0; n])
+        let buf = self.take_recycled(n).unwrap_or_else(|| vec![0.0; n]);
+        self.track_take(&buf);
+        buf
     }
 
     /// A buffer of exactly `n` elements, zero-filled. For consumers
@@ -208,17 +320,56 @@ impl BufferPool {
     /// scatter-style gradient buffers. Only recycled buffers pay the
     /// clear; fresh allocations are already zero.
     pub fn take_zeroed(&self, n: usize) -> Vec<f32> {
-        match self.take_recycled(n) {
+        let buf = match self.take_recycled(n) {
             Some(mut buf) => {
                 buf.iter_mut().for_each(|v| *v = 0.0);
                 buf
             }
             None => vec![0.0; n],
+        };
+        self.track_take(&buf);
+        buf
+    }
+
+    /// Record a generation-tagged debug handle for a buffer leaving the
+    /// pool (no-op unless `DC_CHECK=1`).
+    #[inline]
+    fn track_take(&self, buf: &[f32]) {
+        if let Some(debug) = &self.debug {
+            let mut d = debug.borrow_mut();
+            let generation = d.generation;
+            d.outstanding
+                .push((buf.as_ptr() as usize, buf.len(), generation));
         }
     }
 
     /// Return a buffer to its freelist (dropped when pooling is off).
-    pub fn put(&self, buf: Vec<f32>) {
+    ///
+    /// Under `DC_CHECK=1` the buffer must be one this pool currently
+    /// counts as outstanding — anything else records a
+    /// [`PoolViolationKind::DoubleRecycle`] — and its contents are
+    /// filled with [`POISON_PATTERN`] before parking, so a consumer
+    /// holding on to the storage past this point reads unmistakable
+    /// NaNs instead of silently aliasing the next step's data.
+    pub fn put(&self, mut buf: Vec<f32>) {
+        if let Some(debug) = &self.debug {
+            let mut d = debug.borrow_mut();
+            let ptr = buf.as_ptr() as usize;
+            match d.outstanding.iter().rposition(|&(p, _, _)| p == ptr) {
+                Some(at) => {
+                    d.outstanding.swap_remove(at);
+                }
+                None => {
+                    let v = PoolViolation {
+                        kind: PoolViolationKind::DoubleRecycle,
+                        len: buf.len(),
+                        generation: d.generation,
+                    };
+                    d.violations.push(v);
+                }
+            }
+            buf.iter_mut().for_each(|v| *v = poison_value());
+        }
         let bytes = buf.len() * std::mem::size_of::<f32>();
         self.outstanding
             .set(self.outstanding.get().saturating_sub(bytes));
@@ -272,6 +423,35 @@ impl BufferPool {
             self.high_water.set(total);
         }
         POOL_BYTES.set(total as u64);
+    }
+
+    /// Advance the debug-handle generation (no-op unless `DC_CHECK=1`).
+    /// `Tape::recycle` calls this once per step, so violations report
+    /// which step they happened in.
+    pub fn bump_generation(&self) {
+        if let Some(debug) = &self.debug {
+            let mut d = debug.borrow_mut();
+            d.generation += 1;
+        }
+    }
+
+    /// Current debug-handle generation (0 when tracking is off).
+    pub fn generation(&self) -> u64 {
+        self.debug.as_ref().map_or(0, |d| d.borrow().generation)
+    }
+
+    /// Pool misuses detected so far (always empty unless `DC_CHECK=1`).
+    pub fn violations(&self) -> Vec<PoolViolation> {
+        self.debug
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.borrow().violations.clone())
+    }
+
+    /// Drop recorded violations (tests assert on a clean slate).
+    pub fn clear_violations(&self) {
+        if let Some(debug) = &self.debug {
+            debug.borrow_mut().violations.clear();
+        }
     }
 }
 
@@ -357,6 +537,79 @@ mod tests {
         assert_eq!(s.held_bytes, 0);
         assert_eq!(pool.take(32).len(), 32);
         assert_eq!(pool.stats().misses, 2);
+    }
+
+    /// A pool with debug tracking forced on, without touching the
+    /// process-global `DC_CHECK` gate (tests in this binary run
+    /// concurrently).
+    fn debug_pool() -> BufferPool {
+        let mut pool = BufferPool::new();
+        pool.debug = Some(RefCell::new(PoolDebug {
+            generation: 0,
+            outstanding: Vec::new(),
+            violations: Vec::new(),
+        }));
+        pool
+    }
+
+    #[test]
+    fn disabling_pool_resets_gauges_to_identity() {
+        let pool = BufferPool::new();
+        pool.enabled.set(true);
+        let a = pool.take(64);
+        pool.put(a);
+        assert_eq!(pool.stats().held_bytes, 64 * 4);
+        assert_eq!(pool.stats().high_water_bytes, 64 * 4);
+        // Re-sample with the gate off, as Tape::recycle does after
+        // set_pool_enabled(false). The pool owns nothing now: gauges
+        // must read zero, not the last-enabled values.
+        pool.apply_enabled(false);
+        let s = pool.stats();
+        assert_eq!(s.held_bytes, 0);
+        assert_eq!(s.outstanding_bytes, 0);
+        assert_eq!(s.high_water_bytes, 0, "high-water resets with the pool off");
+        assert_eq!(s.misses, 1, "history counters are kept");
+    }
+
+    #[test]
+    fn recycled_buffers_are_poison_filled() {
+        let pool = debug_pool();
+        pool.enabled.set(true);
+        let mut a = pool.take(4);
+        a.iter_mut().for_each(|v| *v = 1.5);
+        pool.put(a);
+        // The freelist hit hands back the same storage: every element
+        // must now carry the exact poison pattern, not the stale 1.5s.
+        let stale = pool.take(4);
+        assert!(stale.iter().all(|v| v.to_bits() == POISON_PATTERN));
+        assert!(pool.violations().is_empty(), "legal take/put is clean");
+    }
+
+    #[test]
+    fn double_recycle_is_detected_with_generation() {
+        let pool = debug_pool();
+        pool.enabled.set(true);
+        let a = pool.take(8);
+        pool.put(a);
+        pool.bump_generation();
+        // A buffer the pool never handed out: double recycle / foreign.
+        pool.put(vec![0.0; 8]);
+        let v = pool.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, PoolViolationKind::DoubleRecycle);
+        assert_eq!(v[0].len, 8);
+        assert_eq!(v[0].generation, 1, "violation is tagged with the step");
+        pool.clear_violations();
+        assert!(pool.violations().is_empty());
+    }
+
+    #[test]
+    fn take_zeroed_clears_poison() {
+        let pool = debug_pool();
+        pool.enabled.set(true);
+        let a = pool.take(4);
+        pool.put(a);
+        assert!(pool.take_zeroed(4).iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -254,6 +254,10 @@ pub struct Tape {
     nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,
     backward_runs: Cell<u32>,
+    /// Arena index the last [`Tape::backward`] call started from, for
+    /// post-hoc analyses (dc-check's liveness/pool forecast) that need
+    /// the sweep root but only see the tape after the step ran.
+    last_root: Cell<Option<usize>>,
     pool: BufferPool,
     has_fused: Cell<bool>,
     /// Reusable backward scratch (consumer counts / deferred fused-root
@@ -276,6 +280,7 @@ impl Tape {
             nodes: RefCell::new(Vec::new()),
             grads: RefCell::new(Vec::new()),
             backward_runs: Cell::new(0),
+            last_root: Cell::new(None),
             pool: BufferPool::new(),
             has_fused: Cell::new(false),
             scratch_counts: RefCell::new(Vec::new()),
@@ -340,15 +345,42 @@ impl Tape {
             self.pool.put(t.data);
         }
         self.backward_runs.set(0);
+        self.last_root.set(None);
         self.has_fused.set(false);
         self.pool.publish_counters();
         self.pool.refresh_enabled();
+        self.pool.bump_generation();
         self.id.set(NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed));
     }
 
     /// Snapshot of the tape's pool accounting (hits/misses/bytes).
     pub fn pool_stats(&self) -> crate::pool::PoolStats {
         self.pool.stats()
+    }
+
+    /// Pool misuses (double recycles) detected by the `DC_CHECK=1`
+    /// debug-handle tracking; always empty otherwise.
+    pub fn pool_violations(&self) -> Vec<crate::pool::PoolViolation> {
+        self.pool.violations()
+    }
+
+    /// Arena index of the last [`Tape::backward`] root on this tape
+    /// generation, or `None` if backward has not run.
+    pub fn last_backward_root(&self) -> Option<usize> {
+        self.last_root.get()
+    }
+
+    /// Per-node `(value_pooled, aux_pooled)` flags, in arena order:
+    /// whether the node's value buffer came from the tape's pool, and
+    /// whether its op embeds a pool-backed auxiliary tensor (the cached
+    /// `probs` of the loss ops). dc-check's liveness analyzer replays
+    /// the step's pool traffic from these.
+    pub fn pooled_flags(&self) -> Vec<(bool, bool)> {
+        self.nodes
+            .borrow()
+            .iter()
+            .map(|n| (n.pooled, n.aux_pooled))
+            .collect()
     }
 
     /// Panic unless `v` was minted by this tape.
@@ -1013,6 +1045,7 @@ impl Tape {
         let _sweep = BACKWARD.start();
         self.assert_owned(out, "backward");
         self.backward_runs.set(self.backward_runs.get() + 1);
+        self.last_root.set(Some(out.index));
         let nodes = self.nodes.borrow();
         assert_eq!(nodes[out.index].value.len(), 1, "backward needs a scalar");
 

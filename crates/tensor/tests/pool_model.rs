@@ -1,0 +1,361 @@
+//! Schedule-permutation model of the worker pool's job-slot handoff
+//! (ISSUE 6): a hand-rolled loom-style exhaustive explorer for the
+//! `Mutex`/`Condvar` protocol in `crates/tensor/src/kernel.rs`.
+//!
+//! The pool hands one `Job` at a time to its workers through a shared
+//! slot guarded by a mutex: the caller bumps an `epoch`, parks the job
+//! in the slot, and wakes `work_cv`; workers that observe a fresh epoch
+//! join (`active += 1`), steal chunks from a lock-free counter, and the
+//! last one out wakes `done_cv`; the caller returns only once
+//! `completed == n_chunks && active == 0`, because the job's atomics
+//! and closure live *on the caller's stack*.
+//!
+//! This test re-implements that protocol as explicit per-thread state
+//! machines and exhaustively explores every interleaving (DFS over
+//! scheduler choices with memoized states), checking:
+//!
+//! * **no use-after-free** — no thread touches a job's counters or task
+//!   after the submitting caller's frame is gone,
+//! * **exactly-once execution** — every chunk of every job runs once,
+//! * **no lost wakeup / deadlock** — every schedule terminates with the
+//!   caller done (parked threads only run again after a notify),
+//! * **quiescence** — at caller return, `active == 0` and all chunks
+//!   completed.
+//!
+//! Modeling notes: each mutex critical section is one atomic transition
+//! (sound: the lock already serializes them), condvar waits have no
+//! spurious wakeups (so a protocol relying on them would deadlock here
+//! and fail), and the lock-free `next_chunk`/`completed` steps are
+//! individual transitions, so every claim/execute/complete interleaving
+//! across threads is covered. The serial fallbacks (`DC_THREADS=1`,
+//! nested calls, busy pool) bypass this protocol entirely and are
+//! exercised by the ordinary kernel tests.
+
+use std::collections::HashSet;
+
+/// Per-submission shared data that lives in the caller's frame in the
+/// real code. `alive` models the frame's lifetime.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Sub {
+    next_chunk: u8,
+    completed: u8,
+    alive: bool,
+    executed: Vec<u8>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Caller {
+    /// Lock; epoch += 1; slot = job; notify_all(work_cv); unlock.
+    Submit(u8),
+    /// run_chunks: next_chunk.fetch_add.
+    Claim(u8),
+    /// Execute the claimed chunk (dereferences the task pointer).
+    Exec(u8, u8),
+    /// completed.fetch_add.
+    Complete(u8, u8),
+    /// Lock; test `completed == n && active == 0`; on success clear the
+    /// slot and return (frame dies); else wait on done_cv.
+    Check(u8),
+    /// Parked on done_cv.
+    Parked(u8),
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Worker {
+    /// Lock; if epoch advanced and a job is parked, join it; else wait.
+    Scan {
+        seen: u8,
+    },
+    /// Parked on work_cv.
+    Parked {
+        seen: u8,
+    },
+    Claim {
+        job: u8,
+        seen: u8,
+    },
+    Exec {
+        job: u8,
+        chunk: u8,
+        seen: u8,
+    },
+    Complete {
+        job: u8,
+        chunk: u8,
+        seen: u8,
+    },
+    /// Lock; active -= 1; if 0, notify_all(done_cv); unlock.
+    Finish {
+        job: u8,
+        seen: u8,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct State {
+    epoch: u8,
+    job: Option<u8>,
+    active: u8,
+    subs: Vec<Sub>,
+    caller: Caller,
+    workers: Vec<Worker>,
+}
+
+struct Model {
+    jobs: usize,
+    chunks: usize,
+}
+
+impl Model {
+    fn initial(&self, workers: usize) -> State {
+        State {
+            epoch: 0,
+            job: None,
+            active: 0,
+            subs: vec![
+                Sub {
+                    next_chunk: 0,
+                    completed: 0,
+                    alive: false,
+                    executed: vec![0; self.chunks],
+                };
+                self.jobs
+            ],
+            caller: Caller::Submit(0),
+            workers: vec![Worker::Scan { seen: 0 }; workers],
+        }
+    }
+
+    /// The atomics in `Job` live in the caller's frame: any access after
+    /// the caller returned is the exact use-after-free the protocol must
+    /// make impossible.
+    fn assert_alive(&self, st: &State, j: u8, what: &str) {
+        assert!(
+            st.subs[j as usize].alive,
+            "use-after-free: {what} on job {j} after its frame died\n{st:?}"
+        );
+    }
+
+    /// One run_chunks micro-step shared by caller and workers: claim →
+    /// exec → complete → claim … until the counter drains.
+    fn claim(&self, st: &State, j: u8) -> (State, Option<u8>) {
+        self.assert_alive(st, j, "next_chunk.fetch_add");
+        let mut n = st.clone();
+        let c = n.subs[j as usize].next_chunk;
+        n.subs[j as usize].next_chunk += 1;
+        if (c as usize) < self.chunks {
+            (n, Some(c))
+        } else {
+            (n, None)
+        }
+    }
+
+    fn exec(&self, st: &State, j: u8, c: u8) -> State {
+        self.assert_alive(st, j, "task()");
+        let mut n = st.clone();
+        let slot = &mut n.subs[j as usize].executed[c as usize];
+        *slot += 1;
+        assert_eq!(*slot, 1, "chunk {c} of job {j} executed twice\n{st:?}");
+        n
+    }
+
+    fn complete(&self, st: &State, j: u8) -> State {
+        self.assert_alive(st, j, "completed.fetch_add");
+        let mut n = st.clone();
+        n.subs[j as usize].completed += 1;
+        n
+    }
+
+    /// work_cv.notify_all: every worker parked on it becomes runnable
+    /// (re-acquires the lock and rescans).
+    fn notify_work(&self, st: &mut State) {
+        for w in st.workers.iter_mut() {
+            if let Worker::Parked { seen } = *w {
+                *w = Worker::Scan { seen };
+            }
+        }
+    }
+
+    /// done_cv.notify_all: the caller, if parked, re-checks.
+    fn notify_done(&self, st: &mut State) {
+        if let Caller::Parked(s) = st.caller {
+            st.caller = Caller::Check(s);
+        }
+    }
+
+    /// The scheduler picks thread `tid` (0 = caller, 1.. = workers).
+    /// Returns the successor state, or `None` if the thread is blocked
+    /// (parked on a condvar) or finished.
+    fn step(&self, st: &State, tid: usize) -> Option<State> {
+        if tid == 0 {
+            return self.step_caller(st);
+        }
+        self.step_worker(st, tid - 1)
+    }
+
+    fn step_caller(&self, st: &State) -> Option<State> {
+        match st.caller {
+            Caller::Submit(s) => {
+                let mut n = st.clone();
+                n.epoch += 1;
+                n.job = Some(s);
+                n.subs[s as usize].alive = true;
+                self.notify_work(&mut n);
+                n.caller = Caller::Claim(s);
+                Some(n)
+            }
+            Caller::Claim(s) => {
+                let (mut n, c) = self.claim(st, s);
+                n.caller = match c {
+                    Some(c) => Caller::Exec(s, c),
+                    None => Caller::Check(s),
+                };
+                Some(n)
+            }
+            Caller::Exec(s, c) => {
+                let mut n = self.exec(st, s, c);
+                n.caller = Caller::Complete(s, c);
+                Some(n)
+            }
+            Caller::Complete(s, _) => {
+                let mut n = self.complete(st, s);
+                n.caller = Caller::Claim(s);
+                Some(n)
+            }
+            Caller::Check(s) => {
+                let mut n = st.clone();
+                let sub = &n.subs[s as usize];
+                if (sub.completed as usize) >= self.chunks && n.active == 0 {
+                    // Quiescent: the caller clears the slot and returns;
+                    // its frame — and the job's atomics — die here.
+                    assert!(
+                        n.subs[s as usize].executed.iter().all(|&e| e == 1),
+                        "job {s} finished without executing every chunk once\n{st:?}"
+                    );
+                    n.job = None;
+                    n.subs[s as usize].alive = false;
+                    n.caller = if (s as usize + 1) < self.jobs {
+                        Caller::Submit(s + 1)
+                    } else {
+                        Caller::Done
+                    };
+                } else {
+                    n.caller = Caller::Parked(s);
+                }
+                Some(n)
+            }
+            Caller::Parked(_) | Caller::Done => None,
+        }
+    }
+
+    fn step_worker(&self, st: &State, w: usize) -> Option<State> {
+        match st.workers[w] {
+            Worker::Scan { seen } => {
+                let mut n = st.clone();
+                if st.epoch != seen {
+                    if let Some(j) = st.job {
+                        n.active += 1;
+                        n.workers[w] = Worker::Claim {
+                            job: j,
+                            seen: st.epoch,
+                        };
+                        return Some(n);
+                    }
+                    // Epoch advanced but the job already drained: adopt
+                    // the epoch and go back to sleep.
+                }
+                n.workers[w] = Worker::Parked { seen: st.epoch };
+                Some(n)
+            }
+            Worker::Parked { .. } => None,
+            Worker::Claim { job, seen } => {
+                let (mut n, c) = self.claim(st, job);
+                n.workers[w] = match c {
+                    Some(chunk) => Worker::Exec { job, chunk, seen },
+                    None => Worker::Finish { job, seen },
+                };
+                Some(n)
+            }
+            Worker::Exec { job, chunk, seen } => {
+                let mut n = self.exec(st, job, chunk);
+                n.workers[w] = Worker::Complete { job, chunk, seen };
+                Some(n)
+            }
+            Worker::Complete { job, seen, .. } => {
+                let mut n = self.complete(st, job);
+                n.workers[w] = Worker::Claim { job, seen };
+                Some(n)
+            }
+            Worker::Finish { seen, .. } => {
+                let mut n = st.clone();
+                n.active -= 1;
+                if n.active == 0 {
+                    self.notify_done(&mut n);
+                }
+                n.workers[w] = Worker::Scan { seen };
+                Some(n)
+            }
+        }
+    }
+
+    /// DFS over every scheduler choice with memoized states. Returns
+    /// the number of distinct states explored.
+    fn explore(&self, workers: usize) -> usize {
+        let n_threads = workers + 1;
+        let mut visited: HashSet<State> = HashSet::new();
+        let mut stack = vec![self.initial(workers)];
+        while let Some(st) = stack.pop() {
+            if !visited.insert(st.clone()) {
+                continue;
+            }
+            let mut any = false;
+            for tid in 0..n_threads {
+                if let Some(next) = self.step(&st, tid) {
+                    any = true;
+                    stack.push(next);
+                }
+            }
+            if !any {
+                // Every thread blocked: the only legal terminal state is
+                // "caller done, workers parked". Anything else is a
+                // deadlock (e.g. a lost wakeup).
+                assert!(
+                    matches!(st.caller, Caller::Done),
+                    "deadlock: no runnable thread\n{st:?}"
+                );
+                assert_eq!(st.active, 0, "worker still active at termination\n{st:?}");
+                assert!(
+                    st.subs.iter().all(|s| !s.alive),
+                    "job frame alive at termination\n{st:?}"
+                );
+            }
+        }
+        visited.len()
+    }
+}
+
+#[test]
+fn job_slot_handoff_two_workers_two_jobs() {
+    // Two sequential submissions exercise the epoch-based wakeup: a
+    // worker that missed job 0 entirely must still join job 1, and a
+    // worker that drained job 0 must not re-join it.
+    let states = Model { jobs: 2, chunks: 2 }.explore(2);
+    assert!(states > 1_000, "model explored only {states} states");
+}
+
+#[test]
+fn job_slot_handoff_two_workers_three_chunks() {
+    // More chunks than threads: claim/exec/complete interleavings where
+    // the same thread takes several chunks while others join late.
+    let states = Model { jobs: 1, chunks: 3 }.explore(2);
+    assert!(states > 500, "model explored only {states} states");
+}
+
+#[test]
+fn job_slot_handoff_three_workers() {
+    // Oversubscribed: more workers than chunks, so some join only to
+    // find the counter drained and must leave without wedging `active`.
+    let states = Model { jobs: 2, chunks: 2 }.explore(3);
+    assert!(states > 2_000, "model explored only {states} states");
+}

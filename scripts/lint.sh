@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
 # Workspace lint gate: formatting, clippy (warnings are errors), and the
 # dc-check self-test (static checks + FD audit of every autograd op).
+#
+# `--deep` additionally runs scripts/sanitize.sh (DC_CHECK poison sweep,
+# pool schedule model, and the Miri/TSan lanes where installed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+deep=0
+for arg in "$@"; do
+    case "$arg" in
+    --deep) deep=1 ;;
+    *)
+        echo "usage: $0 [--deep]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings, every unsafe block documented) =="
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::undocumented-unsafe-blocks
 
 echo "== dc-obs selftest + unit/property tests =="
 cargo run -q -p dc-obs --bin dc-obs-selftest
@@ -44,11 +58,23 @@ cargo test -q -p dc-tensor --test pool_equiv
 echo "== pool leak guard (high-water stable after epoch 1) =="
 cargo test -q -p dc-nn --test pool_leak
 
+echo "== pool job-slot handoff model (exhaustive schedule permutation) =="
+cargo test -q -p dc-tensor --test pool_model
+
+echo "== memory-safety diagnostics (poison regression + liveness forecast parity) =="
+cargo test -q -p dc-check --test memsafe_regression
+cargo test -q -p dc-nn --test liveness_parity
+
 echo "== training benchmark smoke (equivalence + pool warmup, no wall-clock gate) =="
 cargo run -q --release -p dc-bench --bin bench_train -- --smoke
 
 echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2 =="
 DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv
 DC_THREADS=2 cargo test -q -p dc-er --test obs_equiv
+
+if [ "$deep" = 1 ]; then
+    echo "== deep: sanitizer/race gates (scripts/sanitize.sh) =="
+    scripts/sanitize.sh
+fi
 
 echo "lint: all gates passed"
