@@ -28,10 +28,10 @@
 
 use dc_nn::linear::Activation;
 use dc_nn::loss::LossKind;
-use dc_nn::lstm::LstmEncoder;
+use dc_nn::lstm::{set_lstm_fused, LstmEncoder};
 use dc_nn::mlp::Mlp;
 use dc_nn::optim::{Adam, Optimizer};
-use dc_tensor::{set_fuse_enabled, set_pool_enabled, Tape, Tensor, Var};
+use dc_tensor::{set_fuse_enabled, set_pool_enabled, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -92,11 +92,24 @@ impl PoolObs {
     }
 }
 
+/// One `lstm_gates` row: per-timestep gate cost, legacy per-gate GEMMs
+/// (`DC_LSTM_FUSED=0`) vs fused 4h-wide projections, both pooled.
+#[derive(Serialize)]
+struct LstmGatesSnapshot {
+    tokens: usize,
+    unfused_us_per_step: f64,
+    fused_us_per_step: f64,
+    unfused_us_per_token: f64,
+    fused_us_per_token: f64,
+    reduction_pct: f64,
+}
+
 #[derive(Serialize)]
 struct Snapshot {
     description: &'static str,
     smoke: bool,
     workloads: Vec<WorkloadSnapshot>,
+    lstm_gates: Vec<LstmGatesSnapshot>,
     obs_pool: PoolObs,
 }
 
@@ -172,8 +185,8 @@ struct DeeperLstmMicro {
     encoder: LstmEncoder,
     classifier: Mlp,
     opt: Adam,
-    seq_a: Vec<Vec<f32>>,
-    seq_b: Vec<Vec<f32>>,
+    seq_a: Tensor,
+    seq_b: Tensor,
     step_idx: usize,
     last_loss: f32,
 }
@@ -184,13 +197,8 @@ impl DeeperLstmMicro {
         let dim = 8;
         let hidden = 8;
         let tokens = 10;
-        let mk_seq = |rng: &mut StdRng| -> Vec<Vec<f32>> {
-            (0..tokens)
-                .map(|_| Tensor::randn(1, dim, 1.0, rng).data)
-                .collect()
-        };
-        let seq_a = mk_seq(&mut rng);
-        let seq_b = mk_seq(&mut rng);
+        let seq_a = Tensor::randn(tokens, dim, 1.0, &mut rng);
+        let seq_b = Tensor::randn(tokens, dim, 1.0, &mut rng);
         let encoder = LstmEncoder::new(dim, hidden, &mut rng);
         let classifier = Mlp::new(
             &[2 * hidden, 32, 1],
@@ -216,18 +224,10 @@ impl Workload for DeeperLstmMicro {
         self.step_idx += 1;
         let lvars = self.encoder.bind(tape);
         let cvars = self.classifier.bind(tape);
-        let steps_a: Vec<Var> = self
-            .seq_a
-            .iter()
-            .map(|v| tape.var_slice(1, v.len(), v))
-            .collect();
-        let steps_b: Vec<Var> = self
-            .seq_b
-            .iter()
-            .map(|v| tape.var_slice(1, v.len(), v))
-            .collect();
-        let ha = self.encoder.forward_tape(tape, &steps_a, &lvars);
-        let hb = self.encoder.forward_tape(tape, &steps_b, &lvars);
+        let sa = tape.var_slice(self.seq_a.rows, self.seq_a.cols, &self.seq_a.data);
+        let sb = tape.var_slice(self.seq_b.rows, self.seq_b.cols, &self.seq_b.data);
+        let ha = self.encoder.forward_tape(tape, sa, &lvars);
+        let hb = self.encoder.forward_tape(tape, sb, &lvars);
         let diff = tape.abs(tape.sub(ha, hb));
         let had = tape.mul(ha, hb);
         let feat = tape.concat(&[diff, had]);
@@ -252,18 +252,59 @@ impl Workload for DeeperLstmMicro {
 
     fn fingerprint(&self) -> Vec<u32> {
         let mut bits = vec![self.last_loss.to_bits()];
-        for t in self
-            .encoder
-            .wx
-            .iter()
-            .chain(&self.encoder.wh)
-            .chain(&self.encoder.b)
-        {
+        for t in [&self.encoder.wx, &self.encoder.wh, &self.encoder.b] {
             bits.extend(t.data.iter().map(|v| v.to_bits()));
         }
         for l in &self.classifier.layers {
             bits.extend(l.w.data.iter().map(|v| v.to_bits()));
             bits.extend(l.b.data.iter().map(|v| v.to_bits()));
+        }
+        bits
+    }
+}
+
+/// A bare LSTM training step over one `T×8` sequence — bind, forward,
+/// sum-of-squares loss, backward, Adam — used to isolate per-timestep
+/// gate cost for the unfused-vs-fused comparison.
+struct LstmGatesMicro {
+    encoder: LstmEncoder,
+    opt: Adam,
+    seq: Tensor,
+    last_loss: f32,
+}
+
+impl LstmGatesMicro {
+    fn new(seed: u64, tokens: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (dim, hidden) = (8, 8);
+        let seq = Tensor::randn(tokens, dim, 1.0, &mut rng);
+        LstmGatesMicro {
+            encoder: LstmEncoder::new(dim, hidden, &mut rng),
+            opt: Adam::new(0.01),
+            seq,
+            last_loss: 0.0,
+        }
+    }
+}
+
+impl Workload for LstmGatesMicro {
+    fn step(&mut self, tape: &Tape) -> f32 {
+        let lvars = self.encoder.bind(tape);
+        let sv = tape.var_slice(self.seq.rows, self.seq.cols, &self.seq.data);
+        let h = self.encoder.forward_tape(tape, sv, &lvars);
+        let loss = tape.sum(tape.mul(h, h));
+        let lv = tape.item(loss);
+        tape.backward(loss);
+        self.opt.begin_step();
+        self.encoder.apply_grads(&mut self.opt, 0, tape, &lvars);
+        self.last_loss = lv;
+        lv
+    }
+
+    fn fingerprint(&self) -> Vec<u32> {
+        let mut bits = vec![self.last_loss.to_bits()];
+        for t in [&self.encoder.wx, &self.encoder.wh, &self.encoder.b] {
+            bits.extend(t.data.iter().map(|v| v.to_bits()));
         }
         bits
     }
@@ -426,6 +467,66 @@ fn bench_workload(
     }
 }
 
+/// Time the bare LSTM step at sequence length `tokens` in both gate
+/// modes. Like `bench_workload`, samples are interleaved per-pair so
+/// shared-box noise cancels; each mode keeps its own recycled tape
+/// (the two graphs pool different size classes).
+fn bench_lstm_gates(tokens: usize, warmup: usize, timed: usize, reps: usize) -> LstmGatesSnapshot {
+    set_pool_enabled(true);
+    set_fuse_enabled(true);
+
+    set_lstm_fused(false);
+    let tape_unfused = Tape::new();
+    {
+        let mut w = LstmGatesMicro::new(11, tokens);
+        run_pooled(&mut w, &tape_unfused, warmup);
+    }
+    set_lstm_fused(true);
+    let tape_fused = Tape::new();
+    {
+        let mut w = LstmGatesMicro::new(11, tokens);
+        run_pooled(&mut w, &tape_fused, warmup);
+    }
+
+    let mut unfused_samples = Vec::with_capacity(reps);
+    let mut fused_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        set_lstm_fused(false);
+        let mut w = LstmGatesMicro::new(11, tokens);
+        let t0 = Instant::now();
+        run_pooled(&mut w, &tape_unfused, timed);
+        unfused_samples.push(t0.elapsed().as_secs_f64() * 1e6 / timed as f64);
+
+        set_lstm_fused(true);
+        let mut w = LstmGatesMicro::new(11, tokens);
+        let t0 = Instant::now();
+        run_pooled(&mut w, &tape_fused, timed);
+        fused_samples.push(t0.elapsed().as_secs_f64() * 1e6 / timed as f64);
+    }
+    set_lstm_fused(true);
+
+    let mut reductions: Vec<f64> = unfused_samples
+        .iter()
+        .zip(&fused_samples)
+        .map(|(u, f)| (1.0 - f / u) * 100.0)
+        .collect();
+    let reduction_pct = median(&mut reductions);
+    let unfused_us_per_step = median(&mut unfused_samples);
+    let fused_us_per_step = median(&mut fused_samples);
+    eprintln!(
+        "lstm_gates T={tokens}: unfused {unfused_us_per_step:.1}us/step  \
+         fused {fused_us_per_step:.1}us/step  ({reduction_pct:+.1}% reduction)"
+    );
+    LstmGatesSnapshot {
+        tokens,
+        unfused_us_per_step,
+        fused_us_per_step,
+        unfused_us_per_token: unfused_us_per_step / tokens as f64,
+        fused_us_per_token: fused_us_per_step / tokens as f64,
+        reduction_pct,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (warmup, timed, reps, equiv_steps) = if smoke {
@@ -457,6 +558,11 @@ fn main() {
         ),
     ];
 
+    let lstm_gates: Vec<LstmGatesSnapshot> = [4usize, 16, 64]
+        .iter()
+        .map(|&tokens| bench_lstm_gates(tokens, warmup, timed, reps))
+        .collect();
+
     // Short instrumented pooled pass so the snapshot embeds the pool
     // counters/gauge as dc-obs reports them (timing above runs with the
     // obs gate off, so instrumentation never skews the measurements).
@@ -474,6 +580,7 @@ fn main() {
         description: "training-step time: DC_POOL=0/DC_FUSE=0 fresh-tape baseline vs one recycled pooled tape with fused elementwise chains; bitwise-identical results enforced",
         smoke,
         workloads,
+        lstm_gates,
         obs_pool,
     };
     let json = serde_json::to_string(&snapshot).expect("serialize snapshot");

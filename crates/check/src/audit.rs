@@ -31,6 +31,7 @@ pub enum OpKind {
     Concat,
     RowsSelect,
     RowsMean,
+    SliceCols,
     Dropout,
     MseLoss,
     BceWithLogits,
@@ -40,7 +41,7 @@ pub enum OpKind {
 
 impl OpKind {
     /// Every variant, in [`Op`] declaration order.
-    pub const ALL: [OpKind; 25] = [
+    pub const ALL: [OpKind; 26] = [
         OpKind::Leaf,
         OpKind::Add,
         OpKind::Sub,
@@ -61,6 +62,7 @@ impl OpKind {
         OpKind::Concat,
         OpKind::RowsSelect,
         OpKind::RowsMean,
+        OpKind::SliceCols,
         OpKind::Dropout,
         OpKind::MseLoss,
         OpKind::BceWithLogits,
@@ -92,6 +94,7 @@ impl OpKind {
             Op::Concat(..) => OpKind::Concat,
             Op::RowsSelect(..) => OpKind::RowsSelect,
             Op::RowsMean(..) => OpKind::RowsMean,
+            Op::SliceCols(..) => OpKind::SliceCols,
             Op::Dropout(..) => OpKind::Dropout,
             Op::MseLoss(..) => OpKind::MseLoss,
             Op::BceWithLogits { .. } => OpKind::BceWithLogits,
@@ -123,6 +126,7 @@ impl OpKind {
             OpKind::Concat => "concat",
             OpKind::RowsSelect => "rows_select",
             OpKind::RowsMean => "rows_mean",
+            OpKind::SliceCols => "slice_cols",
             OpKind::Dropout => "dropout",
             OpKind::MseLoss => "mse_loss",
             OpKind::BceWithLogits => "bce_with_logits",
@@ -320,6 +324,29 @@ pub fn audit_op(kind: OpKind, eps: f32, tol: f32) -> OpAudit {
                 t.sum(t.mul(m, t.var(probe(4, 2, 1))))
             }),
         )],
+        OpKind::SliceCols => vec![
+            (
+                // Overlapping slices exercise the scatter-accumulate
+                // backward (columns 1..3 receive credit twice).
+                probe(3, 4, 0),
+                Box::new(|t, v| {
+                    let a = t.slice_cols(v, 0, 3);
+                    let b = t.slice_cols(v, 1, 3);
+                    let sa = t.sum(t.mul(a, t.var(probe(3, 3, 1))));
+                    let sb = t.sum(t.mul(b, t.var(probe(3, 3, 2))));
+                    t.add(sa, sb)
+                }),
+            ),
+            (
+                // The fused-LSTM shape: disjoint gate lanes of a 1×4h row.
+                probe(1, 8, 3),
+                Box::new(|t, v| {
+                    let lo = t.sigmoid(t.slice_cols(v, 0, 4));
+                    let hi = t.tanh(t.slice_cols(v, 4, 4));
+                    t.sum(t.mul(lo, hi))
+                }),
+            ),
+        ],
         OpKind::Dropout => vec![(
             probe(2, 3, 0),
             Box::new(|t, v| {

@@ -31,6 +31,7 @@ fn operands(op: &Op, out: &mut Vec<usize>) {
         | Op::Mean(a)
         | Op::RowsSelect(a, _)
         | Op::RowsMean(a, _)
+        | Op::SliceCols(a, _, _)
         | Op::Dropout(a, _)
         | Op::MseLoss(a, _) => out.push(a.index()),
         Op::Concat(parts) => out.extend(parts.iter().map(|p| p.index())),

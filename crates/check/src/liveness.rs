@@ -103,7 +103,8 @@ enum MOp {
     Reduce(usize),
     AddRow(usize, usize),
     Concat(Vec<usize>),
-    /// `RowsSelect`/`RowsMean`: zero-filled input-shaped scatter target.
+    /// `RowsSelect`/`RowsMean`/`SliceCols`: zero-filled input-shaped
+    /// scatter target.
     Scatter(usize),
     /// Mask is an embedded tensor, not a node: gradient-only.
     Dropout(usize),
@@ -183,7 +184,9 @@ fn capture(tape: &Tape) -> Result<Vec<Meta>, Vec<GraphError>> {
             Op::Sum(a) | Op::Mean(a) => MOp::Reduce(a.index()),
             Op::AddRow(a, b) => MOp::AddRow(a.index(), b.index()),
             Op::Concat(parts) => MOp::Concat(parts.iter().map(|p| p.index()).collect()),
-            Op::RowsSelect(a, _) | Op::RowsMean(a, _) => MOp::Scatter(a.index()),
+            Op::RowsSelect(a, _) | Op::RowsMean(a, _) | Op::SliceCols(a, _, _) => {
+                MOp::Scatter(a.index())
+            }
             Op::Dropout(a, _) => MOp::Dropout(a.index()),
             Op::MseLoss(a, _) => MOp::MseLoss(a.index()),
             Op::BceWithLogits { logits, .. } | Op::SoftmaxCe { logits, .. } => {

@@ -208,16 +208,26 @@ impl DeepEr {
             (1.0, 1.0)
         };
 
-        // Pre-tokenise every row once.
-        let sequences: Vec<Vec<Vec<f32>>> = table
+        // Pre-tokenise every row once, straight into the `T×dim`
+        // sequence tensors the encoder's fused input GEMM consumes.
+        let dim = emb.dim();
+        let sequences: Vec<Tensor> = table
             .rows
             .iter()
             .map(|row| {
-                tokenize_tuple(row)
+                let toks: Vec<f32> = tokenize_tuple(row)
                     .iter()
-                    .filter_map(|t| emb.get(t).map(|v| v.to_vec()))
+                    .filter_map(|t| emb.get(t))
                     .take(max_tokens)
-                    .collect()
+                    .flat_map(|v| v.iter().copied())
+                    .collect();
+                if toks.is_empty() {
+                    // Guarantee at least one step so empty tuples
+                    // still encode.
+                    Tensor::zeros(1, dim)
+                } else {
+                    Tensor::from_vec(toks.len() / dim, dim, toks)
+                }
             })
             .collect();
 
@@ -238,7 +248,6 @@ impl DeepEr {
             labels,
             w_neg,
             w_pos,
-            dim: emb.dim(),
         };
         run_epochs("er.deeper_lstm", &mut trainer, &index, None, &opts, rng);
         DeepEr {
@@ -252,12 +261,8 @@ impl DeepEr {
         }
     }
 
-    fn steps(tape: &Tape, seq: &[Vec<f32>], dim: usize) -> Vec<Var> {
-        if seq.is_empty() {
-            // Guarantee at least one step so empty tuples still encode.
-            return vec![tape.var(Tensor::zeros(1, dim))];
-        }
-        seq.iter().map(|v| tape.var_slice(1, v.len(), v)).collect()
+    fn seq_var(tape: &Tape, seq: &Tensor) -> Var {
+        tape.var_slice(seq.rows, seq.cols, &seq.data)
     }
 
     /// Match probabilities for candidate pairs over `table`.
@@ -336,12 +341,11 @@ struct LstmPairTrainer<'a> {
     encoder: &'a mut LstmEncoder,
     classifier: &'a mut Mlp,
     opt: &'a mut Adam,
-    sequences: &'a [Vec<Vec<f32>>],
+    sequences: &'a [Tensor],
     pairs: &'a [(usize, usize)],
     labels: &'a [bool],
     w_neg: f32,
     w_pos: f32,
-    dim: usize,
 }
 
 impl Trainer for LstmPairTrainer<'_> {
@@ -353,10 +357,10 @@ impl Trainer for LstmPairTrainer<'_> {
         let tape = ctx.tape;
         let lvars = self.encoder.bind(tape);
         let cvars = self.classifier.bind(tape);
-        let steps_a = DeepEr::steps(tape, &self.sequences[a], self.dim);
-        let steps_b = DeepEr::steps(tape, &self.sequences[b], self.dim);
-        let ha = self.encoder.forward_tape(tape, &steps_a, &lvars);
-        let hb = self.encoder.forward_tape(tape, &steps_b, &lvars);
+        let sa = DeepEr::seq_var(tape, &self.sequences[a]);
+        let sb = DeepEr::seq_var(tape, &self.sequences[b]);
+        let ha = self.encoder.forward_tape(tape, sa, &lvars);
+        let hb = self.encoder.forward_tape(tape, sb, &lvars);
         let diff = tape.abs(tape.sub(ha, hb));
         let had = tape.mul(ha, hb);
         let feat = tape.concat(&[diff, had]);

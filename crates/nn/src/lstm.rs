@@ -3,61 +3,168 @@
 //! The paper uses "uni- and bi-directional recurrent neural networks
 //! (RNNs) with long short term memory (LSTM) hidden units to convert
 //! each tuple to a distributed representation" (§5.2, DeepER). These
-//! encoders consume a sequence of `1×d` row vectors (token embeddings)
-//! and produce the final hidden state as the sequence representation.
+//! encoders consume a `T×input_dim` sequence of token embeddings and
+//! produce the final hidden state as the sequence representation.
+//!
+//! # Fused gate layout
+//!
+//! Gate weights are stored cuDNN-style as single wide matrices —
+//! `wx: input_dim×4h`, `wh: hidden_dim×4h`, `b: 1×4h` — with the four
+//! gates column-blocked in `[i|f|o|g]` order. Each timestep then costs
+//! one `x·Wx` GEMM, one `h·Wh` GEMM, and a column split (the tape's
+//! `slice_cols`), instead of eight tiny per-gate GEMMs. On top of that
+//! the input projections for *all* timesteps are hoisted out of the
+//! recurrence into one `T×4h` GEMM (`seq·Wx`), leaving only the
+//! inherently-serial `h·Wh` product inside the loop.
+//!
+//! `DC_LSTM_FUSED=0` (or [`set_lstm_fused`]`(false)`) selects the
+//! legacy path — separate per-gate weights bound in the pre-fusion
+//! order — which reproduces the old implementation's arithmetic
+//! bitwise. The mode must not flip mid-training: fused mode uses 3
+//! optimiser slots per encoder, legacy mode 12, and slot state is
+//! keyed on that layout.
 
-use dc_tensor::{Tape, Tensor, Var};
+use dc_tensor::{kernel, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Gate order inside the weight arrays.
+/// Gate order inside the fused column blocks.
 const GATES: usize = 4; // input, forget, output, candidate
 
-/// A single-direction LSTM encoder.
-///
-/// Gates use separate weight matrices (no fused projection), which keeps
-/// the autograd tape free of slicing ops:
-/// `i = σ(xWxᵢ + hWhᵢ + bᵢ)`, `f`, `o` likewise, `g = tanh(·)`,
+/// 0 = uninitialized, 1 = off, 2 = on (same scheme as the pool gates).
+static FUSED_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// True unless `DC_LSTM_FUSED=0` (or [`set_lstm_fused`]`(false)`):
+/// LSTM encoders use the fused 4h-wide gate projections.
+#[inline(always)]
+pub fn lstm_fused_enabled() -> bool {
+    match FUSED_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = std::env::var("DC_LSTM_FUSED")
+                .map(|v| v != "0")
+                .unwrap_or(true);
+            FUSED_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force the fused-LSTM gate, overriding `DC_LSTM_FUSED`. Flip it only
+/// between training runs — the optimiser slot layout differs per mode.
+pub fn set_lstm_fused(on: bool) {
+    FUSED_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Copy of gate `g`'s column block of a fused `rows × 4·hd` matrix.
+fn copy_block(fused: &Tensor, g: usize, hd: usize) -> Tensor {
+    let mut out = Tensor::zeros(fused.rows, hd);
+    for r in 0..fused.rows {
+        out.row_slice_mut(r)
+            .copy_from_slice(&fused.row_slice(r)[g * hd..(g + 1) * hd]);
+    }
+    out
+}
+
+/// Write `block` back into gate `g`'s column block of `fused`.
+fn store_block(fused: &mut Tensor, g: usize, hd: usize, block: &Tensor) {
+    for r in 0..block.rows {
+        fused.row_slice_mut(r)[g * hd..(g + 1) * hd].copy_from_slice(block.row_slice(r));
+    }
+}
+
+/// A single-direction LSTM encoder with fused gate projections:
+/// `z = xWx + hWh + b` (`1×4h`), `i,f,o = σ(z[·])`, `g = tanh(z[·])`,
 /// `c' = f⊙c + i⊙g`, `h' = o⊙tanh(c')`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct LstmEncoder {
-    /// Input-to-gate weights, each `input_dim × hidden_dim`.
-    pub wx: Vec<Tensor>,
-    /// Hidden-to-gate weights, each `hidden_dim × hidden_dim`.
-    pub wh: Vec<Tensor>,
-    /// Gate biases, each `1 × hidden_dim`.
-    pub b: Vec<Tensor>,
+    /// Fused input-to-gate weights, `input_dim × 4·hidden_dim`.
+    pub wx: Tensor,
+    /// Fused hidden-to-gate weights, `hidden_dim × 4·hidden_dim`.
+    pub wh: Tensor,
+    /// Fused gate biases, `1 × 4·hidden_dim`.
+    pub b: Tensor,
     /// Embedding dimensionality of the inputs.
     pub input_dim: usize,
     /// Hidden-state dimensionality.
     pub hidden_dim: usize,
 }
 
+/// Back-compat deserialization, hand-written over the serde facade's
+/// `Value` tree (the derive can't express the up-conversion): new
+/// checkpoints store each weight as one fused tensor (an object); old
+/// per-gate checkpoints store a `Vec<Tensor>` (an array), which
+/// hstacks into the fused `[i|f|o|g]` layout on load.
+impl Deserialize for LstmEncoder {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::Error::custom(format!("LstmEncoder: expected object, got {}", v.kind()))
+        })?;
+        let fused = |key: &str| -> Result<Tensor, serde::Error> {
+            match obj.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(serde::Value::Array(_)) => {
+                    let gates: Vec<Tensor> = serde::from_field(obj, key)?;
+                    Ok(Tensor::hstack(&gates))
+                }
+                _ => serde::from_field(obj, key),
+            }
+        };
+        Ok(LstmEncoder {
+            wx: fused("wx")?,
+            wh: fused("wh")?,
+            b: fused("b")?,
+            input_dim: serde::from_field(obj, "input_dim")?,
+            hidden_dim: serde::from_field(obj, "hidden_dim")?,
+        })
+    }
+}
+
 /// Tape handles for an [`LstmEncoder`]'s parameters during one step.
 #[derive(Clone, Debug)]
-pub struct LstmVars {
-    /// Input-weight vars, one per gate.
-    pub wx: Vec<Var>,
-    /// Hidden-weight vars, one per gate.
-    pub wh: Vec<Var>,
-    /// Bias vars, one per gate.
-    pub b: Vec<Var>,
+pub enum LstmVars {
+    /// Fused handles: one var per wide matrix.
+    Fused {
+        /// `input_dim × 4·hidden_dim` input weights.
+        wx: Var,
+        /// `hidden_dim × 4·hidden_dim` hidden weights.
+        wh: Var,
+        /// `1 × 4·hidden_dim` biases.
+        b: Var,
+    },
+    /// Legacy per-gate handles (`DC_LSTM_FUSED=0`), bound in the
+    /// pre-fusion order `wx₀..₃, wh₀..₃, b₀..₃`.
+    PerGate {
+        /// Input-weight vars, one per gate.
+        wx: Vec<Var>,
+        /// Hidden-weight vars, one per gate.
+        wh: Vec<Var>,
+        /// Bias vars, one per gate.
+        b: Vec<Var>,
+    },
 }
 
 impl LstmEncoder {
     /// Xavier-initialised LSTM; the forget-gate bias starts at 1 so long
-    /// sequences keep gradient flow early in training.
+    /// sequences keep gradient flow early in training. Per-gate blocks
+    /// are drawn in the historical order so checkpoints and
+    /// `DC_LSTM_FUSED=0` trajectories stay bitwise reproducible across
+    /// the fused-layout change.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
-        let mut b = vec![Tensor::zeros(1, hidden_dim); GATES];
-        b[1] = Tensor::ones(1, hidden_dim); // forget gate
+        let wx_gates: Vec<Tensor> = (0..GATES)
+            .map(|_| Tensor::xavier(input_dim, hidden_dim, rng))
+            .collect();
+        let wh_gates: Vec<Tensor> = (0..GATES)
+            .map(|_| Tensor::xavier(hidden_dim, hidden_dim, rng))
+            .collect();
+        let mut b_gates = vec![Tensor::zeros(1, hidden_dim); GATES];
+        b_gates[1] = Tensor::ones(1, hidden_dim); // forget gate
         let enc = LstmEncoder {
-            wx: (0..GATES)
-                .map(|_| Tensor::xavier(input_dim, hidden_dim, rng))
-                .collect(),
-            wh: (0..GATES)
-                .map(|_| Tensor::xavier(hidden_dim, hidden_dim, rng))
-                .collect(),
-            b,
+            wx: Tensor::hstack(&wx_gates),
+            wh: Tensor::hstack(&wh_gates),
+            b: Tensor::hstack(&b_gates),
             input_dim,
             hidden_dim,
         };
@@ -66,10 +173,8 @@ impl LstmEncoder {
             // sequence (enough to exercise the recurrent wiring).
             let tape = Tape::new();
             let vars = enc.bind(&tape);
-            let steps: Vec<Var> = (0..2)
-                .map(|_| tape.var(Tensor::zeros(1, input_dim)))
-                .collect();
-            let _ = enc.forward_tape(&tape, &steps, &vars);
+            let seq = tape.var(Tensor::zeros(2, input_dim));
+            let _ = enc.forward_tape(&tape, seq, &vars);
             dc_check::debug_validate_graph("LstmEncoder::new", &tape);
         }
         enc
@@ -87,31 +192,68 @@ impl LstmEncoder {
     /// buffers, so on a recycled tape a step's binds reuse the previous
     /// step's memory.
     pub fn bind(&self, tape: &Tape) -> LstmVars {
-        LstmVars {
-            wx: self.wx.iter().map(|t| tape.var_from(t)).collect(),
-            wh: self.wh.iter().map(|t| tape.var_from(t)).collect(),
-            b: self.b.iter().map(|t| tape.var_from(t)).collect(),
+        if lstm_fused_enabled() {
+            LstmVars::Fused {
+                wx: tape.var_from(&self.wx),
+                wh: tape.var_from(&self.wh),
+                b: tape.var_from(&self.b),
+            }
+        } else {
+            let hd = self.hidden_dim;
+            LstmVars::PerGate {
+                wx: (0..GATES)
+                    .map(|g| tape.var_from(&copy_block(&self.wx, g, hd)))
+                    .collect(),
+                wh: (0..GATES)
+                    .map(|g| tape.var_from(&copy_block(&self.wh, g, hd)))
+                    .collect(),
+                b: (0..GATES)
+                    .map(|g| tape.var_from(&copy_block(&self.b, g, hd)))
+                    .collect(),
+            }
         }
     }
 
-    /// Encode a sequence of `1×input_dim` step vars; returns the final
-    /// hidden state (`1×hidden_dim`). Empty sequences yield a zero state.
-    pub fn forward_tape(&self, tape: &Tape, steps: &[Var], vars: &LstmVars) -> Var {
-        let mut h = tape.var(Tensor::zeros(1, self.hidden_dim));
-        let mut c = tape.var(Tensor::zeros(1, self.hidden_dim));
-        for &x in steps {
-            let gate = |tape: &Tape, g: usize| {
-                tape.add_row(
-                    tape.add(tape.matmul(x, vars.wx[g]), tape.matmul(h, vars.wh[g])),
-                    vars.b[g],
-                )
-            };
-            let i = tape.sigmoid(gate(tape, 0));
-            let f = tape.sigmoid(gate(tape, 1));
-            let o = tape.sigmoid(gate(tape, 2));
-            let g = tape.tanh(gate(tape, 3));
-            c = tape.add(tape.mul(f, c), tape.mul(i, g));
-            h = tape.mul(o, tape.tanh(c));
+    /// Encode a `T×input_dim` sequence var; returns the final hidden
+    /// state (`1×hidden_dim`). Empty sequences yield a zero state.
+    pub fn forward_tape(&self, tape: &Tape, seq: Var, vars: &LstmVars) -> Var {
+        let hd = self.hidden_dim;
+        let steps = tape.shape(seq).0;
+        let mut h = tape.var(Tensor::zeros(1, hd));
+        let mut c = tape.var(Tensor::zeros(1, hd));
+        match vars {
+            LstmVars::Fused { wx, wh, b } => {
+                if steps == 0 {
+                    return h;
+                }
+                // One T×4h GEMM covers every timestep's input
+                // projection; only h·Wh stays inside the recurrence.
+                let xw = tape.matmul(seq, *wx);
+                for t in 0..steps {
+                    let xt = tape.rows_select(xw, vec![t]);
+                    let z = tape.add_row(tape.add(xt, tape.matmul(h, *wh)), *b);
+                    let i = tape.sigmoid(tape.slice_cols(z, 0, hd));
+                    let f = tape.sigmoid(tape.slice_cols(z, hd, hd));
+                    let o = tape.sigmoid(tape.slice_cols(z, 2 * hd, hd));
+                    let g = tape.tanh(tape.slice_cols(z, 3 * hd, hd));
+                    c = tape.add(tape.mul(f, c), tape.mul(i, g));
+                    h = tape.mul(o, tape.tanh(c));
+                }
+            }
+            LstmVars::PerGate { wx, wh, b } => {
+                for t in 0..steps {
+                    let x = tape.rows_select(seq, vec![t]);
+                    let gate = |tape: &Tape, g: usize| {
+                        tape.add_row(tape.add(tape.matmul(x, wx[g]), tape.matmul(h, wh[g])), b[g])
+                    };
+                    let i = tape.sigmoid(gate(tape, 0));
+                    let f = tape.sigmoid(gate(tape, 1));
+                    let o = tape.sigmoid(gate(tape, 2));
+                    let g = tape.tanh(gate(tape, 3));
+                    c = tape.add(tape.mul(f, c), tape.mul(i, g));
+                    h = tape.mul(o, tape.tanh(c));
+                }
+            }
         }
         h
     }
@@ -119,14 +261,56 @@ impl LstmEncoder {
     /// Tape-free encode of a `T×input_dim` sequence tensor (inference).
     pub fn encode(&self, seq: &Tensor) -> Tensor {
         assert_eq!(seq.cols, self.input_dim, "encode: input dim mismatch");
-        let mut h = Tensor::zeros(1, self.hidden_dim);
-        let mut c = Tensor::zeros(1, self.hidden_dim);
+        if !lstm_fused_enabled() {
+            return self.encode_unfused(seq);
+        }
+        let hd = self.hidden_dim;
+        let mut h = Tensor::zeros(1, hd);
+        if seq.rows == 0 {
+            return h;
+        }
+        let mut c = Tensor::zeros(1, hd);
+        // All T input projections in one GEMM up front; the loop body
+        // allocates nothing — the recurrent GEMM accumulates into a
+        // reused scratch row and the gate math updates h/c in place.
+        let xw = seq.matmul(&self.wx);
+        let mut hw = vec![0.0f32; GATES * hd];
+        let mut z = vec![0.0f32; GATES * hd];
+        for t in 0..seq.rows {
+            hw.fill(0.0);
+            kernel::matmul_into(&h, &self.wh, &mut hw);
+            let xr = xw.row_slice(t);
+            for k in 0..GATES * hd {
+                z[k] = (xr[k] + hw[k]) + self.b.data[k];
+            }
+            for j in 0..hd {
+                let i = sigmoid(z[j]);
+                let f = sigmoid(z[hd + j]);
+                let o = sigmoid(z[2 * hd + j]);
+                let g = z[3 * hd + j].tanh();
+                let cj = f * c.data[j] + i * g;
+                c.data[j] = cj;
+                h.data[j] = o * cj.tanh();
+            }
+        }
+        h
+    }
+
+    /// The pre-fusion encode, bitwise pinned: per-gate weight blocks,
+    /// per-timestep row copies, eight small GEMMs per step.
+    fn encode_unfused(&self, seq: &Tensor) -> Tensor {
+        let hd = self.hidden_dim;
+        let wx: Vec<Tensor> = (0..GATES).map(|g| copy_block(&self.wx, g, hd)).collect();
+        let wh: Vec<Tensor> = (0..GATES).map(|g| copy_block(&self.wh, g, hd)).collect();
+        let b: Vec<Tensor> = (0..GATES).map(|g| copy_block(&self.b, g, hd)).collect();
+        let mut h = Tensor::zeros(1, hd);
+        let mut c = Tensor::zeros(1, hd);
         for t in 0..seq.rows {
             let x = seq.row_tensor(t);
             let gate = |g: usize, h: &Tensor| {
-                let mut z = x.matmul(&self.wx[g]);
-                z.axpy(1.0, &h.matmul(&self.wh[g]));
-                z.axpy(1.0, &self.b[g]);
+                let mut z = x.matmul(&wx[g]);
+                z.axpy(1.0, &h.matmul(&wh[g]));
+                z.axpy(1.0, &b[g]);
                 z
             };
             let i = gate(0, &h).map(sigmoid);
@@ -139,18 +323,79 @@ impl LstmEncoder {
         h
     }
 
-    /// Tape-free encode of a batch of sequences (inference). Time steps
-    /// inside each sequence stay sequential — the recurrence demands
-    /// it — but the independent batch lanes run across the shared
-    /// worker pool ([`dc_tensor::kernel::parallel_fill`]).
+    /// Tape-free encode of a batch of sequences (inference).
+    ///
+    /// Sequences are grouped into exact-length buckets: lanes of equal
+    /// `T` share one `(B·T)×d` input GEMM and `B×4h` recurrent GEMMs —
+    /// no padding rows, no masking. Each lane's per-element k-order is
+    /// the same as its solo [`encode`](Self::encode); batching only
+    /// changes which microkernel row path (FMA row tile vs scalar
+    /// remainder row) serves an element, so lanes match solo encode to
+    /// within a few ulps, and bitwise whenever the row tiling lines up.
     pub fn encode_batch(&self, seqs: &[Tensor]) -> Vec<Tensor> {
-        let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
-        dc_tensor::kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
+        if !lstm_fused_enabled() {
+            // Legacy shape: independent lanes across the worker pool.
+            let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
+            kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
+            return out;
+        }
+        let hd = self.hidden_dim;
+        let mut out = vec![Tensor::zeros(1, hd); seqs.len()];
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(s.cols, self.input_dim, "encode_batch: input dim mismatch");
+            if s.rows > 0 {
+                buckets.entry(s.rows).or_default().push(i);
+            }
+        }
+        for (&tlen, idxs) in &buckets {
+            let bsz = idxs.len();
+            // Row-major by (lane, timestep): one GEMM yields every
+            // lane's every-timestep input projection.
+            let mut stacked = Tensor::zeros(bsz * tlen, self.input_dim);
+            for (lane, &i) in idxs.iter().enumerate() {
+                for t in 0..tlen {
+                    stacked
+                        .row_slice_mut(lane * tlen + t)
+                        .copy_from_slice(seqs[i].row_slice(t));
+                }
+            }
+            let xw = stacked.matmul(&self.wx); // (B·T)×4h
+            let mut hmat = Tensor::zeros(bsz, hd);
+            let mut cmat = Tensor::zeros(bsz, hd);
+            let mut hw = vec![0.0f32; bsz * GATES * hd];
+            for t in 0..tlen {
+                hw.fill(0.0);
+                kernel::matmul_into(&hmat, &self.wh, &mut hw);
+                for lane in 0..bsz {
+                    let xr = xw.row_slice(lane * tlen + t);
+                    let hwr = &hw[lane * GATES * hd..(lane + 1) * GATES * hd];
+                    let cr = cmat.row_slice_mut(lane);
+                    let hr = hmat.row_slice_mut(lane);
+                    for j in 0..hd {
+                        let zi = (xr[j] + hwr[j]) + self.b.data[j];
+                        let zf = (xr[hd + j] + hwr[hd + j]) + self.b.data[hd + j];
+                        let zo = (xr[2 * hd + j] + hwr[2 * hd + j]) + self.b.data[2 * hd + j];
+                        let zg = (xr[3 * hd + j] + hwr[3 * hd + j]) + self.b.data[3 * hd + j];
+                        let i = sigmoid(zi);
+                        let f = sigmoid(zf);
+                        let o = sigmoid(zo);
+                        let g = zg.tanh();
+                        let cj = f * cr[j] + i * g;
+                        cr[j] = cj;
+                        hr[j] = o * cj.tanh();
+                    }
+                }
+            }
+            for (lane, &i) in idxs.iter().enumerate() {
+                out[i].data.copy_from_slice(hmat.row_slice(lane));
+            }
+        }
         out
     }
 
-    /// Apply optimiser updates; uses 3·GATES slots starting at
-    /// `slot_base`.
+    /// Apply optimiser updates; uses [`slot_count`](Self::slot_count)
+    /// slots starting at `slot_base`.
     pub fn apply_grads(
         &mut self,
         opt: &mut dyn crate::optim::Optimizer,
@@ -158,22 +403,40 @@ impl LstmEncoder {
         tape: &Tape,
         vars: &LstmVars,
     ) {
-        for g in 0..GATES {
-            tape.with_grad(vars.wx[g], |gw| {
-                opt.update(slot_base + g * 3, &mut self.wx[g], gw)
-            });
-            tape.with_grad(vars.wh[g], |gh| {
-                opt.update(slot_base + g * 3 + 1, &mut self.wh[g], gh)
-            });
-            tape.with_grad(vars.b[g], |gb| {
-                opt.update(slot_base + g * 3 + 2, &mut self.b[g], gb)
-            });
+        match vars {
+            LstmVars::Fused { wx, wh, b } => {
+                tape.with_grad(*wx, |g| opt.update(slot_base, &mut self.wx, g));
+                tape.with_grad(*wh, |g| opt.update(slot_base + 1, &mut self.wh, g));
+                tape.with_grad(*b, |g| opt.update(slot_base + 2, &mut self.b, g));
+            }
+            LstmVars::PerGate { wx, wh, b } => {
+                // Legacy slot layout: update each gate block in place so
+                // per-slot Adam state matches the pre-fusion encoder.
+                let hd = self.hidden_dim;
+                for g in 0..GATES {
+                    let mut blk = copy_block(&self.wx, g, hd);
+                    tape.with_grad(wx[g], |gw| opt.update(slot_base + g * 3, &mut blk, gw));
+                    store_block(&mut self.wx, g, hd, &blk);
+                    let mut blk = copy_block(&self.wh, g, hd);
+                    tape.with_grad(wh[g], |gh| opt.update(slot_base + g * 3 + 1, &mut blk, gh));
+                    store_block(&mut self.wh, g, hd, &blk);
+                    let mut blk = copy_block(&self.b, g, hd);
+                    tape.with_grad(b[g], |gb| opt.update(slot_base + g * 3 + 2, &mut blk, gb));
+                    store_block(&mut self.b, g, hd, &blk);
+                }
+            }
         }
     }
 
-    /// Number of optimiser slots this encoder consumes.
+    /// Number of optimiser slots this encoder consumes in the current
+    /// mode. Do not flip the fused gate mid-training: slot state is
+    /// keyed on this layout.
     pub fn slot_count(&self) -> usize {
-        GATES * 3
+        if lstm_fused_enabled() {
+            3
+        } else {
+            GATES * 3
+        }
     }
 }
 
@@ -212,10 +475,8 @@ impl BiLstmEncoder {
             // covers the reverse-and-concat wiring on top.
             let tape = Tape::new();
             let vars = enc.bind(&tape);
-            let steps: Vec<Var> = (0..2)
-                .map(|_| tape.var(Tensor::zeros(1, input_dim)))
-                .collect();
-            let _ = enc.forward_tape(&tape, &steps, &vars);
+            let seq = tape.var(Tensor::zeros(2, input_dim));
+            let _ = enc.forward_tape(&tape, seq, &vars);
             dc_check::debug_validate_graph("BiLstmEncoder::new", &tape);
         }
         enc
@@ -234,11 +495,17 @@ impl BiLstmEncoder {
         }
     }
 
-    /// Encode step vars in both directions and concatenate final states.
-    pub fn forward_tape(&self, tape: &Tape, steps: &[Var], vars: &BiLstmVars) -> Var {
-        let hf = self.fwd.forward_tape(tape, steps, &vars.fwd);
-        let rev: Vec<Var> = steps.iter().rev().copied().collect();
-        let hb = self.bwd.forward_tape(tape, &rev, &vars.bwd);
+    /// Encode a sequence var in both directions and concatenate final
+    /// states.
+    pub fn forward_tape(&self, tape: &Tape, seq: Var, vars: &BiLstmVars) -> Var {
+        let hf = self.fwd.forward_tape(tape, seq, &vars.fwd);
+        let steps = tape.shape(seq).0;
+        let hb = if steps == 0 {
+            self.bwd.forward_tape(tape, seq, &vars.bwd)
+        } else {
+            let rev = tape.rows_select(seq, (0..steps).rev().collect());
+            self.bwd.forward_tape(tape, rev, &vars.bwd)
+        };
         tape.concat(&[hf, hb])
     }
 
@@ -254,13 +521,27 @@ impl BiLstmEncoder {
         Tensor::hstack(&[hf, hb])
     }
 
-    /// Tape-free encode of a batch of sequences (inference); batch
-    /// lanes run across the shared worker pool, mirroring
-    /// [`LstmEncoder::encode_batch`].
+    /// Tape-free encode of a batch of sequences (inference): each
+    /// direction runs its own length-bucketed
+    /// [`LstmEncoder::encode_batch`] pass.
     pub fn encode_batch(&self, seqs: &[Tensor]) -> Vec<Tensor> {
-        let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
-        dc_tensor::kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
-        out
+        let hf = self.fwd.encode_batch(seqs);
+        let rev: Vec<Tensor> = seqs
+            .iter()
+            .map(|seq| {
+                let mut r = Tensor::zeros(seq.rows, seq.cols);
+                for t in 0..seq.rows {
+                    r.row_slice_mut(t)
+                        .copy_from_slice(seq.row_slice(seq.rows - 1 - t));
+                }
+                r
+            })
+            .collect();
+        let hb = self.bwd.encode_batch(&rev);
+        hf.into_iter()
+            .zip(hb)
+            .map(|(f, b)| Tensor::hstack(&[f, b]))
+            .collect()
     }
 
     /// Apply optimiser updates; consumes `2 × fwd.slot_count()` slots.
@@ -298,8 +579,8 @@ mod tests {
 
         let tape = Tape::new();
         let vars = enc.bind(&tape);
-        let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
-        let h = enc.forward_tape(&tape, &steps, &vars);
+        let sv = tape.var_from(&seq);
+        let h = enc.forward_tape(&tape, sv, &vars);
         assert!(fast.distance(&tape.value(h)) < 1e-5);
     }
 
@@ -314,8 +595,8 @@ mod tests {
 
         let tape = Tape::new();
         let vars = enc.bind(&tape);
-        let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
-        let h = enc.forward_tape(&tape, &steps, &vars);
+        let sv = tape.var_from(&seq);
+        let h = enc.forward_tape(&tape, sv, &vars);
         assert!(fast.distance(&tape.value(h)) < 1e-5);
     }
 
@@ -325,6 +606,29 @@ mod tests {
         let enc = LstmEncoder::new(3, 5, &mut rng);
         let h = enc.encode(&Tensor::zeros(0, 3));
         assert_eq!(h.data, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn batch_encode_matches_solo_encode_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let enc = LstmEncoder::new(3, 5, &mut rng);
+        // Mixed lengths (including a duplicate length and an empty
+        // sequence) exercise the bucketing. Lengths are multiples of
+        // the microkernel's 4-row tile (or singleton buckets), so each
+        // lane's row tiling matches its solo encode and the comparison
+        // is exact; `lstm_fused_equiv.rs` covers arbitrary shapes to
+        // within tolerance.
+        let seqs = vec![
+            Tensor::randn(4, 3, 1.0, &mut rng),
+            Tensor::randn(2, 3, 1.0, &mut rng),
+            Tensor::randn(4, 3, 1.0, &mut rng),
+            Tensor::zeros(0, 3),
+            Tensor::randn(7, 3, 1.0, &mut rng),
+        ];
+        let batched = enc.encode_batch(&seqs);
+        for (s, hb) in seqs.iter().zip(&batched) {
+            assert_eq!(enc.encode(s).data, hb.data, "lane diverged from solo");
+        }
     }
 
     #[test]
@@ -367,8 +671,8 @@ mod tests {
                 let tape = Tape::new();
                 let vars = enc.bind(&tape);
                 let hvars = head.bind(&tape);
-                let steps: Vec<Var> = (0..seq.rows).map(|t| tape.var(seq.row_tensor(t))).collect();
-                let h = enc.forward_tape(&tape, &steps, &vars);
+                let sv = tape.var_from(&seq);
+                let h = enc.forward_tape(&tape, sv, &vars);
                 let logit = head.forward_tape(&tape, h, hvars);
                 let y = Tensor::scalar(if label { 1.0 } else { 0.0 });
                 let loss = tape.bce_with_logits(logit, y, Tensor::ones(1, 1));
@@ -394,5 +698,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let enc = LstmEncoder::new(10, 20, &mut rng);
         assert_eq!(enc.capacity(), 4 * (10 * 20 + 20 * 20 + 20));
+    }
+
+    #[test]
+    fn per_gate_checkpoints_up_convert_on_load() {
+        // A checkpoint written by the pre-fusion encoder: per-gate
+        // Vec<Tensor> weights. Loading it must hstack the gates into
+        // the fused layout with values preserved.
+        let mut rng = StdRng::seed_from_u64(3);
+        let wx: Vec<Tensor> = (0..4).map(|_| Tensor::xavier(3, 5, &mut rng)).collect();
+        let wh: Vec<Tensor> = (0..4).map(|_| Tensor::xavier(5, 5, &mut rng)).collect();
+        let mut b = vec![Tensor::zeros(1, 5); 4];
+        b[1] = Tensor::ones(1, 5);
+        let legacy = serde::Value::Object(vec![
+            ("wx".to_string(), wx.to_value()),
+            ("wh".to_string(), wh.to_value()),
+            ("b".to_string(), b.to_value()),
+            ("input_dim".to_string(), 3usize.to_value()),
+            ("hidden_dim".to_string(), 5usize.to_value()),
+        ]);
+        let json = serde_json::to_string(&legacy).unwrap();
+        let enc: LstmEncoder = serde_json::from_str(&json).unwrap();
+        assert_eq!((enc.wx.rows, enc.wx.cols), (3, 20));
+        assert_eq!(enc.wx, Tensor::hstack(&wx));
+        assert_eq!(enc.wh, Tensor::hstack(&wh));
+        assert_eq!(enc.b, Tensor::hstack(&b));
+
+        // And a round-trip of the fused layout is the identity.
+        let back: LstmEncoder =
+            serde_json::from_str(&serde_json::to_string(&enc).unwrap()).unwrap();
+        assert_eq!(back.wx, enc.wx);
+        assert_eq!(back.b, enc.b);
     }
 }

@@ -8,10 +8,10 @@
 
 use dc_nn::linear::Activation;
 use dc_nn::loss::LossKind;
-use dc_nn::lstm::LstmEncoder;
+use dc_nn::lstm::{set_lstm_fused, LstmEncoder};
 use dc_nn::mlp::Mlp;
 use dc_nn::optim::{Adam, Optimizer};
-use dc_tensor::{set_fuse_enabled, set_pool_enabled, Tape, Tensor, Var};
+use dc_tensor::{set_fuse_enabled, set_pool_enabled, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -71,23 +71,18 @@ fn forecast_matches_actuals_on_mlp_training_step() {
     assert_eq!(steady.high_water_bytes, first.high_water_bytes);
 }
 
-#[test]
-fn forecast_matches_actuals_on_deeper_lstm_training_step() {
+/// One DeeperLstmMicro-shaped training step: shared-LSTM pair encoding,
+/// |ha−hb| ⧺ ha⊙hb features, MLP classifier, BCE loss.
+fn deeper_lstm_parity(fused: bool, label: &str) {
     let _gates = GATE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     set_pool_enabled(true);
     set_fuse_enabled(true);
+    set_lstm_fused(fused);
 
-    // The bench suite's DeeperLstmMicro: shared-LSTM pair encoding,
-    // |ha−hb| ⧺ ha⊙hb features, MLP classifier, BCE loss.
     let mut rng = StdRng::seed_from_u64(23);
     let (dim, hidden, tokens) = (8, 8, 10);
-    let mk_seq = |rng: &mut StdRng| -> Vec<Vec<f32>> {
-        (0..tokens)
-            .map(|_| Tensor::randn(1, dim, 1.0, rng).data)
-            .collect()
-    };
-    let seq_a = mk_seq(&mut rng);
-    let seq_b = mk_seq(&mut rng);
+    let seq_a = Tensor::randn(tokens, dim, 1.0, &mut rng);
+    let seq_b = Tensor::randn(tokens, dim, 1.0, &mut rng);
     let mut encoder = LstmEncoder::new(dim, hidden, &mut rng);
     let mut classifier = Mlp::new(
         &[2 * hidden, 32, 1],
@@ -102,16 +97,10 @@ fn forecast_matches_actuals_on_deeper_lstm_training_step() {
         |tape: &Tape, encoder: &mut LstmEncoder, classifier: &mut Mlp, opt: &mut Adam| {
             let lvars = encoder.bind(tape);
             let cvars = classifier.bind(tape);
-            let steps_a: Vec<Var> = seq_a
-                .iter()
-                .map(|v| tape.var_slice(1, v.len(), v))
-                .collect();
-            let steps_b: Vec<Var> = seq_b
-                .iter()
-                .map(|v| tape.var_slice(1, v.len(), v))
-                .collect();
-            let ha = encoder.forward_tape(tape, &steps_a, &lvars);
-            let hb = encoder.forward_tape(tape, &steps_b, &lvars);
+            let sa = tape.var_slice(seq_a.rows, seq_a.cols, &seq_a.data);
+            let sb = tape.var_slice(seq_b.rows, seq_b.cols, &seq_b.data);
+            let ha = encoder.forward_tape(tape, sa, &lvars);
+            let hb = encoder.forward_tape(tape, sb, &lvars);
             let diff = tape.abs(tape.sub(ha, hb));
             let had = tape.mul(ha, hb);
             let feat = tape.concat(&[diff, had]);
@@ -129,7 +118,7 @@ fn forecast_matches_actuals_on_deeper_lstm_training_step() {
         };
 
     run_step(&tape, &mut encoder, &mut classifier, &mut opt);
-    check_step(&tape, "deeper-lstm");
+    check_step(&tape, label);
     let first = tape.pool_stats();
 
     tape.recycle();
@@ -137,4 +126,18 @@ fn forecast_matches_actuals_on_deeper_lstm_training_step() {
     let steady = tape.pool_stats();
     assert_eq!(steady.misses, first.misses, "steady-state step missed");
     assert_eq!(steady.high_water_bytes, first.high_water_bytes);
+
+    set_lstm_fused(true);
+}
+
+#[test]
+fn forecast_matches_actuals_on_deeper_lstm_training_step() {
+    // The fused graph: T×4h input precompute, slice_cols gate splits.
+    deeper_lstm_parity(true, "deeper-lstm-fused");
+}
+
+#[test]
+fn forecast_matches_actuals_on_unfused_deeper_lstm_training_step() {
+    // The DC_LSTM_FUSED=0 escape hatch: per-gate GEMMs.
+    deeper_lstm_parity(false, "deeper-lstm-unfused");
 }

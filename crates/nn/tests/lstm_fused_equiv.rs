@@ -1,0 +1,224 @@
+//! Fused-LSTM equivalence suite (ISSUE 7).
+//!
+//! The fused gate path (one `T×4h` input GEMM, one `h·Wh` GEMM per
+//! step, `slice_cols` gate splits) must be interchangeable with the
+//! `DC_LSTM_FUSED=0` legacy path (eight tiny per-gate GEMMs per step):
+//!
+//! 1. **Cross-mode within 1e-5.** The kernel accumulates full `NR`-wide
+//!    column strips (and full `MR`-row tiles) with hardware FMA but the
+//!    remainders with separate mul+add, so per-element rounding depends
+//!    on the GEMM's output shape: a gate column that sits in the scalar
+//!    remainder of an `n = h` per-gate product lands in an FMA strip of
+//!    the `n = 4h` fused product. Fused vs unfused is therefore a
+//!    tolerance comparison (≤1e-5 relative to the tensor's scale), not
+//!    bitwise — on top of backward reassociating the `Wx` gradient (one
+//!    `seqᵀ·G` product vs per-timestep rank-1 updates).
+//! 2. **Batch within 1e-5, same ulp class.** Bucketed `encode_batch`
+//!    keeps each lane's k-order but changes the GEMMs' row counts, so a
+//!    row can move between the FMA row tile and the scalar remainder —
+//!    lanes match solo `encode` to within a few ulps (bitwise when the
+//!    row tiling lines up; `lstm.rs` has a unit test pinning that).
+//! 3. **Pooled vs fresh bitwise.** A recycled pooled tape running the
+//!    fused graph (slice_cols backward included) replays the identical
+//!    GEMM shapes, so it must reproduce a fresh `DC_POOL=0` tape bit
+//!    for bit.
+//!
+//! `scripts/lint.sh` runs this suite under `DC_THREADS` 1, 2, and the
+//! default. The gates are process-global, so tests serialise on a
+//! mutex and re-pin every gate they depend on at entry.
+
+use dc_nn::lstm::{set_lstm_fused, LstmEncoder};
+use dc_nn::optim::{Adam, Optimizer, Sgd};
+use dc_tensor::{set_fuse_enabled, set_pool_enabled, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serialises tests that flip the global pool/fuse/lstm-fused gates.
+static GATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn seq_tensor(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::randn(rows, cols, 1.0, rng)
+}
+
+/// One LSTM training step on `tape`: forward over `seq`, sum-of-squares
+/// loss, backward, optimiser update. Returns the loss bits.
+fn train_step(enc: &mut LstmEncoder, opt: &mut dyn Optimizer, tape: &Tape, seq: &Tensor) -> u32 {
+    let vars = enc.bind(tape);
+    let sv = tape.var_slice(seq.rows, seq.cols, &seq.data);
+    let h = enc.forward_tape(tape, sv, &vars);
+    let loss = tape.sum(tape.mul(h, h));
+    let bits = tape.item(loss).to_bits();
+    tape.backward(loss);
+    opt.begin_step();
+    enc.apply_grads(opt, 0, tape, &vars);
+    bits
+}
+
+/// Every element of `a` and `b` agrees to within `tol` of the pair's
+/// overall scale (floored at 1). Scale-relative, not element-relative:
+/// near-cancelling dot products leave absolute rounding noise behind,
+/// so an element-wise relative test would be ill-conditioned at zeros.
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    let scale = a
+        .data
+        .iter()
+        .chain(&b.data)
+        .fold(1.0f32, |m, v| m.max(v.abs()));
+    a.data
+        .iter()
+        .zip(&b.data)
+        .all(|(x, y)| (x - y).abs() <= tol * scale)
+}
+
+proptest! {
+    /// Property 1a: fused and unfused `encode` agree within 1e-5
+    /// relative (FMA-strip vs scalar-remainder rounding, see module
+    /// doc — the recurrence compounds it slightly, never past 1e-5).
+    #[test]
+    fn fused_encode_matches_unfused(
+        dim in 1usize..5,
+        hidden in 1usize..6,
+        tokens in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_pool_enabled(true);
+        set_fuse_enabled(true);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = LstmEncoder::new(dim, hidden, &mut rng);
+        let seq = seq_tensor(tokens, dim, &mut rng);
+
+        set_lstm_fused(true);
+        let fused = enc.encode(&seq);
+        set_lstm_fused(false);
+        let unfused = enc.encode(&seq);
+        set_lstm_fused(true);
+
+        prop_assert!(close(&fused, &unfused, 1e-5));
+    }
+
+    /// Property 2: length-bucketed `encode_batch` reproduces each
+    /// lane's solo `encode` to within a few ulps — batching stacks
+    /// extra rows into the same-width GEMMs, which can move a row
+    /// between the FMA tile and the scalar remainder path.
+    #[test]
+    fn batch_encode_matches_solo(
+        dim in 1usize..5,
+        hidden in 1usize..6,
+        lens in proptest::collection::vec(0usize..7, 0..6),
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_pool_enabled(true);
+        set_fuse_enabled(true);
+        set_lstm_fused(true);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = LstmEncoder::new(dim, hidden, &mut rng);
+        let seqs: Vec<Tensor> = lens.iter().map(|&t| seq_tensor(t, dim, &mut rng)).collect();
+
+        let batched = enc.encode_batch(&seqs);
+        prop_assert_eq!(batched.len(), seqs.len());
+        for (s, hb) in seqs.iter().zip(&batched) {
+            prop_assert!(close(&enc.encode(s), hb, 1e-5));
+        }
+    }
+
+    /// Property 1b: a short identically-seeded training run stays
+    /// within 1e-5 of scale on the loss and every parameter across
+    /// modes (forward rounding differs per the module doc, and backward
+    /// additionally reassociates the Wx gradient accumulation). SGD,
+    /// not Adam: Adam's m̂/√v̂ ratio is sign-sensitive, so an element
+    /// whose true gradient is below the rounding noise could flip its
+    /// whole ±lr update between modes — SGD keeps the parameter drift
+    /// proportional to the gradient difference itself.
+    #[test]
+    fn fused_training_tracks_unfused(
+        dim in 1usize..4,
+        hidden in 1usize..5,
+        tokens in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_pool_enabled(true);
+        set_fuse_enabled(true);
+
+        let run = |fused: bool| {
+            set_lstm_fused(fused);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut enc = LstmEncoder::new(dim, hidden, &mut rng);
+            let seq = seq_tensor(tokens, dim, &mut rng);
+            let mut opt = Sgd::new(0.05);
+            let mut first_loss = 0;
+            for step in 0..3 {
+                let tape = Tape::new();
+                let bits = train_step(&mut enc, &mut opt, &tape, &seq);
+                if step == 0 {
+                    first_loss = bits;
+                }
+            }
+            (first_loss, enc)
+        };
+
+        let (loss_f, enc_f) = run(true);
+        let (loss_u, enc_u) = run(false);
+        set_lstm_fused(true);
+
+        // Step 0 starts from identical weights: the losses only differ
+        // by the kernel's shape-dependent rounding.
+        let (lf, lu) = (f32::from_bits(loss_f), f32::from_bits(loss_u));
+        prop_assert!((lf - lu).abs() <= 1e-5 * lf.abs().max(lu.abs()).max(1.0));
+        prop_assert!(close(&enc_f.wx, &enc_u.wx, 1e-5));
+        prop_assert!(close(&enc_f.wh, &enc_u.wh, 1e-5));
+        prop_assert!(close(&enc_f.b, &enc_u.b, 1e-5));
+    }
+
+    /// Property 2b: the fused-LSTM graph (slice_cols included) on a
+    /// recycled pooled tape ≡ a fresh unpooled tape, bit for bit —
+    /// loss trace and final parameters.
+    #[test]
+    fn pooled_fused_tape_matches_fresh_bitwise(
+        dim in 1usize..4,
+        hidden in 1usize..5,
+        tokens in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_fuse_enabled(true);
+        set_lstm_fused(true);
+
+        let run = |pooled: bool| {
+            set_pool_enabled(pooled);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut enc = LstmEncoder::new(dim, hidden, &mut rng);
+            let seq = seq_tensor(tokens, dim, &mut rng);
+            let mut opt = Adam::new(0.01);
+            let mut bits = Vec::new();
+            if pooled {
+                let tape = Tape::new();
+                for _ in 0..3 {
+                    bits.push(train_step(&mut enc, &mut opt, &tape, &seq));
+                    tape.recycle();
+                }
+            } else {
+                for _ in 0..3 {
+                    let tape = Tape::new();
+                    bits.push(train_step(&mut enc, &mut opt, &tape, &seq));
+                }
+            }
+            for t in [&enc.wx, &enc.wh, &enc.b] {
+                bits.extend(t.data.iter().map(|v| v.to_bits()));
+            }
+            bits
+        };
+
+        let fresh = run(false);
+        let pooled = run(true);
+        set_pool_enabled(true);
+
+        prop_assert_eq!(fresh, pooled);
+    }
+}

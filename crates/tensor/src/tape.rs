@@ -190,6 +190,11 @@ pub enum Op {
     RowsSelect(Var, Vec<usize>),
     /// Mean over selected rows of `a`, one output row per group.
     RowsMean(Var, Vec<Vec<usize>>),
+    /// Narrow column view: columns `start..start+len` of `a`
+    /// (`(a, start, len)`), copied out. Backward scatter-accumulates
+    /// into a zero-filled input-shaped gradient, so overlapping slices
+    /// of the same source compose like any other shared consumer.
+    SliceCols(Var, usize, usize),
     /// Elementwise product with a fixed 0/1 mask, rescaled by `1/keep`.
     Dropout(Var, Tensor),
     /// Mean-squared-error against a constant target (scalar output).
@@ -417,6 +422,7 @@ impl Tape {
             | Op::Mean(a)
             | Op::RowsSelect(a, _)
             | Op::RowsMean(a, _)
+            | Op::SliceCols(a, _, _)
             | Op::Dropout(a, _)
             | Op::MseLoss(a, _) => check(a),
             Op::Concat(parts) => parts.iter().for_each(&mut check),
@@ -871,6 +877,34 @@ impl Tape {
         self.push(v, true, Op::RowsMean(a, groups))
     }
 
+    /// Narrow column view: columns `start..start+len` of `a`, copied.
+    /// The fused-LSTM hot path splits one `1×4h` gate pre-activation
+    /// into four `1×h` gate lanes with this.
+    ///
+    /// # Panics
+    /// Panics on an empty (`len == 0`) or out-of-range column slice —
+    /// the same defects `dc-check`'s shape checker reports statically.
+    pub fn slice_cols(&self, a: Var, start: usize, len: usize) -> Var {
+        let _fwd = dc_obs::timer("tape.fwd", "slice_cols");
+        let v = self.with_values(|n| {
+            let x = &n[a.index].value;
+            assert!(len > 0, "slice_cols: empty column slice");
+            assert!(
+                start + len <= x.cols,
+                "slice_cols: columns {start}..{} out of 0..{}",
+                start + len,
+                x.cols
+            );
+            let mut out = self.alloc(x.rows, len);
+            for r in 0..x.rows {
+                out.row_slice_mut(r)
+                    .copy_from_slice(&x.row_slice(r)[start..start + len]);
+            }
+            out
+        });
+        self.push(v, true, Op::SliceCols(a, start, len))
+    }
+
     /// Inverted dropout with the given 0/1 `mask` (already scaled to the
     /// keep probability by the caller via [`Tape::dropout_mask`]).
     pub fn dropout(&self, a: Var, mask: Tensor) -> Var {
@@ -1226,6 +1260,19 @@ impl Tape {
                     self.acc_owned(&mut grads, &nodes, a.index, ga);
                     self.pool.put(g.data);
                 }
+                Op::SliceCols(a, start, _) => {
+                    let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
+                    let start = *start;
+                    let mut ga = self.alloc_zeroed(r, c);
+                    for row in 0..g.rows {
+                        let dst = &mut ga.row_slice_mut(row)[start..start + g.cols];
+                        for (o, &v) in dst.iter_mut().zip(g.row_slice(row)) {
+                            *o += v;
+                        }
+                    }
+                    self.acc_owned(&mut grads, &nodes, a.index, ga);
+                    self.pool.put(g.data);
+                }
                 Op::RowsMean(a, groups) => {
                     let (r, c) = (nodes[a.index].value.rows, nodes[a.index].value.cols);
                     let mut ga = self.alloc_zeroed(r, c);
@@ -1421,6 +1468,7 @@ fn consumer_counts(nodes: &[Node], counts: &mut Vec<u32>, upto: usize) {
             | Op::Mean(a)
             | Op::RowsSelect(a, _)
             | Op::RowsMean(a, _)
+            | Op::SliceCols(a, _, _)
             | Op::Dropout(a, _)
             | Op::MseLoss(a, _) => bump(a),
             Op::Concat(parts) => parts.iter().for_each(&mut bump),
@@ -1468,6 +1516,7 @@ pub fn op_name(op: &Op) -> &'static str {
         Op::Concat(..) => "concat",
         Op::RowsSelect(..) => "rows_select",
         Op::RowsMean(..) => "rows_mean",
+        Op::SliceCols(..) => "slice_cols",
         Op::Dropout(..) => "dropout",
         Op::MseLoss(..) => "mse_loss",
         Op::BceWithLogits { .. } => "bce_with_logits",
@@ -1542,6 +1591,54 @@ mod tests {
             1e-3,
         );
         assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn gradcheck_slice_cols() {
+        let x = Tensor::from_vec(2, 4, vec![0.1, 0.9, -0.2, 0.4, 0.7, -0.5, 0.3, 0.3]);
+        let err = grad_check(
+            &x,
+            |t, v| {
+                // Overlapping slices exercise the scatter-accumulate
+                // backward: columns 1..3 receive credit from both.
+                let a = t.slice_cols(v, 0, 3);
+                let b = t.slice_cols(v, 1, 3);
+                let wa = t.var(Tensor::from_vec(2, 3, vec![0.3, -0.6, 0.2, 0.8, 0.1, -0.4]));
+                let wb = t.var(Tensor::from_vec(2, 3, vec![-0.2, 0.5, 0.7, -0.9, 0.4, 0.6]));
+                t.add(t.sum(t.mul(a, wa)), t.sum(t.mul(b, wb)))
+            },
+            1e-3,
+        );
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn slice_cols_forward_copies_the_window() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        ));
+        let s = tape.slice_cols(x, 1, 2);
+        assert_eq!(tape.value(s).data, vec![2.0, 3.0, 6.0, 7.0]);
+        assert_eq!(tape.shape(s), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_cols: columns")]
+    fn slice_cols_rejects_out_of_range() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(2, 4));
+        let _ = tape.slice_cols(x, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty column slice")]
+    fn slice_cols_rejects_empty() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(2, 4));
+        let _ = tape.slice_cols(x, 1, 0);
     }
 
     #[test]

@@ -55,6 +55,11 @@ DC_THREADS=1 cargo test -q -p dc-tensor --test pool_equiv
 DC_THREADS=2 cargo test -q -p dc-tensor --test pool_equiv
 cargo test -q -p dc-tensor --test pool_equiv
 
+echo "== fused-LSTM equivalence (DC_LSTM_FUSED paths) under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-nn --test lstm_fused_equiv
+DC_THREADS=2 cargo test -q -p dc-nn --test lstm_fused_equiv
+cargo test -q -p dc-nn --test lstm_fused_equiv
+
 echo "== pool leak guard (high-water stable after epoch 1) =="
 cargo test -q -p dc-nn --test pool_leak
 
