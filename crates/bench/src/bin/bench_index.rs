@@ -1,10 +1,16 @@
-//! Record the ISSUE 3 retrieval-speedup snapshot into `BENCH_index.json`.
+//! Record the ISSUE 3/8 retrieval-speedup snapshot into
+//! `BENCH_index.json`.
 //!
 //! ```sh
-//! cargo run --release -p dc-bench --bin bench_index
+//! cargo run --release -p dc-bench --bin bench_index            # full
+//! cargo run --release -p dc-bench --bin bench_index -- --smoke # gate
 //! ```
 //!
-//! Two comparisons, seeded so reruns time the same work:
+//! `--smoke` shrinks every size so the equality assertions (funnel vs
+//! exact, indexed blocker vs seed bucketer) still run in CI without the
+//! wall-clock cost, and skips the JSON write.
+//!
+//! Three comparisons, seeded so reruns time the same work:
 //!
 //! * **LSH blocking** at n ∈ {1k, 10k}: the seed bucketer
 //!   (`dc_er::blocking::reference` — `Vec<bool>` signatures through a
@@ -16,9 +22,15 @@
 //!   full sort for a 10-item answer) vs a prebuilt
 //!   `dc_index::CosineIndex` query (one blocked mat-vec + bounded
 //!   heap). The one-off index build is recorded separately.
+//! * **Quantized retrieval funnel** (ISSUE 8, k=10) at 10k and 100k
+//!   items: the exact f32 scan vs the three-tier funnel (1-bit Hamming
+//!   prefilter → int8 scoring → exact rescore) on the same
+//!   `CosineIndex`. Bitwise hit equality is asserted for every query
+//!   before timing; per-tier resident bytes are recorded alongside the
+//!   ≥2× acceptance speedup at 100k.
 
 use dc_er::blocking::{reference, LshBlocker};
-use dc_index::CosineIndex;
+use dc_index::{CosineIndex, FunnelConfig};
 use dc_tensor::tensor::cosine;
 use dc_tensor::{kernel, Tensor};
 use rand::rngs::StdRng;
@@ -57,27 +69,52 @@ struct TopkRecord {
 }
 
 #[derive(Serialize)]
+struct FunnelRecord {
+    n: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    reps: usize,
+    prefilter_bits: usize,
+    hamming_keep: usize,
+    rescore_k: usize,
+    exact_ms: f64,
+    funnel_ms: f64,
+    /// One-off cost of building signatures + i8 codes.
+    funnel_build_ms: f64,
+    /// exact / funnel — the ≥2× acceptance ratio at n=100k.
+    speedup: f64,
+    /// Resident bytes per funnel tier (1-bit signatures, i8 codes +
+    /// scales, f32 rows). quant ≈ exact/4 is the memory acceptance.
+    sig_bytes: usize,
+    quant_bytes: usize,
+    exact_bytes: usize,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     description: &'static str,
     threads: usize,
     blocking: Vec<BlockingRecord>,
     topk: TopkRecord,
+    funnel: Vec<FunnelRecord>,
     /// The full dc-obs report (tape per-op timings, pool occupancy,
     /// LSH candidate counters) when `DC_OBS` is set; `null` otherwise.
     obs: Option<serde::Value>,
 }
 
-/// Median wall-clock milliseconds of `f` over `reps` runs.
+/// Minimum wall-clock milliseconds of `f` over `reps` runs: on a
+/// shared box the fastest rep is the least noise-polluted estimate of
+/// the true cost, and both sides of every comparison get the same
+/// treatment.
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let t0 = Instant::now();
             f();
             t0.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn random_vectors(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
@@ -98,12 +135,14 @@ fn brute_topk(query: &[f32], labels: &[String], items: &Tensor, k: usize) -> Vec
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // dim=64 is the low end of real tuple-embedding widths (DeepER
     // composes d=300 GloVe vectors); bands × rows follow the repo's E4
     // blocking experiments.
     let (bands, rows_per_band, dim) = (8usize, 16usize, 64usize);
+    let blocking_ns: &[usize] = if smoke { &[300] } else { &[1000, 10_000] };
     let mut blocking = Vec::new();
-    for &n in &[1000usize, 10_000] {
+    for &n in blocking_ns {
         let mut rng = StdRng::seed_from_u64(42);
         let vectors = random_vectors(n, dim, &mut rng);
         let planes: Vec<Vec<f32>> = (0..bands * rows_per_band)
@@ -111,7 +150,7 @@ fn main() {
             .collect();
         let seed_blocker = reference::LshBlocker::from_planes(planes.clone(), bands, rows_per_band);
         let new_blocker = LshBlocker::from_planes(planes, bands, rows_per_band);
-        if n == 1000 {
+        if n <= 1000 {
             assert_eq!(
                 new_blocker.candidates(&vectors),
                 seed_blocker.candidates(&vectors),
@@ -119,7 +158,13 @@ fn main() {
             );
         }
         let pairs = new_blocker.candidates(&vectors).len();
-        let reps = if n <= 1000 { 9 } else { 5 };
+        let reps = if smoke {
+            3
+        } else if n <= 1000 {
+            9
+        } else {
+            5
+        };
         let reference_ms = time_ms(reps, || {
             black_box(seed_blocker.candidates(&vectors));
         });
@@ -144,7 +189,11 @@ fn main() {
         blocking.push(rec);
     }
 
-    let (n, dim, k, queries) = (10_000usize, 64usize, 10usize, 16usize);
+    let (n, dim, k, queries) = if smoke {
+        (2000usize, 64usize, 10usize, 4usize)
+    } else {
+        (10_000usize, 64usize, 10usize, 16usize)
+    };
     let mut rng = StdRng::seed_from_u64(7);
     let items = Tensor::randn(n, dim, 1.0, &mut rng);
     let labels: Vec<String> = (0..n).map(|i| format!("item-{i}")).collect();
@@ -179,7 +228,7 @@ fn main() {
         );
     }
 
-    let reps = 9;
+    let reps = if smoke { 3 } else { 9 };
     let brute_ms = time_ms(reps, || {
         for q in &query_vecs {
             black_box(brute_topk(q, &labels, &items, k));
@@ -206,6 +255,82 @@ fn main() {
         topk.speedup
     );
 
+    // Quantized funnel vs exact scan on the same CosineIndex. Hit
+    // equality is bitwise (index AND score): the funnel's tier-3
+    // rescore shares the exact scan's dot kernel and top-k order, so
+    // any divergence is a recall bug, not rounding.
+    let funnel_ns: &[usize] = if smoke { &[2000] } else { &[10_000, 100_000] };
+    let (k, queries) = (10usize, if smoke { 4usize } else { 16 });
+    let mut funnel_records = Vec::new();
+    for &n in funnel_ns {
+        let mut rng = StdRng::seed_from_u64(99);
+        let items = Tensor::randn(n, dim, 1.0, &mut rng);
+        let query_vecs: Vec<Vec<f32>> = (0..queries)
+            .map(|_| Tensor::randn(1, dim, 1.0, &mut rng).data)
+            .collect();
+        // Default budgets; in smoke the set is small enough that the
+        // defaults would fall through, so tighten them to keep every
+        // tier engaged in the CI gate.
+        let cfg = if smoke {
+            FunnelConfig::default()
+                .with_hamming_keep(n / 4)
+                .with_rescore_k(64)
+        } else {
+            FunnelConfig::default()
+        };
+        let exact = CosineIndex::build(&items);
+        let t0 = Instant::now();
+        let funnel = CosineIndex::build_funnel(&items, cfg);
+        let funnel_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for (qi, q) in query_vecs.iter().enumerate() {
+            let want = exact.nearest_exact(q, k);
+            let got = funnel.nearest(q, k);
+            assert_eq!(want.len(), got.len(), "query {qi} at n={n}");
+            for (w, g) in want.iter().zip(&got) {
+                assert!(
+                    w.index == g.index && w.score.to_bits() == g.score.to_bits(),
+                    "query {qi} at n={n}: funnel diverged from exact scan"
+                );
+            }
+        }
+        let reps = if smoke { 3 } else { 9 };
+        let exact_ms = time_ms(reps, || {
+            for q in &query_vecs {
+                black_box(exact.nearest_exact(q, k));
+            }
+        });
+        let funnel_ms = time_ms(reps, || {
+            for q in &query_vecs {
+                black_box(funnel.nearest(q, k));
+            }
+        });
+        let bytes = funnel.resident_bytes();
+        let rec = FunnelRecord {
+            n,
+            dim,
+            k,
+            queries,
+            reps,
+            prefilter_bits: cfg.prefilter_bits,
+            hamming_keep: cfg.hamming_keep,
+            rescore_k: cfg.rescore_k,
+            exact_ms,
+            funnel_ms,
+            funnel_build_ms,
+            speedup: exact_ms / funnel_ms,
+            sig_bytes: bytes.sig,
+            quant_bytes: bytes.quant,
+            exact_bytes: bytes.exact,
+        };
+        eprintln!(
+            "funnel n={n:6} k={k}: exact {exact_ms:.2}ms  funnel {funnel_ms:.2}ms ({:.2}x; quant {:.1}MB vs f32 {:.1}MB)",
+            rec.speedup,
+            bytes.quant as f64 / 1e6,
+            bytes.exact as f64 / 1e6,
+        );
+        funnel_records.push(rec);
+    }
+
     // With DC_OBS set, run a short MLP fit so the report carries tape
     // fwd/bwd timings next to the pool and index counters, then embed
     // the report in the snapshot and echo it to stdout.
@@ -230,12 +355,17 @@ fn main() {
     });
 
     let snapshot = Snapshot {
-        description: "LSH blocking candidates (seed bucketer vs dc-index) at 1k/10k and cosine top-10 at 10k items (seed scan vs CosineIndex); median ms",
+        description: "LSH blocking candidates (seed bucketer vs dc-index) at 1k/10k, cosine top-10 at 10k items (seed scan vs CosineIndex), and quantized funnel vs exact scan at 10k/100k; min ms over reps",
         threads: kernel::pool().threads(),
         blocking,
         topk,
+        funnel: funnel_records,
         obs,
     };
+    if smoke {
+        eprintln!("smoke mode: all equality assertions passed, skipping BENCH_index.json");
+        return;
+    }
     let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
     std::fs::write("BENCH_index.json", json + "\n").expect("write BENCH_index.json");
     eprintln!("wrote BENCH_index.json");

@@ -9,9 +9,10 @@
 
 use crate::ekg::Ekg;
 use dc_embed::Embeddings;
-use dc_index::{desc_nan_last, topk_scores, Order, SignatureSet, TopK};
+use dc_index::{desc_nan_last, i32_goodness, topk_scores, Order, QuantizedSet, SignatureSet, TopK};
 use dc_relational::tokenize::tokenize;
 use dc_relational::Table;
+use dc_tensor::kernel::dot_i8;
 use dc_tensor::tensor::cosine;
 use dc_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -51,6 +52,10 @@ pub struct NeuralSearch {
     centroid_mean: Vec<f32>,
     /// Bit-packed signature per table.
     table_sigs: SignatureSet,
+    /// Int8-quantized centered centroids (per-column scales) — the
+    /// middle tier of the retrieval funnel in
+    /// [`NeuralSearch::search_topk`].
+    centroid_quant: QuantizedSet,
 }
 
 impl NeuralSearch {
@@ -102,13 +107,16 @@ impl NeuralSearch {
             1.0,
             &mut StdRng::seed_from_u64(PREFILTER_SEED),
         );
-        let table_sigs = SignatureSet::compute(&Tensor::from_vec(n, dim, centroids), &sig_planes);
+        let centroids = Tensor::from_vec(n, dim, centroids);
+        let table_sigs = SignatureSet::compute(&centroids, &sig_planes);
+        let centroid_quant = QuantizedSet::build(&centroids);
         NeuralSearch {
             emb,
             table_token_ids,
             sig_planes,
             centroid_mean,
             table_sigs,
+            centroid_quant,
         }
     }
 
@@ -160,10 +168,12 @@ impl NeuralSearch {
     }
 
     /// The top `k` tables for a query, rescoring only a `shortlist` of
-    /// candidates whose centroid signatures are Hamming-nearest to the
-    /// query's — the index-backed prefilter + rescore path. With
-    /// `shortlist >= table count` (or an out-of-vocabulary query) this
-    /// is exact: identical tables, scores and order to
+    /// candidates that survive the retrieval funnel: a Hamming-nearest
+    /// prefilter over 1-bit centroid signatures keeps a 4×-widened
+    /// pool, an int8 quantized centroid dot narrows it to the
+    /// shortlist, and only the shortlist pays the full interaction
+    /// score. With `shortlist >= table count` (or an out-of-vocabulary
+    /// query) this is exact: identical tables, scores and order to
     /// [`NeuralSearch::search`] truncated to `k`.
     pub fn search_topk(&self, query: &str, k: usize, shortlist: usize) -> Vec<(usize, f32)> {
         let qids = self.query_ids(query);
@@ -174,15 +184,38 @@ impl NeuralSearch {
                 .map(|h| (h.index, h.score))
                 .collect();
         }
-        let qsig = self.query_signature(&qids);
-        let mut pre = TopK::smallest(shortlist.max(k));
-        for i in 0..n {
-            // Hamming ≤ PREFILTER_BITS, exactly representable in f32.
-            pre.push(i, self.table_sigs.hamming_to(i, &qsig) as f32);
-        }
+        let qc = self.centered_query_centroid(&qids);
+        let keep = shortlist.max(k);
+        let widen = keep.saturating_mul(4).min(n);
+        // Tier 1: 1-bit Hamming prefilter, skipped when it cannot narrow.
+        let cands: Vec<usize> = if widen < n {
+            let qsig = self.query_signature(&qc);
+            let mut pre = TopK::smallest(widen);
+            for i in 0..n {
+                // Hamming ≤ PREFILTER_BITS, exactly representable in f32.
+                pre.push(i, self.table_sigs.hamming_to(i, &qsig) as f32);
+            }
+            pre.into_sorted().into_iter().map(|h| h.index).collect()
+        } else {
+            (0..n).collect()
+        };
+        // Tier 2: int8 centroid dot narrows the pool to the shortlist
+        // (exact integer goodness keys — no f32 tie collapse).
+        let cands: Vec<usize> = if cands.len() > keep {
+            let (t, qq) = self.centroid_quant.quantize_query(&qc);
+            let mut mid = TopK::largest(keep);
+            for &i in &cands {
+                let d = dot_i8(self.centroid_quant.row(i), &qq);
+                mid.push_with_goodness(i, i32_goodness(d), t * d as f32);
+            }
+            mid.into_sorted().into_iter().map(|h| h.index).collect()
+        } else {
+            cands
+        };
+        // Tier 3: exact interaction rescore of the survivors.
         let mut top = TopK::largest(k);
-        for hit in pre.into_sorted() {
-            top.push(hit.index, self.interaction_score(hit.index, &qids));
+        for i in cands {
+            top.push(i, self.interaction_score(i, &qids));
         }
         top.into_sorted()
             .into_iter()
@@ -190,16 +223,25 @@ impl NeuralSearch {
             .collect()
     }
 
-    /// Bit-packed signature of the query: sign pattern of its mean
-    /// token vector, centered like the table centroids.
-    fn query_signature(&self, qids: &[usize]) -> Vec<u64> {
+    /// Mean query-token vector, centered like the table centroids — the
+    /// shared query representation of funnel tiers 1 and 2.
+    fn centered_query_centroid(&self, qids: &[usize]) -> Vec<f32> {
         let dim = self.emb.dim();
         let mut centroid = vec![0.0f32; dim];
         centroid_into(&self.emb, qids, &mut centroid);
         for (x, &m) in centroid.iter_mut().zip(&self.centroid_mean) {
             *x -= m;
         }
-        let sig = SignatureSet::compute(&Tensor::from_vec(1, dim, centroid), &self.sig_planes);
+        centroid
+    }
+
+    /// Bit-packed signature of a centered query centroid.
+    fn query_signature(&self, centroid: &[f32]) -> Vec<u64> {
+        let dim = self.emb.dim();
+        let sig = SignatureSet::compute(
+            &Tensor::from_vec(1, dim, centroid.to_vec()),
+            &self.sig_planes,
+        );
         sig.sig(0).to_vec()
     }
 

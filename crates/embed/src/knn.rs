@@ -10,8 +10,9 @@
 //! every real score instead of panicking in
 //! `partial_cmp(..).expect(..)`.
 
-use dc_index::{topk_scores, Order};
+use dc_index::{topk_scores, CosineIndex, FunnelConfig, Order};
 use dc_tensor::tensor::cosine;
+use dc_tensor::Tensor;
 
 /// The `k` labels most cosine-similar to `query` among `items`.
 /// NaN-scored items (non-finite vectors) rank below every real score.
@@ -45,6 +46,89 @@ pub fn analogy<'a>(
         .map(|((b, a), c)| b - a + c)
         .collect();
     nearest(&query, items, k)
+}
+
+/// A labelled cosine index for repeated queries over the same item
+/// set: rows are normalized once into a [`CosineIndex`], optionally
+/// behind the quantized retrieval funnel (1-bit Hamming prefilter →
+/// int8 scoring → exact f32 rescore), instead of re-running the
+/// per-item `cosine` of [`nearest`] on every call.
+///
+/// Unlike [`nearest`], degenerate item vectors (zero or non-finite)
+/// score exactly 0 rather than NaN — [`CosineIndex`] normalizes them
+/// to the zero vector, the same convention as
+/// [`dc_tensor::tensor::cosine`]'s zero-vector guard.
+pub struct NearestIndex {
+    labels: Vec<String>,
+    index: CosineIndex,
+}
+
+impl NearestIndex {
+    /// Build an exact-scan index over labelled vectors (all the same
+    /// dimension).
+    pub fn build<'a>(items: impl IntoIterator<Item = (&'a str, &'a [f32])>) -> Self {
+        Self::build_inner(items, None)
+    }
+
+    /// Build with the quantized retrieval funnel attached; results are
+    /// identical to [`NearestIndex::build`] (the funnel rescores in
+    /// exact f32 and falls through entirely on small sets).
+    pub fn build_funnel<'a>(
+        items: impl IntoIterator<Item = (&'a str, &'a [f32])>,
+        cfg: FunnelConfig,
+    ) -> Self {
+        Self::build_inner(items, Some(cfg))
+    }
+
+    fn build_inner<'a>(
+        items: impl IntoIterator<Item = (&'a str, &'a [f32])>,
+        cfg: Option<FunnelConfig>,
+    ) -> Self {
+        let items: Vec<(&str, &[f32])> = items.into_iter().collect();
+        let labels: Vec<String> = items.iter().map(|(l, _)| l.to_string()).collect();
+        let dim = items.first().map_or(0, |(_, v)| v.len());
+        let mut flat = Vec::with_capacity(items.len() * dim);
+        for (label, v) in &items {
+            assert_eq!(v.len(), dim, "item {label:?} dim {} vs {dim}", v.len());
+            flat.extend_from_slice(v);
+        }
+        let rows = Tensor::from_vec(items.len(), dim, flat);
+        let index = match cfg {
+            Some(cfg) if !items.is_empty() => CosineIndex::build_funnel(&rows, cfg),
+            _ => CosineIndex::build(&rows),
+        };
+        NearestIndex { labels, index }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The `k` labels most cosine-similar to `query`, best first.
+    pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(String, f32)> {
+        self.index
+            .nearest(query, k)
+            .into_iter()
+            .map(|hit| (self.labels[hit.index].clone(), hit.score))
+            .collect()
+    }
+
+    /// 3CosAdd analogy (`b − a + c`) over the indexed items.
+    pub fn analogy(&self, a: &[f32], b: &[f32], c: &[f32], k: usize) -> Vec<(String, f32)> {
+        let query: Vec<f32> = b
+            .iter()
+            .zip(a)
+            .zip(c)
+            .map(|((b, a), c)| b - a + c)
+            .collect();
+        self.nearest(&query, k)
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +189,40 @@ mod tests {
         ];
         let out = analogy(&man, &woman, &king, items, 1);
         assert_eq!(out[0].0, "queen");
+    }
+
+    #[test]
+    fn nearest_index_funnel_matches_exact_build() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let vectors: Vec<Vec<f32>> = (0..60)
+            .map(|_| (0..8).map(|_| rng.gen::<f32>() - 0.5).collect())
+            .collect();
+        let labels: Vec<String> = (0..60).map(|i| format!("item{i}")).collect();
+        let items = || {
+            labels
+                .iter()
+                .zip(&vectors)
+                .map(|(l, v)| (l.as_str(), v.as_slice()))
+        };
+        let exact = NearestIndex::build(items());
+        let funnel = NearestIndex::build_funnel(items(), FunnelConfig::default());
+        let query: Vec<f32> = (0..8).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let a = exact.nearest(&query, 5);
+        let b = funnel.nearest(&query, 5);
+        assert_eq!(a.len(), 5);
+        for ((la, sa), (lb, sb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        // Ranking agrees with the free per-item `nearest` on the same
+        // data (scores may differ in the last ulp: normalize-then-dot
+        // vs cosine's fused division).
+        let free = nearest(&query, items(), 5);
+        for ((li, _), (lf, _)) in a.iter().zip(&free) {
+            assert_eq!(li, lf);
+        }
+        assert!(NearestIndex::build(Vec::<(&str, &[f32])>::new()).is_empty());
     }
 }

@@ -38,7 +38,7 @@ pub use celldoc::CellDocEmbedder;
 pub use cellgraph::{GraphEmbedConfig, GraphEmbedder};
 pub use coherent::coherent_group_similarity;
 pub use compose::{column2vec, database2vec, table2vec, tuple2vec, SifWeights};
-pub use knn::{analogy, nearest};
+pub use knn::{analogy, nearest, NearestIndex};
 pub use onehot::OneHot;
-pub use sgns::{Embeddings, SgnsConfig};
+pub use sgns::{Embeddings, SgnsConfig, SimilarityIndex};
 pub use vocab::Vocabulary;

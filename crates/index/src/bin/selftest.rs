@@ -6,7 +6,9 @@
 //! check names on stderr otherwise, so `scripts/lint.sh` can gate on
 //! it under every `DC_THREADS` setting.
 
-use dc_index::{dedup_pairs, topk_scores, CosineIndex, LshConfig, LshIndex, Order, SignatureSet};
+use dc_index::{
+    dedup_pairs, topk_scores, CosineIndex, FunnelConfig, LshConfig, LshIndex, Order, SignatureSet,
+};
 use dc_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
 
@@ -175,6 +177,32 @@ fn main() {
     all.sort_by(|a, b| dc_index::desc_nan_last(a.1, b.1).then(a.0.cmp(&b.0)));
     let brute: Vec<usize> = all[..12].iter().map(|&(i, _)| i).collect();
     check("CosineIndex top-k matches naive cosine scan", hits == brute);
+
+    // 8. The engaged three-tier funnel (1-bit Hamming → i8 → f32
+    //    rescore) returns the exact scan's hits bitwise on this fixed
+    //    input, and the quantized tier is ≥3× smaller than f32 rows.
+    let funnel = CosineIndex::build_funnel(
+        &items,
+        FunnelConfig::default()
+            .with_prefilter_bits(128)
+            .with_hamming_keep(items.rows / 4)
+            .with_rescore_k(64),
+    );
+    let exact_hits = cos_index.nearest_exact(&query, 12);
+    let funnel_hits = funnel.nearest(&query, 12);
+    check(
+        "funnel top-k is bitwise identical to the exact scan",
+        exact_hits.len() == funnel_hits.len()
+            && exact_hits
+                .iter()
+                .zip(&funnel_hits)
+                .all(|(a, b)| a.index == b.index && a.score.to_bits() == b.score.to_bits()),
+    );
+    let bytes = funnel.resident_bytes();
+    check(
+        "quantized tier resident bytes are ≥3× below f32 rows",
+        bytes.quant * 3 < bytes.exact && bytes.sig > 0,
+    );
 
     if !failures.is_empty() {
         for name in &failures {

@@ -20,6 +20,14 @@
 //!   score order (NaN sinks last, ties break toward the lower index)
 //!   plus a chunked parallel scan over the shared worker pool and a
 //!   pre-normalized [`topk::CosineIndex`] for exact cosine top-k.
+//! * [`quant`] — symmetric int8 quantized rows ([`quant::QuantizedSet`],
+//!   per-column or uniform scales) scored through the integer
+//!   [`dc_tensor::kernel::dot_i8`] kernel. Together with [`sig`] and the
+//!   exact scan this forms the three-tier retrieval funnel on
+//!   [`topk::CosineIndex`] (1-bit Hamming prefilter → i8 approximate
+//!   scoring → exact f32 rescore): ~4× less resident memory than f32
+//!   rows for the scored tier, with API results bitwise identical to
+//!   the exact scan (DESIGN.md §15).
 //!
 //! # Determinism
 //!
@@ -32,9 +40,13 @@
 //! `=2`, and the default to enforce this.
 
 pub mod lsh;
+pub mod quant;
 pub mod sig;
 pub mod topk;
 
 pub use lsh::{dedup_pairs, CandidateStream, LshConfig, LshIndex};
+pub use quant::{i32_goodness, QuantizedSet};
 pub use sig::{sign_scores, SignatureSet};
-pub use topk::{desc_nan_last, topk_scores, CosineIndex, Hit, Order, TopK};
+pub use topk::{
+    desc_nan_last, topk_scan, topk_scores, CosineIndex, FunnelBytes, FunnelConfig, Hit, Order, TopK,
+};

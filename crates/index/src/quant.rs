@@ -1,0 +1,327 @@
+//! Symmetric int8 quantized embeddings — tier 2 of the retrieval funnel.
+//!
+//! A [`QuantizedSet`] stores each embedding row as `i8` codes with f32
+//! scales fixed at build time, cutting resident bytes ~4× against the
+//! f32 rows and letting candidate scoring run through the integer
+//! [`dc_tensor::kernel::dot_i8`] kernel (AVX2 widening multiply-add,
+//! bitwise identical to its scalar lane — integer addition is
+//! associative, so there is no thread-count or chunking story to prove).
+//!
+//! # Quantization scheme (DESIGN.md §15)
+//!
+//! Quantization is **symmetric** (no zero-point): code `q = round(v/s)`
+//! clamped to `[-127, 127]`, so the integer dot needs no correction
+//! terms. Two scale layouts:
+//!
+//! * **Per-column** ([`QuantizedSet::build`]) — `s[j] = maxabs_col[j] /
+//!   127`. Embedding columns have wildly different dynamic ranges
+//!   (early SGNS dims saturate, late dims hover near 0); one scale per
+//!   column keeps ~7 significant bits in *every* column instead of
+//!   letting the widest column consume the whole code range. Per-column
+//!   scales still reduce query scoring to a **single integer dot**: the
+//!   column scales fold into the query side
+//!   (`w[j] = query[j] * s[j]`, one query-wide scale `t = maxabs(w) /
+//!   127`, codes `qq[j] = round(w[j]/t)`), giving
+//!   `dot(query, v_i) ≈ t · Σ_j qq[j]·q_i[j]`.
+//! * **Uniform** ([`QuantizedSet::build_uniform`]) — one global scale.
+//!   Required when *stored rows are scored against each other*
+//!   ([`QuantizedSet::pair_dot`], used by the blocking candidate cap):
+//!   with per-column scales the raw integer pair dot would weight
+//!   column `j` by `1/s[j]²`, which is not monotone in the true dot.
+//!   Under a uniform scale the integer pair dot is `dot(v_i, v_j)/s²` up
+//!   to rounding — a faithful ranking key.
+//!
+//! Scores out of this tier are *approximate by construction*; the
+//! funnel keeps API results exact by rescoring the surviving
+//! `rescore_k` candidates with the full-precision rows (see
+//! `topk::CosineIndex`).
+
+use dc_tensor::kernel;
+use dc_tensor::Tensor;
+
+/// `n` embeddings stored as i8 codes plus f32 scales (per-column or
+/// uniform), quantized once at build.
+#[derive(Clone, Debug)]
+pub struct QuantizedSet {
+    n: usize,
+    dim: usize,
+    /// Row-major codes: row `i` is `data[i*dim .. (i+1)*dim]`.
+    data: Vec<i8>,
+    /// One scale per column (all equal when `uniform`).
+    scales: Vec<f32>,
+    uniform: bool,
+}
+
+impl QuantizedSet {
+    /// Quantize `items` (one row per item) with per-column scales
+    /// `s[j] = maxabs_col[j] / 127`.
+    pub fn build(items: &Tensor) -> Self {
+        let scales = column_scales(items);
+        Self::with_scales(items, scales, false)
+    }
+
+    /// Quantize `items` with one global scale `s = maxabs / 127`. Use
+    /// this layout when stored rows must be scored against *each other*
+    /// ([`QuantizedSet::pair_dot`]); per-column scales are not monotone
+    /// for row-row dots (see the module docs).
+    pub fn build_uniform(items: &Tensor) -> Self {
+        let mut maxabs = 0.0f32;
+        for &v in &items.data {
+            let a = v.abs();
+            // NaN comparisons are false, so poisoned entries are simply
+            // ignored here and quantize to 0 below.
+            if a.is_finite() && a > maxabs {
+                maxabs = a;
+            }
+        }
+        let scales = vec![maxabs / 127.0; items.cols];
+        Self::with_scales(items, scales, true)
+    }
+
+    fn with_scales(items: &Tensor, scales: Vec<f32>, uniform: bool) -> Self {
+        let (n, dim) = (items.rows, items.cols);
+        debug_assert_eq!(scales.len(), dim);
+        let mut data = vec![0i8; n * dim];
+        for i in 0..n {
+            let codes = &mut data[i * dim..(i + 1) * dim];
+            for ((code, &v), &s) in codes.iter_mut().zip(items.row_slice(i)).zip(&scales) {
+                *code = quantize_one(v, s);
+            }
+        }
+        QuantizedSet {
+            n,
+            dim,
+            data,
+            scales,
+            uniform,
+        }
+    }
+
+    /// Number of quantized rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when all columns share one scale (pair dots are valid).
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// The i8 codes of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// All codes, row-major (for batch kernels).
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The per-column scales (all equal when [`Self::is_uniform`]).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Bytes resident for this tier: codes + scales.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<i8>() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Reconstruct row `i` as f32 (`q[j] * s[j]`): within `s[j]/2` of
+    /// the original entry per column (proptest-pinned).
+    pub fn dequantize(&self, i: usize) -> Vec<f32> {
+        self.row(i)
+            .iter()
+            .zip(&self.scales)
+            .map(|(&q, &s)| f32::from(q) * s)
+            .collect()
+    }
+
+    /// Quantize a query against this set's column scales, writing the
+    /// codes to `out` and returning the query-side scale `t` such that
+    /// `t * dot_i8(out, row(i)) ≈ dot(query, item_i)`. A degenerate
+    /// query (all-zero or non-finite after folding) returns `t = 0`
+    /// with all-zero codes, scoring 0 against everything.
+    pub fn quantize_query_into(&self, query: &[f32], out: &mut Vec<i8>) -> f32 {
+        assert_eq!(
+            query.len(),
+            self.dim,
+            "QuantizedSet: query dim {} vs set dim {}",
+            query.len(),
+            self.dim
+        );
+        out.clear();
+        out.resize(self.dim, 0);
+        let mut maxabs = 0.0f32;
+        for (&q, &s) in query.iter().zip(&self.scales) {
+            let a = (q * s).abs();
+            if a.is_finite() && a > maxabs {
+                maxabs = a;
+            }
+        }
+        if maxabs == 0.0 {
+            return 0.0;
+        }
+        let t = maxabs / 127.0;
+        for (code, (&q, &s)) in out.iter_mut().zip(query.iter().zip(&self.scales)) {
+            *code = quantize_one(q * s, t);
+        }
+        t
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`Self::quantize_query_into`].
+    pub fn quantize_query(&self, query: &[f32]) -> (f32, Vec<i8>) {
+        let mut out = Vec::new();
+        let t = self.quantize_query_into(query, &mut out);
+        (t, out)
+    }
+
+    /// Integer dot of stored rows `i` and `j` — a faithful ranking key
+    /// for the true `dot(v_i, v_j)` only under a uniform scale, so this
+    /// panics on per-column sets (see the module docs).
+    pub fn pair_dot(&self, i: usize, j: usize) -> i32 {
+        assert!(
+            self.uniform,
+            "QuantizedSet::pair_dot requires build_uniform (per-column \
+             scales are not monotone for row-row dots)"
+        );
+        kernel::dot_i8(self.row(i), self.row(j))
+    }
+}
+
+/// Per-column symmetric scales `maxabs_col[j] / 127` (0 for all-zero or
+/// all-non-finite columns; those columns quantize to 0 everywhere).
+fn column_scales(items: &Tensor) -> Vec<f32> {
+    let dim = items.cols;
+    let mut maxabs = vec![0.0f32; dim];
+    for row in 0..items.rows {
+        for (m, &v) in maxabs.iter_mut().zip(items.row_slice(row)) {
+            let a = v.abs();
+            if a.is_finite() && a > *m {
+                *m = a;
+            }
+        }
+    }
+    for m in &mut maxabs {
+        *m /= 127.0;
+    }
+    maxabs
+}
+
+/// One symmetric quantization step: `round(v/s)` clamped to
+/// `[-127, 127]`; degenerate scales or non-finite values code as 0.
+#[inline]
+fn quantize_one(v: f32, s: f32) -> i8 {
+    if s == 0.0 || !v.is_finite() {
+        return 0;
+    }
+    (v / s).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Map an i32 tier-2 score to the `u64` goodness keyspace of
+/// [`crate::TopK`]: strictly monotone (offset into non-negative range),
+/// exact for every representable dot — unlike routing the integer
+/// through f32, which collapses ties above 2²⁴.
+#[inline]
+pub fn i32_goodness(v: i32) -> u64 {
+    (i64::from(v) + (1i64 << 31)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_stays_within_half_scale() {
+        let items = Tensor::from_vec(
+            3,
+            2,
+            vec![1.0, 100.0, -0.5, -3.0, 0.25, 50.0], // very unequal columns
+        );
+        let q = QuantizedSet::build(&items);
+        for i in 0..3 {
+            let deq = q.dequantize(i);
+            for (j, (&d, &v)) in deq.iter().zip(items.row_slice(i)).enumerate() {
+                let s = q.scales()[j];
+                assert!((d - v).abs() <= 0.5 * s + f32::EPSILON, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_column_scales_keep_resolution_in_narrow_columns() {
+        // Column 1 is 200× wider than column 0; a uniform scale would
+        // collapse column 0 to at most one code step.
+        let items = Tensor::from_vec(2, 2, vec![0.5, 100.0, -0.5, -100.0]);
+        let q = QuantizedSet::build(&items);
+        assert_eq!(q.row(0)[0], 127);
+        assert_eq!(q.row(1)[0], -127);
+        let u = QuantizedSet::build_uniform(&items);
+        assert!(u.row(0)[0].abs() <= 1);
+    }
+
+    #[test]
+    fn folded_query_dot_approximates_f32_dot() {
+        let items = Tensor::from_vec(2, 3, vec![1.0, 20.0, 0.1, -1.0, 10.0, 0.3]);
+        let q = QuantizedSet::build(&items);
+        let query = [0.5f32, 0.1, 2.0];
+        let (t, qq) = q.quantize_query(&query);
+        for i in 0..2 {
+            let exact: f32 = query
+                .iter()
+                .zip(items.row_slice(i))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            let approx = t * kernel::dot_i8(&qq, q.row(i)) as f32;
+            assert!(
+                (approx - exact).abs() <= 0.05 * exact.abs().max(1.0),
+                "row {i}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_code_to_zero() {
+        let items = Tensor::from_vec(2, 2, vec![0.0, f32::NAN, 0.0, f32::INFINITY]);
+        let q = QuantizedSet::build(&items);
+        assert!(q.data().iter().all(|&c| c == 0));
+        let (t, qq) = q.quantize_query(&[1.0, 1.0]);
+        assert_eq!(t, 0.0);
+        assert!(qq.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn pair_dot_ranks_uniform_rows() {
+        let items = Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.9, 0.1, -1.0, 0.0]);
+        let u = QuantizedSet::build_uniform(&items);
+        assert!(u.pair_dot(0, 1) > u.pair_dot(0, 2));
+        assert_eq!(u.pair_dot(0, 0), 127 * 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair_dot requires build_uniform")]
+    fn pair_dot_rejects_per_column_scales() {
+        let items = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        QuantizedSet::build(&items).pair_dot(0, 1);
+    }
+
+    #[test]
+    fn goodness_is_monotone_over_i32() {
+        let vals = [i32::MIN, -1, 0, 1, i32::MAX];
+        for w in vals.windows(2) {
+            assert!(i32_goodness(w[0]) < i32_goodness(w[1]));
+        }
+    }
+}

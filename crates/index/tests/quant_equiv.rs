@@ -1,0 +1,163 @@
+//! Quantized funnel equivalence suite (ISSUE 8).
+//!
+//! Properties, each run by `scripts/lint.sh` under `DC_THREADS=1`,
+//! `=2`, and the default:
+//!
+//! 1. **Quantize/dequantize round trip** stays within half a
+//!    quantization step per element (the symmetric-scheme bound).
+//! 2. **Integer scoring is exact on the i8 grid**: rows and queries
+//!    whose entries already sit on an integer grid with scale 1 lose
+//!    nothing to quantization, so `t · dot_i8` reproduces the true dot.
+//! 3. **Funnel fall-through is bitwise exact**: with tier budgets ≥ n
+//!    the funnel cannot narrow, and [`CosineIndex::nearest`] must equal
+//!    [`CosineIndex::nearest_exact`] bit for bit on *arbitrary* inputs
+//!    — this needs no quantization-precision argument, only the shared
+//!    `dot_f32` kernel and top-k order.
+//! 4. **Engaged tiers keep planted winners**: with margins far above
+//!    the quantization noise floor, the full three-tier funnel returns
+//!    the exact scan's answer bitwise (seeded sweep, not proptest — the
+//!    margin argument is constructive, not statistical).
+
+use dc_index::{CosineIndex, FunnelConfig, QuantizedSet};
+use dc_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic LCG stream of f32 values in roughly [−4, 4].
+fn lcg_f32(count: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 8192) as f32 / 1024.0 - 4.0
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn round_trip_error_within_half_step(
+        rows in 1usize..40,
+        cols in 1usize..24,
+        uniform in 0u32..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = Tensor::from_vec(rows, cols, lcg_f32(rows * cols, seed));
+        let q = if uniform == 1 {
+            QuantizedSet::build_uniform(&t)
+        } else {
+            QuantizedSet::build(&t)
+        };
+        for i in 0..rows {
+            let deq = q.dequantize(i);
+            for (j, (&orig, &back)) in t.row_slice(i).iter().zip(&deq).enumerate() {
+                let s = if uniform == 1 { q.scales()[0] } else { q.scales()[j] };
+                // Half a step of rounding error plus f32 slack for the
+                // scale division itself.
+                let bound = f64::from(s) * 0.5 + f64::from(s) * 1e-4 + 1e-12;
+                prop_assert!(
+                    (f64::from(orig) - f64::from(back)).abs() <= bound,
+                    "row {} col {}: {} vs {} (scale {})", i, j, orig, back, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_inputs_score_exactly(
+        rows in 1usize..30,
+        cols in 1usize..16,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Integer entries in [−127, 127]; the first row and the query
+        // pin every column's maxabs at 127, so all scales are exactly
+        // 1.0 and quantization is lossless end to end.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 255) as i64 - 127
+        };
+        let mut data: Vec<f32> = (0..rows * cols).map(|_| next() as f32).collect();
+        for (j, cell) in data.iter_mut().enumerate().take(cols) {
+            *cell = if j % 2 == 0 { 127.0 } else { -127.0 };
+        }
+        let t = Tensor::from_vec(rows, cols, data);
+        let q = QuantizedSet::build(&t);
+        prop_assert!(q.scales().iter().all(|&s| s == 1.0));
+        let mut query: Vec<f32> = (0..cols).map(|_| next() as f32).collect();
+        query[0] = 127.0;
+        let (tq, qq) = q.quantize_query(&query);
+        prop_assert_eq!(tq, 1.0);
+        for i in 0..rows {
+            let exact: f64 = t
+                .row_slice(i)
+                .iter()
+                .zip(&query)
+                .map(|(a, b)| f64::from(*a) * f64::from(*b))
+                .sum();
+            let approx = f64::from(tq) * f64::from(dc_tensor::kernel::dot_i8(q.row(i), &qq));
+            prop_assert_eq!(approx, exact, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn fallthrough_funnel_is_bitwise_exact(
+        n in 1usize..150,
+        dim in 1usize..16,
+        k in 1usize..12,
+        seed in 0u64..u64::MAX,
+    ) {
+        let rows = Tensor::from_vec(n, dim, lcg_f32(n * dim, seed));
+        let cfg = FunnelConfig::default()
+            .with_hamming_keep(n)
+            .with_rescore_k(n);
+        let exact = CosineIndex::build(&rows);
+        let funnel = CosineIndex::build_funnel(&rows, cfg);
+        prop_assert!(funnel.has_funnel());
+        let query = lcg_f32(dim, seed ^ 0x9e3779b97f4a7c15);
+        let want = exact.nearest_exact(&query, k);
+        let got = funnel.nearest(&query, k);
+        prop_assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert_eq!(w.index, g.index);
+            prop_assert_eq!(w.score.to_bits(), g.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn engaged_funnel_matches_exact_across_seeds() {
+    for seed in [3u64, 17, 101, 2024] {
+        let (n, dim, k) = (600, 24, 8);
+        let mut data = lcg_f32(n * dim, seed);
+        let query = lcg_f32(dim, seed ^ 0x2545f4914f6cdd1d);
+        // Plant k overwhelming winners: aligned with the query up to a
+        // per-slot perturbation orders of magnitude above quantization
+        // noise but far below the alignment margin.
+        let winners: Vec<usize> = (0..k).map(|s| (s * 71 + 13) % n).collect();
+        for (slot, &w) in winners.iter().enumerate() {
+            for j in 0..dim {
+                data[w * dim + j] = 2.0 * query[j] + 1e-3 * (slot + 1) as f32 * (j as f32).cos();
+            }
+        }
+        let rows = Tensor::from_vec(n, dim, data);
+        let cfg = FunnelConfig::default()
+            .with_prefilter_bits(128)
+            .with_hamming_keep(n / 4)
+            .with_rescore_k(4 * k);
+        let exact = CosineIndex::build(&rows);
+        let funnel = CosineIndex::build_funnel(&rows, cfg);
+        let want = exact.nearest_exact(&query, k);
+        let got = funnel.nearest(&query, k);
+        assert_eq!(want.len(), got.len(), "seed {seed}");
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.index, g.index, "seed {seed}");
+            assert_eq!(w.score.to_bits(), g.score.to_bits(), "seed {seed}");
+        }
+        let bytes = funnel.resident_bytes();
+        assert!(bytes.quant * 3 < bytes.exact, "seed {seed}: {bytes:?}");
+    }
+}

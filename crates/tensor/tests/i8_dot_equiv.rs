@@ -1,0 +1,77 @@
+//! Int8 dot-kernel equivalence suite (ISSUE 8).
+//!
+//! The i8 funnel tier promises *bitwise* determinism: integer addition
+//! is associative, so the AVX2 widening multiply-add lane, the scalar
+//! reference loop, and any parallel row chunking must produce the exact
+//! same `i32` — no near-boundary skips needed, unlike the f32 suites.
+//! `scripts/lint.sh` runs this under `DC_THREADS=1`, `=2`, and the
+//! default to pin the chunked [`i8_dot_rows`] path at every thread
+//! count.
+
+use dc_tensor::kernel::{dot_i8, dot_i8_reference, i8_dot_rows};
+use proptest::prelude::*;
+
+proptest! {
+    /// Dispatched dot (AVX2 when available) vs the scalar reference,
+    /// exact equality for every length — vector remainders included.
+    #[test]
+    fn dispatched_dot_matches_reference(
+        n in 0usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut state = seed | 1;
+        let mut next_i8 = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 0xff) as u8 as i8
+        };
+        let x: Vec<i8> = (0..n).map(|_| next_i8()).collect();
+        // Derive y from x so both extremes and mixed signs appear.
+        let y: Vec<i8> = x.iter().rev().map(|&v| v.wrapping_mul(3)).collect();
+        prop_assert_eq!(dot_i8(&x, &y), dot_i8_reference(&x, &y));
+    }
+
+    /// The row-parallel batch kernel agrees with per-row reference dots
+    /// for every (rows, cols) shape — including shapes that don't
+    /// split evenly across worker-pool chunks.
+    #[test]
+    fn batch_rows_match_per_row_reference(
+        rows in 0usize..80,
+        cols in 0usize..70,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut state = seed | 1;
+        let mut next_i8 = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 0xff) as u8 as i8
+        };
+        let data: Vec<i8> = (0..rows * cols).map(|_| next_i8()).collect();
+        let query: Vec<i8> = (0..cols).map(|_| next_i8()).collect();
+        let mut out = vec![0i32; rows];
+        i8_dot_rows(&data, cols, &query, &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            let want = dot_i8_reference(&data[r * cols..(r + 1) * cols], &query);
+            prop_assert_eq!(got, want, "row {}", r);
+        }
+    }
+}
+
+/// The worst case for naive `vpmaddubsw`-style kernels: every product
+/// is `(−128)²`. The widening `madd_epi16` lane must not saturate.
+#[test]
+fn extreme_values_do_not_saturate() {
+    for n in [1usize, 31, 32, 33, 64, 257] {
+        let x = vec![-128i8; n];
+        let y = vec![-128i8; n];
+        let want = n as i32 * 128 * 128;
+        assert_eq!(dot_i8(&x, &y), want, "n = {n}");
+        assert_eq!(dot_i8_reference(&x, &y), want, "n = {n}");
+        let mixed: Vec<i8> = (0..n)
+            .map(|i| if i % 2 == 0 { -128 } else { 127 })
+            .collect();
+        assert_eq!(dot_i8(&mixed, &mixed), dot_i8_reference(&mixed, &mixed));
+    }
+}

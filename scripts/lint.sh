@@ -47,6 +47,14 @@ DC_THREADS=1 cargo test -q -p dc-er --test blocking_equiv
 DC_THREADS=2 cargo test -q -p dc-er --test blocking_equiv
 cargo test -q -p dc-er --test blocking_equiv
 
+echo "== quantized funnel equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-tensor --test i8_dot_equiv
+DC_THREADS=2 cargo test -q -p dc-tensor --test i8_dot_equiv
+cargo test -q -p dc-tensor --test i8_dot_equiv
+DC_THREADS=1 cargo test -q -p dc-index --test quant_equiv
+DC_THREADS=2 cargo test -q -p dc-index --test quant_equiv
+cargo test -q -p dc-index --test quant_equiv
+
 echo "== Trainer migration (unified run_epochs loop) =="
 cargo test -q -p dc-nn --test trainer_migration
 
@@ -72,6 +80,9 @@ cargo test -q -p dc-nn --test liveness_parity
 
 echo "== training benchmark smoke (equivalence + pool warmup, no wall-clock gate) =="
 cargo run -q --release -p dc-bench --bin bench_train -- --smoke
+
+echo "== index benchmark smoke (funnel-vs-exact equality, no wall-clock gate) =="
+cargo run -q --release -p dc-bench --bin bench_index -- --smoke
 
 echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2 =="
 DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv
