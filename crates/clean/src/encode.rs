@@ -113,6 +113,12 @@ impl TableEncoder {
         self.width
     }
 
+    /// Number of columns the encoder was fitted on — the shape guard
+    /// for [`crate::KnnImputer::try_impute`] and friends.
+    pub fn arity(&self) -> usize {
+        self.specs.len()
+    }
+
     /// Slot range of column `c`.
     pub fn column_range(&self, c: usize) -> std::ops::Range<usize> {
         self.offsets[c]..self.offsets[c] + self.specs[c].width()

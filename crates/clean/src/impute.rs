@@ -8,6 +8,7 @@
 //! where the simple baselines suffice.
 
 use crate::encode::TableEncoder;
+use dc_core::{DcError, DcResult};
 use dc_nn::ae::{DenoisingAutoencoder, Noise};
 use dc_nn::optim::Adam;
 use dc_nn::train::{run_epochs_with_tape, DaeTrainer, TrainOpts};
@@ -72,6 +73,21 @@ impl SimpleImputer {
 
     /// Fill every null cell of a copy of `table`.
     pub fn impute(&self, table: &Table) -> Table {
+        self.try_impute(table)
+            .unwrap_or_else(|e| panic!("SimpleImputer::impute: {e}"))
+    }
+
+    /// [`Self::impute`] with a structured error instead of a panic when
+    /// `table`'s shape does not match the fitted fills — the
+    /// service-facing entry (dc-serve returns it as a 4xx).
+    pub fn try_impute(&self, table: &Table) -> DcResult<Table> {
+        if table.schema.arity() != self.fills.len() {
+            return Err(DcError::invalid(format!(
+                "SimpleImputer: table has {} columns, imputer was fitted on {}",
+                table.schema.arity(),
+                self.fills.len()
+            )));
+        }
         let mut out = table.clone();
         for row in &mut out.rows {
             for (c, v) in row.iter_mut().enumerate() {
@@ -80,7 +96,7 @@ impl SimpleImputer {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -96,6 +112,24 @@ impl KnnImputer {
     /// mutually observed encoded slots; neighbours must observe the
     /// target column).
     pub fn impute(&self, table: &Table, encoder: &TableEncoder) -> Table {
+        self.try_impute(table, encoder)
+            .unwrap_or_else(|e| panic!("KnnImputer::impute: {e}"))
+    }
+
+    /// [`Self::impute`] with a structured error instead of a panic on a
+    /// degenerate `k` or a table/encoder shape mismatch — the
+    /// service-facing entry (dc-serve returns it as a 4xx).
+    pub fn try_impute(&self, table: &Table, encoder: &TableEncoder) -> DcResult<Table> {
+        if self.k == 0 {
+            return Err(DcError::invalid("KnnImputer: k must be at least 1"));
+        }
+        if table.schema.arity() != encoder.arity() {
+            return Err(DcError::invalid(format!(
+                "KnnImputer: table has {} columns, encoder was fitted on {}",
+                table.schema.arity(),
+                encoder.arity()
+            )));
+        }
         let (x, observed) = encoder.encode(table);
         let mut out = table.clone();
         for i in 0..table.len() {
@@ -138,7 +172,7 @@ impl KnnImputer {
                 out.rows[i][c] = aggregate_neighbours(table, c, &neighbours);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -224,6 +258,21 @@ impl DaeImputer {
 
     /// Fill every null cell with the decoded reconstruction.
     pub fn impute(&self, table: &Table) -> Table {
+        self.try_impute(table)
+            .unwrap_or_else(|e| panic!("DaeImputer::impute: {e}"))
+    }
+
+    /// [`Self::impute`] with a structured error instead of a panic on a
+    /// table/encoder shape mismatch — the service-facing entry
+    /// (dc-serve returns it as a 4xx).
+    pub fn try_impute(&self, table: &Table) -> DcResult<Table> {
+        if table.schema.arity() != self.encoder.arity() {
+            return Err(DcError::invalid(format!(
+                "DaeImputer: table has {} columns, encoder was fitted on {}",
+                table.schema.arity(),
+                self.encoder.arity()
+            )));
+        }
         let (x, _) = self.encoder.encode(table);
         let recon = self.dae.denoise(&x);
         let mut out = table.clone();
@@ -234,7 +283,7 @@ impl DaeImputer {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// *Multiple* imputation — the "multiple" of MIDA (§5.3: "multiple
@@ -448,6 +497,35 @@ mod tests {
         for (_, c) in &conf {
             assert!((0.0..=1.0).contains(c));
         }
+    }
+
+    #[test]
+    fn shape_mismatches_are_structured_errors() {
+        use dc_relational::{AttrType, Schema};
+        let mut rng = StdRng::seed_from_u64(505);
+        let (_, dirty) = dirty_people(&mut rng);
+        let encoder = TableEncoder::fit(&dirty, 16);
+        let narrow = Table::new("n", Schema::new(&[("x", AttrType::Float)]));
+
+        let simple = SimpleImputer::fit(&dirty, SimpleStrategy::MeanMode);
+        assert_eq!(
+            simple.try_impute(&narrow).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert!(simple.try_impute(&dirty).is_ok());
+
+        let knn = KnnImputer { k: 3 };
+        assert_eq!(
+            knn.try_impute(&narrow, &encoder).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert_eq!(
+            KnnImputer { k: 0 }
+                .try_impute(&dirty, &encoder)
+                .unwrap_err()
+                .kind(),
+            "invalid_input"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Shared service-boundary types for the AutoDC workspace.
+//!
+//! Before dc-serve, every crate's public API signalled bad input by
+//! panicking (`assert!`/`unwrap`) — fine for a batch pipeline that dies
+//! loudly, fatal for a long-lived server where one malformed request
+//! must become a 4xx response, not a dead worker thread. [`DcError`] is
+//! the one error type those service-reachable paths return; dc-serve
+//! maps its variants onto HTTP status codes at the boundary.
+//!
+//! The crate is intentionally tiny and dependency-free so every other
+//! workspace crate can depend on it without cycles.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Convenience alias used across the service-reachable APIs.
+pub type DcResult<T> = Result<T, DcError>;
+
+/// The unified AutoDC error. Variants are grouped by who is at fault,
+/// which is exactly the split an HTTP boundary needs: bad requests map
+/// to 4xx, exhausted limits to 429, everything else to 5xx.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DcError {
+    /// The caller's input is malformed or inconsistent (out-of-range
+    /// index, dimension mismatch, unparsable payload). Maps to 400.
+    InvalidInput(String),
+    /// A named entity (tenant, model, item id) does not exist. Maps
+    /// to 404.
+    NotFound(String),
+    /// A configured resource limit was exceeded (tenant cap, payload
+    /// size, pair budget). Maps to 429/413.
+    Limit(String),
+    /// An internal invariant failed; the caller did nothing wrong.
+    /// Maps to 500.
+    Internal(String),
+}
+
+impl DcError {
+    /// Shorthand for [`DcError::InvalidInput`] from any displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        DcError::InvalidInput(msg.to_string())
+    }
+
+    /// Shorthand for [`DcError::NotFound`].
+    pub fn not_found(msg: impl fmt::Display) -> Self {
+        DcError::NotFound(msg.to_string())
+    }
+
+    /// Shorthand for [`DcError::Limit`].
+    pub fn limit(msg: impl fmt::Display) -> Self {
+        DcError::Limit(msg.to_string())
+    }
+
+    /// Shorthand for [`DcError::Internal`].
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        DcError::Internal(msg.to_string())
+    }
+
+    /// Stable machine-readable tag for the variant (used in JSON error
+    /// bodies and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DcError::InvalidInput(_) => "invalid_input",
+            DcError::NotFound(_) => "not_found",
+            DcError::Limit(_) => "limit",
+            DcError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the variant.
+    pub fn message(&self) -> &str {
+        match self {
+            DcError::InvalidInput(m)
+            | DcError::NotFound(m)
+            | DcError::Limit(m)
+            | DcError::Internal(m) => m,
+        }
+    }
+
+    /// The HTTP status code this error maps to at a service boundary.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            DcError::InvalidInput(_) => 400,
+            DcError::NotFound(_) => 404,
+            DcError::Limit(_) => 429,
+            DcError::Internal(_) => 500,
+        }
+    }
+}
+
+impl fmt::Display for DcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// Validate that every pair index is below `n`; the workhorse guard for
+/// match/blocking endpoints.
+pub fn check_pairs(pairs: &[(usize, usize)], n: usize) -> DcResult<()> {
+    for &(a, b) in pairs {
+        if a >= n || b >= n {
+            return Err(DcError::invalid(format!(
+                "pair ({a}, {b}) out of range for {n} rows"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_statuses_line_up() {
+        let cases = [
+            (DcError::invalid("x"), "invalid_input", 400),
+            (DcError::not_found("x"), "not_found", 404),
+            (DcError::limit("x"), "limit", 429),
+            (DcError::internal("x"), "internal", 500),
+        ];
+        for (e, kind, status) in cases {
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.http_status(), status);
+            assert_eq!(e.message(), "x");
+            assert_eq!(e.to_string(), format!("{kind}: x"));
+        }
+    }
+
+    #[test]
+    fn check_pairs_flags_out_of_range() {
+        assert!(check_pairs(&[(0, 1), (1, 2)], 3).is_ok());
+        let err = check_pairs(&[(0, 3)], 3).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(check_pairs(&[], 0).is_ok());
+    }
+}

@@ -176,13 +176,35 @@ impl NeuralSearch {
     /// query) this is exact: identical tables, scores and order to
     /// [`NeuralSearch::search`] truncated to `k`.
     pub fn search_topk(&self, query: &str, k: usize, shortlist: usize) -> Vec<(usize, f32)> {
+        self.try_search_topk(query, k, shortlist)
+            .unwrap_or_else(|e| panic!("NeuralSearch::search_topk: {e}"))
+    }
+
+    /// [`Self::search_topk`] with a structured error instead of a panic
+    /// on degenerate parameters — the service-facing entry (dc-serve
+    /// returns it as a 4xx). An out-of-vocabulary query is *not* an
+    /// error: it ranks everything at −1, same as [`Self::search`].
+    pub fn try_search_topk(
+        &self,
+        query: &str,
+        k: usize,
+        shortlist: usize,
+    ) -> dc_core::DcResult<Vec<(usize, f32)>> {
+        if k == 0 {
+            return Err(dc_core::DcError::invalid("search: k must be at least 1"));
+        }
+        if self.table_token_ids.is_empty() {
+            return Err(dc_core::DcError::not_found("search: no tables indexed"));
+        }
         let qids = self.query_ids(query);
         let n = self.table_token_ids.len();
         if qids.is_empty() || shortlist >= n {
-            return topk_scores(n, k, Order::Largest, |i| self.interaction_score(i, &qids))
-                .into_iter()
-                .map(|h| (h.index, h.score))
-                .collect();
+            return Ok(
+                topk_scores(n, k, Order::Largest, |i| self.interaction_score(i, &qids))
+                    .into_iter()
+                    .map(|h| (h.index, h.score))
+                    .collect(),
+            );
         }
         let qc = self.centered_query_centroid(&qids);
         let keep = shortlist.max(k);
@@ -217,10 +239,11 @@ impl NeuralSearch {
         for i in cands {
             top.push(i, self.interaction_score(i, &qids));
         }
-        top.into_sorted()
+        Ok(top
+            .into_sorted()
             .into_iter()
             .map(|h| (h.index, h.score))
-            .collect()
+            .collect())
     }
 
     /// Mean query-token vector, centered like the table centroids — the
@@ -403,6 +426,20 @@ impl Bm25Lite {
     /// exactly the head of [`Bm25Lite::search`], since BM25 scores of
     /// matching docs are strictly positive and all others are 0.
     pub fn search_topk(&self, query: &str, k: usize) -> Vec<(usize, f64)> {
+        self.try_search_topk(query, k)
+            .unwrap_or_else(|e| panic!("Bm25Lite::search_topk: {e}"))
+    }
+
+    /// [`Self::search_topk`] with a structured error instead of a panic
+    /// on degenerate parameters — the service-facing entry (dc-serve
+    /// returns it as a 4xx).
+    pub fn try_search_topk(&self, query: &str, k: usize) -> dc_core::DcResult<Vec<(usize, f64)>> {
+        if k == 0 {
+            return Err(dc_core::DcError::invalid("search: k must be at least 1"));
+        }
+        if self.n == 0 {
+            return Err(dc_core::DcError::not_found("search: no tables indexed"));
+        }
         let qtokens = tokenize(query);
         let mut candidates: Vec<u32> = qtokens
             .iter()
@@ -429,7 +466,7 @@ impl Bm25Lite {
                     .map(|i| (i, 0.0)),
             );
         }
-        scored
+        Ok(scored)
     }
 }
 
@@ -622,6 +659,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn degenerate_search_params_are_structured_errors() {
+        let (_, neural, bm25) = lake_and_search();
+        assert_eq!(
+            neural.try_search_topk("city", 0, 8).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert_eq!(
+            bm25.try_search_topk("city", 0).unwrap_err().kind(),
+            "invalid_input"
+        );
+        // Valid params round-trip through the fallible path unchanged.
+        assert_eq!(
+            neural.try_search_topk("city", 3, 100).unwrap(),
+            neural.search_topk("city", 3, 100)
+        );
+        let empty = Bm25Lite::index(&[], 5);
+        assert_eq!(
+            empty.try_search_topk("city", 3).unwrap_err().kind(),
+            "not_found"
+        );
     }
 
     #[test]

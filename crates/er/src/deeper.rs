@@ -15,6 +15,7 @@
 //! can be trained in a matter of minutes even on a CPU" (§6.1).
 
 use crate::features::{embedding_feature_matrix, tuple_vectors};
+use dc_core::{check_pairs, DcResult};
 use dc_embed::Embeddings;
 use dc_nn::linear::Activation;
 use dc_nn::loss::{class_weights, LossKind};
@@ -25,6 +26,7 @@ use dc_nn::train::{run_epochs, Batch, MlpTrainer, StepStats, TrainCtx, TrainOpts
 use dc_relational::{tokenize_tuple, Table};
 use dc_tensor::{Tape, Tensor, Var};
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 /// How tuples are composed into distributed representations.
 #[derive(Clone, Debug)]
@@ -42,7 +44,7 @@ pub enum Composition {
 }
 
 /// Hyper-parameters for DeepER training.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeepErConfig {
     /// Widths of the classifier's hidden layers.
     pub hidden: Vec<usize>,
@@ -102,7 +104,10 @@ impl DeepErConfig {
     }
 }
 
-/// A trained DeepER matcher.
+/// A trained DeepER matcher. Serializable as one checkpoint object —
+/// dc-serve's per-tenant model registry saves and hot-reloads it
+/// through serde_json.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeepEr {
     /// Frozen word embeddings.
     pub emb: Embeddings,
@@ -113,6 +118,7 @@ pub struct DeepEr {
     config: DeepErConfig,
 }
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
 enum CompositionState {
     Average,
     Lstm {
@@ -266,12 +272,99 @@ impl DeepEr {
     }
 
     /// Match probabilities for candidate pairs over `table`.
+    ///
+    /// Panics on out-of-range pair indices; service code should use
+    /// [`DeepEr::try_predict`] (or [`DeepEr::try_predict_aligned`] for
+    /// the batch-invariant path) instead.
     pub fn predict(&self, table: &Table, pairs: &[(usize, usize)]) -> Vec<f32> {
+        self.try_predict(table, pairs)
+            .unwrap_or_else(|e| panic!("DeepEr::predict: {e}"))
+    }
+
+    /// Match probabilities for candidate pairs over `table`, validating
+    /// indices instead of panicking.
+    pub fn try_predict(&self, table: &Table, pairs: &[(usize, usize)]) -> DcResult<Vec<f32>> {
+        check_pairs(pairs, table.rows.len())?;
+        Ok(self.predict_impl(table, pairs, false))
+    }
+
+    /// [`DeepEr::try_predict`] through the row-tile-aligned GEMM paths
+    /// ([`LstmEncoder::encode_batch_aligned`],
+    /// [`Mlp::predict_proba_aligned`]): every pair's probability is a
+    /// pure bitwise function of that pair alone, independent of what
+    /// else shares the batch and of `DC_THREADS`. This is the execution
+    /// path behind dc-serve's match endpoint — coalesced micro-batches
+    /// return exactly the bits a solo request would.
+    pub fn try_predict_aligned(
+        &self,
+        table: &Table,
+        pairs: &[(usize, usize)],
+    ) -> DcResult<Vec<f32>> {
+        check_pairs(pairs, table.rows.len())?;
+        Ok(self.predict_impl(table, pairs, true))
+    }
+
+    /// Distributed tuple representations for the given rows (validated):
+    /// mean-of-embeddings for the average composition, the aligned LSTM
+    /// hidden state for the LSTM composition. Powers dc-serve's encode
+    /// endpoint; the aligned path keeps each row's vector bitwise
+    /// independent of the request batch it rode in with.
+    pub fn try_encode(&self, table: &Table, rows: &[usize]) -> DcResult<Vec<Vec<f32>>> {
+        let n = table.rows.len();
+        if let Some(&r) = rows.iter().find(|&&r| r >= n) {
+            return Err(dc_core::DcError::invalid(format!(
+                "row {r} out of range for {n} rows"
+            )));
+        }
+        match &self.composition {
+            CompositionState::Average => {
+                let vectors = tuple_vectors(&self.emb, table);
+                Ok(rows.iter().map(|&r| vectors[r].clone()).collect())
+            }
+            CompositionState::Lstm {
+                encoder,
+                max_tokens,
+            } => {
+                let seqs: Vec<Tensor> = rows
+                    .iter()
+                    .map(|&r| self.row_sequence(table, r, *max_tokens))
+                    .collect();
+                Ok(encoder
+                    .encode_batch_aligned(&seqs)
+                    .into_iter()
+                    .map(|h| h.data)
+                    .collect())
+            }
+        }
+    }
+
+    /// Token-embedding sequence for one row (empty tuples give a `0×d`
+    /// sequence, which encodes to the zero state).
+    fn row_sequence(&self, table: &Table, r: usize, max_tokens: usize) -> Tensor {
+        let toks: Vec<Vec<f32>> = tokenize_tuple(&table.rows[r])
+            .iter()
+            .filter_map(|t| self.emb.get(t).map(|v| v.to_vec()))
+            .take(max_tokens)
+            .collect();
+        Tensor::from_vec(toks.len(), self.emb.dim(), toks.concat())
+    }
+
+    /// Shared predict body; `aligned` selects the row-tile-padded GEMM
+    /// paths (bitwise batch-invariant) over the packed ones (faster by
+    /// a hair, ulp-level batch-dependent).
+    fn predict_impl(&self, table: &Table, pairs: &[(usize, usize)], aligned: bool) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
         match &self.composition {
             CompositionState::Average => {
                 let vectors = tuple_vectors(&self.emb, table);
                 let x = embedding_feature_matrix(&vectors, pairs);
-                self.classifier.predict_proba(&x)
+                if aligned {
+                    self.classifier.predict_proba_aligned(&x)
+                } else {
+                    self.classifier.predict_proba(&x)
+                }
             }
             CompositionState::Lstm {
                 encoder,
@@ -286,22 +379,15 @@ impl DeepEr {
                 idx.dedup();
                 let seqs: Vec<Tensor> = idx
                     .iter()
-                    .map(|&r| {
-                        let toks: Vec<Vec<f32>> = tokenize_tuple(&table.rows[r])
-                            .iter()
-                            .filter_map(|t| self.emb.get(t).map(|v| v.to_vec()))
-                            .take(*max_tokens)
-                            .collect();
-                        // A 0×d sequence encodes to the zero hidden
-                        // state, matching the empty-tuple convention.
-                        Tensor::from_vec(toks.len(), self.emb.dim(), toks.concat())
-                    })
+                    .map(|&r| self.row_sequence(table, r, *max_tokens))
                     .collect();
-                let cache: std::collections::HashMap<usize, Tensor> = idx
-                    .iter()
-                    .copied()
-                    .zip(encoder.encode_batch(&seqs))
-                    .collect();
+                let encoded = if aligned {
+                    encoder.encode_batch_aligned(&seqs)
+                } else {
+                    encoder.encode_batch(&seqs)
+                };
+                let cache: std::collections::HashMap<usize, Tensor> =
+                    idx.iter().copied().zip(encoded).collect();
                 let mut feats = Vec::with_capacity(pairs.len());
                 for &(a, b) in pairs {
                     let (ha, hb) = (&cache[&a], &cache[&b]);
@@ -310,7 +396,11 @@ impl DeepEr {
                     feats.push(Tensor::hstack(&[diff, had]));
                 }
                 let x = Tensor::vstack(&feats);
-                self.classifier.predict_proba(&x)
+                if aligned {
+                    self.classifier.predict_proba_aligned(&x)
+                } else {
+                    self.classifier.predict_proba(&x)
+                }
             }
         }
     }
@@ -487,6 +577,79 @@ mod tests {
         let pred = model.predict_labels(&bench.table, &ep, 0.5);
         let f1 = f1_score(&pred, &el);
         assert!(f1 > 0.5, "LSTM-composition F1 {f1}");
+    }
+
+    #[test]
+    fn try_predict_rejects_out_of_range_pairs() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let bench = ErBenchmark::generate(ErSuite::Clean, 10, 2, &mut rng);
+        let emb = word_embeddings(&bench, &mut rng);
+        let (tp, tl, _, _) = split(&bench, &mut rng);
+        let model = DeepEr::train(
+            emb,
+            &bench.table,
+            &tp,
+            &tl,
+            Composition::Average,
+            DeepErConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let n = bench.table.rows.len();
+        let err = model.try_predict(&bench.table, &[(0, n)]).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(model.try_predict(&bench.table, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aligned_predict_is_batch_invariant_and_checkpoint_round_trips() {
+        // Both compositions: per-pair probabilities through the aligned
+        // path must be bitwise identical whether the pair is scored
+        // alone or inside a larger batch — the dc-serve micro-batch
+        // contract — and must survive a serde checkpoint round-trip.
+        for (seed, comp) in [
+            (105, Composition::Average),
+            (
+                106,
+                Composition::Lstm {
+                    hidden: 8,
+                    max_tokens: 10,
+                },
+            ),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bench = ErBenchmark::generate(ErSuite::Clean, 20, 2, &mut rng);
+            let emb = word_embeddings(&bench, &mut rng);
+            let (tp, tl, ep, _) = split(&bench, &mut rng);
+            let model = DeepEr::train(
+                emb,
+                &bench.table,
+                &tp,
+                &tl,
+                comp,
+                DeepErConfig {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let all = model.try_predict_aligned(&bench.table, &ep).unwrap();
+            for (i, &pair) in ep.iter().enumerate() {
+                let solo = model.try_predict_aligned(&bench.table, &[pair]).unwrap();
+                assert_eq!(
+                    solo[0].to_bits(),
+                    all[i].to_bits(),
+                    "pair {pair:?} depends on batch composition"
+                );
+            }
+            let json = serde_json::to_string(&model).unwrap();
+            let back: DeepEr = serde_json::from_str(&json).unwrap();
+            let redo = back.try_predict_aligned(&bench.table, &ep).unwrap();
+            let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&redo), bits(&all), "checkpoint changed predictions");
+        }
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Incremental banded LSH: insert/delete without a full rebuild.
+//!
+//! [`crate::LshIndex`]'s radix-sorted band tables are immutable — the
+//! right trade for batch blocking, the wrong one for a long-lived
+//! service where tenants stream inserts and deletes. The incremental
+//! index keeps the same banding math but splits each band's items into
+//! two tiers:
+//!
+//! * a **sorted tier** — the last compaction's alive items in a
+//!   [`BandTable`] (radix/packed-sorted, binary-searchable), exactly as
+//!   in the batch index;
+//! * an **overflow tier** — every item inserted since, kept as one
+//!   shared append-only list and sorted *at query time* into a small
+//!   per-band [`BandTable`] (sorting only the overflow, not the world).
+//!
+//! Deletes are tombstones (`alive` bitmap) filtered during candidate
+//! emission. [`IncrementalLshIndex::compact`] folds the overflow and
+//! tombstones back into fresh sorted tables; dc-serve runs it from a
+//! background maintenance thread once the overflow crosses a threshold.
+//!
+//! Candidate generation merges three pair sources per band — within the
+//! sorted tier, within the overflow, and across the two — plus
+//! multi-probe lookups against *both* tiers, then dedups packed pair
+//! codes. The result is the **same pair set a full rebuild over the
+//! alive items would produce** (modulo the rebuild's renumbering):
+//! signatures and probe-flip orders are computed by the same shared
+//! code ([`SignatureSet::push_scores`], the flip helper in `lsh.rs`),
+//! and every alive item is in exactly one tier. `inc_equiv.rs` proves
+//! the equality by proptest over insert/delete/compact interleavings.
+
+use crate::lsh::{push_row_flips, validate_lsh_shape, BandTable, LshConfig};
+use crate::sig::{sign_scores, SignatureSet};
+use dc_core::{DcError, DcResult};
+use dc_tensor::Tensor;
+
+static INC_INSERTS: dc_obs::Counter = dc_obs::Counter::new("index.inc.inserts");
+static INC_DELETES: dc_obs::Counter = dc_obs::Counter::new("index.inc.deletes");
+static INC_COMPACTIONS: dc_obs::Counter = dc_obs::Counter::new("index.inc.compactions");
+static INC_OVERFLOW: dc_obs::Gauge = dc_obs::Gauge::new("index.inc.overflow");
+static INC_QUERY: dc_obs::Hist = dc_obs::Hist::new("index.inc.query");
+
+/// A mutable banded LSH index: the service-side sibling of
+/// [`crate::LshIndex`]. See the module docs for the tier design.
+pub struct IncrementalLshIndex {
+    cfg: LshConfig,
+    probes_per_band: usize,
+    /// Hyperplanes for [`Self::insert_vector`]; score-row inserts work
+    /// without them.
+    planes: Option<Tensor>,
+    /// Signatures of every item ever inserted (tombstones included —
+    /// ids are stable for the index's lifetime).
+    sigs: SignatureSet,
+    /// Per `(item, band, probe)` flip orders, same layout as the batch
+    /// index. Empty when `probes == 0`.
+    flips: Vec<u16>,
+    alive: Vec<bool>,
+    n_alive: usize,
+    /// Sorted tier: one table per band over the last compaction's
+    /// alive items.
+    tables: Vec<BandTable>,
+    /// Overflow tier: ids inserted since the last compaction, ascending
+    /// (may contain tombstoned ids; filtered at query/compaction).
+    recent: Vec<u32>,
+}
+
+impl IncrementalLshIndex {
+    /// An empty index accepting [`Self::insert_scores`].
+    pub fn new(cfg: LshConfig) -> DcResult<Self> {
+        let nbits = cfg.bands.saturating_mul(cfg.rows_per_band);
+        validate_lsh_shape(0, nbits, cfg)?;
+        let sigs = SignatureSet::with_bits(nbits);
+        let tables = (0..cfg.bands)
+            .map(|b| BandTable::build(&sigs, b * cfg.rows_per_band, cfg.rows_per_band))
+            .collect();
+        Ok(IncrementalLshIndex {
+            cfg,
+            probes_per_band: cfg.probes.min(cfg.rows_per_band),
+            planes: None,
+            sigs,
+            flips: Vec::new(),
+            alive: Vec::new(),
+            n_alive: 0,
+            tables,
+            recent: Vec::new(),
+        })
+    }
+
+    /// An empty index carrying `(bands·rows_per_band)×d` hyperplanes so
+    /// raw `d`-dim vectors can be inserted directly.
+    pub fn with_planes(planes: Tensor, cfg: LshConfig) -> DcResult<Self> {
+        let nbits = cfg.bands.saturating_mul(cfg.rows_per_band);
+        if planes.rows != nbits {
+            return Err(DcError::invalid(format!(
+                "IncrementalLshIndex: {} planes for {} bands × {} rows",
+                planes.rows, cfg.bands, cfg.rows_per_band
+            )));
+        }
+        let mut idx = Self::new(cfg)?;
+        idx.planes = Some(planes);
+        Ok(idx)
+    }
+
+    /// Bulk-build from a score matrix (all items land in the sorted
+    /// tier, as after a compaction).
+    pub fn from_scores(scores: &Tensor, cfg: LshConfig) -> DcResult<Self> {
+        validate_lsh_shape(scores.rows, scores.cols, cfg)?;
+        let mut idx = Self::new(cfg)?;
+        for i in 0..scores.rows {
+            idx.insert_scores(scores.row_slice(i))?;
+        }
+        idx.compact();
+        Ok(idx)
+    }
+
+    /// The banding configuration.
+    pub fn config(&self) -> LshConfig {
+        self.cfg
+    }
+
+    /// Total ids ever issued (tombstones included).
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True when no item was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) items.
+    pub fn alive_count(&self) -> usize {
+        self.n_alive
+    }
+
+    /// True when `id` exists and is not tombstoned.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.alive.get(id).copied().unwrap_or(false)
+    }
+
+    /// Items currently in the overflow tier (tombstoned ones included);
+    /// the background-compaction trigger.
+    pub fn overflow_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Insert one item by its `nbits` hyperplane margins; returns the
+    /// new item's id. O(overflow) — no sorted-tier rebuild.
+    pub fn insert_scores(&mut self, row: &[f32]) -> DcResult<usize> {
+        let nbits = self.cfg.bands * self.cfg.rows_per_band;
+        if row.len() != nbits {
+            return Err(DcError::invalid(format!(
+                "insert: {} scores for {nbits}-bit signatures",
+                row.len()
+            )));
+        }
+        if self.alive.len() >= u32::MAX as usize {
+            return Err(DcError::limit("IncrementalLshIndex: id space exhausted"));
+        }
+        let id = self.sigs.push_scores(row);
+        if self.probes_per_band > 0 {
+            let mut order = Vec::new();
+            push_row_flips(
+                row,
+                self.cfg.bands,
+                self.cfg.rows_per_band,
+                self.probes_per_band,
+                &mut order,
+                &mut self.flips,
+            );
+        }
+        self.alive.push(true);
+        self.n_alive += 1;
+        self.recent.push(id as u32);
+        INC_INSERTS.incr();
+        INC_OVERFLOW.set(self.recent.len() as u64);
+        Ok(id)
+    }
+
+    /// Insert a raw `d`-dim vector (requires construction via
+    /// [`Self::with_planes`]); its margins are one kernel matvec.
+    pub fn insert_vector(&mut self, v: &[f32]) -> DcResult<usize> {
+        let planes = self
+            .planes
+            .as_ref()
+            .ok_or_else(|| DcError::invalid("insert_vector: index built without hyperplanes"))?;
+        if v.len() != planes.cols {
+            return Err(DcError::invalid(format!(
+                "insert_vector: {}-dim vector for {}-dim planes",
+                v.len(),
+                planes.cols
+            )));
+        }
+        let row = sign_scores(&Tensor::from_vec(1, v.len(), v.to_vec()), planes);
+        self.insert_scores(row.row_slice(0))
+    }
+
+    /// Tombstone an item. Its id stays allocated; candidates stop
+    /// including it immediately.
+    pub fn delete(&mut self, id: usize) -> DcResult<()> {
+        match self.alive.get_mut(id) {
+            Some(a) if *a => {
+                *a = false;
+                self.n_alive -= 1;
+                INC_DELETES.incr();
+                Ok(())
+            }
+            Some(_) => Err(DcError::not_found(format!("item {id} already deleted"))),
+            None => Err(DcError::not_found(format!("item {id} does not exist"))),
+        }
+    }
+
+    /// Fold the overflow tier and tombstones into fresh sorted band
+    /// tables. Ids are preserved; only the tier assignment changes, so
+    /// [`Self::candidate_pairs`] is unaffected (proven by proptest).
+    pub fn compact(&mut self) {
+        let members: Vec<u32> = (0..self.alive.len() as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect();
+        let width = self.cfg.rows_per_band;
+        self.tables = (0..self.cfg.bands)
+            .map(|b| BandTable::build_subset(&self.sigs, b * width, width, &members))
+            .collect();
+        self.recent.clear();
+        INC_COMPACTIONS.incr();
+        INC_OVERFLOW.set(0);
+    }
+
+    /// The exact deduplicated candidate pair set over live items —
+    /// banding plus multi-probe, sorted ascending `(min, max)`. Same
+    /// pair set as a full [`crate::LshIndex`] rebuild over the live
+    /// score rows (with rebuild ids mapped back through the live list).
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let _q = INC_QUERY.start();
+        let width = self.cfg.rows_per_band;
+        let ppb = self.probes_per_band;
+        let recent_alive: Vec<u32> = self
+            .recent
+            .iter()
+            .copied()
+            .filter(|&i| self.alive[i as usize])
+            .collect();
+        let mut codes: Vec<u64> = Vec::new();
+        let mut key = vec![0u64; width.div_ceil(64).max(1)];
+        for (b, sorted) in self.tables.iter().enumerate() {
+            let lo = b * width;
+            let ovf = BandTable::build_subset(&self.sigs, lo, width, &recent_alive);
+            // In-bucket pairs within each tier (sorted tier filtered
+            // through the tombstone bitmap; overflow is pre-filtered).
+            self.run_pairs(sorted, true, &mut codes);
+            self.run_pairs(&ovf, false, &mut codes);
+            // Cross-tier: each overflow key run against the sorted
+            // tier's equal run. The tiers are disjoint, so no self
+            // pairs can appear.
+            let mut start = 0;
+            while start < ovf.items.len() {
+                let mut end = start + 1;
+                while end < ovf.items.len() && ovf.key(end) == ovf.key(start) {
+                    end += 1;
+                }
+                for r in sorted.equal_run(ovf.key(start)) {
+                    let j = sorted.items[r] as usize;
+                    if !self.alive[j] {
+                        continue;
+                    }
+                    for x in start..end {
+                        let i = ovf.items[x] as usize;
+                        codes.push(((i.min(j) as u64) << 32) | i.max(j) as u64);
+                    }
+                }
+                start = end;
+            }
+            // Multi-probe: flipped keys of every live item against both
+            // tiers (a flipped key never equals the item's own key, so
+            // no self pairs here either).
+            if ppb > 0 {
+                for i in 0..self.alive.len() {
+                    if !self.alive[i] {
+                        continue;
+                    }
+                    for p in 0..ppb {
+                        let rel = self.flips[(i * self.cfg.bands + b) * ppb + p] as usize;
+                        self.sigs.band_key_into(i, lo, width, &mut key);
+                        key[rel / 64] ^= 1u64 << (rel % 64);
+                        for r in sorted.equal_run(&key) {
+                            let j = sorted.items[r] as usize;
+                            if self.alive[j] {
+                                codes.push(((i.min(j) as u64) << 32) | i.max(j) as u64);
+                            }
+                        }
+                        for r in ovf.equal_run(&key) {
+                            let j = ovf.items[r] as usize;
+                            codes.push(((i.min(j) as u64) << 32) | i.max(j) as u64);
+                        }
+                    }
+                }
+            }
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+            .into_iter()
+            .map(|c| ((c >> 32) as usize, (c & 0xffff_ffff) as usize))
+            .collect()
+    }
+
+    /// Emit in-bucket pairs of one table; `filter` applies the
+    /// tombstone bitmap (the overflow tables are built alive-only).
+    fn run_pairs(&self, t: &BandTable, filter: bool, codes: &mut Vec<u64>) {
+        let n = t.items.len();
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && t.key(end) == t.key(start) {
+                end += 1;
+            }
+            for x in start..end {
+                let i = t.items[x] as usize;
+                if filter && !self.alive[i] {
+                    continue;
+                }
+                let hi = (i as u64) << 32;
+                for y in x + 1..end {
+                    let j = t.items[y] as usize;
+                    if filter && !self.alive[j] {
+                        continue;
+                    }
+                    codes.push(hi | j as u64);
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LshIndex;
+
+    fn cfg(probes: usize) -> LshConfig {
+        LshConfig {
+            bands: 3,
+            rows_per_band: 4,
+            probes,
+        }
+    }
+
+    fn det_scores(n: usize, nbits: usize, salt: u64) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..nbits)
+                    .map(|j| {
+                        let x = ((i * nbits + j) as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(salt);
+                        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Pair set of a fresh batch index over the live rows, mapped back
+    /// to incremental ids.
+    fn rebuild_pairs(inc: &IncrementalLshIndex, rows: &[Vec<f32>]) -> Vec<(usize, usize)> {
+        let live: Vec<usize> = (0..rows.len()).filter(|&i| inc.is_alive(i)).collect();
+        let nbits = rows.first().map(|r| r.len()).unwrap_or(0);
+        let data: Vec<f32> = live.iter().flat_map(|&i| rows[i].iter().copied()).collect();
+        let t = Tensor::from_vec(live.len(), nbits, data);
+        let mut pairs: Vec<(usize, usize)> = LshIndex::from_scores(&t, inc.config())
+            .candidate_pairs()
+            .into_iter()
+            .map(|(a, b)| {
+                let (x, y) = (live[a], live[b]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn insert_delete_compact_matches_rebuild() {
+        for probes in [0, 2] {
+            let rows = det_scores(60, 12, 99);
+            let mut inc = IncrementalLshIndex::new(cfg(probes)).unwrap();
+            for r in &rows[..40] {
+                inc.insert_scores(r).unwrap();
+            }
+            assert_eq!(inc.candidate_pairs(), rebuild_pairs(&inc, &rows));
+            inc.compact();
+            assert_eq!(inc.overflow_len(), 0);
+            assert_eq!(inc.candidate_pairs(), rebuild_pairs(&inc, &rows));
+            for r in &rows[40..] {
+                inc.insert_scores(r).unwrap();
+            }
+            for id in [3, 17, 41, 59] {
+                inc.delete(id).unwrap();
+            }
+            assert_eq!(inc.candidate_pairs(), rebuild_pairs(&inc, &rows));
+            inc.compact();
+            assert_eq!(inc.candidate_pairs(), rebuild_pairs(&inc, &rows));
+            assert_eq!(inc.alive_count(), 56);
+        }
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let mut inc = IncrementalLshIndex::new(cfg(1)).unwrap();
+        assert_eq!(
+            inc.insert_scores(&[0.0; 5]).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert_eq!(inc.delete(0).unwrap_err().kind(), "not_found");
+        let id = inc.insert_scores(&[1.0; 12]).unwrap();
+        inc.delete(id).unwrap();
+        assert_eq!(inc.delete(id).unwrap_err().kind(), "not_found");
+        assert!(IncrementalLshIndex::new(LshConfig {
+            bands: 0,
+            rows_per_band: 4,
+            probes: 0
+        })
+        .is_err());
+        assert!(inc.insert_vector(&[1.0; 4]).is_err(), "no planes");
+    }
+
+    #[test]
+    fn vector_inserts_go_through_planes() {
+        let planes = Tensor::from_vec(12, 4, det_scores(12, 4, 7).into_iter().flatten().collect());
+        let mut inc = IncrementalLshIndex::with_planes(planes.clone(), cfg(0)).unwrap();
+        let vs = det_scores(10, 4, 21);
+        for v in &vs {
+            inc.insert_vector(v).unwrap();
+        }
+        // Same pair set as the batch index built from the same vectors.
+        let data: Vec<f32> = vs.iter().flatten().copied().collect();
+        let batch = LshIndex::build(&Tensor::from_vec(10, 4, data), &planes, cfg(0));
+        assert_eq!(inc.candidate_pairs(), batch.candidate_pairs());
+        assert_eq!(
+            inc.insert_vector(&[0.0; 3]).unwrap_err().kind(),
+            "invalid_input"
+        );
+    }
+}

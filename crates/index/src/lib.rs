@@ -39,11 +39,13 @@
 //! `scripts/lint.sh` runs the equivalence suites under `DC_THREADS=1`,
 //! `=2`, and the default to enforce this.
 
+pub mod inc;
 pub mod lsh;
 pub mod quant;
 pub mod sig;
 pub mod topk;
 
+pub use inc::IncrementalLshIndex;
 pub use lsh::{dedup_pairs, CandidateStream, LshConfig, LshIndex};
 pub use quant::{i32_goodness, QuantizedSet};
 pub use sig::{sign_scores, SignatureSet};

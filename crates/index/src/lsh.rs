@@ -68,20 +68,36 @@ impl LshConfig {
 
 /// One band's inverted buckets: items sorted by band key, equal keys
 /// adjacent. Multi-word keys (bands wider than 64 bits) compare
-/// lexicographically word-by-word.
-struct BandTable {
+/// lexicographically word-by-word. `pub(crate)` so the incremental
+/// index ([`crate::IncrementalLshIndex`]) can reuse it for both its
+/// sorted tier and its query-time overflow merges.
+pub(crate) struct BandTable {
     /// `u64` words per key.
     stride: usize,
     /// Keys in sorted order, `stride` words each.
     keys: Vec<u64>,
     /// Item ids in key-sorted order; ties sort by item id, so bucket
     /// members are ascending and in-bucket pairs come out `(min, max)`.
-    items: Vec<u32>,
+    pub(crate) items: Vec<u32>,
 }
 
 impl BandTable {
-    fn build(sigs: &SignatureSet, lo: usize, width: usize) -> BandTable {
-        let n = sigs.len();
+    pub(crate) fn build(sigs: &SignatureSet, lo: usize, width: usize) -> BandTable {
+        let members: Vec<u32> = (0..sigs.len() as u32).collect();
+        Self::build_subset(sigs, lo, width, &members)
+    }
+
+    /// Build over an arbitrary ascending subset of the signature set's
+    /// items (the incremental index's alive lists). Sort order matches
+    /// [`Self::build`]: key ascending, item id ascending within a key.
+    pub(crate) fn build_subset(
+        sigs: &SignatureSet,
+        lo: usize,
+        width: usize,
+        members: &[u32],
+    ) -> BandTable {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members ascend");
+        let n = members.len();
         let stride = width.div_ceil(64).max(1);
         if width <= 16 && n >= 64 {
             // Byte-wise LSB radix sort for narrow bands (the common
@@ -89,10 +105,11 @@ impl BandTable {
             // item` with L1-resident 256-entry counters. Stability on
             // the initial ascending-item order means equal keys keep
             // ascending item order — identical to the sort paths below.
-            let mut packed: Vec<u64> = (0..n)
-                .map(|i| {
+            let mut packed: Vec<u64> = members
+                .iter()
+                .map(|&i| {
                     let mut k = [0u64; 1];
-                    sigs.band_key_into(i, lo, width, &mut k);
+                    sigs.band_key_into(i as usize, lo, width, &mut k);
                     (k[0] << 32) | i as u64
                 })
                 .collect();
@@ -129,10 +146,11 @@ impl BandTable {
             // Fast path for bands of ≤ 32 bits: pack `(key << 32) | item`
             // into one u64 and sort comparator-free — same order as the
             // general path (key ascending, item ascending within key).
-            let mut packed: Vec<u64> = (0..n)
-                .map(|i| {
+            let mut packed: Vec<u64> = members
+                .iter()
+                .map(|&i| {
                     let mut k = [0u64; 1];
-                    sigs.band_key_into(i, lo, width, &mut k);
+                    sigs.band_key_into(i as usize, lo, width, &mut k);
                     (k[0] << 32) | i as u64
                 })
                 .collect();
@@ -149,20 +167,30 @@ impl BandTable {
                 items,
             };
         }
+        // General path: keys are indexed by *position* in `members`
+        // (`raw[p]` is member p's key), sorted by (key, item id).
         let mut raw = vec![0u64; n * stride];
-        for i in 0..n {
-            sigs.band_key_into(i, lo, width, &mut raw[i * stride..(i + 1) * stride]);
+        for (p, &i) in members.iter().enumerate() {
+            sigs.band_key_into(
+                i as usize,
+                lo,
+                width,
+                &mut raw[p * stride..(p + 1) * stride],
+            );
         }
-        let mut items: Vec<u32> = (0..n as u32).collect();
-        items.sort_unstable_by(|&a, &b| {
+        let mut pos: Vec<u32> = (0..n as u32).collect();
+        pos.sort_unstable_by(|&a, &b| {
             let ka = &raw[a as usize * stride..][..stride];
             let kb = &raw[b as usize * stride..][..stride];
-            ka.cmp(kb).then(a.cmp(&b))
+            ka.cmp(kb)
+                .then(members[a as usize].cmp(&members[b as usize]))
         });
         let mut keys = vec![0u64; n * stride];
-        for (r, &it) in items.iter().enumerate() {
+        let mut items = Vec::with_capacity(n);
+        for (r, &p) in pos.iter().enumerate() {
             keys[r * stride..(r + 1) * stride]
-                .copy_from_slice(&raw[it as usize * stride..][..stride]);
+                .copy_from_slice(&raw[p as usize * stride..][..stride]);
+            items.push(members[p as usize]);
         }
         BandTable {
             stride,
@@ -172,16 +200,70 @@ impl BandTable {
     }
 
     #[inline]
-    fn key(&self, r: usize) -> &[u64] {
+    pub(crate) fn key(&self, r: usize) -> &[u64] {
         &self.keys[r * self.stride..(r + 1) * self.stride]
     }
 
     /// Rows whose key equals `probe` (binary search on the sorted keys).
-    fn equal_run(&self, probe: &[u64]) -> Range<usize> {
+    pub(crate) fn equal_run(&self, probe: &[u64]) -> Range<usize> {
         let n = self.items.len();
         let lower = partition(n, |r| self.key(r) < probe);
         let upper = partition(n, |r| self.key(r) <= probe);
         lower..upper
+    }
+}
+
+/// Validate banding parameters against an item/score shape — the
+/// shared guard of [`LshIndex::try_from_scores`] and the incremental
+/// index's constructors.
+pub(crate) fn validate_lsh_shape(
+    rows: usize,
+    score_cols: usize,
+    cfg: LshConfig,
+) -> dc_core::DcResult<()> {
+    use dc_core::DcError;
+    if cfg.bands < 1 {
+        return Err(DcError::invalid("LshIndex: at least one band"));
+    }
+    if cfg.rows_per_band < 1 {
+        return Err(DcError::invalid("LshIndex: at least one row per band"));
+    }
+    if score_cols != cfg.bands * cfg.rows_per_band {
+        return Err(DcError::invalid(format!(
+            "LshIndex: {score_cols} score columns for {} bands × {} rows",
+            cfg.bands, cfg.rows_per_band
+        )));
+    }
+    if rows > u32::MAX as usize {
+        return Err(DcError::limit("LshIndex: item count exceeds u32 range"));
+    }
+    Ok(())
+}
+
+/// Append item `row`'s multi-probe bit orders — per band, the `ppb`
+/// band-relative bits with the smallest |margin| (ties by bit index, so
+/// probe order is fully deterministic). Shared between the bulk build
+/// and the incremental index's inserts, which keeps their probe sets
+/// identical for identical score rows.
+pub(crate) fn push_row_flips(
+    row: &[f32],
+    bands: usize,
+    width: usize,
+    ppb: usize,
+    order: &mut Vec<u16>,
+    out: &mut Vec<u16>,
+) {
+    for b in 0..bands {
+        let band = &row[b * width..(b + 1) * width];
+        order.clear();
+        order.extend(0..width as u16);
+        order.sort_unstable_by(|&x, &y| {
+            band[x as usize]
+                .abs()
+                .total_cmp(&band[y as usize].abs())
+                .then(x.cmp(&y))
+        });
+        out.extend_from_slice(&order[..ppb]);
     }
 }
 
@@ -228,27 +310,18 @@ impl LshIndex {
     }
 
     /// Build from a precomputed `n×nbits` score matrix (the margins of
-    /// `vectors · planesᵀ`).
+    /// `vectors · planesᵀ`). Panics on a malformed configuration;
+    /// service code should use [`LshIndex::try_from_scores`].
     pub fn from_scores(scores: &Tensor, cfg: LshConfig) -> Self {
+        Self::try_from_scores(scores, cfg).unwrap_or_else(|e| panic!("LshIndex::from_scores: {e}"))
+    }
+
+    /// [`LshIndex::from_scores`] with configuration validation instead
+    /// of panics.
+    pub fn try_from_scores(scores: &Tensor, cfg: LshConfig) -> dc_core::DcResult<Self> {
         let _build = IDX_BUILD.start();
         IDX_SIGNATURES.add(scores.rows as u64);
-        assert!(cfg.bands >= 1, "LshIndex: at least one band");
-        assert!(
-            cfg.rows_per_band >= 1,
-            "LshIndex: at least one row per band"
-        );
-        assert_eq!(
-            scores.cols,
-            cfg.bands * cfg.rows_per_band,
-            "LshIndex: {} score columns for {} bands × {} rows",
-            scores.cols,
-            cfg.bands,
-            cfg.rows_per_band
-        );
-        assert!(
-            scores.rows <= u32::MAX as usize,
-            "LshIndex: item count exceeds u32 range"
-        );
+        validate_lsh_shape(scores.rows, scores.cols, cfg)?;
         let sigs = SignatureSet::from_scores(scores);
         let tables: Vec<BandTable> = (0..cfg.bands)
             .map(|b| BandTable::build(&sigs, b * cfg.rows_per_band, cfg.rows_per_band))
@@ -256,35 +329,27 @@ impl LshIndex {
         let probes_per_band = cfg.probes.min(cfg.rows_per_band);
         let flips = (probes_per_band > 0).then(|| {
             let n = scores.rows;
-            let width = cfg.rows_per_band;
             let mut flips = Vec::with_capacity(n * cfg.bands * probes_per_band);
-            let mut order: Vec<u16> = Vec::with_capacity(width);
+            let mut order: Vec<u16> = Vec::new();
             for i in 0..n {
-                let row = scores.row_slice(i);
-                for b in 0..cfg.bands {
-                    let band = &row[b * width..(b + 1) * width];
-                    order.clear();
-                    order.extend(0..width as u16);
-                    // Smallest |margin| first; ties by bit index, so
-                    // probe order is fully deterministic.
-                    order.sort_unstable_by(|&x, &y| {
-                        band[x as usize]
-                            .abs()
-                            .total_cmp(&band[y as usize].abs())
-                            .then(x.cmp(&y))
-                    });
-                    flips.extend_from_slice(&order[..probes_per_band]);
-                }
+                push_row_flips(
+                    scores.row_slice(i),
+                    cfg.bands,
+                    cfg.rows_per_band,
+                    probes_per_band,
+                    &mut order,
+                    &mut flips,
+                );
             }
             flips
         });
-        LshIndex {
+        Ok(LshIndex {
             cfg,
             sigs,
             tables,
             flips,
             probes_per_band,
-        }
+        })
     }
 
     /// Number of indexed items.

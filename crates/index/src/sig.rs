@@ -77,6 +77,37 @@ impl SignatureSet {
         Self::from_scores(&sign_scores(vectors, planes))
     }
 
+    /// An empty set of `nbits`-bit signatures, ready for
+    /// [`Self::push_scores`] — the growable backing of the incremental
+    /// index.
+    pub fn with_bits(nbits: usize) -> Self {
+        SignatureSet {
+            n: 0,
+            nbits,
+            words_per_sig: nbits.div_ceil(64).max(1),
+            words: Vec::new(),
+        }
+    }
+
+    /// Append one signature packed from a score row (`nbits` margins,
+    /// same `>= 0.0` sign convention as [`Self::from_scores`]). Returns
+    /// the new signature's index.
+    pub fn push_scores(&mut self, row: &[f32]) -> usize {
+        assert_eq!(row.len(), self.nbits, "push_scores: score width mismatch");
+        let start = self.words.len();
+        self.words.resize(start + self.words_per_sig, 0);
+        let sig = &mut self.words[start..];
+        for (slot, chunk) in sig.iter_mut().zip(row.chunks(64)) {
+            let mut word = 0u64;
+            for (j, &s) in chunk.iter().enumerate() {
+                word |= u64::from(s >= 0.0) << j;
+            }
+            *slot = word;
+        }
+        self.n += 1;
+        self.n - 1
+    }
+
     /// Number of signatures.
     pub fn len(&self) -> usize {
         self.n

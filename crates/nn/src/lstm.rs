@@ -394,6 +394,93 @@ impl LstmEncoder {
         out
     }
 
+    /// Batch encode with every GEMM row count padded to the kernel's
+    /// [`kernel::ROW_TILE`] — the batch-*invariant* inference path.
+    ///
+    /// [`Self::encode_batch`] packs lanes back to back, so a lane's
+    /// rows land in full FMA row tiles or the scalar remainder
+    /// depending on how many *other* lanes share its bucket; its output
+    /// can differ by an ulp across batch compositions. Here each lane's
+    /// timesteps start at a `ROW_TILE`-aligned row of the stacked input
+    /// (zero padding rows in between) and the recurrent state matrix is
+    /// padded to a `ROW_TILE` multiple of lanes, so every row of every
+    /// GEMM takes the full-tile path. Each lane's hidden state is then
+    /// a pure bitwise function of its own sequence: encoding a sequence
+    /// in a batch of 1 or of 1000 yields identical bits, at any
+    /// `DC_THREADS`. dc-serve's micro-batcher relies on exactly this.
+    ///
+    /// With `DC_LSTM_FUSED=0` lanes run as independent solo encodes,
+    /// which are trivially batch-invariant.
+    pub fn encode_batch_aligned(&self, seqs: &[Tensor]) -> Vec<Tensor> {
+        if !lstm_fused_enabled() {
+            let mut out = vec![Tensor::zeros(0, 0); seqs.len()];
+            kernel::parallel_fill(&mut out, |i| self.encode(&seqs[i]));
+            return out;
+        }
+        const TILE: usize = kernel::ROW_TILE;
+        let hd = self.hidden_dim;
+        let mut out = vec![Tensor::zeros(1, hd); seqs.len()];
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(
+                s.cols, self.input_dim,
+                "encode_batch_aligned: input dim mismatch"
+            );
+            if s.rows > 0 {
+                buckets.entry(s.rows).or_default().push(i);
+            }
+        }
+        for (&tlen, idxs) in &buckets {
+            let bsz = idxs.len();
+            let tpad = tlen.div_ceil(TILE) * TILE;
+            let bpad = bsz.div_ceil(TILE) * TILE;
+            // Lane `l` occupies rows `l·tpad .. l·tpad+tlen`; the zero
+            // rows in between keep every lane start tile-aligned so no
+            // register tile ever straddles two lanes.
+            let mut stacked = Tensor::zeros(bsz * tpad, self.input_dim);
+            for (lane, &i) in idxs.iter().enumerate() {
+                for t in 0..tlen {
+                    stacked
+                        .row_slice_mut(lane * tpad + t)
+                        .copy_from_slice(seqs[i].row_slice(t));
+                }
+            }
+            let xw = stacked.matmul(&self.wx); // (B·Tpad)×4h
+            let mut hmat = Tensor::zeros(bpad, hd);
+            let mut cmat = Tensor::zeros(bsz, hd);
+            let mut hw = vec![0.0f32; bpad * GATES * hd];
+            for t in 0..tlen {
+                hw.fill(0.0);
+                kernel::matmul_into(&hmat, &self.wh, &mut hw);
+                // Gate updates skip the padding lanes, so their rows of
+                // `hmat` stay exactly zero.
+                for lane in 0..bsz {
+                    let xr = xw.row_slice(lane * tpad + t);
+                    let hwr = &hw[lane * GATES * hd..(lane + 1) * GATES * hd];
+                    let cr = cmat.row_slice_mut(lane);
+                    let hr = hmat.row_slice_mut(lane);
+                    for j in 0..hd {
+                        let zi = (xr[j] + hwr[j]) + self.b.data[j];
+                        let zf = (xr[hd + j] + hwr[hd + j]) + self.b.data[hd + j];
+                        let zo = (xr[2 * hd + j] + hwr[2 * hd + j]) + self.b.data[2 * hd + j];
+                        let zg = (xr[3 * hd + j] + hwr[3 * hd + j]) + self.b.data[3 * hd + j];
+                        let i = sigmoid(zi);
+                        let f = sigmoid(zf);
+                        let o = sigmoid(zo);
+                        let g = zg.tanh();
+                        let cj = f * cr[j] + i * g;
+                        cr[j] = cj;
+                        hr[j] = o * cj.tanh();
+                    }
+                }
+            }
+            for (lane, &i) in idxs.iter().enumerate() {
+                out[i].data.copy_from_slice(hmat.row_slice(lane));
+            }
+        }
+        out
+    }
+
     /// Apply optimiser updates; uses [`slot_count`](Self::slot_count)
     /// slots starting at `slot_base`.
     pub fn apply_grads(
@@ -629,6 +716,40 @@ mod tests {
         for (s, hb) in seqs.iter().zip(&batched) {
             assert_eq!(enc.encode(s).data, hb.data, "lane diverged from solo");
         }
+    }
+
+    #[test]
+    fn aligned_batch_encode_is_batch_invariant_bitwise() {
+        // The property dc-serve's micro-batcher is built on: a lane's
+        // aligned encoding must not depend on what else is in the
+        // batch — for *arbitrary* sequence lengths, not just tile
+        // multiples. Compare every lane of a mixed batch against the
+        // same sequence encoded in a batch of 1 and in a shuffled
+        // larger batch.
+        let mut rng = StdRng::seed_from_u64(77);
+        let enc = LstmEncoder::new(6, 10, &mut rng);
+        let seqs: Vec<Tensor> = [3usize, 5, 1, 3, 7, 0, 2, 5, 5]
+            .iter()
+            .map(|&t| Tensor::randn(t, 6, 1.0, &mut rng))
+            .collect();
+        let batched = enc.encode_batch_aligned(&seqs);
+        for (i, s) in seqs.iter().enumerate() {
+            let solo = enc.encode_batch_aligned(std::slice::from_ref(s));
+            assert_eq!(
+                solo[0].data, batched[i].data,
+                "lane {i} (len {}) depends on batch composition",
+                s.rows
+            );
+        }
+        // A different mix containing some of the same sequences must
+        // reproduce their bits too.
+        let subset = [seqs[1].clone(), seqs[4].clone(), seqs[7].clone()];
+        let sub = enc.encode_batch_aligned(&subset);
+        assert_eq!(sub[0].data, batched[1].data);
+        assert_eq!(sub[1].data, batched[4].data);
+        assert_eq!(sub[2].data, batched[7].data);
+        // Empty sequences still encode to the zero state.
+        assert_eq!(batched[5].data, vec![0.0; 10]);
     }
 
     #[test]

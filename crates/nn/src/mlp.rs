@@ -225,6 +225,32 @@ impl Mlp {
             .collect()
     }
 
+    /// [`Self::predict_proba`] with the row count padded to the
+    /// kernel's row tile — the batch-*invariant* inference path.
+    ///
+    /// Padding every layer's GEMM to a [`dc_tensor::kernel::ROW_TILE`]
+    /// multiple of rows keeps each row on the full-tile FMA path, so a
+    /// row's probability is a pure bitwise function of that row's
+    /// features: scoring a pair alone or inside a coalesced
+    /// micro-batch yields identical bits at any `DC_THREADS`.
+    pub fn predict_proba_aligned(&self, x: &Tensor) -> Vec<f32> {
+        assert_eq!(self.out_dim(), 1, "predict_proba needs a 1-logit head");
+        const TILE: usize = dc_tensor::kernel::ROW_TILE;
+        let n = x.rows;
+        let pad = n.div_ceil(TILE) * TILE;
+        let out = if pad == n {
+            self.forward(x)
+        } else {
+            let mut xp = Tensor::zeros(pad, x.cols);
+            xp.data[..n * x.cols].copy_from_slice(&x.data);
+            self.forward(&xp)
+        };
+        out.data[..n]
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
     /// Class predictions for a softmax head.
     pub fn predict_class(&self, x: &Tensor) -> Vec<usize> {
         let out = self.forward(x);
@@ -372,6 +398,25 @@ mod tests {
             p[1] > 0.6 && p[2] > 0.6 && p[0] < 0.4 && p[3] < 0.4,
             "{p:?}"
         );
+    }
+
+    #[test]
+    fn aligned_predict_is_row_batch_invariant_bitwise() {
+        // A row's probability through the padded path must not depend
+        // on how many other rows share the forward pass (dc-serve's
+        // micro-batch guarantee).
+        let mut rng = StdRng::seed_from_u64(33);
+        let mlp = Mlp::new(&[5, 9, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let x = Tensor::randn(7, 5, 1.0, &mut rng);
+        let all = mlp.predict_proba_aligned(&x);
+        assert_eq!(all.len(), 7);
+        for (r, &batched) in all.iter().enumerate() {
+            let solo = mlp.predict_proba_aligned(&x.row_tensor(r));
+            assert_eq!(solo[0].to_bits(), batched.to_bits(), "row {r}");
+        }
+        let pair = mlp.predict_proba_aligned(&gather_rows(&x, &[6, 2]));
+        assert_eq!(pair[0].to_bits(), all[6].to_bits());
+        assert_eq!(pair[1].to_bits(), all[2].to_bits());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Request micro-batching: coalesce concurrent submissions into one
+//! fused execution.
+//!
+//! The first request to arrive becomes the batch **leader**: it waits
+//! up to the configured window (or until the size cap) for followers,
+//! then takes the whole queue and runs the batch function once on its
+//! own thread. Followers just park on a channel until the leader hands
+//! them their slice of the result. While a leader is executing, the
+//! next arrival starts a new batch — windows pipeline instead of
+//! serializing.
+//!
+//! Correctness burden: the batch function must be **per-item batch
+//! invariant** — item `i`'s output may not depend on which other items
+//! shared the batch. dc-serve's match/encode closures get this from the
+//! `ROW_TILE`-aligned inference paths (`DeepEr::try_predict_aligned`,
+//! `LstmEncoder::encode_batch_aligned`): every GEMM row group is padded
+//! to full kernel tiles, so each row's result is a pure bitwise
+//! function of that row's inputs for every `DC_THREADS`. The
+//! `microbatch_equiv` integration test proves batched == solo bitwise.
+//!
+//! Validation must happen **before** [`MicroBatcher::submit`]: one
+//! malformed request must fail alone with a 4xx, never poison a batch.
+
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+static BATCH_FLUSHES: dc_obs::Counter = dc_obs::Counter::new("serve.batch.flushes");
+static BATCH_REQUESTS: dc_obs::Counter = dc_obs::Counter::new("serve.batch.requests");
+static BATCH_RUN: dc_obs::Hist = dc_obs::Hist::new("serve.batch.run");
+
+struct Queue<I, O> {
+    items: Vec<I>,
+    replies: Vec<mpsc::Sender<O>>,
+    /// Whether some thread is currently collecting this queue.
+    has_leader: bool,
+}
+
+/// A leader/follower micro-batcher; see the module docs.
+pub struct MicroBatcher<I, O> {
+    queue: Mutex<Queue<I, O>>,
+    /// Followers signal here when the size cap fills, so the leader
+    /// stops waiting out the window.
+    full: Condvar,
+    window: Duration,
+    max: usize,
+    #[allow(clippy::type_complexity)]
+    run: Box<dyn Fn(Vec<I>) -> Vec<O> + Send + Sync>,
+}
+
+impl<I: Send, O: Send> MicroBatcher<I, O> {
+    /// A batcher executing `run` over each coalesced batch. `run` must
+    /// return exactly one output per input, in order.
+    pub fn new(
+        window: Duration,
+        max: usize,
+        run: impl Fn(Vec<I>) -> Vec<O> + Send + Sync + 'static,
+    ) -> Self {
+        MicroBatcher {
+            queue: Mutex::new(Queue {
+                items: Vec::new(),
+                replies: Vec::new(),
+                has_leader: false,
+            }),
+            full: Condvar::new(),
+            window,
+            max: max.max(1),
+            run: Box::new(run),
+        }
+    }
+
+    /// Submit one item and block until its result arrives (directly,
+    /// when this thread ends up leading the batch; via the leader
+    /// otherwise).
+    pub fn submit(&self, item: I) -> O {
+        let (tx, rx) = mpsc::channel();
+        let lead = {
+            let mut q = self.queue.lock().expect("batch queue");
+            q.items.push(item);
+            q.replies.push(tx);
+            if q.has_leader {
+                if q.items.len() >= self.max {
+                    self.full.notify_one();
+                }
+                false
+            } else {
+                q.has_leader = true;
+                true
+            }
+        };
+        if lead {
+            self.lead();
+        }
+        rx.recv().expect("batch leader dropped the reply channel")
+    }
+
+    /// Wait out the window (or the size cap), then take and execute the
+    /// queue. Runs on the submitting thread of the batch's first item.
+    fn lead(&self) {
+        let deadline = Instant::now() + self.window;
+        let mut q = self.queue.lock().expect("batch queue");
+        while q.items.len() < self.max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (qq, wait) = self
+                .full
+                .wait_timeout(q, deadline - now)
+                .expect("batch queue");
+            q = qq;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let items = std::mem::take(&mut q.items);
+        let replies = std::mem::take(&mut q.replies);
+        q.has_leader = false;
+        drop(q);
+        BATCH_FLUSHES.incr();
+        BATCH_REQUESTS.add(items.len() as u64);
+        let timer = BATCH_RUN.start();
+        let outs = (self.run)(items);
+        drop(timer);
+        debug_assert_eq!(outs.len(), replies.len(), "run must map 1:1");
+        for (reply, out) in replies.into_iter().zip(outs) {
+            // A follower that gave up (it cannot, today) would surface
+            // here as a send error; results for live followers always
+            // deliver.
+            let _ = reply.send(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_submit_round_trips() {
+        let b = MicroBatcher::new(Duration::from_micros(100), 8, |xs: Vec<u32>| {
+            xs.into_iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(b.submit(21), 42);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_map_one_to_one() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        // A long window so all 16 threads land in few batches; the
+        // batch fn tags each item with its own value, proving replies
+        // are routed to the right submitter.
+        let b = Arc::new(MicroBatcher::new(
+            Duration::from_millis(40),
+            16,
+            move |xs: Vec<u64>| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                xs.into_iter().map(|x| x + 1000).collect()
+            },
+        ));
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || (i, b.submit(i)))
+            })
+            .collect();
+        for h in handles {
+            let (i, out) = h.join().unwrap();
+            assert_eq!(out, i + 1000);
+        }
+        let n = calls.load(Ordering::SeqCst);
+        assert!(
+            (1..16).contains(&n),
+            "16 submissions coalesced into {n} batches"
+        );
+    }
+
+    #[test]
+    fn size_cap_closes_the_window_early() {
+        let b = Arc::new(MicroBatcher::new(
+            Duration::from_secs(5), // would be an eternity if the cap failed
+            4,
+            |xs: Vec<u32>| xs,
+        ));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || b.submit(i))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "cap of 4 must flush without waiting out the 5 s window"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! dc-serve self-test: boots a real server on a free port and checks
+//! the service invariants end to end over actual sockets — health,
+//! bitwise match-vs-engine agreement, structured 4xx errors that leave
+//! the service alive, incremental-index round trips, and hot reload.
+//! Silent on success (tallies go to dc-obs; set `DC_OBS` to dump the
+//! report); exits non-zero with the failed check names on stderr, so
+//! `scripts/lint.sh` can gate on it.
+
+use dc_serve::testutil::{demo_tenant_spec, http_request, raw_request};
+use dc_serve::{engine, Registry, ServeConfig};
+use std::sync::Arc;
+
+fn main() {
+    dc_obs::set_enabled(true);
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |name: &str, ok: bool| {
+        dc_obs::counter_add("selftest", "checks", 1);
+        if !ok {
+            dc_obs::counter_add("selftest", "failures", 1);
+            failures.push(name.to_string());
+        }
+    };
+
+    let cfg = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(2)
+        .with_batch_window_us(200);
+    let registry = Arc::new(Registry::new(cfg.max_tenants));
+    let tenant = registry
+        .insert(
+            demo_tenant_spec("demo", 7)
+                .build(&cfg)
+                .expect("provision demo tenant"),
+        )
+        .expect("register demo tenant");
+    let server = dc_serve::start(cfg, registry).expect("start server");
+    let addr = server.addr();
+
+    // 1. Health and tenant listing answer.
+    let (status, body) = http_request(addr, "GET", "/v1/health", "");
+    check(
+        "health returns 200 ok",
+        status == 200 && body.contains("ok"),
+    );
+    let (status, body) = http_request(addr, "GET", "/v1/tenants", "");
+    check(
+        "tenant listing names the demo tenant",
+        status == 200 && body.contains("\"demo\""),
+    );
+
+    // 2. Served match scores are bitwise the engine's solo scores.
+    let pairs = [(0usize, 1usize), (2, 3), (1, 4)];
+    let solo = engine::match_pairs(&tenant.model(), tenant.table(), &pairs).expect("solo match");
+    let (status, body) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/match",
+        "{\"pairs\":[[0,1],[2,3],[1,4]]}",
+    );
+    let served: Vec<f32> = body
+        .split_once('[')
+        .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    check(
+        "served match equals engine solo bitwise",
+        status == 200
+            && served.len() == solo.len()
+            && served
+                .iter()
+                .zip(&solo)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+    );
+
+    // 3. Malformed requests are structured 4xx and the service lives on.
+    let (status, body) = http_request(addr, "POST", "/v1/t/demo/match", "{\"pairs\": not json");
+    check(
+        "malformed JSON is a 400 with an error body",
+        status == 400 && body.contains("invalid_input"),
+    );
+    let (status, _) = http_request(addr, "POST", "/v1/t/demo/match", "{\"pairs\":[[0,999999]]}");
+    check("out-of-range pair is a 400", status == 400);
+    let (status, _) = http_request(addr, "POST", "/v1/t/nope/match", "{\"pairs\":[[0,1]]}");
+    check("unknown tenant is a 404", status == 404);
+    let raw = raw_request(addr, b"NONSENSE\r\n\r\n");
+    check(
+        "protocol garbage gets an HTTP error reply",
+        raw.starts_with("HTTP/1.1 400"),
+    );
+    let (status, _) = http_request(addr, "GET", "/v1/health", "");
+    check(
+        "service is still alive after the malformed batch",
+        status == 200,
+    );
+
+    // 4. Impute and search endpoints answer.
+    let (status, body) = http_request(addr, "POST", "/v1/t/demo/impute", "{}");
+    check(
+        "impute with default k answers 200",
+        status == 200 && body.contains("\"filled\""),
+    );
+    let (status, body) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/search",
+        "{\"query\":\"alice\",\"k\":3}",
+    );
+    check(
+        "bm25 search answers 200 with hits",
+        status == 200 && body.contains("\"hits\""),
+    );
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/search",
+        "{\"query\":\"alice\",\"k\":3,\"engine\":\"neural\"}",
+    );
+    check("neural search answers 200", status == 200);
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/search",
+        "{\"query\":\"x\",\"engine\":\"psychic\"}",
+    );
+    check("unknown engine is a 400", status == 400);
+
+    // 5. Incremental index over HTTP: insert twice, see the pair.
+    let sig = format!("{{\"scores\":{:?}}}", vec![1.0f32; 32]);
+    let (s1, b1) = http_request(addr, "POST", "/v1/t/demo/index/insert", &sig);
+    let (s2, _) = http_request(addr, "POST", "/v1/t/demo/index/insert", &sig);
+    let (s3, pairs_body) = http_request(addr, "GET", "/v1/t/demo/index/pairs", "");
+    check(
+        "index insert/insert/pairs round-trips",
+        s1 == 200
+            && s2 == 200
+            && s3 == 200
+            && b1.contains("\"id\"")
+            && pairs_body.contains("[0,1]"),
+    );
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/index/insert",
+        "{\"scores\":[1.0]}",
+    );
+    check("wrong-width signature is a 400", status == 400);
+
+    // 6. Checkpoint + hot reload over HTTP bumps the generation and
+    //    preserves scores bitwise.
+    let ckpt = std::env::temp_dir().join("dc_serve_selftest_ckpt.json");
+    let ckpt_body = format!("{{\"path\":{:?}}}", ckpt.to_str().unwrap());
+    let (s1, _) = http_request(addr, "POST", "/v1/t/demo/checkpoint", &ckpt_body);
+    let (s2, gen_body) = http_request(addr, "POST", "/v1/t/demo/reload", &ckpt_body);
+    let (_, body_after) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/match",
+        "{\"pairs\":[[0,1],[2,3],[1,4]]}",
+    );
+    let served_after: Vec<f32> = body_after
+        .split_once('[')
+        .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    check(
+        "checkpoint/reload bumps generation and keeps scores bitwise",
+        s1 == 200
+            && s2 == 200
+            && gen_body.contains("\"generation\":2")
+            && served_after
+                .iter()
+                .zip(&solo)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+    );
+    std::fs::remove_file(&ckpt).ok();
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/v1/t/demo/reload",
+        "{\"path\":\"/nope.json\"}",
+    );
+    check("reload of a missing checkpoint is a 404", status == 404);
+
+    server.stop();
+
+    if !failures.is_empty() {
+        for name in &failures {
+            eprintln!("FAIL {name}");
+        }
+        eprintln!("{} dc-serve self-test(s) failed", failures.len());
+        std::process::exit(1);
+    }
+    if std::env::var_os("DC_OBS").is_some() {
+        println!("{}", dc_obs::report().to_json());
+    }
+}

@@ -1,0 +1,244 @@
+//! A minimal std-only HTTP/1.1 layer: exactly what the JSON endpoints
+//! need — request line, headers, `Content-Length` bodies, keep-alive —
+//! and nothing more. Malformed input surfaces as
+//! [`DcError`] so the server can answer with a structured 4xx instead
+//! of dying.
+
+use dc_core::{DcError, DcResult};
+use std::io::{BufRead, Write};
+
+/// Largest accepted request line + header block.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Body as UTF-8, or a 4xx-shaped error.
+    pub fn body_str(&self) -> DcResult<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| DcError::invalid("request body is not valid UTF-8"))
+    }
+}
+
+/// Read one request off a buffered connection. `Ok(None)` means the
+/// client closed cleanly before sending anything (normal keep-alive
+/// teardown); errors are protocol violations the caller should answer
+/// with `e.http_status()` and then close.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> DcResult<Option<Request>> {
+    let mut line = String::new();
+    match read_crlf_line(stream, &mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(DcError::invalid(format!("request line: {e}"))),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| DcError::invalid("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| DcError::invalid("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| DcError::invalid("request line has no HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(DcError::invalid(format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_crlf_line(stream, &mut line)
+            .map_err(|e| DcError::invalid(format!("header line: {e}")))?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(DcError::limit("request headers exceed 8 KiB"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(DcError::invalid(format!("malformed header {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| DcError::invalid(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > max_body {
+        return Err(DcError::limit(format!(
+            "request body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| DcError::invalid(format!("truncated body: {e}")))?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Read a `\r\n`-terminated line into `out` (terminator stripped).
+/// Returns bytes consumed; 0 means EOF before any byte.
+fn read_crlf_line(stream: &mut impl BufRead, out: &mut String) -> std::io::Result<usize> {
+    let mut raw = Vec::new();
+    let mut n = 0;
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if n == 0 {
+                    return Ok(0);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF mid-line",
+                ));
+            }
+            Ok(_) => {
+                n += 1;
+                if n > MAX_HEAD_BYTES {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "line too long",
+                    ));
+                }
+                if byte[0] == b'\n' {
+                    if raw.last() == Some(&b'\r') {
+                        raw.pop();
+                    }
+                    break;
+                }
+                raw.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    out.push_str(
+        std::str::from_utf8(&raw).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 header")
+        })?,
+    );
+    Ok(n)
+}
+
+/// Write one JSON response (status line, minimal headers, body).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Status",
+    };
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str, max_body: usize) -> DcResult<Option<Request>> {
+        read_request(&mut BufReader::new(raw.as_bytes()), max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive() {
+        let req = parse(
+            "POST /v1/t/acme/match?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/t/acme/match");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        let closing = parse("GET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n", 1024)
+            .unwrap()
+            .unwrap();
+        assert!(!closing.keep_alive);
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        assert!(parse("", 10).unwrap().is_none(), "clean EOF");
+        assert_eq!(
+            parse("GARBAGE\r\n\r\n", 10).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert_eq!(
+            parse("GET / SMTP/1.0\r\n\r\n", 10).unwrap_err().kind(),
+            "invalid_input"
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 1024)
+                .unwrap_err()
+                .kind(),
+            "invalid_input"
+        );
+        assert_eq!(
+            parse(
+                "POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world",
+                10
+            )
+            .unwrap_err()
+            .kind(),
+            "limit"
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 10)
+                .unwrap_err()
+                .kind(),
+            "invalid_input"
+        );
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{\"e\":1}", false).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(s.contains("Content-Length: 7\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("{\"e\":1}"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `cargo run -p dc-serve [addr]` — start the demo service: one
+//! fully-loaded tenant (`demo`, seed 7) with match/encode/impute/
+//! search/index endpoints, plus `/v1/health`, `/v1/stats`, and
+//! `/v1/tenants`. The bind address comes from the first CLI argument,
+//! then `DC_SERVE_ADDR`, then the default `127.0.0.1:7700`.
+
+use dc_serve::{testutil, Registry, ServeConfig};
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("DC_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let cfg = ServeConfig::default().with_addr(addr);
+    eprintln!("provisioning demo tenant (training a small DeepER matcher)...");
+    let registry = Arc::new(Registry::new(cfg.max_tenants));
+    let tenant = testutil::demo_tenant_spec("demo", 7)
+        .build(&cfg)
+        .expect("provision demo tenant");
+    registry.insert(tenant).expect("register demo tenant");
+    let server = dc_serve::start(cfg, registry).expect("start server");
+    eprintln!("dc-serve listening on http://{}", server.addr());
+    eprintln!("try: curl http://{}/v1/health", server.addr());
+    eprintln!(
+        "     curl -d '{{\"pairs\":[[0,1],[2,3]]}}' http://{}/v1/t/demo/match",
+        server.addr()
+    );
+    // Serve until killed; the accept/handler/maintenance threads carry
+    // the work from here.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,483 @@
+//! The request loop: accept thread → connection queue → handler
+//! threads → route → JSON response, plus the background maintenance
+//! thread that compacts incremental indexes.
+//!
+//! Handler threads only parse and route; every GEMM a handler triggers
+//! runs on the shared dc-tensor worker pool, so HTTP concurrency and
+//! kernel parallelism stay independently tunable. Any [`DcError`]
+//! bubbling out of routing becomes a structured JSON error response
+//! with the matching HTTP status — a malformed request never terminates
+//! the service (proven by the `server_smoke` test).
+//!
+//! # Endpoints
+//!
+//! | Method + path | Body | Reply |
+//! |---|---|---|
+//! | `GET /v1/health` | — | `{"status":"ok"}` |
+//! | `GET /v1/stats` | — | dc-obs report (enable with `DC_OBS=1`) |
+//! | `GET /v1/tenants` | — | name/generation/rows per tenant |
+//! | `POST /v1/t/{t}/match` | `{"pairs":[[a,b],...]}` | match scores (micro-batched) |
+//! | `POST /v1/t/{t}/encode` | `{"rows":[r,...]}` | tuple embeddings (micro-batched) |
+//! | `POST /v1/t/{t}/impute` | `{"k":3}` | cells filled by kNN imputation |
+//! | `POST /v1/t/{t}/search` | `{"query":"...","k":5,"engine":"bm25"\|"neural"}` | ranked tables |
+//! | `POST /v1/t/{t}/index/insert` | `{"scores":[...]}` | new item id |
+//! | `POST /v1/t/{t}/index/delete` | `{"id":n}` | tombstone ack |
+//! | `GET /v1/t/{t}/index/pairs` | — | candidate pairs + overflow length |
+//! | `POST /v1/t/{t}/checkpoint` | `{"path":"..."}` | save live model as JSON |
+//! | `POST /v1/t/{t}/reload` | `{"path":"..."}` | hot-swap model, new generation |
+
+use crate::config::ServeConfig;
+use crate::http::{read_request, write_response, Request};
+use crate::tenant::Registry;
+use dc_core::{DcError, DcResult};
+use serde::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+static REQUESTS: dc_obs::Counter = dc_obs::Counter::new("serve.requests");
+static ERRORS: dc_obs::Counter = dc_obs::Counter::new("serve.errors");
+
+/// A running service instance; dropping the handle does **not** stop it
+/// — call [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal every thread to stop and join them. Idempotent.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Blocking MPMC queue of accepted connections.
+struct ConnQueue {
+    q: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            q: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, s: TcpStream) {
+        let mut q = self.q.lock().expect("conn queue");
+        q.0.push_back(s);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a connection or close; `None` means shut down.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.q.lock().expect("conn queue");
+        loop {
+            if let Some(s) = q.0.pop_front() {
+                return Some(s);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.cv.wait(q).expect("conn queue");
+        }
+    }
+
+    fn close(&self) {
+        self.q.lock().expect("conn queue").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Bind, spawn the accept/handler/maintenance threads, and return.
+pub fn start(cfg: ServeConfig, registry: Arc<Registry>) -> DcResult<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| DcError::internal(format!("bind {}: {e}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| DcError::internal(format!("local_addr: {e}")))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new());
+    let mut threads = Vec::new();
+
+    // Accept loop.
+    {
+        let (stop, queue) = (stop.clone(), queue.clone());
+        threads.push(
+            std::thread::Builder::new()
+                .name("dc-serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(s) = conn {
+                            queue.push(s);
+                        }
+                    }
+                })
+                .expect("spawn accept thread"),
+        );
+    }
+
+    // Handler threads.
+    for i in 0..cfg.workers {
+        let (queue, registry, cfg) = (queue.clone(), registry.clone(), cfg.clone());
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("dc-serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        serve_connection(stream, &registry, &cfg);
+                    }
+                })
+                .expect("spawn handler thread"),
+        );
+    }
+
+    // Background maintenance: compact overflowing incremental indexes.
+    {
+        let (stop, registry, cfg) = (stop.clone(), registry.clone(), cfg.clone());
+        threads.push(
+            std::thread::Builder::new()
+                .name("dc-serve-maint".into())
+                .spawn(move || {
+                    let period = Duration::from_millis(cfg.compact_interval_ms);
+                    while !stop.load(Ordering::SeqCst) {
+                        for tenant in registry.all() {
+                            tenant.maybe_compact(cfg.compact_threshold);
+                        }
+                        std::thread::sleep(period);
+                    }
+                })
+                .expect("spawn maintenance thread"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        threads,
+        queue,
+    })
+}
+
+/// Serve one connection's keep-alive request loop.
+fn serve_connection(stream: TcpStream, registry: &Registry, cfg: &ServeConfig) {
+    // A stuck client must not pin a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, cfg.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                // Protocol-level garbage: answer once, then close (the
+                // stream may be desynchronized).
+                ERRORS.incr();
+                let _ = write_response(&mut writer, e.http_status(), &error_body(&e), false);
+                return;
+            }
+        };
+        REQUESTS.incr();
+        let keep_alive = req.keep_alive;
+        let start = Instant::now();
+        let (endpoint, result) = route(&req, registry);
+        dc_obs::record_ns("serve.request", endpoint, start.elapsed().as_nanos() as u64);
+        let ok = match result {
+            Ok(body) => write_response(&mut writer, 200, &body, keep_alive),
+            Err(e) => {
+                ERRORS.incr();
+                write_response(&mut writer, e.http_status(), &error_body(&e), keep_alive)
+            }
+        };
+        if ok.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+    message: String,
+}
+
+fn error_body(e: &DcError) -> String {
+    serde_json::to_string(&ErrorBody {
+        error: e.kind().to_string(),
+        message: e.message().to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
+}
+
+#[derive(Serialize)]
+struct TenantInfo {
+    name: String,
+    generation: u64,
+    rows: usize,
+    index_overflow: usize,
+}
+
+#[derive(Serialize)]
+struct MatchResp {
+    scores: Vec<f32>,
+    generation: u64,
+}
+
+#[derive(Serialize)]
+struct EncodeResp {
+    embeddings: Vec<Vec<f32>>,
+    generation: u64,
+}
+
+#[derive(Serialize)]
+struct ImputeResp {
+    filled: usize,
+    k: usize,
+}
+
+#[derive(Serialize)]
+struct Bm25Resp {
+    hits: Vec<(usize, f64)>,
+}
+
+#[derive(Serialize)]
+struct NeuralResp {
+    hits: Vec<(usize, f32)>,
+}
+
+#[derive(Serialize)]
+struct InsertResp {
+    id: usize,
+}
+
+#[derive(Serialize)]
+struct PairsResp {
+    pairs: Vec<(usize, usize)>,
+    overflow: usize,
+}
+
+#[derive(Serialize)]
+struct GenerationResp {
+    generation: u64,
+}
+
+#[derive(Deserialize)]
+struct MatchReq {
+    pairs: Vec<(usize, usize)>,
+}
+
+#[derive(Deserialize)]
+struct EncodeReq {
+    rows: Vec<usize>,
+}
+
+#[derive(Deserialize)]
+struct InsertReq {
+    scores: Vec<f32>,
+}
+
+#[derive(Deserialize)]
+struct IdReq {
+    id: usize,
+}
+
+#[derive(Deserialize)]
+struct PathReq {
+    path: String,
+}
+
+/// Parse a JSON body into a request struct, mapping parse failures to
+/// 4xx-shaped errors.
+fn parse<T: serde::de::DeserializeOwned>(req: &Request) -> DcResult<T> {
+    serde_json::from_str(req.body_str()?).map_err(|e| DcError::invalid(format!("bad request: {e}")))
+}
+
+/// Fetch an optional numeric field from a JSON object body (the derive
+/// treats missing fields as errors, so optionals go through `Value`).
+fn opt_usize(body: &Value, key: &str, default: usize) -> DcResult<usize> {
+    match body.as_object() {
+        Some(obj) => match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => serde::from_field(obj, key)
+                .map_err(|e| DcError::invalid(format!("bad request: {e}, got {}", v.kind()))),
+            None => Ok(default),
+        },
+        None => Err(DcError::invalid("request body must be a JSON object")),
+    }
+}
+
+fn opt_str(body: &Value, key: &str, default: &'static str) -> DcResult<String> {
+    match body.as_object() {
+        Some(obj) => match obj.iter().find(|(k, _)| k == key) {
+            Some(_) => serde::from_field::<String>(obj, key)
+                .map_err(|e| DcError::invalid(format!("bad request: {e}"))),
+            None => Ok(default.to_string()),
+        },
+        None => Err(DcError::invalid("request body must be a JSON object")),
+    }
+}
+
+fn to_json<T: Serialize>(value: &T) -> DcResult<String> {
+    serde_json::to_string(value).map_err(|e| DcError::internal(format!("serialize response: {e}")))
+}
+
+/// Route one request. Returns the static endpoint name (the
+/// `serve.request.{name}` histogram key) and the JSON result.
+fn route(req: &Request, registry: &Registry) -> (&'static str, DcResult<String>) {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["v1", "health"]) => ("health", Ok("{\"status\":\"ok\"}".to_string())),
+        ("GET", ["v1", "stats"]) => ("stats", Ok(dc_obs::report().to_json())),
+        ("GET", ["v1", "tenants"]) => ("tenants", {
+            let infos: Vec<TenantInfo> = registry
+                .all()
+                .iter()
+                .map(|t| TenantInfo {
+                    name: t.name().to_string(),
+                    generation: t.generation(),
+                    rows: t.rows(),
+                    index_overflow: t.index_pairs().1,
+                })
+                .collect();
+            to_json(&infos)
+        }),
+        ("POST", ["v1", "t", name, rest @ ..]) => {
+            let name = (*name).to_string();
+            let (endpoint, out): (&'static str, DcResult<String>) = match rest {
+                ["match"] => (
+                    "match",
+                    registry.get(&name).and_then(|t| {
+                        let body: MatchReq = parse(req)?;
+                        let scores = t.match_pairs(body.pairs)?;
+                        to_json(&MatchResp {
+                            scores,
+                            generation: t.generation(),
+                        })
+                    }),
+                ),
+                ["encode"] => (
+                    "encode",
+                    registry.get(&name).and_then(|t| {
+                        let body: EncodeReq = parse(req)?;
+                        let embeddings = t.encode_rows(body.rows)?;
+                        to_json(&EncodeResp {
+                            embeddings,
+                            generation: t.generation(),
+                        })
+                    }),
+                ),
+                ["impute"] => (
+                    "impute",
+                    registry.get(&name).and_then(|t| {
+                        let body: Value = parse(req)?;
+                        let k = opt_usize(&body, "k", 3)?;
+                        let (filled, _) = t.impute(k)?;
+                        to_json(&ImputeResp { filled, k })
+                    }),
+                ),
+                ["search"] => (
+                    "search",
+                    registry.get(&name).and_then(|t| {
+                        let body: Value = parse(req)?;
+                        let query = opt_str(&body, "query", "")?;
+                        let k = opt_usize(&body, "k", 5)?;
+                        match opt_str(&body, "engine", "bm25")?.as_str() {
+                            "bm25" => to_json(&Bm25Resp {
+                                hits: t.search_bm25(&query, k)?,
+                            }),
+                            "neural" => {
+                                let shortlist = opt_usize(&body, "shortlist", 4 * k)?;
+                                to_json(&NeuralResp {
+                                    hits: t.search_neural(&query, k, shortlist)?,
+                                })
+                            }
+                            other => Err(DcError::invalid(format!(
+                                "unknown search engine {other:?} (bm25|neural)"
+                            ))),
+                        }
+                    }),
+                ),
+                ["index", "insert"] => (
+                    "index_insert",
+                    registry.get(&name).and_then(|t| {
+                        let body: InsertReq = parse(req)?;
+                        to_json(&InsertResp {
+                            id: t.index_insert(&body.scores)?,
+                        })
+                    }),
+                ),
+                ["index", "delete"] => (
+                    "index_delete",
+                    registry.get(&name).and_then(|t| {
+                        let body: IdReq = parse(req)?;
+                        t.index_delete(body.id)?;
+                        Ok("{\"deleted\":true}".to_string())
+                    }),
+                ),
+                ["checkpoint"] => (
+                    "checkpoint",
+                    registry.get(&name).and_then(|t| {
+                        let body: PathReq = parse(req)?;
+                        t.save_checkpoint(&body.path)?;
+                        to_json(&GenerationResp {
+                            generation: t.generation(),
+                        })
+                    }),
+                ),
+                ["reload"] => (
+                    "reload",
+                    registry.get(&name).and_then(|t| {
+                        let body: PathReq = parse(req)?;
+                        to_json(&GenerationResp {
+                            generation: t.reload(&body.path)?,
+                        })
+                    }),
+                ),
+                _ => (
+                    "unknown",
+                    Err(DcError::not_found(format!("no route {}", req.path))),
+                ),
+            };
+            (endpoint, out)
+        }
+        ("GET", ["v1", "t", name, "index", "pairs"]) => ("index_pairs", {
+            registry.get(name).and_then(|t| {
+                let (pairs, overflow) = t.index_pairs();
+                to_json(&PairsResp { pairs, overflow })
+            })
+        }),
+        _ => (
+            "unknown",
+            Err(DcError::not_found(format!(
+                "no route {} {}",
+                req.method, req.path
+            ))),
+        ),
+    }
+}

@@ -1,0 +1,159 @@
+//! The tentpole guarantee: responses computed through the micro-batcher
+//! are **bitwise identical** to running each request alone, whatever
+//! the batch composition. `scripts/lint.sh` runs this binary under
+//! `DC_THREADS=1`, `=2`, and the default, so the guarantee is checked
+//! across worker-pool splits too.
+//!
+//! Why it holds: the batch closures call the `ROW_TILE`-aligned
+//! inference paths, where every request's rows land on full kernel
+//! tiles — each row's output is a pure function of that row's inputs,
+//! independent of what else shares the GEMM.
+
+use dc_serve::testutil::tiny_tenant_spec;
+use dc_serve::{engine, ServeConfig, Tenant};
+use std::sync::Arc;
+
+/// A wide window and cap so concurrent submissions genuinely coalesce.
+fn tenant() -> Arc<Tenant> {
+    let cfg = ServeConfig::default()
+        .with_batch_window_us(20_000)
+        .with_batch_max(16);
+    Arc::new(tiny_tenant_spec("t", 0xbeef).build(&cfg).unwrap())
+}
+
+#[test]
+fn batched_match_is_bitwise_equal_to_solo() {
+    dc_obs::set_enabled(true);
+    let tenant = tenant();
+    let n = tenant.rows();
+    // Per-client workloads of different lengths, overlapping pairs.
+    let workloads: Vec<Vec<(usize, usize)>> = (0..12)
+        .map(|c| {
+            (0..=c % 4)
+                .map(|j| ((c + j) % n, (c * 3 + j * 7 + 1) % n))
+                .collect()
+        })
+        .collect();
+    // Solo baseline: each workload alone, straight through the engine.
+    let solo: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|w| {
+            engine::match_pairs(&tenant.model(), tenant.table(), w)
+                .unwrap()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        })
+        .collect();
+    // Batched: all workloads concurrently, coalescing in the batcher.
+    let flushes_before = batch_flushes();
+    let handles: Vec<_> = workloads
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = tenant.clone();
+            std::thread::spawn(move || (i, t.match_pairs(w).unwrap()))
+        })
+        .collect();
+    let mut batched: Vec<Vec<u32>> = vec![Vec::new(); workloads.len()];
+    for h in handles {
+        let (i, scores) = h.join().unwrap();
+        batched[i] = scores.iter().map(|s| s.to_bits()).collect();
+    }
+    assert_eq!(batched, solo, "micro-batched scores must be bitwise solo");
+    let flushed = batch_flushes() - flushes_before;
+    assert!(
+        flushed < workloads.len() as u64,
+        "12 concurrent requests must coalesce into fewer batches (got {flushed})"
+    );
+}
+
+#[test]
+fn batched_encode_is_bitwise_equal_to_solo() {
+    let tenant = tenant();
+    let n = tenant.rows();
+    let workloads: Vec<Vec<usize>> = (0..10)
+        .map(|c| (0..=(c % 3)).map(|j| (c * 5 + j) % n).collect())
+        .collect();
+    let solo: Vec<Vec<Vec<u32>>> = workloads
+        .iter()
+        .map(|w| {
+            engine::encode_rows(&tenant.model(), tenant.table(), w)
+                .unwrap()
+                .iter()
+                .map(|v| v.iter().map(|s| s.to_bits()).collect())
+                .collect()
+        })
+        .collect();
+    let handles: Vec<_> = workloads
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = tenant.clone();
+            std::thread::spawn(move || (i, t.encode_rows(w).unwrap()))
+        })
+        .collect();
+    let mut batched: Vec<Vec<Vec<u32>>> = vec![Vec::new(); workloads.len()];
+    for h in handles {
+        let (i, vecs) = h.join().unwrap();
+        batched[i] = vecs
+            .iter()
+            .map(|v| v.iter().map(|s| s.to_bits()).collect())
+            .collect();
+    }
+    assert_eq!(
+        batched, solo,
+        "micro-batched embeddings must be bitwise solo"
+    );
+}
+
+#[test]
+fn a_malformed_request_cannot_poison_a_batch() {
+    let tenant = tenant();
+    let n = tenant.rows();
+    // One bad client among good ones: the bad one fails alone (it is
+    // rejected before enqueue), every good one still gets solo-exact
+    // scores.
+    let good: Vec<(usize, usize)> = vec![(0, 1), (1, 2)];
+    let solo: Vec<u32> = engine::match_pairs(&tenant.model(), tenant.table(), &good)
+        .unwrap()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let t = tenant.clone();
+            let good = good.clone();
+            std::thread::spawn(move || {
+                if c == 3 {
+                    Err(t.match_pairs(vec![(0, n + 10)]).unwrap_err())
+                } else {
+                    Ok(t.match_pairs(good).unwrap())
+                }
+            })
+        })
+        .collect();
+    for (c, h) in handles.into_iter().enumerate() {
+        match h.join().unwrap() {
+            Err(e) => {
+                assert_eq!(c, 3);
+                assert_eq!(e.kind(), "invalid_input");
+            }
+            Ok(scores) => {
+                let bits: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(bits, solo);
+            }
+        }
+    }
+}
+
+fn batch_flushes() -> u64 {
+    dc_obs::report()
+        .counters
+        .iter()
+        .find(|(name, _)| name == "serve.batch.flushes")
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}

@@ -1,0 +1,107 @@
+//! End-to-end smoke over real sockets: concurrent clients against a
+//! running server, interleaving valid work with malformed requests, and
+//! checking that every valid response is solo-exact while every
+//! malformed one gets a structured 4xx — and the service outlives all
+//! of it.
+
+use dc_serve::testutil::{http_request, tiny_tenant_spec};
+use dc_serve::{engine, Registry, ServeConfig};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_clients_get_solo_exact_answers_and_errors_dont_kill_it() {
+    let cfg = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(4)
+        .with_batch_window_us(2_000);
+    let registry = Arc::new(Registry::new(cfg.max_tenants));
+    let tenant = registry
+        .insert(tiny_tenant_spec("acme", 99).build(&cfg).unwrap())
+        .unwrap();
+    let server = dc_serve::start(cfg, registry).unwrap();
+    let addr = server.addr();
+
+    let pairs = [(0usize, 1usize), (2, 3)];
+    let solo: Vec<u32> = engine::match_pairs(&tenant.model(), tenant.table(), &pairs)
+        .unwrap()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+
+    let handles: Vec<_> = (0..12)
+        .map(|c| {
+            std::thread::spawn(move || match c % 4 {
+                // Valid match: must be 200 with solo-exact scores.
+                0 | 1 => http_request(
+                    addr,
+                    "POST",
+                    "/v1/t/acme/match",
+                    "{\"pairs\":[[0,1],[2,3]]}",
+                ),
+                // Malformed JSON: must be 400.
+                2 => http_request(addr, "POST", "/v1/t/acme/match", "{oops"),
+                // Unknown tenant: must be 404.
+                _ => http_request(addr, "POST", "/v1/t/ghost/match", "{\"pairs\":[[0,1]]}"),
+            })
+        })
+        .collect();
+    for (c, h) in handles.into_iter().enumerate() {
+        let (status, body) = h.join().unwrap();
+        match c % 4 {
+            0 | 1 => {
+                assert_eq!(status, 200, "valid match failed: {body}");
+                let served: Vec<u32> = body
+                    .split_once('[')
+                    .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+                    .unwrap_or("")
+                    .split(',')
+                    .filter_map(|s| s.trim().parse::<f32>().ok())
+                    .map(|s| s.to_bits())
+                    .collect();
+                assert_eq!(served, solo, "served scores must be solo-exact");
+            }
+            2 => {
+                assert_eq!(status, 400, "malformed JSON must be 400: {body}");
+                assert!(body.contains("invalid_input"));
+            }
+            _ => {
+                assert_eq!(status, 404, "unknown tenant must be 404: {body}");
+                assert!(body.contains("not_found"));
+            }
+        }
+    }
+
+    // The service survived all of the above.
+    let (status, _) = http_request(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    let (status, body) = http_request(addr, "GET", "/v1/tenants", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"acme\""));
+    server.stop();
+}
+
+#[test]
+fn oversized_bodies_and_bad_methods_are_refused() {
+    let cfg = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(1)
+        .with_max_body_bytes(256);
+    let registry = Arc::new(Registry::new(4));
+    registry
+        .insert(tiny_tenant_spec("acme", 7).build(&cfg).unwrap())
+        .unwrap();
+    let server = dc_serve::start(cfg, registry).unwrap();
+    let addr = server.addr();
+
+    let big = format!("{{\"pairs\":[{}]}}", "[0,1],".repeat(100) + "[0,1]");
+    let (status, body) = http_request(addr, "POST", "/v1/t/acme/match", &big);
+    assert_eq!(status, 429, "body over the limit must be refused: {body}");
+    assert!(body.contains("limit"));
+
+    let (status, _) = http_request(addr, "DELETE", "/v1/t/acme/match", "");
+    assert_eq!(status, 404, "unrouted method+path is a 404");
+
+    let (status, _) = http_request(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200, "service lives on after refusals");
+    server.stop();
+}

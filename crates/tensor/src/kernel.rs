@@ -49,6 +49,19 @@ use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Rows per register tile in the matmul microkernels.
 const MR: usize = 4;
+/// Public alias for the matmul row-tile height ([`MR`]).
+///
+/// Rows inside a full `MR`-row tile run the FMA microkernel; the
+/// `< MR`-row remainder runs a plain mul+add loop, so a row's rounding
+/// depends on whether the *total* row count leaves it in a remainder.
+/// Parallel chunk boundaries are already `MR`-aligned (see
+/// [`row_grain`]), so a GEMM whose row count is a multiple of
+/// `ROW_TILE` gives every row the full-tile path — making each output
+/// row a pure bitwise function of that row's inputs, independent of
+/// batch composition and thread count. dc-serve's micro-batched
+/// inference pads row counts to this multiple to get solo-vs-batched
+/// bitwise equality.
+pub const ROW_TILE: usize = MR;
 /// Columns per register tile: an `MR×NR` f32 accumulator block fits the
 /// baseline x86-64 / aarch64 vector register files with room to spare.
 const NR: usize = 8;

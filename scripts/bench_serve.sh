@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_serve.json: open-loop load against a live dc-serve
+# instance (70% micro-batched match, 15% encode, 10% BM25 search, 5%
+# health) at offered rates of 200/1000/4000 QPS; sustained QPS plus
+# p50/p99 from the server's own dc-obs serve.request.* histograms (see
+# ISSUE 9 acceptance criteria). Honors DC_THREADS for the GEMM pool.
+#
+# `--smoke` shrinks the run to one short rate step, asserts every
+# response is well-formed, and skips the JSON write (the CI gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dc-bench --bin bench_serve -- "$@"

@@ -88,6 +88,23 @@ echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2
 DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv
 DC_THREADS=2 cargo test -q -p dc-er --test obs_equiv
 
+echo "== incremental LSH index vs full rebuild (proptest pair-set equality) =="
+cargo test -q -p dc-index --test inc_equiv
+
+echo "== dc-serve selftest (endpoints, errors, hot reload over a live socket) =="
+cargo run -q -p dc-serve --bin dc-serve-selftest
+
+echo "== micro-batch bitwise equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-serve --test microbatch_equiv
+DC_THREADS=2 cargo test -q -p dc-serve --test microbatch_equiv
+cargo test -q -p dc-serve --test microbatch_equiv
+
+echo "== serve smoke (concurrent clients, malformed traffic stays non-fatal) =="
+cargo test -q -p dc-serve --test server_smoke
+
+echo "== serving benchmark smoke (open-loop clients, every response well-formed) =="
+cargo run -q --release -p dc-bench --bin bench_serve -- --smoke
+
 if [ "$deep" = 1 ]; then
     echo "== deep: sanitizer/race gates (scripts/sanitize.sh) =="
     scripts/sanitize.sh

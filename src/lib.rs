@@ -6,21 +6,27 @@
 //! curation".
 //!
 //! The paper's pipeline (its Figure 1) — **discover → integrate →
-//! clean** — is orchestrated by [`pipeline::Pipeline`]; every mechanism
-//! the paper describes lives in a dedicated crate, re-exported here:
+//! clean** — is orchestrated by [`pipeline::Pipeline`], and the same
+//! capabilities are served online by [`serve`] (`dc-serve`); every
+//! mechanism the paper describes lives in a dedicated crate,
+//! re-exported here:
 //!
 //! | crate | paper | provides |
 //! |---|---|---|
-//! | [`tensor`] | §2 | dense tensors + reverse-mode autograd |
-//! | [`nn`] | §2.1, Fig 2 | MLPs, LSTMs, AE/k-sparse/DAE/VAE, GANs, optimisers |
+//! | [`core`](dc_core) | — | [`DcError`](dc_core::DcError)/[`DcResult`](dc_core::DcResult): the workspace's unified fallible surface |
+//! | [`tensor`] | §2 | dense tensors, reverse-mode autograd, the blocked-GEMM worker pool |
+//! | [`nn`] | §2.1, Fig 2 | MLPs, LSTMs, AE/k-sparse/DAE/VAE, GANs, optimisers, the unified `Trainer` loop |
+//! | [`index`] | §5.2 | packed LSH signatures, incremental banded index, quantized retrieval funnel |
+//! | [`obs`](dc_obs) | — | counters/gauges/histograms/spans behind `DC_OBS`; the service's SLO surface |
 //! | [`relational`] | §3.1, Fig 4 | tables, FDs/CFDs, denial constraints, table graphs |
 //! | [`embed`] | §2.2, §3.1, Fig 3 | SGNS, cell/tuple/column/table embeddings, coherent groups |
 //! | [`er`] | §5.2, Fig 5 | DeepER, LSH blocking, classical baselines |
 //! | [`discovery`] | §5.1 | EKG, semantic matcher, neural table search |
-//! | [`clean`] | §5.3 | DAE imputation, fusion, FD repair, outliers, canonical forms |
+//! | [`clean`] | §5.3 | DAE/kNN imputation, fusion, FD repair, outliers, canonical forms |
 //! | [`synth`] | §4 | FlashFill-style DSL, neural-guided synthesis, golden records |
 //! | [`weak`] | §6.2 | labeling functions, label models, augmentation, crowd, transfer |
 //! | [`datagen`] | §6.2.3 | synthetic benchmarks, BART-style error injection |
+//! | [`serve`] | §3.4 | the online multi-tenant service: micro-batched match/encode, incremental blocking, impute + search endpoints, hot reload |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +42,9 @@
 //! assert!(fd.holds(&table));
 //! assert_eq!(repairs.len(), 1);
 //! ```
+//!
+//! To serve the same capabilities online (`cargo run -p dc-serve`), see
+//! the [`serve`] crate docs and the endpoint table in the README.
 
 pub use dc_clean as clean;
 pub use dc_datagen as datagen;
@@ -45,6 +54,7 @@ pub use dc_er as er;
 pub use dc_index as index;
 pub use dc_nn as nn;
 pub use dc_relational as relational;
+pub use dc_serve as serve;
 pub use dc_synth as synth;
 pub use dc_tensor as tensor;
 pub use dc_weak as weak;
@@ -57,13 +67,16 @@ pub mod quality;
 pub mod prelude {
     pub use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
     pub use crate::quality::{quality_score, QualityReport};
-    pub use dc_clean::{DaeImputer, SimpleImputer, SimpleStrategy, TableEncoder};
+    pub use dc_clean::{DaeImputer, KnnImputer, SimpleImputer, SimpleStrategy, TableEncoder};
+    pub use dc_core::{DcError, DcResult};
     pub use dc_datagen::{ErBenchmark, ErSuite, ErrorInjector, Lake};
-    pub use dc_discovery::{Ekg, NeuralSearch, SemanticMatcher};
+    pub use dc_discovery::{Bm25Lite, Ekg, NeuralSearch, SemanticMatcher};
     pub use dc_embed::{Embeddings, SgnsConfig};
     pub use dc_er::{Composition, DeepEr, DeepErConfig, LshBlocker};
+    pub use dc_index::{IncrementalLshIndex, LshConfig, LshIndex};
     pub use dc_nn::{Activation, Adam, LossKind, Mlp};
     pub use dc_relational::{AttrType, FunctionalDependency, Schema, Table, TableGraph, Value};
+    pub use dc_serve::{Registry, ServeConfig, TenantSpec};
     pub use dc_synth::{synthesize, SynthConfig};
     pub use dc_tensor::{Tape, Tensor};
 }

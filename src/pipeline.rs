@@ -16,15 +16,21 @@
 //!
 //! The report records what every stage did plus before/after
 //! [`crate::quality::QualityReport`]s.
+//!
+//! The discovery and imputation steps run through
+//! [`dc_serve::engine`] — the exact code paths behind the online
+//! service's `/search` and `/impute` endpoints — so batch pipeline
+//! results and served results cannot drift apart.
 
 use crate::quality::{quality_score, QualityReport};
-use dc_clean::{SimpleImputer, SimpleStrategy};
+use dc_clean::{SimpleImputer, SimpleStrategy, TableEncoder};
 use dc_discovery::NeuralSearch;
 use dc_embed::{Embeddings, SgnsConfig};
 use dc_er::baselines::RuleMatcher;
 use dc_er::features::tuple_vectors;
 use dc_er::LshBlocker;
 use dc_relational::{discover_fds, Table};
+use dc_serve::engine;
 use dc_synth::consolidate::{consolidate_cluster, PreferenceModel};
 use rand::rngs::StdRng;
 
@@ -43,6 +49,10 @@ pub struct PipelineConfig {
     pub lsh: (usize, usize),
     /// Impute remaining nulls after repair.
     pub impute: bool,
+    /// When > 0, impute through the service engine's kNN path
+    /// ([`dc_serve::engine::impute_knn`], the `/impute` endpoint) with
+    /// this `k` instead of the key-masked global-mode fill.
+    pub knn_impute_k: usize,
     /// Maximum FD LHS size during discovery.
     pub max_fd_lhs: usize,
     /// Maximum majority-repair rounds (interacting FDs need several).
@@ -63,9 +73,70 @@ impl Default for PipelineConfig {
             dedup_threshold: 0.82,
             lsh: (8, 4),
             impute: true,
+            knn_impute_k: 0,
             max_fd_lhs: 1,
             repair_rounds: 12,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Set the discovery query (chainable builder).
+    pub fn with_query(mut self, query: impl Into<String>) -> Self {
+        self.query = query.into();
+        self
+    }
+
+    /// Set how many top-ranked tables to integrate (chainable builder).
+    pub fn with_top_k_tables(mut self, k: usize) -> Self {
+        self.top_k_tables = k.max(1);
+        self
+    }
+
+    /// Set the SGNS settings for the lake embeddings (chainable
+    /// builder).
+    pub fn with_sgns(mut self, sgns: SgnsConfig) -> Self {
+        self.sgns = sgns;
+        self
+    }
+
+    /// Set the duplicate-matcher similarity threshold (chainable
+    /// builder).
+    pub fn with_dedup_threshold(mut self, threshold: f64) -> Self {
+        self.dedup_threshold = threshold;
+        self
+    }
+
+    /// Set the LSH shape as (bands, rows per band) (chainable builder).
+    pub fn with_lsh(mut self, bands: usize, rows_per_band: usize) -> Self {
+        self.lsh = (bands, rows_per_band);
+        self
+    }
+
+    /// Enable or disable null imputation (chainable builder).
+    pub fn with_impute(mut self, impute: bool) -> Self {
+        self.impute = impute;
+        self
+    }
+
+    /// Route imputation through the service engine's kNN path with this
+    /// `k`; 0 restores the key-masked mode fill (chainable builder).
+    pub fn with_knn_impute_k(mut self, k: usize) -> Self {
+        self.knn_impute_k = k;
+        self
+    }
+
+    /// Set the maximum FD LHS size during discovery (chainable
+    /// builder).
+    pub fn with_max_fd_lhs(mut self, lhs: usize) -> Self {
+        self.max_fd_lhs = lhs;
+        self
+    }
+
+    /// Set the maximum majority-repair rounds (chainable builder).
+    pub fn with_repair_rounds(mut self, rounds: usize) -> Self {
+        self.repair_rounds = rounds;
+        self
     }
 }
 
@@ -115,7 +186,11 @@ impl Pipeline {
         let docs = dc_discovery::search_documents(&refs, 15);
         let emb = Embeddings::train(&docs, &self.config.sgns, rng);
         let search = NeuralSearch::index(emb.clone(), &refs, 15);
-        let ranked = search.search(&self.config.query);
+        // The service engine's `/search` path; with shortlist = table
+        // count it is exact — same tables, scores, and order as a full
+        // ranking.
+        let ranked = engine::search_neural(&search, &self.config.query, refs.len(), refs.len())
+            .expect("lake is non-empty, k >= 1");
         // Keep the top table plus lower-ranked tables with an identical
         // schema (only those can be unioned).
         let base = &tables[ranked[0].0];
@@ -176,7 +251,21 @@ impl Pipeline {
         // consistency over the imputed values too.
         let mut cleaned = integrated;
         let mut cells_imputed = 0usize;
-        if self.config.impute {
+        if self.config.impute && self.config.knn_impute_k > 0 {
+            // The service engine's `/impute` path: encode the table and
+            // fill nulls from the k nearest complete rows.
+            let encoder = TableEncoder::fit(&cleaned, 64);
+            let filled = engine::impute_knn(&cleaned, &encoder, self.config.knn_impute_k)
+                .expect("encoder was fitted to this table");
+            for (row, frow) in cleaned.rows.iter_mut().zip(&filled.rows) {
+                for c in 0..row.len() {
+                    if row[c].is_null() && !frow[c].is_null() {
+                        row[c] = frow[c].clone();
+                        cells_imputed += 1;
+                    }
+                }
+            }
+        } else if self.config.impute {
             // Key-like columns (near-unique values: ids, emails, phones)
             // must not receive a global-mode fill — duplicated "modes"
             // in a key column poison every FD keyed on it and send the
@@ -360,6 +449,30 @@ mod tests {
             report.before,
             report.after
         );
+    }
+
+    #[test]
+    fn knn_impute_routes_through_the_service_engine() {
+        let mut rng = StdRng::seed_from_u64(2000);
+        let clean = people_table(60, &mut rng);
+        let inj = dc_datagen::ErrorInjector::only(dc_datagen::ErrorKind::Null, 0.06);
+        let (mut shard, _) = inj.inject(&clean, &[], &mut rng);
+        shard.name = "people".into();
+        let pipeline = Pipeline::new(
+            PipelineConfig::default()
+                .with_query("people name city country")
+                .with_top_k_tables(1)
+                .with_knn_impute_k(3),
+        );
+        let (curated, report) = pipeline.run(&[shard], &mut rng);
+        assert!(report.cells_imputed > 0, "kNN path must fill nulls");
+        assert!(
+            report.after.completeness >= report.before.completeness,
+            "completeness {:?} → {:?}",
+            report.before,
+            report.after
+        );
+        assert!(!curated.rows.is_empty());
     }
 
     #[test]
