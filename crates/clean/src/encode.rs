@@ -5,6 +5,7 @@
 //! encode as zeros with a parallel missing-mask, which is exactly the
 //! corruption a masking denoising autoencoder trains on.
 
+use dc_data::{Csr, CsrBuilder};
 use dc_relational::{AttrType, Table, Value};
 use dc_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -165,6 +166,49 @@ impl TableEncoder {
         (x, observed)
     }
 
+    /// Encode a whole table as a sparse CSR matrix.
+    ///
+    /// The dense encoding is mostly zeros — each row carries at most
+    /// one nonzero per column (the z-score slot or the one-hot slot) in
+    /// a `width()`-wide vector dominated by categorical blocks — so the
+    /// CSR form stores O(arity) per row instead of O(width). Values
+    /// match [`TableEncoder::encode`] exactly, except that encoded
+    /// zeros (a cell sitting exactly on the column mean, or any
+    /// null/out-of-domain cell) are structural zeros here.
+    pub fn encode_csr(&self, table: &Table) -> (Csr, Vec<Vec<bool>>) {
+        let mut b = CsrBuilder::new(self.width);
+        let mut observed = Vec::with_capacity(table.len());
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(self.specs.len());
+        for row in &table.rows {
+            entries.clear();
+            let mut obs = Vec::with_capacity(row.len());
+            for (c, v) in row.iter().enumerate() {
+                let range = self.column_range(c);
+                let seen = match (&self.specs[c], v) {
+                    (_, Value::Null) => false,
+                    (ColSpec::Numeric { mean, std }, v) => match v.as_f64() {
+                        Some(x) => {
+                            entries.push((range.start as u32, ((x - mean) / std) as f32));
+                            true
+                        }
+                        None => false,
+                    },
+                    (ColSpec::Categorical { index, .. }, v) => match index.get(&v.canonical()) {
+                        Some(&slot) => {
+                            entries.push(((range.start + slot) as u32, 1.0));
+                            true
+                        }
+                        None => false,
+                    },
+                };
+                obs.push(seen);
+            }
+            b.push_row(entries.iter().copied());
+            observed.push(obs);
+        }
+        (b.finish(), observed)
+    }
+
     /// Decode column `c` from an encoded row slice back to a [`Value`].
     pub fn decode_cell(&self, c: usize, encoded_row: &[f32]) -> Value {
         let range = self.column_range(c);
@@ -246,6 +290,20 @@ mod tests {
         assert!(!obs[3][1]);
         assert_eq!(x.get(3, 1), 0.0);
         assert_eq!(x.get(3, 2), 0.0);
+    }
+
+    #[test]
+    fn csr_encode_matches_dense() {
+        let t = mixed_table();
+        let enc = TableEncoder::fit(&t, 10);
+        let (dense, obs_d) = enc.encode(&t);
+        let (sparse, obs_s) = enc.encode_csr(&t);
+        assert_eq!(obs_d, obs_s);
+        assert_eq!(sparse.rows(), t.len());
+        assert_eq!(sparse.cols(), enc.width());
+        assert_eq!(sparse.to_dense().data, dense.data);
+        // At most one nonzero per column per row.
+        assert!(sparse.nnz() <= t.len() * enc.arity());
     }
 
     #[test]

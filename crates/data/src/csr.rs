@@ -1,0 +1,441 @@
+//! Sparse CSR (compressed sparse row) column family.
+//!
+//! The one-hot / bag-of-words paths in the reproduction
+//! (`embed::onehot`, `clean::encode`'s categorical slots, the
+//! discovery centroid build) materialise matrices that are
+//! overwhelmingly zero — a vocabulary-width row with a handful of
+//! ones. [`Csr`] stores only the nonzeros (indptr/indices/values, the
+//! classic three-array layout), and [`Csr::matmul_dense`] multiplies
+//! against a dense right-hand side row-parallel over the shared
+//! worker pool. Each pool task owns a disjoint range of output rows
+//! and f32 accumulation within a row is strictly sequential, so the
+//! result is bitwise identical at every `DC_THREADS` setting.
+//!
+//! Zeros are dropped structurally: `from_dense` skips entries equal
+//! to `0.0` (either sign), so a `-0.0` round-trips to `+0.0`. The
+//! training paths never produce signed zeros, and the equivalence
+//! tests pin the semantics.
+
+use dc_tensor::kernel;
+use dc_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of the CSR file format.
+const CSR_MAGIC: &[u8; 8] = b"DCSRMX1\0";
+
+/// Approximate multiply-add budget per pool task for
+/// [`Csr::matmul_dense`]; below this total the kernel runs serially
+/// (the pool handoff would cost more than the math).
+const PAR_WORK: usize = 1 << 15;
+
+/// A sparse matrix in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r + 1]` bounds row `r` in `indices`/`values`.
+    indptr: Vec<usize>,
+    /// Column ids per nonzero, ascending within each row.
+    indices: Vec<u32>,
+    /// Nonzero values, aligned with `indices`.
+    values: Vec<f32>,
+}
+
+/// Incremental row-by-row [`Csr`] constructor for encoders that emit
+/// one record at a time.
+pub struct CsrBuilder {
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrBuilder {
+    /// Start a matrix with `cols` columns and no rows.
+    pub fn new(cols: usize) -> Self {
+        CsrBuilder {
+            cols,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Append one row given `(column, value)` pairs in ascending column
+    /// order. Zero values are dropped; out-of-range or non-ascending
+    /// columns panic.
+    pub fn push_row<I: IntoIterator<Item = (u32, f32)>>(&mut self, entries: I) -> &mut Self {
+        let mut last: Option<u32> = None;
+        for (col, val) in entries {
+            assert!(
+                (col as usize) < self.cols,
+                "CsrBuilder: column {col} out of range"
+            );
+            if let Some(prev) = last {
+                assert!(col > prev, "CsrBuilder: columns must be strictly ascending");
+            }
+            last = Some(col);
+            if val != 0.0 {
+                self.indices.push(col);
+                self.values.push(val);
+            }
+        }
+        self.indptr.push(self.indices.len());
+        self
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Finish construction.
+    pub fn finish(self) -> Csr {
+        Csr {
+            rows: self.indptr.len() - 1,
+            cols: self.cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+}
+
+impl Csr {
+    /// Compress a dense tensor, dropping entries equal to `0.0`.
+    pub fn from_dense(t: &Tensor) -> Self {
+        let mut b = CsrBuilder::new(t.cols);
+        for r in 0..t.rows {
+            let row = t.row_slice(r);
+            b.push_row(
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(c, &v)| (c as u32, v)),
+            );
+        }
+        b.finish()
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored: `nnz / (rows * cols)` (0 for an
+    /// empty matrix).
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// The nonzeros of row `r` as `(columns, values)` slices.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Expand back to a dense tensor (dropped zeros come back as
+    /// `+0.0`).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let row = out.row_slice_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                row[c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// `self × b` into a fresh tensor. See [`Csr::matmul_dense_into`].
+    pub fn matmul_dense(&self, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, b.cols);
+        self.matmul_dense_into(b, &mut out);
+        out
+    }
+
+    /// `self × b` into `out` (reshaped to `rows × b.cols`, buffer
+    /// reused when capacity allows).
+    ///
+    /// Rows are distributed over the shared worker pool; each task
+    /// writes a disjoint output-row range and accumulates its rows
+    /// sequentially in nonzero order, so the result is bitwise
+    /// identical at any `DC_THREADS` (and to the serial run). Small
+    /// products stay serial under the [`PAR_WORK`] threshold.
+    pub fn matmul_dense_into(&self, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, b.rows,
+            "Csr::matmul_dense: {}x{} × {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        out.rows = self.rows;
+        out.cols = b.cols;
+        out.data.clear();
+        out.data.resize(self.rows * b.cols, 0.0);
+        if self.rows == 0 || b.cols == 0 {
+            return;
+        }
+        let avg_nnz = self.nnz() / self.rows.max(1);
+        let per_row = (avg_nnz * b.cols).max(1);
+        let grain = (PAR_WORK / per_row).max(1);
+        let bcols = b.cols;
+        let indptr = &self.indptr;
+        let indices = &self.indices;
+        let values = &self.values;
+        let ptr = OutPtr(out.data.as_mut_ptr());
+        kernel::parallel_for(self.rows, grain, |range| {
+            for r in range {
+                // SAFETY: `parallel_for` hands each task a disjoint row
+                // range of `0..self.rows`, `out.data` was resized to
+                // `self.rows * bcols` above and is not reallocated
+                // while tasks run, so `r * bcols..(r + 1) * bcols` is a
+                // valid exclusive slice of the output buffer.
+                let orow =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r * bcols), bcols) };
+                for k in indptr[r]..indptr[r + 1] {
+                    let v = values[k];
+                    let brow = b.row_slice(indices[k] as usize);
+                    for (o, &x) in orow.iter_mut().zip(brow) {
+                        *o += v * x;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Persist to a std-only binary file (`DCSRMX1` header, then
+    /// little-endian indptr/indices/values sections).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(CSR_MAGIC)?;
+        for n in [self.rows as u64, self.cols as u64, self.nnz() as u64] {
+            out.write_all(&n.to_le_bytes())?;
+        }
+        for &p in &self.indptr {
+            out.write_all(&(p as u64).to_le_bytes())?;
+        }
+        for &c in &self.indices {
+            out.write_all(&c.to_le_bytes())?;
+        }
+        for &v in &self.values {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        out.flush()
+    }
+
+    /// Load a matrix written by [`Csr::save`]; values round-trip
+    /// bitwise.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut f = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != CSR_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "Csr::load: bad magic",
+            ));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut read_u64 = |f: &mut BufReader<File>| -> io::Result<u64> {
+            f.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let rows = read_u64(&mut f)? as usize;
+        let cols = read_u64(&mut f)? as usize;
+        let nnz = read_u64(&mut f)? as usize;
+        let mut indptr = Vec::with_capacity(rows + 1);
+        for _ in 0..=rows {
+            indptr.push(read_u64(&mut f)? as usize);
+        }
+        if indptr.first() != Some(&0)
+            || indptr.last() != Some(&nnz)
+            || indptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "Csr::load: inconsistent indptr",
+            ));
+        }
+        let mut b4 = [0u8; 4];
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            f.read_exact(&mut b4)?;
+            let c = u32::from_le_bytes(b4);
+            if c as usize >= cols {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "Csr::load: column out of range",
+                ));
+            }
+            indices.push(c);
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            f.read_exact(&mut b4)?;
+            values.push(f32::from_le_bytes(b4));
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+}
+
+/// Raw output pointer smuggled into pool tasks. Access goes through
+/// [`OutPtr::get`] so closures capture the whole wrapper (which is
+/// `Sync`) rather than the raw field.
+struct OutPtr(*mut f32);
+
+impl OutPtr {
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+// SAFETY: tasks address disjoint output-row ranges through the pointer
+// (see the SAFETY comment at the use site); the buffer outlives the
+// `parallel_for` call, which joins all tasks before returning.
+unsafe impl Send for OutPtr {}
+// SAFETY: as above — shared access is to disjoint regions only.
+unsafe impl Sync for OutPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn sparse_dense(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data.iter_mut() {
+            if rng.gen::<f64>() < density {
+                *v = rng.gen_range(0.5..2.0f32);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = sparse_dense(17, 23, 0.15, &mut rng);
+        let s = Csr::from_dense(&d);
+        assert!(s.nnz() < 17 * 23);
+        assert_eq!(s.to_dense().data, d.data);
+    }
+
+    #[test]
+    fn builder_matches_from_dense_and_drops_zeros() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(0, 1.0), (2, 0.0), (3, 2.0)]);
+        b.push_row([]);
+        b.push_row([(1, -1.5)]);
+        let s = b.finish();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(
+            s.to_dense().data,
+            Csr::from_dense(&s.to_dense()).to_dense().data
+        );
+    }
+
+    #[test]
+    fn matmul_matches_dense_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Positive entries: accumulation order per output cell is the
+        // ascending-column order either way, so sparse == dense bitwise.
+        let a = sparse_dense(31, 19, 0.2, &mut rng);
+        let b = Tensor::randn(19, 7, 1.0, &mut rng);
+        let s = Csr::from_dense(&a);
+        let got = s.matmul_dense(&b);
+        let mut want = Tensor::zeros(31, 7);
+        for r in 0..31 {
+            for k in 0..19 {
+                let v = a.row_slice(r)[k];
+                if v != 0.0 {
+                    for c in 0..7 {
+                        want.row_slice_mut(r)[c] += v * b.row_slice(k)[c];
+                    }
+                }
+            }
+        }
+        assert_eq!(got.data, want.data);
+        assert_eq!(got.rows, 31);
+        assert_eq!(got.cols, 7);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Csr::from_dense(&sparse_dense(8, 6, 0.3, &mut rng));
+        let b = Tensor::randn(6, 5, 1.0, &mut rng);
+        let mut out = Tensor::zeros(0, 0);
+        a.matmul_dense_into(&b, &mut out);
+        let first = out.data.clone();
+        let cap = out.data.capacity();
+        a.matmul_dense_into(&b, &mut out);
+        assert_eq!(out.data, first);
+        assert_eq!(out.data.capacity(), cap);
+    }
+
+    #[test]
+    fn large_matmul_crosses_parallel_threshold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = sparse_dense(256, 128, 0.25, &mut rng);
+        let b = Tensor::randn(128, 64, 1.0, &mut rng);
+        let s = Csr::from_dense(&a);
+        assert!(
+            s.nnz() / 256 * 64 * 256 > super::PAR_WORK,
+            "test must exercise the pool"
+        );
+        let got = s.matmul_dense(&b);
+        let want = s.to_dense().matmul(&b);
+        for (g, w) in got.data.iter().zip(&want.data) {
+            assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_is_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = Csr::from_dense(&sparse_dense(12, 40, 0.1, &mut rng));
+        let dir = std::env::temp_dir().join("dc_data_csr_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csr");
+        s.save(&path).unwrap();
+        let back = Csr::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dc_data_csr_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csr");
+        std::fs::write(&path, b"not a csr file at all").unwrap();
+        assert!(Csr::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

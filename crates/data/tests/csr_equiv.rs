@@ -1,0 +1,154 @@
+//! CSR kernel equivalence suite (ISSUE 10).
+//!
+//! Properties, each run by `scripts/lint.sh` under `DC_THREADS=1`,
+//! `=2`, and the default:
+//!
+//! 1. **Dense round trip**: `from_dense → to_dense` reproduces every
+//!    stored value bitwise (structural zeros come back as `+0.0`).
+//! 2. **CSR×dense equals the dense reference bitwise** when values are
+//!    positive (accumulation visits the same nonzero terms in the same
+//!    ascending-column order, and skipping zero terms cannot flip a
+//!    signed zero).
+//! 3. **Thread-count independence**: the row-parallel kernel returns
+//!    the same bits at any `DC_THREADS` because each task owns a
+//!    disjoint output-row range — the lint.sh sweep enforces this by
+//!    re-running the whole suite per thread count.
+
+use dc_data::Csr;
+use dc_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic LCG stream of f32 values in roughly [−4, 4].
+fn lcg_f32(count: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 8192) as f32 / 1024.0 - 4.0
+        })
+        .collect()
+}
+
+/// Sparse matrix with strictly positive nonzeros at a pseudo-random
+/// pattern (~`density` of cells).
+fn sparse_positive(rows: usize, cols: usize, density_pct: u64, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    let mut state = seed | 1;
+    for v in t.data.iter_mut() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (state >> 33) % 100 < density_pct {
+            *v = 0.5 + ((state >> 40) % 1024) as f32 / 512.0;
+        }
+    }
+    t
+}
+
+/// Reference CSR×dense: same skip-zero, ascending-column accumulation
+/// order, written longhand against the dense matrix.
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    for r in 0..a.rows {
+        for k in 0..a.cols {
+            let v = a.row_slice(r)[k];
+            if v != 0.0 {
+                let brow = b.row_slice(k);
+                let orow = out.row_slice_mut(r);
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o += v * x;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn dense_round_trip_is_bitwise(
+        rows in 0usize..40,
+        cols in 1usize..30,
+        density in 0u64..60,
+        seed in 0u64..u64::MAX,
+    ) {
+        let d = sparse_positive(rows, cols, density, seed);
+        let s = Csr::from_dense(&d);
+        prop_assert_eq!(s.rows(), rows);
+        prop_assert_eq!(s.cols(), cols);
+        prop_assert_eq!(
+            s.to_dense().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            d.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        m in 1usize..40,
+        k in 1usize..30,
+        n in 1usize..12,
+        density in 0u64..60,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = sparse_positive(m, k, density, seed);
+        let b = Tensor::from_vec(k, n, lcg_f32(k * n, seed ^ 0x9e3779b97f4a7c15));
+        let s = Csr::from_dense(&a);
+        let got = s.matmul_dense(&b);
+        let want = reference_matmul(&a, &b);
+        prop_assert_eq!(got.rows, m);
+        prop_assert_eq!(got.cols, n);
+        prop_assert_eq!(
+            got.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn matmul_tracks_full_dense_product_numerically(
+        m in 1usize..24,
+        k in 1usize..20,
+        n in 1usize..8,
+        density in 1u64..80,
+        seed in 0u64..u64::MAX,
+    ) {
+        // General values (signs allowed): sparse and dense-with-zeros
+        // may round differently, so compare with a tolerance against
+        // the f64 product.
+        let mut a = sparse_positive(m, k, density, seed);
+        for (i, v) in a.data.iter_mut().enumerate() {
+            if i % 3 == 0 { *v = -*v; }
+        }
+        let b = Tensor::from_vec(k, n, lcg_f32(k * n, seed ^ 0x2545f4914f6cdd1d));
+        let got = Csr::from_dense(&a).matmul_dense(&b);
+        for r in 0..m {
+            for c in 0..n {
+                let exact: f64 = (0..k)
+                    .map(|j| f64::from(a.row_slice(r)[j]) * f64::from(b.row_slice(j)[c]))
+                    .sum();
+                let g = f64::from(got.row_slice(r)[c]);
+                prop_assert!(
+                    (g - exact).abs() <= 1e-4 * exact.abs().max(1.0),
+                    "({}, {}): {} vs {}", r, c, g, exact
+                );
+            }
+        }
+    }
+}
+
+/// The parallel threshold is crossed with a product big enough that
+/// every pool thread gets work — re-run under the lint.sh
+/// `DC_THREADS` sweep, the bits must never move.
+#[test]
+fn large_matmul_bits_are_thread_count_invariant() {
+    let a = sparse_positive(512, 256, 30, 0xfeed);
+    let b = Tensor::from_vec(256, 48, lcg_f32(256 * 48, 0xbeef));
+    let s = Csr::from_dense(&a);
+    let got = s.matmul_dense(&b);
+    let want = reference_matmul(&a, &b);
+    assert_eq!(
+        got.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}

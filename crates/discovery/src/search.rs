@@ -82,9 +82,21 @@ impl NeuralSearch {
 
         let dim = emb.dim();
         let n = table_token_ids.len();
-        let mut centroids = vec![0.0f32; n * dim];
+        // Table-token incidence as a unit-value CSR over the vocabulary
+        // (row i flags table i's token ids, already sorted ascending).
+        // centroid sums become one CSR×dense matmul that runs
+        // row-parallel over the shared pool; unit values (`1.0 * x`)
+        // accumulated in ascending id order keep every sum bitwise
+        // equal to the serial per-table `centroid_into` loop.
+        let centroids = table_incidence_csr(&table_token_ids, emb.vectors.rows);
+        let mut centroids = centroids.matmul_dense(&emb.vectors).data;
         for (i, tids) in table_token_ids.iter().enumerate() {
-            centroid_into(&emb, tids, &mut centroids[i * dim..(i + 1) * dim]);
+            if !tids.is_empty() {
+                let inv = 1.0 / tids.len() as f32;
+                centroids[i * dim..(i + 1) * dim]
+                    .iter_mut()
+                    .for_each(|x| *x *= inv);
+            }
         }
         let mut centroid_mean = vec![0.0f32; dim];
         if n > 0 {
@@ -306,6 +318,16 @@ pub fn search_documents(tables: &[&Table], values_per_column: usize) -> Vec<Vec<
         }
     }
     docs
+}
+
+/// Unit-value CSR of sorted, deduplicated token-id sets: one row per
+/// table, one `1.0` per token the table contains.
+fn table_incidence_csr(table_token_ids: &[Vec<usize>], vocab: usize) -> dc_data::Csr {
+    let mut b = dc_data::CsrBuilder::new(vocab);
+    for tids in table_token_ids {
+        b.push_row(tids.iter().map(|&t| (t as u32, 1.0)));
+    }
+    b.finish()
 }
 
 /// Mean of the embedding vectors of `ids`, written into `out`
@@ -681,6 +703,29 @@ mod tests {
         assert_eq!(
             empty.try_search_topk("city", 3).unwrap_err().kind(),
             "not_found"
+        );
+    }
+
+    #[test]
+    fn csr_centroid_build_matches_serial_centroid_into() {
+        let (_, neural, _) = lake_and_search();
+        let dim = neural.emb.dim();
+        let csr = table_incidence_csr(&neural.table_token_ids, neural.emb.vectors.rows);
+        let mut sparse = csr.matmul_dense(&neural.emb.vectors).data;
+        let mut serial = vec![0.0f32; neural.table_token_ids.len() * dim];
+        for (i, tids) in neural.table_token_ids.iter().enumerate() {
+            centroid_into(&neural.emb, tids, &mut serial[i * dim..(i + 1) * dim]);
+            if !tids.is_empty() {
+                let inv = 1.0 / tids.len() as f32;
+                sparse[i * dim..(i + 1) * dim]
+                    .iter_mut()
+                    .for_each(|x| *x *= inv);
+            }
+        }
+        assert_eq!(
+            sparse.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "CSR centroid build must be bitwise-equal to the serial loop"
         );
     }
 

@@ -6,6 +6,7 @@
 //! every pair of distinct objects is equally (dis)similar, so no
 //! semantic structure can be expressed.
 
+use dc_data::{Csr, CsrBuilder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -45,6 +46,23 @@ impl OneHot {
         let mut v = vec![0.0; self.dim()];
         v[id] = 1.0;
         Some(v)
+    }
+
+    /// Encode a batch of objects as a sparse CSR matrix (one row per
+    /// object, exactly one nonzero per known object, an empty row for
+    /// unknowns). The dense equivalent is `dim()` floats per row —
+    /// mostly zeros — so the CSR family stores the batch in O(rows)
+    /// and multiplies against an embedding matrix through
+    /// [`Csr::matmul_dense`] without ever materialising the zeros.
+    pub fn encode_csr<'a>(&self, objects: impl IntoIterator<Item = &'a str>) -> Csr {
+        let mut b = CsrBuilder::new(self.dim());
+        for o in objects {
+            match self.index.get(o) {
+                Some(&id) => b.push_row([(id as u32, 1.0)]),
+                None => b.push_row([]),
+            };
+        }
+        b.finish()
     }
 
     /// Cosine similarity under one-hot encoding: 1 for identity, 0 for
@@ -99,6 +117,24 @@ mod tests {
         // under local representations.
         assert_eq!(oh.similarity("girl", "princess"), Some(0.0));
         assert_eq!(oh.similarity("girl", "man"), Some(0.0));
+    }
+
+    #[test]
+    fn csr_batch_matches_dense_encode() {
+        let oh = OneHot::new(["man", "woman", "king"].map(String::from));
+        let batch = oh.encode_csr(["king", "queen", "man"]);
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.nnz(), 2, "unknown object contributes no nonzero");
+        let dense = batch.to_dense();
+        assert_eq!(dense.row_slice(0), oh.encode("king").unwrap().as_slice());
+        assert_eq!(dense.row_slice(1), vec![0.0; 3].as_slice());
+        assert_eq!(dense.row_slice(2), oh.encode("man").unwrap().as_slice());
+        // One-hot × embedding-table = row lookup, sparse or dense.
+        let table = dc_tensor::Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let picked = batch.matmul_dense(&table);
+        assert_eq!(picked.row_slice(0), table.row_slice(2));
+        assert_eq!(picked.row_slice(1), &[0.0, 0.0]);
+        assert_eq!(picked.row_slice(2), table.row_slice(0));
     }
 
     #[test]

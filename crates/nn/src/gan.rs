@@ -152,15 +152,19 @@ impl Gan {
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..data.rows).collect();
         let tape = Tape::new();
+        // Pooled across rounds: the take list and the batch tensor are
+        // refilled in place, so warm rounds allocate nothing.
+        let mut take: Vec<usize> = Vec::with_capacity(batch.min(data.rows));
+        let mut b = Batch {
+            x: Tensor::zeros(0, data.cols),
+            y: None,
+        };
         for round in 0..rounds {
             let _round = dc_obs::span("nn.gan");
             order.shuffle(rng);
-            let take: Vec<usize> = order.iter().copied().take(batch.min(data.rows)).collect();
-            let real = crate::mlp::gather_rows(data, &take);
-            let b = Batch {
-                x: real,
-                y: Tensor::zeros(0, 0),
-            };
+            take.clear();
+            take.extend(order.iter().copied().take(batch.min(data.rows)));
+            dc_data::gather_rows_into(data, &take, &mut b.x);
             let mut ctx = TrainCtx {
                 rng,
                 tape: &tape,
@@ -217,9 +221,10 @@ mod tests {
         let mut gan = Gan::new(2, 4, 16, &mut rng);
         // Train only a few rounds: discriminator should already score the
         // real cluster above untrained-generator output.
+        let take: Vec<usize> = (0..32).collect();
+        let mut batch = Tensor::zeros(0, real.cols);
         for _ in 0..60 {
-            let take: Vec<usize> = (0..32).collect();
-            let batch = crate::mlp::gather_rows(&real, &take);
+            dc_data::gather_rows_into(&real, &take, &mut batch);
             gan.train_round(&batch, &mut rng);
         }
         let p_real: f32 = gan.discriminate(&real).iter().sum::<f32>() / 100.0;

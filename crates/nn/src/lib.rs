@@ -44,6 +44,6 @@ pub use metrics::{accuracy, confusion, f1_score, precision_recall_f1, roc_auc, B
 pub use mlp::Mlp;
 pub use optim::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};
 pub use train::{
-    run_epochs, AeTrainer, Batch, DaeTrainer, EpochStats, KSparseTrainer, MlpTrainer, StepStats,
-    TrainCtx, TrainOpts, Trainer, VaeTrainer,
+    run_dataset_epochs, run_epochs, AeTrainer, Batch, DaeTrainer, EpochStats, KSparseTrainer,
+    MlpTrainer, StepStats, TrainCtx, TrainOpts, Trainer, VaeTrainer,
 };

@@ -276,6 +276,11 @@ pub fn gather_rows(t: &Tensor, rows: &[usize]) -> Tensor {
     out
 }
 
+/// Pooled [`gather_rows`]: fill a recycled tensor instead of
+/// allocating. Re-exported from `dc-data`, where buffer growth is
+/// counted in the `data.batch.alloc` counter.
+pub use dc_data::gather_rows_into;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,10 +6,20 @@
 //! one skeleton — shuffle a row order, walk it in minibatches, run one
 //! gradient step per batch — so that skeleton now lives in
 //! [`run_epochs`] and the models only implement the single-step
-//! [`Trainer::fit`]. The loop is a line-for-line port of the seed's
-//! `Mlp::fit` (shuffle → `chunks(batch_size.max(1))` → `gather_rows`
-//! → step), so loss trajectories and rng draws are bit-identical to
-//! the pre-refactor code.
+//! [`Trainer::fit`]. The loop preserves the seed's `Mlp::fit` shape
+//! (shuffle → `chunks(batch_size.max(1))` → gather → step), so loss
+//! trajectories and rng draws are bit-identical to the pre-refactor
+//! code.
+//!
+//! Since the dc-data rewire the loop no longer touches tensors
+//! directly: it drives any [`Dataset`] minibatch source
+//! ([`run_dataset_epochs`]), with in-memory tensors going through
+//! [`dc_data::DenseView`] — whose epoch shuffle is the seed
+//! `order.shuffle(rng)` verbatim — and larger-than-memory corpora
+//! through [`dc_data::ChunkedDataset`] over a file-backed
+//! [`dc_data::ChunkedStore`]. Batches are **pooled**: one
+//! [`Batch`] is reused across all steps and refilled in place via
+//! `dc_data::gather_rows_into`, so warm steps allocate nothing.
 //!
 //! [`run_epochs`] is also where training observability hooks in: one
 //! `dc_obs` span per epoch, one timer per batch, and a per-epoch loss
@@ -21,10 +31,9 @@
 //! reuse the previous step's buffers instead of allocating fresh ones.
 //! `DC_POOL=0` falls back to plain allocation, bitwise identically.
 
-use crate::mlp::gather_rows;
+use dc_data::Dataset;
 use dc_tensor::{Tape, Tensor};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 
 /// Hyper-parameters common to every training loop, with the repo's
 /// `with_*` builder convention (DESIGN.md §10) so call sites read as
@@ -80,18 +89,26 @@ impl TrainOpts {
     }
 }
 
-/// One minibatch. Unsupervised trainers receive an empty (0×0) `y`.
+/// One minibatch. Unsupervised trainers receive `y: None` — no
+/// placeholder tensor is materialised for them.
 pub struct Batch {
     /// Input rows.
     pub x: Tensor,
-    /// Targets aligned with `x` rows, or 0×0 when unsupervised.
-    pub y: Tensor,
+    /// Targets aligned with `x` rows, or `None` when unsupervised.
+    pub y: Option<Tensor>,
 }
 
 impl Batch {
     /// Whether this batch carries targets.
     pub fn has_targets(&self) -> bool {
-        self.y.rows > 0
+        self.y.is_some()
+    }
+
+    /// The targets; panics for unsupervised batches.
+    pub fn targets(&self) -> &Tensor {
+        self.y
+            .as_ref()
+            .expect("Batch::targets on unsupervised batch")
     }
 }
 
@@ -173,21 +190,55 @@ pub fn run_epochs_with_tape<T: Trainer + ?Sized>(
     if let Some(y) = y {
         assert_eq!(x.rows, y.rows, "run_epochs: x/y row mismatch");
     }
-    let n = x.rows;
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut ds = dc_data::DenseView::new(x, y);
+    run_dataset_epochs_with_tape(name, trainer, &mut ds, opts, rng, tape)
+}
+
+/// [`run_epochs`] over any [`Dataset`] minibatch source — the
+/// out-of-core entry point. Pass a [`dc_data::ChunkedDataset`] over a
+/// file-backed [`dc_data::ChunkedStore`] to train on corpora larger
+/// than memory; with a [`dc_data::DenseView`] (or a single-chunk
+/// store) this is bitwise-identical to [`run_epochs`].
+pub fn run_dataset_epochs<T: Trainer + ?Sized, D: Dataset + ?Sized>(
+    name: &'static str,
+    trainer: &mut T,
+    ds: &mut D,
+    opts: &TrainOpts,
+    rng: &mut StdRng,
+) -> Vec<EpochStats> {
+    let tape = Tape::new();
+    run_dataset_epochs_with_tape(name, trainer, ds, opts, rng, &tape)
+}
+
+/// [`run_dataset_epochs`] against a caller-owned [`Tape`].
+///
+/// One persistent order vector (the dataset re-shuffles it in place
+/// each epoch, preserving the seed loop's cumulative-shuffle rng
+/// stream) and one pooled [`Batch`] refilled in place per step — warm
+/// steps perform zero batch allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dataset_epochs_with_tape<T: Trainer + ?Sized, D: Dataset + ?Sized>(
+    name: &'static str,
+    trainer: &mut T,
+    ds: &mut D,
+    opts: &TrainOpts,
+    rng: &mut StdRng,
+    tape: &Tape,
+) -> Vec<EpochStats> {
+    let mut order: Vec<usize> = Vec::new();
+    let mut batch = Batch {
+        x: Tensor::zeros(0, ds.x_cols()),
+        y: ds.y_cols().map(|c| Tensor::zeros(0, c)),
+    };
     let mut trace = Vec::with_capacity(opts.epochs);
     let mut step = 0usize;
     for epoch in 0..opts.epochs {
         let _epoch = dc_obs::span(name);
-        order.shuffle(rng);
+        ds.shuffle_epoch(&mut order, rng);
         let (mut loss, mut aux, mut batches) = (0.0f32, 0.0f32, 0usize);
         for chunk in order.chunks(opts.batch_size.max(1)) {
             let _batch = dc_obs::timer(name, "batch");
-            let batch = Batch {
-                x: gather_rows(x, chunk),
-                y: y.map(|t| gather_rows(t, chunk))
-                    .unwrap_or_else(|| Tensor::zeros(0, 0)),
-            };
+            ds.fill_batch(chunk, &mut batch.x, batch.y.as_mut());
             let mut ctx = TrainCtx {
                 rng,
                 tape,
@@ -250,9 +301,14 @@ pub struct MlpTrainer<'a> {
 
 impl Trainer for MlpTrainer<'_> {
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
-        let loss = self
-            .model
-            .train_batch_on(ctx.tape, &batch.x, &batch.y, self.loss, self.opt, ctx.rng);
+        let loss = self.model.train_batch_on(
+            ctx.tape,
+            &batch.x,
+            batch.targets(),
+            self.loss,
+            self.opt,
+            ctx.rng,
+        );
         StepStats { loss, aux: 0.0 }
     }
 }

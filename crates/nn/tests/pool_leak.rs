@@ -22,7 +22,7 @@ impl Trainer for MlpTrainer {
         let loss = self.model.train_batch_on(
             ctx.tape,
             &batch.x,
-            &batch.y,
+            batch.targets(),
             LossKind::Mse,
             &mut self.opt,
             ctx.rng,

@@ -141,9 +141,9 @@ pub struct FineTuneTrainer<'a> {
 
 impl Trainer for FineTuneTrainer<'_> {
     fn fit(&mut self, batch: &Batch, ctx: &mut TrainCtx<'_>) -> StepStats {
-        let loss = self
-            .tuner
-            .train_batch_on(ctx.tape, &batch.x, &batch.y, self.loss, self.opt);
+        let loss =
+            self.tuner
+                .train_batch_on(ctx.tape, &batch.x, batch.targets(), self.loss, self.opt);
         StepStats { loss, aux: 0.0 }
     }
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_data.json: streamed (out-of-core chunked store) vs
+# fully resident epoch cost, warm batch allocations on the in-memory
+# fast path, the larger-than-budget bitwise-equality demo, and the
+# sparse CSR one-hot matmul.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p dc-bench --bin bench_data

@@ -58,6 +58,19 @@ cargo test -q -p dc-index --test quant_equiv
 echo "== Trainer migration (unified run_epochs loop) =="
 cargo test -q -p dc-nn --test trainer_migration
 
+echo "== chunked-store + CSR equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-data --test chunk_equiv
+DC_THREADS=2 cargo test -q -p dc-data --test chunk_equiv
+cargo test -q -p dc-data --test chunk_equiv
+DC_THREADS=1 cargo test -q -p dc-data --test csr_equiv
+DC_THREADS=2 cargo test -q -p dc-data --test csr_equiv
+cargo test -q -p dc-data --test csr_equiv
+
+echo "== out-of-core training equivalence under DC_THREADS=1, =2, default =="
+DC_THREADS=1 cargo test -q -p dc-nn --test data_equiv
+DC_THREADS=2 cargo test -q -p dc-nn --test data_equiv
+cargo test -q -p dc-nn --test data_equiv
+
 echo "== pool/fusion bitwise equivalence under DC_THREADS=1, =2, default =="
 DC_THREADS=1 cargo test -q -p dc-tensor --test pool_equiv
 DC_THREADS=2 cargo test -q -p dc-tensor --test pool_equiv
@@ -83,6 +96,9 @@ cargo run -q --release -p dc-bench --bin bench_train -- --smoke
 
 echo "== index benchmark smoke (funnel-vs-exact equality, no wall-clock gate) =="
 cargo run -q --release -p dc-bench --bin bench_index -- --smoke
+
+echo "== data benchmark smoke (streamed-vs-resident bitwise, zero warm allocs, no wall-clock gate) =="
+cargo run -q --release -p dc-bench --bin bench_data -- --smoke
 
 echo "== observability is observational (bitwise weights) under DC_THREADS=1, =2 =="
 DC_THREADS=1 cargo test -q -p dc-er --test obs_equiv

@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | [`core`](dc_core) | — | [`DcError`](dc_core::DcError)/[`DcResult`](dc_core::DcResult): the workspace's unified fallible surface |
 //! | [`tensor`] | §2 | dense tensors, reverse-mode autograd, the blocked-GEMM worker pool |
+//! | [`data`] | §3.2 | out-of-core chunked columnar store, zero-copy batch assembly, sparse CSR column family |
 //! | [`nn`] | §2.1, Fig 2 | MLPs, LSTMs, AE/k-sparse/DAE/VAE, GANs, optimisers, the unified `Trainer` loop |
 //! | [`index`] | §5.2 | packed LSH signatures, incremental banded index, quantized retrieval funnel |
 //! | [`obs`](dc_obs) | — | counters/gauges/histograms/spans behind `DC_OBS`; the service's SLO surface |
@@ -47,6 +48,7 @@
 //! the [`serve`] crate docs and the endpoint table in the README.
 
 pub use dc_clean as clean;
+pub use dc_data as data;
 pub use dc_datagen as datagen;
 pub use dc_discovery as discovery;
 pub use dc_embed as embed;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::quality::{quality_score, QualityReport};
     pub use dc_clean::{DaeImputer, KnnImputer, SimpleImputer, SimpleStrategy, TableEncoder};
     pub use dc_core::{DcError, DcResult};
+    pub use dc_data::{ChunkedDataset, ChunkedStore, Csr, CsrBuilder, Dataset, StoreWriter};
     pub use dc_datagen::{ErBenchmark, ErSuite, ErrorInjector, Lake};
     pub use dc_discovery::{Bm25Lite, Ekg, NeuralSearch, SemanticMatcher};
     pub use dc_embed::{Embeddings, SgnsConfig};
